@@ -1,0 +1,114 @@
+package gocured_test
+
+// One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index). Each benchmark regenerates its table; run
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/ccbench for the formatted tables. The finer-grained
+// BenchmarkRun benches time individual corpus programs per execution mode.
+
+import (
+	"testing"
+
+	"gocured/internal/core"
+	"gocured/internal/corpus"
+	"gocured/internal/experiments"
+	"gocured/internal/infer"
+	"gocured/internal/interp"
+)
+
+var benchCfg = experiments.Config{Scale: 1}
+
+func benchTable(b *testing.B, fn func(experiments.Config) *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := fn(benchCfg)
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkCastClassification regenerates E1 (§3 cast statistics).
+func BenchmarkCastClassification(b *testing.B) {
+	benchTable(b, experiments.CastClassification)
+}
+
+// BenchmarkFig8Apache regenerates E2 (Figure 8, Apache modules).
+func BenchmarkFig8Apache(b *testing.B) { benchTable(b, experiments.Fig8Apache) }
+
+// BenchmarkFig9System regenerates E3 (Figure 9, system software).
+func BenchmarkFig9System(b *testing.B) { benchTable(b, experiments.Fig9System) }
+
+// BenchmarkIjpegRTTI regenerates E4 (ijpeg RTTI ablation).
+func BenchmarkIjpegRTTI(b *testing.B) { benchTable(b, experiments.IjpegRTTI) }
+
+// BenchmarkMicroSuite regenerates E5 (Spec/Olden/Ptrdist vs Purify/Valgrind).
+func BenchmarkMicroSuite(b *testing.B) { benchTable(b, experiments.MicroSuite) }
+
+// BenchmarkSplitOverhead regenerates E6 (all-split ablation).
+func BenchmarkSplitOverhead(b *testing.B) { benchTable(b, experiments.SplitOverhead) }
+
+// BenchmarkBindCasts regenerates E7 (bind cast statistics).
+func BenchmarkBindCasts(b *testing.B) { benchTable(b, experiments.BindCasts) }
+
+// BenchmarkSplitStats regenerates E8 (split inference statistics).
+func BenchmarkSplitStats(b *testing.B) { benchTable(b, experiments.SplitStats) }
+
+// BenchmarkExploits regenerates E9 (ftpd exploit prevention).
+func BenchmarkExploits(b *testing.B) { benchTable(b, experiments.Exploits) }
+
+// BenchmarkCompile times the whole pipeline (parse -> check -> lower ->
+// infer -> cure) on the largest corpus program.
+func BenchmarkCompile(b *testing.B) {
+	p := corpus.ByName("bind")
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build("bind.c", p.Source, infer.Options{TrustBadCasts: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRun times representative corpus programs per execution mode
+// (raw, cured, purify, valgrind) so individual slowdown ratios can be read
+// straight off the -bench output.
+func BenchmarkRun(b *testing.B) {
+	programs := []string{"ijpeg", "olden-em3d", "spec-compress", "apache-webstone", "bind"}
+	modes := []struct {
+		name   string
+		policy interp.Policy
+	}{
+		{"raw", interp.PolicyNone},
+		{"cured", interp.PolicyCured},
+		{"purify", interp.PolicyPurify},
+		{"valgrind", interp.PolicyValgrind},
+	}
+	for _, name := range programs {
+		p := corpus.ByName(name)
+		u, err := core.Build(name+".c", corpus.WithScale(p, 1),
+			infer.Options{TrustBadCasts: p.TrustBadCasts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range modes {
+			b.Run(name+"/"+m.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var out *interp.Outcome
+					var err error
+					if m.policy == interp.PolicyCured {
+						out, err = u.RunCured(interp.Config{})
+					} else {
+						out, err = u.RunRaw(m.policy, interp.Config{})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.Trap != nil {
+						b.Fatalf("trap: %v", out.Trap)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command ccbench regenerates every table and figure of the paper's
+// evaluation on the gocured corpus.
+//
+// Usage:
+//
+//	ccbench [-scale N] [-repeats N] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gocured/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 0, "override the corpus SCALE constant (0 = source default)")
+	only := flag.String("only", "", "run a single experiment by id (E1..E9)")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale}
+	all := map[string]func(experiments.Config) *experiments.Table{
+		"E1": experiments.CastClassification,
+		"E2": experiments.Fig8Apache,
+		"E3": experiments.Fig9System,
+		"E4": experiments.IjpegRTTI,
+		"E5": experiments.MicroSuite,
+		"E6": experiments.SplitOverhead,
+		"E7": experiments.BindCasts,
+		"E8": experiments.SplitStats,
+		"E9": experiments.Exploits,
+	}
+	if *only != "" {
+		fn, ok := all[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E9)\n", *only)
+			os.Exit(2)
+		}
+		fmt.Println(fn(cfg).Format())
+		return
+	}
+	for _, t := range experiments.All(cfg) {
+		fmt.Println(t.Format())
+	}
+}

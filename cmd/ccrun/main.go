@@ -1,0 +1,78 @@
+// Command ccrun compiles and executes a C source file on the gocured
+// simulated machine, either raw or cured (or under the Purify/Valgrind-
+// style shadow policies).
+//
+// Usage:
+//
+//	ccrun [-mode raw|cured|purify|valgrind] [-stdin file] [-trust] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gocured"
+)
+
+func main() {
+	mode := flag.String("mode", "cured", "execution mode: raw, cured, purify, valgrind")
+	stdinFile := flag.String("stdin", "", "file whose bytes feed getchar()")
+	trust := flag.Bool("trust", false, "trust remaining bad casts")
+	steps := flag.Uint64("steps", 0, "step limit (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccrun [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var m gocured.Mode
+	switch *mode {
+	case "raw":
+		m = gocured.ModeRaw
+	case "cured":
+		m = gocured.ModeCured
+	case "purify":
+		m = gocured.ModePurify
+	case "valgrind":
+		m = gocured.ModeValgrind
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var stdin []byte
+	if *stdinFile != "" {
+		stdin, err = os.ReadFile(*stdinFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	prog, err := gocured.Compile(file, string(src), gocured.Options{TrustBadCasts: *trust})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := prog.Run(m, gocured.RunOptions{Stdin: stdin, StepLimit: *steps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.WriteString(res.Stdout)
+	for _, r := range res.ToolReports {
+		fmt.Fprintln(os.Stderr, r)
+	}
+	fmt.Fprintf(os.Stderr, "[%s] steps=%d checks=%d mem=%d\n",
+		*mode, res.Steps, res.Checks, res.MemAccesses)
+	if res.Trapped {
+		fmt.Fprintf(os.Stderr, "TRAP (%s): %s\n", res.TrapKind, res.TrapMessage)
+		os.Exit(3)
+	}
+	os.Exit(res.ExitCode)
+}

@@ -1,0 +1,80 @@
+// Command ccured compiles a C source file with the gocured pipeline and
+// reports the inference results: pointer-kind distribution, cast
+// classification, split statistics, inserted checks, and (with -dump) the
+// instrumented program.
+//
+// Usage:
+//
+//	ccured [-dump] [-dump-raw] [-no-rtti] [-no-subtyping] [-trust] [-split-all] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gocured"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print the instrumented (cured) program")
+	dumpRaw := flag.Bool("dump-raw", false, "print the uninstrumented program")
+	noRTTI := flag.Bool("no-rtti", false, "disable the RTTI pointer kind (original CCured downcasts)")
+	noSub := flag.Bool("no-subtyping", false, "disable physical subtyping (POPL02 CCured)")
+	trust := flag.Bool("trust", false, "trust remaining bad casts instead of making pointers WILD")
+	splitAll := flag.Bool("split-all", false, "force the compatible (split) representation everywhere")
+	listCasts := flag.Bool("list-casts", false, "list every pointer cast with its classification (review trusted/bad ones)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccured [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := gocured.Compile(file, string(src), gocured.Options{
+		NoRTTI:              *noRTTI,
+		NoPhysicalSubtyping: *noSub,
+		TrustBadCasts:       *trust,
+		ForceSplitAll:       *splitAll,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range prog.Diagnostics() {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	s := prog.Stats()
+	fmt.Printf("%s: %d lines\n", file, s.Lines)
+	fmt.Printf("pointers: %d  SAFE %.1f%%  SEQ %.1f%%  WILD %.1f%%  RTTI %.1f%%\n",
+		s.Pointers, s.PctSafe, s.PctSeq, s.PctWild, s.PctRtti)
+	fmt.Printf("casts: %d  identity %d  upcasts %d  downcasts %d  alloc-typed %d  tile %d  bad %d  trusted %d\n",
+		s.Casts, s.Identity, s.Upcasts, s.Downcasts, s.Alloc,
+		s.SeqCasts, s.BadCasts, s.Trusted)
+	fmt.Printf("split: %d pointers split (%.1f%%), %d need metadata pointers (%.1f%%)\n",
+		s.SplitPointers, s.PctSplit, s.MetaPointers, s.PctMeta)
+	fmt.Printf("run-time checks inserted: %d\n", s.ChecksInserted)
+	if *listCasts {
+		fmt.Println("---- casts (a security review starts at trusted/bad ones) ----")
+		for _, c := range prog.Casts() {
+			mark := ""
+			if c.Trusted {
+				mark = "  <-- REVIEW"
+			}
+			fmt.Printf("%-20s %-10s %s -> %s%s\n", c.Pos, c.Class, c.From, c.To, mark)
+		}
+	}
+	if *dumpRaw {
+		fmt.Println("---- raw program ----")
+		prog.DumpRaw(os.Stdout)
+	}
+	if *dump {
+		fmt.Println("---- cured program ----")
+		prog.DumpCured(os.Stdout)
+	}
+}

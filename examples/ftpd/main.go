@@ -1,0 +1,44 @@
+// Exploit demo: the corpus ftpd daemon carries the real ftpd-BSD
+// replydirname off-by-one. A benign session works identically raw and
+// cured; the exploit session runs to completion raw (silently corrupting
+// the frame) but the cured binary traps on the bounds check — the paper's
+// "we verified that CCured prevents this error".
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gocured"
+	"gocured/internal/corpus"
+)
+
+func main() {
+	p := corpus.ByName("ftpd")
+	prog, err := gocured.Compile("ftpd.c", p.Source, gocured.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title, stdin string) {
+		fmt.Printf("== %s ==\n", title)
+		for _, mode := range []gocured.Mode{gocured.ModeRaw, gocured.ModeCured} {
+			res, err := prog.Run(mode, gocured.RunOptions{Stdin: []byte(stdin)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := fmt.Sprintf("exit %d", res.ExitCode)
+			if res.Trapped {
+				status = fmt.Sprintf("TRAPPED: %s (%s)", res.TrapKind, res.TrapMessage)
+			}
+			lines := strings.Count(res.Stdout, "\n")
+			fmt.Printf("  %-8s -> %s (%d lines of output, %d checks)\n",
+				mode, status, lines, res.Checks)
+		}
+		fmt.Println()
+	}
+
+	show("benign session", corpus.FtpdBenignInput)
+	show("exploit session (CWD path overflows replydirname)", corpus.FtpdExploitInput)
+}

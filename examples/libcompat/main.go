@@ -1,0 +1,83 @@
+// Library compatibility (§4): a "precompiled library" function —
+// gethostbyname — returns a structure laid out exactly as C expects, with
+// thin pointers. The cured program reads it directly through SPLIT types
+// (data in C layout, metadata in the parallel shadow structure), no deep
+// copies and no wrapper needed; bounds still hold because the boundary
+// generates metadata for the returned structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gocured"
+)
+
+const src = `
+extern int printf(char *fmt, ...);
+
+struct hostent {
+    char *h_name;       /* official name */
+    char **h_aliases;   /* NULL-terminated alias list */
+    int h_addrtype;
+};
+
+extern struct hostent *gethostbyname(char *name);
+
+int main(void) {
+    /* __SPLIT: use the compatible representation for this structure */
+    struct hostent __SPLIT *h = gethostbyname("example.org");
+    int i;
+    printf("name: %s (addrtype %d)\n", h->h_name, h->h_addrtype);
+    for (i = 0; h->h_aliases[i]; i++) {
+        printf("alias: %s\n", h->h_aliases[i]);
+    }
+    return 0;
+}
+`
+
+func main() {
+	prog, err := gocured.Compile("libcompat.c", src, gocured.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := prog.Stats()
+	fmt.Printf("split inference: %d pointers use the compatible representation (%.0f%%), "+
+		"%d need metadata pointers\n\n", s.SplitPointers, s.PctSplit, s.MetaPointers)
+
+	for _, mode := range []gocured.Mode{gocured.ModeRaw, gocured.ModeCured} {
+		res, err := prog.Run(mode, gocured.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n%s", mode, res.Stdout)
+		if res.Trapped {
+			fmt.Printf("TRAPPED: %s\n", res.TrapMessage)
+		}
+		fmt.Println()
+	}
+
+	// The same structure read through a cured pointer still carries
+	// bounds: walking past the alias array's NULL terminator traps.
+	bad := `
+extern int printf(char *fmt, ...);
+struct hostent { char *h_name; char **h_aliases; int h_addrtype; };
+extern struct hostent *gethostbyname(char *name);
+int main(void) {
+    struct hostent __SPLIT *h = gethostbyname("example.org");
+    /* aliases has 2 entries + NULL; element 5 is out of bounds */
+    printf("%s\n", h->h_aliases[5]);
+    return 0;
+}
+`
+	prog2, err := gocured.Compile("libcompat-bad.c", bad, gocured.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog2.Run(gocured.ModeCured, gocured.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== out-of-bounds walk over library data (cured) ==\ntrapped=%v (%s)\n",
+		res.Trapped, res.TrapKind)
+}

@@ -1,0 +1,102 @@
+// Object-oriented C: the paper's Figure/Circle pattern — subtype
+// polymorphism, dynamic dispatch, and checked downcasts. With RTTI the
+// program has zero bad casts; with RTTI disabled (the original CCured)
+// the same code drowns in WILD pointers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gocured"
+)
+
+const src = `
+extern int printf(char *fmt, ...);
+extern void *malloc(unsigned int n);
+
+struct Figure { int (*area100)(struct Figure *obj); };
+struct Circle { int (*area100)(struct Figure *obj); int radius; };
+struct Square { int (*area100)(struct Figure *obj); int side; };
+
+int circle_area(struct Figure *obj) {
+    struct Circle *c = (struct Circle *)obj;      /* checked downcast */
+    return 314 * c->radius * c->radius / 100;
+}
+
+int square_area(struct Figure *obj) {
+    struct Square *s = (struct Square *)obj;      /* checked downcast */
+    return s->side * s->side;
+}
+
+int main(void) {
+    struct Figure *figs[4];
+    int i, total = 0;
+    for (i = 0; i < 4; i++) {
+        if (i % 2 == 0) {
+            struct Circle *c = (struct Circle *)malloc(sizeof(struct Circle));
+            c->area100 = circle_area;
+            c->radius = i + 1;
+            figs[i] = (struct Figure *)c;          /* upcast */
+        } else {
+            struct Square *s = (struct Square *)malloc(sizeof(struct Square));
+            s->area100 = square_area;
+            s->side = i + 1;
+            figs[i] = (struct Figure *)s;          /* upcast */
+        }
+    }
+    for (i = 0; i < 4; i++) total += figs[i]->area100(figs[i]);  /* dispatch */
+    printf("total area x100 = %d\n", total);
+    return 0;
+}
+`
+
+func main() {
+	for _, cfg := range []struct {
+		name string
+		opts gocured.Options
+	}{
+		{"original CCured (no RTTI)", gocured.Options{NoRTTI: true}},
+		{"PLDI03 CCured (physical subtyping + RTTI)", gocured.Options{}},
+	} {
+		prog, err := gocured.Compile("oop.c", src, cfg.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := prog.Stats()
+		res, err := prog.Run(gocured.ModeCured, gocured.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", cfg.name)
+		fmt.Printf("  kinds: SAFE %.0f%%  SEQ %.0f%%  WILD %.0f%%  RTTI %.0f%%  (bad casts: %d)\n",
+			s.PctSafe, s.PctSeq, s.PctWild, s.PctRtti, s.BadCasts)
+		fmt.Printf("  cured run: %strapped=%v\n\n", res.Stdout, res.Trapped)
+	}
+
+	// And the safety net: downcasting a Figure that is NOT a Circle traps.
+	bad := `
+extern int printf(char *fmt, ...);
+struct Figure { int (*area100)(struct Figure *obj); };
+struct Circle { int (*area100)(struct Figure *obj); int radius; };
+struct Figure plain;
+int dummy(struct Figure *o) { return 0; }
+int main(void) {
+    struct Figure *f = &plain;
+    struct Circle *c;
+    plain.area100 = dummy;
+    c = (struct Circle *)f;     /* wrong downcast */
+    return c->radius;
+}
+`
+	prog, err := gocured.Compile("bad.c", bad, gocured.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Run(gocured.ModeCured, gocured.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== wrong downcast ==\n  trapped=%v (%s: %s)\n",
+		res.Trapped, res.TrapKind, res.TrapMessage)
+}

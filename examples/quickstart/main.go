@@ -1,0 +1,61 @@
+// Quickstart: compile a small C program, inspect the inferred pointer
+// kinds, and watch CCured's checks catch a buffer overflow that the raw
+// execution silently tolerates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gocured"
+)
+
+const src = `
+extern int printf(char *fmt, ...);
+
+int sum_first(int *arr, int n) {
+    int i, total = 0;
+    for (i = 0; i <= n; i++) {   /* off-by-one bug */
+        total += arr[i];
+    }
+    return total;
+}
+
+int main(void) {
+    int data[8];
+    int i;
+    for (i = 0; i < 8; i++) data[i] = i + 1;
+    printf("sum = %d\n", sum_first(data, 8));
+    return 0;
+}
+`
+
+func main() {
+	prog, err := gocured.Compile("quickstart.c", src, gocured.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := prog.Stats()
+	fmt.Printf("inference: %d pointers — SAFE %.0f%%, SEQ %.0f%%, WILD %.0f%%, RTTI %.0f%%\n",
+		s.Pointers, s.PctSafe, s.PctSeq, s.PctWild, s.PctRtti)
+	fmt.Printf("curing inserted %d run-time checks\n\n", s.ChecksInserted)
+
+	raw, err := prog.Run(gocured.ModeRaw, gocured.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw run:   trapped=%v  output: %s", raw.Trapped, raw.Stdout)
+	fmt.Println("           (the overflow read past the array and nobody noticed)")
+
+	cured, err := prog.Run(gocured.ModeCured, gocured.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncured run: trapped=%v", cured.Trapped)
+	if cured.Trapped {
+		fmt.Printf("  (%s: %s)\n", cured.TrapKind, cured.TrapMessage)
+	} else {
+		fmt.Println()
+	}
+}

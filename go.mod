@@ -1,0 +1,3 @@
+module gocured
+
+go 1.22

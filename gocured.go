@@ -1,0 +1,272 @@
+// Package gocured is a from-scratch Go reproduction of CCured, the memory-
+// safety program transformation system of Necula et al., as extended by
+// "CCured in the Real World" (Condit, Harren, McPeak, Necula, Weimer;
+// PLDI 2003).
+//
+// The library compiles a C program (a substantial C subset with CCured's
+// annotation extensions), infers a pointer kind — SAFE, SEQ, WILD, or RTTI —
+// for every pointer occurrence using physical subtyping and run-time type
+// information, instruments the program with CCured's run-time checks, and
+// executes either the original or the cured program on a simulated ILP32
+// machine. Uncured programs really corrupt memory on buffer overflows;
+// cured programs trap.
+//
+// Quick start:
+//
+//	prog, err := gocured.Compile("demo.c", src, gocured.Options{})
+//	raw, _   := prog.Run(gocured.ModeRaw, gocured.RunOptions{})
+//	cured, _ := prog.Run(gocured.ModeCured, gocured.RunOptions{})
+//	fmt.Println(prog.Stats().PctSafe, cured.Trapped)
+package gocured
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gocured/internal/cil"
+	"gocured/internal/core"
+	"gocured/internal/infer"
+	"gocured/internal/interp"
+)
+
+// Options configure compilation and inference.
+type Options struct {
+	// NoRTTI disables the RTTI pointer kind: checked downcasts become bad
+	// casts and their pointers go WILD (the pre-PLDI03 system; used by the
+	// ijpeg ablation experiment).
+	NoRTTI bool
+	// NoPhysicalSubtyping additionally disables upcast verification
+	// (the original POPL02 CCured).
+	NoPhysicalSubtyping bool
+	// TrustBadCasts treats remaining bad casts as trusted rather than
+	// making pointers WILD — the tradeoff used for bind in §5.
+	TrustBadCasts bool
+	// ForceSplitAll puts every type in the compatible (split)
+	// representation — the §5 all-split overhead ablation.
+	ForceSplitAll bool
+}
+
+// Mode selects how Run executes the program.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeRaw runs the original program with no instrumentation.
+	ModeRaw Mode = iota
+	// ModeCured runs the instrumented program with CCured's checks.
+	ModeCured
+	// ModePurify runs the original program under a Purify-style
+	// shadow-memory policy (reports, does not trap).
+	ModePurify
+	// ModeValgrind runs the original program under a Valgrind-style
+	// shadow-memory policy.
+	ModeValgrind
+)
+
+var modeNames = [...]string{"raw", "cured", "purify", "valgrind"}
+
+func (m Mode) String() string { return modeNames[m] }
+
+// RunOptions configure one execution.
+type RunOptions struct {
+	// StepLimit bounds executed instructions (0 = 1e9).
+	StepLimit uint64
+	// StackSize in bytes (0 = 1 MiB).
+	StackSize uint32
+	// Seed drives the deterministic rand().
+	Seed uint64
+	// Stdin supplies bytes for getchar().
+	Stdin []byte
+	// Args are program arguments for main(int argc, char **argv).
+	Args []string
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	ExitCode int
+	Stdout   string
+	// Trapped reports whether a memory-safety check (or the simulated
+	// MMU) stopped the program; TrapKind/TrapMessage give details.
+	Trapped     bool
+	TrapKind    string
+	TrapMessage string
+	// Steps and Checks are dynamic counters; MemAccesses counts raw
+	// loads+stores; SimCycles is the deterministic simulated-cycle count
+	// used for slowdown ratios (see EXPERIMENTS.md).
+	Steps, Checks, MemAccesses, SimCycles uint64
+	// ToolReports carries Purify/Valgrind-style diagnostics.
+	ToolReports []string
+}
+
+// Stats summarizes the static analysis of a compiled program: the pointer
+// kind distribution (the sf/sq/w/rt columns of the paper's Figures 8 and 9),
+// the cast classification of §3, and the split-representation statistics of
+// §4.2.
+type Stats struct {
+	Pointers int
+	Safe     int
+	Seq      int
+	Wild     int
+	Rtti     int
+
+	PctSafe, PctSeq, PctWild, PctRtti float64
+
+	Casts     int // casts involving pointer types
+	Identity  int // physically equal
+	Upcasts   int
+	Downcasts int
+	SeqCasts  int // tiling-compatible SEQ casts
+	BadCasts  int
+	Trusted   int
+	Alloc     int // allocator-result casts (polymorphic allocator typing)
+
+	SplitPointers int // pointers using the compatible representation
+	MetaPointers  int // split pointers that need a metadata pointer
+	PctSplit      float64
+	PctMeta       float64
+
+	ChecksInserted int // static run-time checks added by curing
+	Lines          int // source lines
+}
+
+// Program is a compiled and cured translation unit.
+type Program struct {
+	unit *core.Unit
+	opts Options
+}
+
+// Compile parses, type checks, infers pointer kinds for, and instruments a
+// C source file. The returned Program can run in any Mode.
+func Compile(filename, src string, opts Options) (*Program, error) {
+	u, err := core.Build(filename, src, infer.Options{
+		NoRTTI:              opts.NoRTTI,
+		NoPhysicalSubtyping: opts.NoPhysicalSubtyping,
+		TrustBadCasts:       opts.TrustBadCasts,
+		SplitAll:            opts.ForceSplitAll,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{unit: u, opts: opts}, nil
+}
+
+// Run executes the program in the given mode.
+func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {
+	cfg := interp.Config{
+		StepLimit: opt.StepLimit,
+		StackSize: opt.StackSize,
+		Seed:      opt.Seed,
+		Stdin:     opt.Stdin,
+		Args:      opt.Args,
+	}
+	var out *interp.Outcome
+	var err error
+	switch mode {
+	case ModeRaw:
+		out, err = p.unit.RunRaw(interp.PolicyNone, cfg)
+	case ModeCured:
+		out, err = p.unit.RunCured(cfg)
+	case ModePurify:
+		out, err = p.unit.RunRaw(interp.PolicyPurify, cfg)
+	case ModeValgrind:
+		out, err = p.unit.RunRaw(interp.PolicyValgrind, cfg)
+	default:
+		return nil, fmt.Errorf("unknown mode %d", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ExitCode:    out.ExitCode,
+		Stdout:      out.Stdout,
+		Steps:       out.Counters.Steps,
+		Checks:      out.Counters.Checks,
+		MemAccesses: out.MemLoads + out.MemStores,
+		SimCycles:   out.Counters.Cost,
+		ToolReports: out.ToolReports,
+	}
+	if out.Trap != nil {
+		res.Trapped = true
+		res.TrapKind = out.Trap.Kind
+		res.TrapMessage = out.Trap.Msg
+	}
+	return res, nil
+}
+
+// Stats returns the static analysis summary.
+func (p *Program) Stats() Stats {
+	s := p.unit.Stats()
+	out := Stats{
+		Pointers: s.Ptrs, Safe: s.Safe, Seq: s.Seq, Wild: s.Wild, Rtti: s.Rtti,
+		PctSafe: s.PctSafe(), PctSeq: s.PctSeq(), PctWild: s.PctWild(), PctRtti: s.PctRtti(),
+		Casts: s.Casts, Identity: s.Identity, Upcasts: s.Upcasts,
+		Downcasts: s.Downcasts, SeqCasts: s.SeqCasts, BadCasts: s.Bad,
+		Trusted: s.Trusted, Alloc: s.Alloc,
+		Lines: CountLines(p.unit.Source),
+	}
+	if sp := p.unit.Res.Split; sp != nil {
+		out.SplitPointers = sp.Stats.SplitPtrs
+		out.MetaPointers = sp.Stats.MetaPtrs
+		out.PctSplit = sp.Stats.PctSplit()
+		out.PctMeta = sp.Stats.PctMeta()
+	}
+	for _, n := range p.unit.Cured.ChecksInserted {
+		out.ChecksInserted += n
+	}
+	return out
+}
+
+// CastReport describes one classified cast site (for security review: the
+// paper advises starting a review of bind at its trusted casts).
+type CastReport struct {
+	Pos     string
+	From    string
+	To      string
+	Class   string
+	Trusted bool
+}
+
+// Casts returns every pointer-cast site with its classification.
+func (p *Program) Casts() []CastReport {
+	var out []CastReport
+	for _, c := range p.unit.Res.Casts {
+		if c.Class == infer.CastNonPtr {
+			continue
+		}
+		out = append(out, CastReport{
+			Pos:     c.Pos.String(),
+			From:    c.From.String(),
+			To:      c.To.String(),
+			Class:   c.Class.String(),
+			Trusted: c.Trusted,
+		})
+	}
+	return out
+}
+
+// Diagnostics returns the warnings and notes from all phases, rendered.
+func (p *Program) Diagnostics() []string {
+	var out []string
+	for _, d := range p.unit.Diags.All() {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// DumpCured writes a readable rendering of the instrumented program.
+func (p *Program) DumpCured(w io.Writer) { cil.Print(w, p.unit.Cured.Prog) }
+
+// DumpRaw writes a readable rendering of the uninstrumented program.
+func (p *Program) DumpRaw(w io.Writer) { cil.Print(w, p.unit.Raw) }
+
+// CountLines counts non-blank source lines (the paper's "lines of code").
+func CountLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

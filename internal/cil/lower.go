@@ -1,0 +1,672 @@
+package cil
+
+import (
+	"gocured/internal/cparse"
+	"gocured/internal/ctypes"
+	"gocured/internal/diag"
+	"gocured/internal/sema"
+)
+
+// Lower converts a checked translation unit to the CIL-like IR.
+func Lower(unit *sema.Unit, diags *diag.List) *Program {
+	lw := &lowerer{
+		unit:  unit,
+		diags: diags,
+		prog:  &Program{FuncMap: make(map[string]*Func)},
+		varOf: make(map[*cparse.Symbol]*Var),
+	}
+	lw.prog.Structs = unit.File.Structs
+	for _, w := range unit.File.Wrappers {
+		lw.prog.Wrappers = append(lw.prog.Wrappers, &Wrapper{Wrapper: w.Wrapper, Wrapped: w.Wrapped})
+	}
+	for _, g := range unit.Globals {
+		v := lw.varFor(g)
+		gl := &Global{Var: v}
+		if g.VDecl != nil && g.VDecl.Init != nil {
+			gl.Init = lw.staticInit(g.VDecl.Init, g.Type)
+		}
+		lw.prog.Globals = append(lw.prog.Globals, gl)
+	}
+	for _, ext := range unit.Externs {
+		lw.prog.Externs = append(lw.prog.Externs, lw.varFor(ext))
+	}
+	for _, fs := range unit.Funcs {
+		lw.lowerFunc(fs)
+	}
+	return lw.prog
+}
+
+type lowerer struct {
+	unit  *sema.Unit
+	diags *diag.List
+	prog  *Program
+	varOf map[*cparse.Symbol]*Var
+
+	fn  *Func
+	cur *[]Stmt // current statement sink
+}
+
+func (lw *lowerer) varFor(sym *cparse.Symbol) *Var {
+	if v, ok := lw.varOf[sym]; ok {
+		return v
+	}
+	v := &Var{
+		Name:      sym.Name,
+		Type:      sym.Type,
+		Global:    sym.Global || sym.Kind == cparse.SymFunc,
+		Param:     sym.Param,
+		AddrType:  sym.AddrType,
+		AddrTaken: sym.AddrTaken,
+		ID:        len(lw.varOf),
+	}
+	lw.varOf[sym] = v
+	return v
+}
+
+func (lw *lowerer) emit(i Instr)    { *lw.cur = append(*lw.cur, &SInstr{Ins: i}) }
+func (lw *lowerer) emitStmt(s Stmt) { *lw.cur = append(*lw.cur, s) }
+
+// inBlock runs f with a fresh block as the statement sink.
+func (lw *lowerer) inBlock(f func()) *Block {
+	b := &Block{}
+	old := lw.cur
+	lw.cur = &b.Stmts
+	f()
+	lw.cur = old
+	return b
+}
+
+// ---- Functions ----
+
+func (lw *lowerer) lowerFunc(fs *sema.FuncSema) {
+	fn := &Func{
+		Name: fs.Def.Name,
+		Type: fs.Def.Type,
+		Pos:  fs.Def.P,
+	}
+	lw.fn = fn
+	for _, p := range fs.Params {
+		fn.Params = append(fn.Params, lw.varFor(p))
+	}
+	for _, l := range fs.Locals {
+		fn.Locals = append(fn.Locals, lw.varFor(l))
+	}
+	fn.Body = lw.inBlock(func() {
+		lw.lowerStmt(fs.Def.Body)
+		// Implicit return for functions that fall off the end.
+		ret := fn.Type.Fn.Ret
+		if ret.IsVoid() {
+			lw.emitStmt(&Return{})
+		} else {
+			lw.emitStmt(&Return{X: zeroValue(ret)})
+		}
+	})
+	lw.prog.Funcs = append(lw.prog.Funcs, fn)
+	lw.prog.FuncMap[fn.Name] = fn
+	lw.fn = nil
+}
+
+// zeroValue builds a zero constant of type t (for implicit returns).
+func zeroValue(t *ctypes.Type) Expr {
+	switch t.Kind {
+	case ctypes.Float:
+		return &FConst{F: 0, Ty: t}
+	case ctypes.Ptr:
+		return &Cast{To: t, X: &Const{I: 0, Ty: ctypes.IntT()}, Implicit: true}
+	default:
+		return &Const{I: 0, Ty: t}
+	}
+}
+
+// ---- Statements ----
+
+func (lw *lowerer) lowerStmt(s cparse.Stmt) {
+	switch st := s.(type) {
+	case *cparse.Block:
+		for _, s2 := range st.Stmts {
+			lw.lowerStmt(s2)
+		}
+	case *cparse.Empty:
+	case *cparse.ExprStmt:
+		lw.lowerExprForEffect(st.X)
+	case *cparse.DeclStmt:
+		for _, d := range st.Decls {
+			if d.Init == nil {
+				continue
+			}
+			v := lw.varOf[d.Sym]
+			lw.lowerLocalInit(VarLV(v), d.Init, d.Type, d.P)
+		}
+	case *cparse.If:
+		cond := lw.lowerExpr(st.Cond)
+		thenB := lw.inBlock(func() { lw.lowerStmt(st.Then) })
+		var elseB *Block
+		if st.Else != nil {
+			elseB = lw.inBlock(func() { lw.lowerStmt(st.Else) })
+		}
+		lw.emitStmt(&If{Cond: cond, Then: thenB, Else: elseB})
+	case *cparse.While:
+		body := lw.inBlock(func() {
+			cond := lw.lowerExpr(st.Cond)
+			lw.emitStmt(&If{Cond: notExpr(cond), Then: &Block{Stmts: []Stmt{&Break{}}}})
+			lw.lowerStmt(st.Body)
+		})
+		lw.emitStmt(&Loop{Body: body})
+	case *cparse.DoWhile:
+		body := lw.inBlock(func() { lw.lowerStmt(st.Body) })
+		post := lw.inBlock(func() {
+			cond := lw.lowerExpr(st.Cond)
+			lw.emitStmt(&If{Cond: notExpr(cond), Then: &Block{Stmts: []Stmt{&Break{}}}})
+		})
+		lw.emitStmt(&Loop{Body: body, Post: post})
+	case *cparse.For:
+		if st.Init != nil {
+			lw.lowerStmt(st.Init)
+		}
+		body := lw.inBlock(func() {
+			if st.Cond != nil {
+				cond := lw.lowerExpr(st.Cond)
+				lw.emitStmt(&If{Cond: notExpr(cond), Then: &Block{Stmts: []Stmt{&Break{}}}})
+			}
+			lw.lowerStmt(st.Body)
+		})
+		var post *Block
+		if st.Post != nil {
+			post = lw.inBlock(func() { lw.lowerExprForEffect(st.Post) })
+		}
+		lw.emitStmt(&Loop{Body: body, Post: post})
+	case *cparse.Return:
+		r := &Return{Pos: st.Pos()}
+		if st.X != nil {
+			r.X = lw.lowerExpr(st.X)
+		}
+		lw.emitStmt(r)
+	case *cparse.Break:
+		lw.emitStmt(&Break{})
+	case *cparse.Continue:
+		lw.emitStmt(&Continue{})
+	case *cparse.Switch:
+		x := lw.lowerExpr(st.X)
+		sw := &Switch{X: x}
+		for _, cs := range st.Cases {
+			body := lw.inBlock(func() {
+				for _, s2 := range cs.Stmts {
+					lw.lowerStmt(s2)
+				}
+			})
+			sw.Cases = append(sw.Cases, &SwitchCase{Val: cs.Val, IsDefault: cs.IsDefault, Body: body.Stmts})
+		}
+		lw.emitStmt(sw)
+	default:
+		lw.diags.Errorf(s.Pos(), "cannot lower statement %T", s)
+	}
+}
+
+// notExpr builds !e.
+func notExpr(e Expr) Expr { return &UnOp{Op: OpNot, X: e, Ty: ctypes.IntT()} }
+
+// lowerLocalInit emits assignments realizing a local initializer. Brace
+// lists initialize element-wise; our simulated stack frames are zeroed on
+// entry, so omitted elements read as zero (a benign strengthening of C).
+func (lw *lowerer) lowerLocalInit(lv *Lvalue, in *cparse.Initializer, ty *ctypes.Type, pos diag.Pos) {
+	if !in.IsList {
+		if s, ok := in.Expr.(*cparse.StrLit); ok && ty.Kind == ctypes.Array {
+			// char a[n] = "str": copy bytes element-wise.
+			for i := 0; i <= len(s.Val); i++ {
+				var ch int64
+				if i < len(s.Val) {
+					ch = int64(s.Val[i])
+				}
+				elt := lv.WithIndex(&Const{I: int64(i), Ty: ctypes.IntT()})
+				lw.emit(&Set{instrBase: instrBase{Pos: pos}, LV: elt, RHS: &Const{I: ch, Ty: ctypes.CharType()}})
+			}
+			return
+		}
+		rhs := lw.lowerExpr(in.Expr)
+		lw.emit(&Set{instrBase: instrBase{Pos: pos}, LV: lv, RHS: rhs})
+		return
+	}
+	switch ty.Kind {
+	case ctypes.Array:
+		for i, e := range in.List {
+			elt := lv.WithIndex(&Const{I: int64(i), Ty: ctypes.IntT()})
+			lw.lowerLocalInit(elt, e, ty.Elem, pos)
+		}
+	case ctypes.Struct:
+		for i, e := range in.List {
+			if i >= len(ty.SU.Fields) {
+				break
+			}
+			f := ty.SU.Fields[i]
+			lw.lowerLocalInit(lv.WithField(f), e, f.Type, pos)
+		}
+	default:
+		if len(in.List) >= 1 {
+			lw.lowerLocalInit(lv, in.List[0], ty, pos)
+		}
+	}
+}
+
+// ---- Expressions ----
+
+// lowerExprForEffect lowers an expression evaluated only for side effects.
+func (lw *lowerer) lowerExprForEffect(e cparse.Expr) {
+	switch x := e.(type) {
+	case *cparse.Call:
+		fn, args := lw.lowerCallParts(x)
+		var res *Lvalue
+		// Discard non-void results.
+		lw.emit(&Call{instrBase: instrBase{Pos: x.Pos()}, Result: res, Fn: fn, Args: args})
+		return
+	case *cparse.Assign:
+		lw.lowerAssign(x)
+		return
+	case *cparse.Unary:
+		switch x.Op {
+		case cparse.PreInc, cparse.PreDec, cparse.PostInc, cparse.PostDec:
+			lw.lowerIncDec(x)
+			return
+		}
+	case *cparse.Comma:
+		lw.lowerExprForEffect(x.X)
+		lw.lowerExprForEffect(x.Y)
+		return
+	case *cparse.Cast:
+		if x.To.IsVoid() {
+			lw.lowerExprForEffect(x.X)
+			return
+		}
+	}
+	// Default: evaluate and discard (still emits contained calls).
+	_ = lw.lowerExpr(e)
+}
+
+// lowerExpr lowers an expression to a pure IR expression, emitting
+// instructions for any side effects.
+func (lw *lowerer) lowerExpr(e cparse.Expr) Expr {
+	switch x := e.(type) {
+	case *cparse.IntLit:
+		ty := x.Type()
+		if ty == nil {
+			ty = ctypes.IntT()
+		}
+		return &Const{I: x.Val, Ty: ty}
+	case *cparse.FloatLit:
+		return &FConst{F: x.Val, Ty: x.Type()}
+	case *cparse.StrLit:
+		return &StrConst{S: x.Val, Ty: x.Type()}
+	case *cparse.Ident:
+		if x.Sym != nil && x.Sym.Kind == cparse.SymFunc {
+			return lw.fnConst(x.Sym)
+		}
+		lv := VarLV(lw.varFor(x.Sym))
+		if lv.Ty.Kind == ctypes.Array {
+			return lw.decayLval(lv)
+		}
+		return &Lval{LV: lv}
+	case *cparse.Unary:
+		return lw.lowerUnary(x)
+	case *cparse.Binary:
+		return lw.lowerBinary(x)
+	case *cparse.Assign:
+		lv := lw.lowerAssign(x)
+		return &Lval{LV: lv}
+	case *cparse.Cond:
+		return lw.lowerCond(x)
+	case *cparse.Cast:
+		inner := lw.lowerExpr(x.X)
+		return &Cast{To: x.To, X: inner, Implicit: x.Implicit, Trusted: x.Trusted, Pos: x.Pos()}
+	case *cparse.Call:
+		fn, args := lw.lowerCallParts(x)
+		ret := x.Type()
+		if ret.IsVoid() {
+			lw.emit(&Call{instrBase: instrBase{Pos: x.Pos()}, Fn: fn, Args: args})
+			return &Const{I: 0, Ty: ctypes.IntT()}
+		}
+		tmp := lw.fn.NewTemp(ret)
+		lw.emit(&Call{instrBase: instrBase{Pos: x.Pos()}, Result: VarLV(tmp), Fn: fn, Args: args})
+		return &Lval{LV: VarLV(tmp)}
+	case *cparse.Index, *cparse.Member:
+		lv := lw.lowerLval(e)
+		if lv.Ty.Kind == ctypes.Array {
+			// Array lvalue used as a value: decay to pointer to first elem.
+			return lw.decayLval(lv)
+		}
+		return &Lval{LV: lv}
+	case *cparse.SizeofExpr:
+		of := x.OfType
+		if of == nil {
+			of = x.X.Type()
+		}
+		return &SizeOf{Of: of, Ty: x.Type()}
+	case *cparse.Comma:
+		lw.lowerExprForEffect(x.X)
+		return lw.lowerExpr(x.Y)
+	}
+	lw.diags.Errorf(e.Pos(), "cannot lower expression %T", e)
+	return &Const{I: 0, Ty: ctypes.IntT()}
+}
+
+// fnConst builds the function-address constant for a function symbol,
+// sharing one pointer occurrence per function.
+func (lw *lowerer) fnConst(sym *cparse.Symbol) Expr {
+	if sym.AddrType == nil {
+		sym.AddrType = ctypes.PointerTo(sym.Type)
+	}
+	return &FnConst{Name: sym.Name, Ty: sym.AddrType}
+}
+
+// decayLval converts an array-typed lvalue to a pointer to its first
+// element; the pointer type shares the array occurrence's qualifier node.
+func (lw *lowerer) decayLval(lv *Lvalue) Expr {
+	pt := lv.Ty.Decay()
+	first := lv.WithIndex(&Const{I: 0, Ty: ctypes.IntT()})
+	return &AddrOf{LV: first, Ty: pt}
+}
+
+func (lw *lowerer) lowerUnary(x *cparse.Unary) Expr {
+	switch x.Op {
+	case cparse.Neg:
+		return &UnOp{Op: OpNeg, X: lw.lowerExpr(x.X), Ty: x.Type()}
+	case cparse.Not:
+		return &UnOp{Op: OpNot, X: lw.lowerExpr(x.X), Ty: x.Type()}
+	case cparse.BitNot:
+		return &UnOp{Op: OpBitNot, X: lw.lowerExpr(x.X), Ty: x.Type()}
+	case cparse.Deref:
+		p := lw.lowerExpr(x.X)
+		lv := MemLV(p)
+		if lv.Ty.Kind == ctypes.Array {
+			return lw.decayLval(lv)
+		}
+		return &Lval{LV: lv}
+	case cparse.AddrOf:
+		lv := lw.lowerLval(x.X)
+		return &AddrOf{LV: lv, Ty: x.Type()}
+	case cparse.PreInc, cparse.PreDec, cparse.PostInc, cparse.PostDec:
+		return lw.lowerIncDec(x)
+	}
+	lw.diags.Errorf(x.Pos(), "cannot lower unary %s", x.Op)
+	return &Const{I: 0, Ty: ctypes.IntT()}
+}
+
+// lowerIncDec expands ++/-- into a read, an add, and a write; returns the
+// value per C semantics (old value for postfix).
+func (lw *lowerer) lowerIncDec(x *cparse.Unary) Expr {
+	lv := lw.lowerStableLval(x.X)
+	ty := lv.Ty
+	old := lw.fn.NewTemp(ty)
+	lw.emit(&Set{instrBase: instrBase{Pos: x.Pos()}, LV: VarLV(old), RHS: &Lval{LV: lv}})
+	one := Expr(&Const{I: 1, Ty: ctypes.IntT()})
+	var op Op
+	switch {
+	case ty.IsPointer() && (x.Op == cparse.PreInc || x.Op == cparse.PostInc):
+		op = OpAddPI
+	case ty.IsPointer():
+		op = OpSubPI
+	case x.Op == cparse.PreInc || x.Op == cparse.PostInc:
+		op = OpAdd
+	default:
+		op = OpSub
+	}
+	if !ty.IsPointer() && ty.Kind == ctypes.Float {
+		one = &FConst{F: 1, Ty: ty}
+	}
+	lw.emit(&Set{instrBase: instrBase{Pos: x.Pos()}, LV: lv,
+		RHS: &BinOp{Op: op, A: &Lval{LV: VarLV(old)}, B: one, Ty: ty}})
+	if x.Op == cparse.PostInc || x.Op == cparse.PostDec {
+		return &Lval{LV: VarLV(old)}
+	}
+	return &Lval{LV: lv}
+}
+
+func (lw *lowerer) lowerBinary(x *cparse.Binary) Expr {
+	switch x.Op {
+	case cparse.LogAnd, cparse.LogOr:
+		// Short-circuit: tmp = (a != 0); if (tmp ==/!= 0) tmp = (b != 0).
+		tmp := lw.fn.NewTemp(ctypes.IntT())
+		a := lw.lowerExpr(x.X)
+		lw.emit(&Set{LV: VarLV(tmp), RHS: boolize(a)})
+		var cond Expr = &Lval{LV: VarLV(tmp)}
+		if x.Op == cparse.LogOr {
+			cond = notExpr(cond)
+		}
+		inner := lw.inBlock(func() {
+			b := lw.lowerExpr(x.Y)
+			lw.emit(&Set{LV: VarLV(tmp), RHS: boolize(b)})
+		})
+		lw.emitStmt(&If{Cond: cond, Then: inner})
+		return &Lval{LV: VarLV(tmp)}
+	}
+
+	a := lw.lowerExpr(x.X)
+	b := lw.lowerExpr(x.Y)
+	lt, rt := a.Type(), b.Type()
+	op := opOf(x.Op)
+	switch x.Op {
+	case cparse.Add:
+		if lt.IsPointer() {
+			op = OpAddPI
+		}
+	case cparse.Sub:
+		if lt.IsPointer() && rt.IsPointer() {
+			op = OpSubPP
+		} else if lt.IsPointer() {
+			op = OpSubPI
+		}
+	}
+	return &BinOp{Op: op, A: a, B: b, Ty: x.Type()}
+}
+
+// boolize normalizes a scalar to 0/1.
+func boolize(e Expr) Expr {
+	t := e.Type()
+	var zero Expr
+	switch {
+	case t.Kind == ctypes.Float:
+		zero = &FConst{F: 0, Ty: t}
+	case t.IsPointer():
+		zero = &Cast{To: t, X: &Const{I: 0, Ty: ctypes.IntT()}, Implicit: true}
+	default:
+		zero = &Const{I: 0, Ty: t}
+	}
+	return &BinOp{Op: OpNe, A: e, B: zero, Ty: ctypes.IntT()}
+}
+
+var astToOp = map[cparse.BinaryOp]Op{
+	cparse.Add: OpAdd, cparse.Sub: OpSub, cparse.Mul: OpMul, cparse.Div: OpDiv,
+	cparse.Rem: OpRem, cparse.Shl: OpShl, cparse.Shr: OpShr,
+	cparse.Lt: OpLt, cparse.Gt: OpGt, cparse.Le: OpLe, cparse.Ge: OpGe,
+	cparse.Eq: OpEq, cparse.Ne: OpNe,
+	cparse.BitAnd: OpBitAnd, cparse.BitOr: OpBitOr, cparse.BitXor: OpBitXor,
+}
+
+func opOf(op cparse.BinaryOp) Op { return astToOp[op] }
+
+func (lw *lowerer) lowerCond(x *cparse.Cond) Expr {
+	tmp := lw.fn.NewTemp(x.Type())
+	c := lw.lowerExpr(x.C)
+	thenB := lw.inBlock(func() {
+		lw.emit(&Set{LV: VarLV(tmp), RHS: lw.lowerExpr(x.T)})
+	})
+	elseB := lw.inBlock(func() {
+		lw.emit(&Set{LV: VarLV(tmp), RHS: lw.lowerExpr(x.F)})
+	})
+	lw.emitStmt(&If{Cond: c, Then: thenB, Else: elseB})
+	return &Lval{LV: VarLV(tmp)}
+}
+
+// lowerAssign emits the store(s) for an assignment and returns the target.
+func (lw *lowerer) lowerAssign(x *cparse.Assign) *Lvalue {
+	lv := lw.lowerStableLval(x.L)
+	if x.Op < 0 {
+		rhs := lw.lowerExpr(x.R)
+		lw.emit(&Set{instrBase: instrBase{Pos: x.Pos()}, LV: lv, RHS: rhs})
+		return lv
+	}
+	// Compound assignment: l = (lt)((common)l op r).
+	rhs := lw.lowerExpr(x.R)
+	lt := lv.Ty
+	cur := Expr(&Lval{LV: lv})
+	var result Expr
+	if lt.IsPointer() {
+		op := OpAddPI
+		if x.Op == cparse.Sub {
+			op = OpSubPI
+		}
+		result = &BinOp{Op: op, A: cur, B: rhs, Ty: lt}
+	} else {
+		common := rhs.Type()
+		if !ctypes.Equal(lt, common) {
+			cur = &Cast{To: common, X: cur, Implicit: true}
+		}
+		v := Expr(&BinOp{Op: opOf(x.Op), A: cur, B: rhs, Ty: common})
+		if !ctypes.Equal(lt, common) {
+			v = &Cast{To: lt, X: v, Implicit: true}
+		}
+		result = v
+	}
+	lw.emit(&Set{instrBase: instrBase{Pos: x.Pos()}, LV: lv, RHS: result})
+	return lv
+}
+
+// lowerStableLval lowers an lvalue whose address must be computed exactly
+// once (assignment targets, ++/--). Index expressions with side effects
+// are hoisted into temporaries.
+func (lw *lowerer) lowerStableLval(e cparse.Expr) *Lvalue {
+	return lw.lowerLval(e)
+}
+
+// lowerLval lowers an lvalue expression.
+func (lw *lowerer) lowerLval(e cparse.Expr) *Lvalue {
+	switch x := e.(type) {
+	case *cparse.Ident:
+		return VarLV(lw.varFor(x.Sym))
+	case *cparse.Unary:
+		if x.Op == cparse.Deref {
+			// MemLV types the lvalue from the pointer's pointee; the AST
+			// node's own type may have been decayed in place by sema when
+			// the lvalue was used in a value context.
+			p := lw.lowerExpr(x.X)
+			return MemLV(p)
+		}
+	case *cparse.Index:
+		base := x.X
+		// a[i] where a is an array lvalue extends the offset chain; where a
+		// is a pointer it is *(a + i).
+		if bt := base.Type(); bt.Kind == ctypes.Array {
+			lv := lw.lowerLval(base)
+			return lv.WithIndex(lw.lowerExpr(x.I))
+		}
+		p := lw.lowerExpr(base)
+		i := lw.lowerExpr(x.I)
+		sum := &BinOp{Op: OpAddPI, A: p, B: i, Ty: p.Type()}
+		return MemLV(sum)
+	case *cparse.Member:
+		if x.Arrow {
+			p := lw.lowerExpr(x.X)
+			lv := MemLV(p)
+			lv.Ty = p.Type().Elem
+			return lv.WithField(x.Field)
+		}
+		lv := lw.lowerLval(x.X)
+		return lv.WithField(x.Field)
+	case *cparse.Cast:
+		// Lvalue casts appear via decay bookkeeping only; lower the inner.
+		return lw.lowerLval(x.X)
+	}
+	lw.diags.Errorf(e.Pos(), "expression %T is not an lvalue", e)
+	v := lw.fn.NewTemp(e.Type())
+	return VarLV(v)
+}
+
+// lowerCallParts lowers the callee and arguments of a call.
+func (lw *lowerer) lowerCallParts(x *cparse.Call) (Expr, []Expr) {
+	var fn Expr
+	if id, ok := x.Fn.(*cparse.Ident); ok && id.Sym != nil && id.Sym.Kind == cparse.SymFunc {
+		fn = lw.fnConst(id.Sym)
+	} else {
+		fn = lw.lowerExpr(x.Fn)
+	}
+	args := make([]Expr, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = lw.lowerExpr(a)
+	}
+	return fn, args
+}
+
+// ---- Static initializers ----
+
+// staticInit lowers a global initializer; initializer expressions must be
+// compile-time constants (arithmetic constants, string literals, function
+// names, and addresses of globals).
+func (lw *lowerer) staticInit(in *cparse.Initializer, ty *ctypes.Type) *Init {
+	if in.IsList {
+		out := &Init{IsList: true}
+		switch ty.Kind {
+		case ctypes.Array:
+			for _, e := range in.List {
+				out.List = append(out.List, lw.staticInit(e, ty.Elem))
+			}
+		case ctypes.Struct:
+			for i, e := range in.List {
+				if i >= len(ty.SU.Fields) {
+					break
+				}
+				out.List = append(out.List, lw.staticInit(e, ty.SU.Fields[i].Type))
+			}
+		default:
+			if len(in.List) >= 1 {
+				return lw.staticInit(in.List[0], ty)
+			}
+		}
+		return out
+	}
+	e := lw.staticExpr(in.Expr, ty)
+	if e == nil {
+		lw.diags.Errorf(in.P, "initializer is not a compile-time constant")
+		return &Init{Zero: true}
+	}
+	return &Init{Expr: e}
+}
+
+// staticExpr lowers a constant initializer expression, or returns nil.
+func (lw *lowerer) staticExpr(e cparse.Expr, want *ctypes.Type) Expr {
+	switch x := e.(type) {
+	case *cparse.IntLit:
+		return &Const{I: x.Val, Ty: x.Type()}
+	case *cparse.FloatLit:
+		return &FConst{F: x.Val, Ty: x.Type()}
+	case *cparse.StrLit:
+		return &StrConst{S: x.Val, Ty: x.Type()}
+	case *cparse.Ident:
+		if x.Sym != nil && x.Sym.Kind == cparse.SymFunc {
+			return lw.fnConst(x.Sym)
+		}
+		return nil
+	case *cparse.Cast:
+		inner := lw.staticExpr(x.X, x.To)
+		if inner == nil {
+			return nil
+		}
+		return &Cast{To: x.To, X: inner, Implicit: x.Implicit, Trusted: x.Trusted, Pos: x.Pos()}
+	case *cparse.Unary:
+		switch x.Op {
+		case cparse.AddrOf:
+			if id, ok := x.X.(*cparse.Ident); ok && id.Sym != nil && id.Sym.Global {
+				return &AddrOf{LV: VarLV(lw.varFor(id.Sym)), Ty: x.Type()}
+			}
+			return nil
+		case cparse.Neg:
+			inner := lw.staticExpr(x.X, want)
+			if c, ok := inner.(*Const); ok {
+				return &Const{I: -c.I, Ty: c.Ty}
+			}
+			if c, ok := inner.(*FConst); ok {
+				return &FConst{F: -c.F, Ty: c.Ty}
+			}
+			return nil
+		}
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package cil
+
+import (
+	"strings"
+	"testing"
+
+	"gocured/internal/cparse"
+	"gocured/internal/ctypes"
+	"gocured/internal/diag"
+	"gocured/internal/sema"
+)
+
+// lower is the test pipeline: parse, check, lower.
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	var d diag.List
+	file := cparse.Parse("test.c", src, &d)
+	unit := sema.Check(file, &d)
+	prog := Lower(unit, &d)
+	if d.HasErrors() {
+		t.Fatalf("pipeline errors:\n%v", d.Err())
+	}
+	return prog
+}
+
+func TestLowerSimpleFunction(t *testing.T) {
+	prog := lower(t, `
+int add(int a, int b) { return a + b; }
+`)
+	f := prog.Lookup("add")
+	if f == nil {
+		t.Fatal("missing function add")
+	}
+	if len(f.Params) != 2 {
+		t.Fatalf("params = %d", len(f.Params))
+	}
+	// Body: return (a + b); plus the implicit trailing return.
+	ret, ok := f.Body.Stmts[0].(*Return)
+	if !ok {
+		t.Fatalf("first stmt = %T, want Return", f.Body.Stmts[0])
+	}
+	bin, ok := ret.X.(*BinOp)
+	if !ok || bin.Op != OpAdd {
+		t.Fatalf("return expr = %s", ExprString(ret.X))
+	}
+}
+
+func TestLowerPointerArithmetic(t *testing.T) {
+	prog := lower(t, `
+int sum(int *p, int n) {
+    int total = 0;
+    int i;
+    for (i = 0; i < n; i++) total += p[i];
+    return total;
+}
+`)
+	var sawAddPI bool
+	walkExprs(prog.Lookup("sum").Body, func(e Expr) {
+		if b, ok := e.(*BinOp); ok && b.Op == OpAddPI {
+			sawAddPI = true
+		}
+	})
+	if !sawAddPI {
+		t.Error("expected pointer arithmetic (OpAddPI) from p[i]")
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	prog := lower(t, `
+int f(int a, int b) { return a && b; }
+int g(int a, int b) { return a || b; }
+`)
+	for _, name := range []string{"f", "g"} {
+		fn := prog.Lookup(name)
+		found := false
+		var scan func(stmts []Stmt)
+		scan = func(stmts []Stmt) {
+			for _, s := range stmts {
+				if iff, ok := s.(*If); ok {
+					found = true
+					scan(iff.Then.Stmts)
+				}
+			}
+		}
+		scan(fn.Body.Stmts)
+		if !found {
+			t.Errorf("%s: short-circuit operator did not lower to If", name)
+		}
+	}
+}
+
+func TestLowerIncDecSemantics(t *testing.T) {
+	prog := lower(t, `
+int post(int x) { int y; y = x++; return y * 100 + x; }
+int pre(int x) { int y; y = ++x; return y * 100 + x; }
+`)
+	// Structural check: both produce at least two Sets (save + update).
+	for _, name := range []string{"post", "pre"} {
+		sets := 0
+		walkInstrs(prog.Lookup(name).Body, func(i Instr) {
+			if _, ok := i.(*Set); ok {
+				sets++
+			}
+		})
+		if sets < 3 {
+			t.Errorf("%s: got %d sets, want >= 3", name, sets)
+		}
+	}
+}
+
+func TestLowerCallWithCasts(t *testing.T) {
+	prog := lower(t, `
+void use(void *p);
+int main(void) {
+    int x = 5;
+    use(&x);
+    return 0;
+}
+`)
+	var call *Call
+	walkInstrs(prog.Lookup("main").Body, func(i Instr) {
+		if c, ok := i.(*Call); ok {
+			call = c
+		}
+	})
+	if call == nil {
+		t.Fatal("missing call to use")
+	}
+	cast, ok := call.Args[0].(*Cast)
+	if !ok {
+		t.Fatalf("argument = %s, want an implicit cast to void*", ExprString(call.Args[0]))
+	}
+	if !cast.Implicit || !cast.To.IsPointer() || !cast.To.Elem.IsVoid() {
+		t.Errorf("cast = %s", ExprString(cast))
+	}
+	if len(prog.Externs) != 1 || prog.Externs[0].Name != "use" {
+		t.Errorf("externs = %v", prog.Externs)
+	}
+}
+
+func TestLowerGlobalInits(t *testing.T) {
+	prog := lower(t, `
+int x = 42;
+char *msg = "hello";
+int table[3] = { 7, 8, 9 };
+int f(void);
+int (*fp)(void) = f;
+int f(void) { return 0; }
+`)
+	byName := map[string]*Global{}
+	for _, g := range prog.Globals {
+		byName[g.Var.Name] = g
+	}
+	if c, ok := byName["x"].Init.Expr.(*Const); !ok || c.I != 42 {
+		t.Errorf("x init = %#v", byName["x"].Init)
+	}
+	if _, ok := byName["msg"].Init.Expr.(*StrConst); !ok {
+		t.Errorf("msg init = %#v", byName["msg"].Init)
+	}
+	if !byName["table"].Init.IsList || len(byName["table"].Init.List) != 3 {
+		t.Errorf("table init = %#v", byName["table"].Init)
+	}
+	if fc, ok := byName["fp"].Init.Expr.(*FnConst); !ok || fc.Name != "f" {
+		t.Errorf("fp init = %#v", byName["fp"].Init)
+	}
+}
+
+func TestLowerAddrOfSharesNode(t *testing.T) {
+	prog := lower(t, `
+int g;
+int *p1;
+int *p2;
+void f(void) {
+    p1 = &g;
+    p2 = &g;
+}
+`)
+	var addrTypes []*ctypes.Type
+	walkExprs(prog.Lookup("f").Body, func(e Expr) {
+		if a, ok := e.(*AddrOf); ok {
+			addrTypes = append(addrTypes, a.Ty)
+		}
+	})
+	if len(addrTypes) != 2 {
+		t.Fatalf("addr-of sites = %d, want 2", len(addrTypes))
+	}
+	if addrTypes[0] != addrTypes[1] {
+		t.Error("&g sites must share one pointer type occurrence (one qualifier node)")
+	}
+}
+
+func TestLowerSwitchFallthrough(t *testing.T) {
+	prog := lower(t, `
+int f(int x) {
+    int r = 0;
+    switch (x) {
+    case 1: r = 1;
+    case 2: r += 10; break;
+    default: r = -1;
+    }
+    return r;
+}
+`)
+	var sw *Switch
+	var scan func(stmts []Stmt)
+	scan = func(stmts []Stmt) {
+		for _, s := range stmts {
+			if s2, ok := s.(*Switch); ok {
+				sw = s2
+			}
+		}
+	}
+	scan(prog.Lookup("f").Body.Stmts)
+	if sw == nil {
+		t.Fatal("switch did not survive lowering")
+	}
+	if len(sw.Cases) != 3 {
+		t.Errorf("cases = %d, want 3", len(sw.Cases))
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	prog := lower(t, `
+int inc(int x) { return x + 1; }
+`)
+	var b strings.Builder
+	Print(&b, prog)
+	out := b.String()
+	for _, want := range []string{"func inc", "return (x + 1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// ---- IR walking helpers (exported for use by other test packages would be
+// overkill; tests in other packages re-walk with the public Walk helpers
+// below if needed) ----
+
+func walkInstrs(b *Block, f func(Instr)) {
+	walkStmts(b.Stmts, func(s Stmt) {
+		if si, ok := s.(*SInstr); ok {
+			f(si.Ins)
+		}
+	})
+}
+
+func walkStmts(stmts []Stmt, f func(Stmt)) {
+	for _, s := range stmts {
+		f(s)
+		switch st := s.(type) {
+		case *Block:
+			walkStmts(st.Stmts, f)
+		case *If:
+			walkStmts(st.Then.Stmts, f)
+			if st.Else != nil {
+				walkStmts(st.Else.Stmts, f)
+			}
+		case *Loop:
+			walkStmts(st.Body.Stmts, f)
+			if st.Post != nil {
+				walkStmts(st.Post.Stmts, f)
+			}
+		case *Switch:
+			for _, c := range st.Cases {
+				walkStmts(c.Body, f)
+			}
+		}
+	}
+}
+
+func walkExprs(b *Block, f func(Expr)) {
+	var we func(e Expr)
+	we = func(e Expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch x := e.(type) {
+		case *Lval:
+			walkLvalExprs(x.LV, we)
+		case *AddrOf:
+			walkLvalExprs(x.LV, we)
+		case *BinOp:
+			we(x.A)
+			we(x.B)
+		case *UnOp:
+			we(x.X)
+		case *Cast:
+			we(x.X)
+		}
+	}
+	walkStmts(b.Stmts, func(s Stmt) {
+		switch st := s.(type) {
+		case *SInstr:
+			switch in := st.Ins.(type) {
+			case *Set:
+				walkLvalExprs(in.LV, we)
+				we(in.RHS)
+			case *Call:
+				if in.Result != nil {
+					walkLvalExprs(in.Result, we)
+				}
+				we(in.Fn)
+				for _, a := range in.Args {
+					we(a)
+				}
+			case *Check:
+				we(in.Ptr)
+			}
+		case *If:
+			we(st.Cond)
+		case *Return:
+			if st.X != nil {
+				we(st.X)
+			}
+		case *Switch:
+			we(st.X)
+		}
+	})
+}
+
+func walkLvalExprs(lv *Lvalue, we func(Expr)) {
+	if lv.Mem != nil {
+		we(lv.Mem)
+	}
+	for _, o := range lv.Offset {
+		if o.Index != nil {
+			we(o.Index)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package cil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Print writes a readable rendering of the program to w (for debugging and
+// the ccured CLI's --dump mode).
+func Print(w io.Writer, p *Program) {
+	pr := &printer{w: w}
+	for _, g := range p.Globals {
+		pr.printf("global %s : %s", g.Var.Name, g.Var.Type)
+		if g.Init != nil {
+			pr.printf(" = %s", initString(g.Init))
+		}
+		pr.printf("\n")
+	}
+	for _, f := range p.Funcs {
+		pr.printFunc(f)
+	}
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+}
+
+func (pr *printer) printf(format string, args ...any) {
+	fmt.Fprintf(pr.w, format, args...)
+}
+
+func (pr *printer) line(format string, args ...any) {
+	fmt.Fprintf(pr.w, "%s", strings.Repeat("  ", pr.indent))
+	fmt.Fprintf(pr.w, format, args...)
+	fmt.Fprintln(pr.w)
+}
+
+func (pr *printer) printFunc(f *Func) {
+	var params []string
+	for _, p := range f.Params {
+		params = append(params, fmt.Sprintf("%s : %s", p.Name, p.Type))
+	}
+	pr.line("func %s(%s) : %s {", f.Name, strings.Join(params, ", "), f.Type.Fn.Ret)
+	pr.indent++
+	for _, l := range f.Locals {
+		pr.line("local %s : %s", l.Name, l.Type)
+	}
+	pr.printBlock(f.Body)
+	pr.indent--
+	pr.line("}")
+}
+
+func (pr *printer) printBlock(b *Block) {
+	for _, s := range b.Stmts {
+		pr.printStmt(s)
+	}
+}
+
+func (pr *printer) printStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		pr.printBlock(st)
+	case *SInstr:
+		pr.line("%s", InstrString(st.Ins))
+	case *If:
+		pr.line("if (%s) {", ExprString(st.Cond))
+		pr.indent++
+		pr.printBlock(st.Then)
+		pr.indent--
+		if st.Else != nil {
+			pr.line("} else {")
+			pr.indent++
+			pr.printBlock(st.Else)
+			pr.indent--
+		}
+		pr.line("}")
+	case *Loop:
+		pr.line("loop {")
+		pr.indent++
+		pr.printBlock(st.Body)
+		if st.Post != nil {
+			pr.indent--
+			pr.line("} post {")
+			pr.indent++
+			pr.printBlock(st.Post)
+		}
+		pr.indent--
+		pr.line("}")
+	case *Break:
+		pr.line("break")
+	case *Continue:
+		pr.line("continue")
+	case *Return:
+		if st.X != nil {
+			pr.line("return %s", ExprString(st.X))
+		} else {
+			pr.line("return")
+		}
+	case *Switch:
+		pr.line("switch (%s) {", ExprString(st.X))
+		pr.indent++
+		for _, c := range st.Cases {
+			if c.IsDefault {
+				pr.line("default:")
+			} else {
+				pr.line("case %d:", c.Val)
+			}
+			pr.indent++
+			for _, s2 := range c.Body {
+				pr.printStmt(s2)
+			}
+			pr.indent--
+		}
+		pr.indent--
+		pr.line("}")
+	default:
+		pr.line("<unknown stmt %T>", s)
+	}
+}
+
+// initString renders a static initializer.
+func initString(in *Init) string {
+	switch {
+	case in == nil || in.Zero:
+		return "0"
+	case in.IsList:
+		parts := make([]string, len(in.List))
+		for i, e := range in.List {
+			parts[i] = initString(e)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return ExprString(in.Expr)
+	}
+}
+
+// InstrString renders an instruction.
+func InstrString(i Instr) string {
+	switch in := i.(type) {
+	case *Set:
+		return fmt.Sprintf("%s = %s", LvalString(in.LV), ExprString(in.RHS))
+	case *Call:
+		var b strings.Builder
+		if in.Result != nil {
+			fmt.Fprintf(&b, "%s = ", LvalString(in.Result))
+		}
+		fmt.Fprintf(&b, "%s(", ExprString(in.Fn))
+		for idx, a := range in.Args {
+			if idx > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(a))
+		}
+		b.WriteString(")")
+		return b.String()
+	case *Check:
+		s := fmt.Sprintf("__check_%s(%s", in.Kind, ExprString(in.Ptr))
+		if in.Size != 0 {
+			s += fmt.Sprintf(", %d", in.Size)
+		}
+		if in.RttiTarget != nil {
+			s += fmt.Sprintf(", rttiOf(%s)", in.RttiTarget)
+		}
+		return s + ")"
+	}
+	return fmt.Sprintf("<unknown instr %T>", i)
+}
+
+// LvalString renders an lvalue.
+func LvalString(lv *Lvalue) string {
+	var b strings.Builder
+	if lv.Var != nil {
+		b.WriteString(lv.Var.Name)
+	} else {
+		fmt.Fprintf(&b, "(*%s)", ExprString(lv.Mem))
+	}
+	for _, o := range lv.Offset {
+		if o.Field != nil {
+			fmt.Fprintf(&b, ".%s", o.Field.Name)
+		} else {
+			fmt.Fprintf(&b, "[%s]", ExprString(o.Index))
+		}
+	}
+	return b.String()
+}
+
+// ExprString renders an expression.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Const:
+		return fmt.Sprintf("%d", x.I)
+	case *SizeOf:
+		return fmt.Sprintf("sizeof(%s)", x.Of)
+	case *FConst:
+		return fmt.Sprintf("%g", x.F)
+	case *StrConst:
+		return fmt.Sprintf("%q", x.S)
+	case *FnConst:
+		return "&" + x.Name
+	case *Lval:
+		return LvalString(x.LV)
+	case *AddrOf:
+		return "&" + LvalString(x.LV)
+	case *BinOp:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.A), x.Op, ExprString(x.B))
+	case *UnOp:
+		op := x.Op.String()
+		if x.Op == OpNeg {
+			op = "-"
+		}
+		return fmt.Sprintf("%s%s", op, ExprString(x.X))
+	case *Cast:
+		mark := ""
+		if x.Trusted {
+			mark = "trusted "
+		}
+		return fmt.Sprintf("(%s%s)%s", mark, x.To, ExprString(x.X))
+	}
+	return fmt.Sprintf("<unknown expr %T>", e)
+}

@@ -1,0 +1,108 @@
+package cil
+
+// Walkers over the IR, shared by inference, instrumentation, and the
+// experiment harness.
+
+// WalkStmts calls f on every statement in stmts, recursively.
+func WalkStmts(stmts []Stmt, f func(Stmt)) {
+	for _, s := range stmts {
+		f(s)
+		switch st := s.(type) {
+		case *Block:
+			WalkStmts(st.Stmts, f)
+		case *If:
+			WalkStmts(st.Then.Stmts, f)
+			if st.Else != nil {
+				WalkStmts(st.Else.Stmts, f)
+			}
+		case *Loop:
+			WalkStmts(st.Body.Stmts, f)
+			if st.Post != nil {
+				WalkStmts(st.Post.Stmts, f)
+			}
+		case *Switch:
+			for _, c := range st.Cases {
+				WalkStmts(c.Body, f)
+			}
+		}
+	}
+}
+
+// WalkInstrs calls f on every instruction under stmts.
+func WalkInstrs(stmts []Stmt, f func(Instr)) {
+	WalkStmts(stmts, func(s Stmt) {
+		if si, ok := s.(*SInstr); ok {
+			f(si.Ins)
+		}
+	})
+}
+
+// WalkExpr calls f on every subexpression of e and then on e itself
+// (post-order: children before parents, so instrumentation emitted in
+// visit order checks inner accesses before the outer ones that evaluate
+// them).
+func WalkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *Lval:
+		WalkLvalue(x.LV, f)
+	case *AddrOf:
+		WalkLvalue(x.LV, f)
+	case *BinOp:
+		WalkExpr(x.A, f)
+		WalkExpr(x.B, f)
+	case *UnOp:
+		WalkExpr(x.X, f)
+	case *Cast:
+		WalkExpr(x.X, f)
+	}
+	f(e)
+}
+
+// WalkLvalue calls f on every expression inside lv.
+func WalkLvalue(lv *Lvalue, f func(Expr)) {
+	if lv.Mem != nil {
+		WalkExpr(lv.Mem, f)
+	}
+	for _, o := range lv.Offset {
+		if o.Index != nil {
+			WalkExpr(o.Index, f)
+		}
+	}
+}
+
+// WalkFuncExprs calls f on every top-level expression in fn's body: Set
+// right-hand sides, call components, condition/return/switch expressions,
+// and lvalues (as contained expressions).
+func WalkFuncExprs(fn *Func, f func(Expr)) {
+	WalkStmts(fn.Body.Stmts, func(s Stmt) {
+		switch st := s.(type) {
+		case *SInstr:
+			switch in := st.Ins.(type) {
+			case *Set:
+				WalkLvalue(in.LV, f)
+				WalkExpr(in.RHS, f)
+			case *Call:
+				if in.Result != nil {
+					WalkLvalue(in.Result, f)
+				}
+				WalkExpr(in.Fn, f)
+				for _, a := range in.Args {
+					WalkExpr(a, f)
+				}
+			case *Check:
+				WalkExpr(in.Ptr, f)
+			}
+		case *If:
+			WalkExpr(st.Cond, f)
+		case *Return:
+			if st.X != nil {
+				WalkExpr(st.X, f)
+			}
+		case *Switch:
+			WalkExpr(st.X, f)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+// Package core orchestrates the gocured pipeline: parse → type check →
+// lower to CIL → pointer-kind inference → curing instrumentation. It
+// produces both the raw program (for baseline and Purify/Valgrind-policy
+// execution) and the cured program (for checked execution), from two
+// independent frontend passes since curing rewrites the IR in place.
+package core
+
+import (
+	"fmt"
+
+	"gocured/internal/cil"
+	"gocured/internal/cparse"
+	"gocured/internal/diag"
+	"gocured/internal/infer"
+	"gocured/internal/instrument"
+	"gocured/internal/interp"
+	"gocured/internal/sema"
+)
+
+// Unit is one fully processed program.
+type Unit struct {
+	Filename string
+	Source   string
+
+	// Raw is the uninstrumented program (baseline execution).
+	Raw *cil.Program
+	// Cured is the instrumented program and its layout oracle.
+	Cured *instrument.Cured
+	// Res is the inference result backing Cured.
+	Res *infer.Result
+
+	// Diags collects warnings and notes from all phases.
+	Diags *diag.List
+}
+
+// frontend runs parse/check/lower once.
+func frontend(filename, src string, diags *diag.List) (*cil.Program, error) {
+	file := cparse.Parse(filename, src, diags)
+	if diags.HasErrors() {
+		return nil, diags.Err()
+	}
+	unit := sema.Check(file, diags)
+	if diags.HasErrors() {
+		return nil, diags.Err()
+	}
+	prog := cil.Lower(unit, diags)
+	if diags.HasErrors() {
+		return nil, diags.Err()
+	}
+	return prog, nil
+}
+
+// Build compiles and cures a source file.
+func Build(filename, src string, opts infer.Options) (*Unit, error) {
+	u := &Unit{Filename: filename, Source: src, Diags: &diag.List{}}
+	raw, err := frontend(filename, src, u.Diags)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	u.Raw = raw
+
+	// Independent second pass for the cured program (curing mutates it).
+	curedDiags := &diag.List{}
+	prog2, err := frontend(filename, src, curedDiags)
+	if err != nil {
+		return nil, fmt.Errorf("frontend (cure pass): %w", err)
+	}
+	// Wrapper redirection must precede inference so wrapper constraints
+	// reach every call site (§4.1).
+	instrument.RedirectWrappers(prog2, u.Diags)
+	u.Res = infer.Infer(prog2, opts, u.Diags)
+	u.Cured = instrument.Cure(prog2, u.Res, u.Diags)
+	if u.Diags.HasErrors() {
+		return nil, u.Diags.Err()
+	}
+	return u, nil
+}
+
+// RunRaw executes the uninstrumented program under the given policy
+// (PolicyNone, PolicyPurify, or PolicyValgrind).
+func (u *Unit) RunRaw(policy interp.Policy, cfg interp.Config) (*interp.Outcome, error) {
+	cfg.Policy = policy
+	m := interp.New(u.Raw, cfg)
+	return m.Run()
+}
+
+// RunCured executes the instrumented program with checks enabled.
+func (u *Unit) RunCured(cfg interp.Config) (*interp.Outcome, error) {
+	cfg.Policy = interp.PolicyCured
+	cfg.Cured = u.Cured
+	m := interp.New(u.Cured.Prog, cfg)
+	return m.Run()
+}
+
+// Stats returns the static inference statistics.
+func (u *Unit) Stats() infer.Stats { return u.Res.ComputeStats() }

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"gocured/internal/core"
+	"gocured/internal/infer"
+	"gocured/internal/interp"
+)
+
+func TestBuildProducesBothPrograms(t *testing.T) {
+	u, err := core.Build("t.c", `
+extern int printf(char *fmt, ...);
+int main(void) {
+    int a[4];
+    int i, s = 0;
+    for (i = 0; i < 4; i++) a[i] = i;
+    for (i = 0; i < 4; i++) s += a[i];
+    printf("%d\n", s);
+    return 0;
+}
+`, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Raw == nil || u.Cured == nil || u.Res == nil {
+		t.Fatal("unit incomplete")
+	}
+	// Raw and cured are distinct program objects: curing must not mutate
+	// the baseline.
+	if u.Raw == u.Cured.Prog {
+		t.Error("raw and cured must be independent lowerings")
+	}
+	rawChecks := 0
+	for range u.Cured.ChecksInserted {
+		rawChecks++
+	}
+	if rawChecks == 0 {
+		t.Error("no check kinds recorded")
+	}
+	raw, err := u.RunRaw(interp.PolicyNone, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cured, err := u.RunCured(interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Stdout != "6\n" || cured.Stdout != "6\n" {
+		t.Errorf("stdout raw=%q cured=%q", raw.Stdout, cured.Stdout)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := core.Build("bad.c", "int f(void) { return missing; }", infer.Options{}); err == nil {
+		t.Error("semantic errors must fail Build")
+	} else if !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := core.Build("bad2.c", "int f( {", infer.Options{}); err == nil {
+		t.Error("parse errors must fail Build")
+	}
+}
+
+func TestStatsAccessor(t *testing.T) {
+	u, err := core.Build("t.c", `
+int *p;
+int buf[4];
+void f(void) { p = buf; p = p + 1; }
+`, infer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := u.Stats()
+	if s.Ptrs == 0 || s.Seq == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

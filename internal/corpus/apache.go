@@ -1,0 +1,532 @@
+package corpus
+
+// The Apache-module family (Figure 8). Each module is a request handler
+// over a request_rec-like structure with header tables and a body buffer,
+// driven by a deterministic request generator (the paper used 1000 requests
+// of 1/10/100KB files; we use scaled buffer sizes so interpreted runs stay
+// tractable). A checksum of handler effects is printed so raw and cured
+// outputs can be compared exactly.
+
+// apacheHarness is the shared request plumbing.
+const apacheHarness = `
+enum { SCALE = 2, MAXHDR = 8, BUFSZ = 1024, NREQ = 40 };
+
+struct table_entry { char key[24]; char val[64]; };
+
+struct request_rec {
+    char uri[64];
+    char method[8];
+    int status;
+    int content_length;
+    char body[BUFSZ];
+    char out[2 * BUFSZ];
+    int out_len;
+    struct table_entry headers_in[MAXHDR];
+    struct table_entry headers_out[MAXHDR];
+    int n_in;
+    int n_out;
+};
+
+char *tbl_get(struct table_entry *tbl, int n, char *key) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (strcmp(tbl[i].key, key) == 0) return tbl[i].val;
+    }
+    return 0;
+}
+
+int tbl_set(struct table_entry *tbl, int n, int max, char *key, char *val) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (strcmp(tbl[i].key, key) == 0) {
+            strncpy(tbl[i].val, val, 63);
+            tbl[i].val[63] = 0;
+            return n;
+        }
+    }
+    if (n < max) {
+        strncpy(tbl[n].key, key, 23);
+        tbl[n].key[23] = 0;
+        strncpy(tbl[n].val, val, 63);
+        tbl[n].val[63] = 0;
+        return n + 1;
+    }
+    return n;
+}
+
+void make_request(struct request_rec *r, int i, int size) {
+    int k;
+    sprintf(r->uri, "/site/page%d.html", i % 17);
+    strcpy(r->method, (i % 5 == 0) ? "POST" : "GET");
+    r->status = 0;
+    r->out_len = 0;
+    r->n_in = 0;
+    r->n_out = 0;
+    if (size > BUFSZ) size = BUFSZ;
+    r->content_length = size;
+    sim_recv(r->body, size);
+    r->body[size - 1] = 0;
+    r->n_in = tbl_set(r->headers_in, r->n_in, MAXHDR, "Host", "bench.example.org");
+    r->n_in = tbl_set(r->headers_in, r->n_in, MAXHDR, "User-Agent", "webstone/2.5");
+    if (i % 3 == 0) {
+        r->n_in = tbl_set(r->headers_in, r->n_in, MAXHDR, "Cookie", "Apache=user7713");
+    }
+    for (k = 0; k < size; k++) {
+        if (r->body[k] == 0) r->body[k] = 'x';
+    }
+    r->body[size - 1] = 0;
+}
+
+int handle(struct request_rec *r);
+
+int main(void) {
+    struct request_rec *r = (struct request_rec *)malloc(sizeof(struct request_rec));
+    int sizes[3];
+    int iter, i, s;
+    int checksum = 0;
+    sizes[0] = 64; sizes[1] = 256; sizes[2] = BUFSZ;
+    for (iter = 0; iter < SCALE; iter++) {
+        for (s = 0; s < 3; s++) {
+            for (i = 0; i < NREQ; i++) {
+                make_request(r, i, sizes[s]);
+                checksum += handle(r);
+                checksum += r->status + r->out_len + r->n_out * 7;
+                checksum = checksum % 1000000007;
+            }
+        }
+    }
+    printf("MODNAME checksum %d\n", checksum);
+    return 0;
+}
+`
+
+// apacheModule assembles a module program.
+func apacheModule(name, handler string) string {
+	src := Prelude + apacheHarness + handler
+	return replaceAll(src, "MODNAME", name)
+}
+
+func replaceAll(s, old, new string) string {
+	out := ""
+	for {
+		i := indexOf(s, old)
+		if i < 0 {
+			return out + s
+		}
+		out += s[:i] + new
+		s = s[i+len(old):]
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+var _ = register(&Program{
+	Name:     "apache-asis",
+	Category: "apache",
+	Desc:     "mod_asis-like: sends the body through unmodified",
+	Source: apacheModule("apache-asis", `
+int handle(struct request_rec *r) {
+    int i;
+    for (i = 0; i < r->content_length && i < 2 * BUFSZ; i++) {
+        r->out[i] = r->body[i];
+    }
+    r->out_len = r->content_length;
+    sim_send(r->out, r->out_len);
+    r->status = 200;
+    return r->out_len;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-expires",
+	Category: "apache",
+	Desc:     "mod_expires-like: computes expiry headers",
+	Source: apacheModule("apache-expires", `
+int fake_now = 1054000000;
+
+void format_http_date(char *buf, int t) {
+    int days = t / 86400;
+    int secs = t % 86400;
+    sprintf(buf, "Day%d, %02d:%02d:%02d GMT",
+            days % 7, secs / 3600, (secs / 60) % 60, secs % 60);
+}
+
+int handle(struct request_rec *r) {
+    char date[64];
+    int ttl = 3600;
+    char *uri = r->uri;
+    if (strstr(uri, ".html")) ttl = 600;
+    if (strstr(uri, ".png")) ttl = 86400;
+    fake_now = fake_now + 13;
+    format_http_date(date, fake_now + ttl);
+    r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, "Expires", date);
+    format_http_date(date, fake_now);
+    r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, "Date", date);
+    r->status = 200;
+    return ttl;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-gzip",
+	Category: "apache",
+	Desc:     "mod_gzip-like: LZ-style compression of the body",
+	Source: apacheModule("apache-gzip", `
+enum { HASHSZ = 256, WINDOW = 64 };
+
+int hash3(char *p) {
+    return ((p[0] * 33 + p[1]) * 33 + p[2]) & (HASHSZ - 1);
+}
+
+int handle(struct request_rec *r) {
+    int head[HASHSZ];
+    int i, n, o;
+    char *in = r->body;
+    n = r->content_length - 1;
+    for (i = 0; i < HASHSZ; i++) head[i] = -1;
+    o = 0;
+    i = 0;
+    while (i < n && o < 2 * BUFSZ - 4) {
+        int matched = 0;
+        if (i + 3 <= n) {
+            int h = hash3(in + i);
+            int cand = head[h];
+            if (cand >= 0 && i - cand < WINDOW) {
+                int len = 0;
+                while (i + len < n && len < 63 && in[cand + len] == in[i + len]) len++;
+                if (len >= 4) {
+                    r->out[o++] = (char)255;
+                    r->out[o++] = (char)(i - cand);
+                    r->out[o++] = (char)len;
+                    i += len;
+                    matched = 1;
+                }
+            }
+            head[h] = i;
+        }
+        if (!matched) {
+            r->out[o++] = in[i];
+            i++;
+        }
+    }
+    r->out_len = o;
+    sim_send(r->out, o);
+    r->status = 200;
+    return o;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-headers",
+	Category: "apache",
+	Desc:     "mod_headers-like: header add/unset/rewrite rules",
+	Source: apacheModule("apache-headers", `
+struct hdr_rule {
+    char *action; /* "set", "append", "unset" */
+    char *key;
+    char *value;
+};
+
+struct hdr_rule rules[4] = {
+    { "set",    "X-Frame-Options", "DENY" },
+    { "set",    "Server", "Apache/1.2.9 cured" },
+    { "append", "Cache-Control", "no-store" },
+    { "unset",  "X-Powered-By", "" },
+};
+
+int handle(struct request_rec *r) {
+    int i, acted = 0;
+    for (i = 0; i < 4; i++) {
+        struct hdr_rule *rule = &rules[i];
+        if (strcmp(rule->action, "set") == 0) {
+            r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, rule->key, rule->value);
+            acted++;
+        } else if (strcmp(rule->action, "append") == 0) {
+            char buf[64];
+            char *old = tbl_get(r->headers_out, r->n_out, rule->key);
+            if (old) {
+                snprintf(buf, 64, "%s, %s", old, rule->value);
+            } else {
+                snprintf(buf, 64, "%s", rule->value);
+            }
+            r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, rule->key, buf);
+            acted++;
+        } else {
+            int k;
+            for (k = 0; k < r->n_out; k++) {
+                if (strcmp(r->headers_out[k].key, rule->key) == 0) {
+                    r->headers_out[k] = r->headers_out[r->n_out - 1];
+                    r->n_out--;
+                    acted++;
+                    break;
+                }
+            }
+        }
+    }
+    r->status = 200;
+    return acted;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-info",
+	Category: "apache",
+	Desc:     "mod_info-like: formats a server-status page",
+	Source: apacheModule("apache-info", `
+int requests_served = 0;
+
+int handle(struct request_rec *r) {
+    int o = 0, i;
+    requests_served++;
+    o += sprintf(r->out + o, "<html><head>Server Info</head><body>");
+    o += sprintf(r->out + o, "<h1>%s %s</h1>", r->method, r->uri);
+    o += sprintf(r->out + o, "<p>served: %d</p>", requests_served);
+    for (i = 0; i < r->n_in && o < 2 * BUFSZ - 128; i++) {
+        o += sprintf(r->out + o, "<li>%s: %s</li>",
+                     r->headers_in[i].key, r->headers_in[i].val);
+    }
+    o += sprintf(r->out + o, "</body></html>");
+    r->out_len = o;
+    sim_send(r->out, o);
+    r->status = 200;
+    return o;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-layout",
+	Category: "apache",
+	Desc:     "mod_layout-like: wraps bodies with header and footer",
+	Source: apacheModule("apache-layout", `
+char *layout_header = "<!-- layout: begin -->\n";
+char *layout_footer = "\n<!-- layout: end -->\n";
+
+int handle(struct request_rec *r) {
+    int o = 0, i, n;
+    n = strlen(layout_header);
+    for (i = 0; i < n; i++) r->out[o++] = layout_header[i];
+    n = r->content_length - 1;
+    for (i = 0; i < n && o < 2 * BUFSZ - 64; i++) r->out[o++] = r->body[i];
+    n = strlen(layout_footer);
+    for (i = 0; i < n; i++) r->out[o++] = layout_footer[i];
+    r->out[o] = 0;
+    r->out_len = o;
+    sim_send(r->out, o);
+    r->status = 200;
+    return o;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-random",
+	Category: "apache",
+	Desc:     "mod_random-like: serves a pseudorandom quote",
+	Source: apacheModule("apache-random", `
+char *quotes[6] = {
+    "The computing scientist's main challenge is not to get confused.",
+    "Simplicity is prerequisite for reliability.",
+    "Program testing can show the presence of bugs, never their absence.",
+    "Memory safety is an absolute prerequisite for security.",
+    "Be conservative in what you send, liberal in what you accept.",
+    "Premature optimization is the root of all evil.",
+};
+
+int handle(struct request_rec *r) {
+    int pick = rand() % 6;
+    char *q = quotes[pick];
+    strcpy(r->out, q);
+    r->out_len = strlen(q);
+    sim_send(r->out, r->out_len);
+    r->status = 200;
+    return pick;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-urlcount",
+	Category: "apache",
+	Desc:     "urlcount-like: per-URI hit counting in a chained hash table",
+	Source: apacheModule("apache-urlcount", `
+enum { UCBUCKETS = 32 };
+
+struct url_node {
+    char *uri;
+    int hits;
+    struct url_node *next;
+};
+
+struct url_node *buckets[UCBUCKETS];
+
+int uc_hash(char *s) {
+    int h = 5381;
+    while (*s) { h = h * 33 + *s; s++; }
+    if (h < 0) h = -h;
+    return h % UCBUCKETS;
+}
+
+int handle(struct request_rec *r) {
+    int h = uc_hash(r->uri);
+    struct url_node *n = buckets[h];
+    while (n) {
+        if (strcmp(n->uri, r->uri) == 0) {
+            n->hits++;
+            r->status = 200;
+            return n->hits;
+        }
+        n = n->next;
+    }
+    n = (struct url_node *)malloc(sizeof(struct url_node));
+    n->uri = strdup(r->uri);
+    n->hits = 1;
+    n->next = buckets[h];
+    buckets[h] = n;
+    r->status = 200;
+    return 1;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-usertrack",
+	Category: "apache",
+	Desc:     "mod_usertrack-like: cookie parsing and generation",
+	Source: apacheModule("apache-usertrack", `
+int cookie_serial = 1000;
+
+int handle(struct request_rec *r) {
+    char buf[64];
+    char *cookie = tbl_get(r->headers_in, r->n_in, "Cookie");
+    if (cookie) {
+        char *eq = strchr(cookie, '=');
+        if (eq) {
+            int id = atoi(eq + 1 + 4); /* skip "user" */
+            r->status = 200;
+            return id;
+        }
+    }
+    cookie_serial++;
+    sprintf(buf, "Apache=user%d", cookie_serial);
+    r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, "Set-Cookie", buf);
+    r->status = 200;
+    return cookie_serial;
+}
+`),
+})
+
+var _ = register(&Program{
+	Name:     "apache-webstone",
+	Category: "apache",
+	Desc:     "WebStone-like composite: expires+gzip+headers+urlcount+usertrack per request",
+	Source: apacheModule("apache-webstone", `
+enum { WBUCKETS = 32, WHASHSZ = 256 };
+
+struct url_node { char *uri; int hits; struct url_node *next; };
+struct url_node *wbuckets[WBUCKETS];
+int wcookie_serial = 500;
+int wfake_now = 1054000000;
+
+int wuc_hash(char *s) {
+    int h = 5381;
+    while (*s) { h = h * 33 + *s; s++; }
+    if (h < 0) h = -h;
+    return h % WBUCKETS;
+}
+
+int w_urlcount(struct request_rec *r) {
+    int h = wuc_hash(r->uri);
+    struct url_node *n = wbuckets[h];
+    while (n) {
+        if (strcmp(n->uri, r->uri) == 0) { n->hits++; return n->hits; }
+        n = n->next;
+    }
+    n = (struct url_node *)malloc(sizeof(struct url_node));
+    n->uri = strdup(r->uri);
+    n->hits = 1;
+    n->next = wbuckets[h];
+    wbuckets[h] = n;
+    return 1;
+}
+
+int w_expires(struct request_rec *r) {
+    char date[64];
+    wfake_now += 7;
+    sprintf(date, "t+%d GMT", wfake_now + 600);
+    r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, "Expires", date);
+    return 600;
+}
+
+int w_usertrack(struct request_rec *r) {
+    char buf[64];
+    char *cookie = tbl_get(r->headers_in, r->n_in, "Cookie");
+    if (cookie) return atoi(cookie + 11);
+    wcookie_serial++;
+    sprintf(buf, "Apache=user%d", wcookie_serial);
+    r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, "Set-Cookie", buf);
+    return wcookie_serial;
+}
+
+int w_gzip(struct request_rec *r) {
+    int head[WHASHSZ];
+    int i, n, o;
+    char *in = r->body;
+    n = r->content_length - 1;
+    for (i = 0; i < WHASHSZ; i++) head[i] = -1;
+    o = 0;
+    i = 0;
+    while (i < n && o < 2 * BUFSZ - 4) {
+        int matched = 0;
+        if (i + 3 <= n) {
+            int h = ((in[i] * 33 + in[i+1]) * 33 + in[i+2]) & (WHASHSZ - 1);
+            int cand = head[h];
+            if (cand >= 0 && i - cand < 64) {
+                int len = 0;
+                while (i + len < n && len < 63 && in[cand + len] == in[i + len]) len++;
+                if (len >= 4) {
+                    r->out[o++] = (char)255;
+                    r->out[o++] = (char)(i - cand);
+                    r->out[o++] = (char)len;
+                    i += len;
+                    matched = 1;
+                }
+            }
+            head[h] = i;
+        }
+        if (!matched) { r->out[o++] = in[i]; i++; }
+    }
+    r->out_len = o;
+    return o;
+}
+
+int w_headers(struct request_rec *r) {
+    r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, "Server", "Apache/1.2.9");
+    r->n_out = tbl_set(r->headers_out, r->n_out, MAXHDR, "X-Frame-Options", "DENY");
+    return r->n_out;
+}
+
+int handle(struct request_rec *r) {
+    int total = 0;
+    total += w_expires(r);
+    total += w_headers(r);
+    total += w_urlcount(r);
+    total += w_usertrack(r);
+    total += w_gzip(r);
+    sim_send(r->out, r->out_len);
+    r->status = 200;
+    return total % 100000;
+}
+`),
+})

@@ -1,0 +1,385 @@
+package corpus
+
+// bind-like DNS server (Figure 9: bind is the biggest and most cast-heavy
+// system in the paper: 82000 casts, 530 initially bad, of which RTTI
+// recovers the downcasts and the remaining are trusted after review). This
+// corpus program concentrates the same idioms: wire-format encoding and
+// parsing with name compression, a task queue whose events carry void*
+// arguments (RTTI), a resource-record hierarchy with per-type rdata
+// (upcasts + checked downcasts), and sockaddr_in/sockaddr casts that need
+// the trusted-cast escape hatch.
+
+var _ = register(&Program{
+	Name:          "bind",
+	Category:      "daemon",
+	Desc:          "bind-like DNS server: wire codec, RR hierarchy, task queue, sockaddr casts",
+	TrustBadCasts: true,
+	Source: Prelude + `
+enum { SCALE = 2, WIRE = 512, MAXNAMES = 12, QUERIES = 30 };
+
+/* ---- sockaddr family: the casts the paper trusts ---- */
+
+struct sockaddr {
+    short sa_family;
+    char sa_data[14];
+};
+
+struct sockaddr_in {
+    short sin_family;
+    unsigned short sin_port;
+    unsigned int sin_addr;
+    char sin_zero[8];
+};
+
+int sockaddr_port(struct sockaddr *sa) {
+    if (sa->sa_family == 2) {
+        struct sockaddr_in *sin = __trusted_cast(struct sockaddr_in *, sa);
+        return (int)sin->sin_port;
+    }
+    return 0;
+}
+
+/* ---- resource records: a physical-subtype hierarchy ---- */
+
+struct rr {
+    int type;        /* 1 = A, 5 = CNAME, 15 = MX */
+    int ttl;
+    char name[32];
+};
+
+struct rr_a {
+    int type;
+    int ttl;
+    char name[32];
+    unsigned int addr;
+};
+
+struct rr_cname {
+    int type;
+    int ttl;
+    char name[32];
+    char target[32];
+};
+
+struct rr_mx {
+    int type;
+    int ttl;
+    char name[32];
+    int pref;
+    char exchange[32];
+};
+
+/* the zone: an array of generic rr pointers (subtype polymorphism) */
+struct rr *zone[MAXNAMES];
+int zone_n;
+
+void zone_add_a(char *name, unsigned int addr) {
+    struct rr_a *a = (struct rr_a *)malloc(sizeof(struct rr_a));
+    a->type = 1;
+    a->ttl = 3600;
+    strncpy(a->name, name, 31);
+    a->name[31] = 0;
+    a->addr = addr;
+    zone[zone_n] = (struct rr *)a;         /* upcast */
+    zone_n++;
+}
+
+void zone_add_cname(char *name, char *target) {
+    struct rr_cname *c = (struct rr_cname *)malloc(sizeof(struct rr_cname));
+    c->type = 5;
+    c->ttl = 7200;
+    strncpy(c->name, name, 31);
+    c->name[31] = 0;
+    strncpy(c->target, target, 31);
+    c->target[31] = 0;
+    zone[zone_n] = (struct rr *)c;         /* upcast */
+    zone_n++;
+}
+
+void zone_add_mx(char *name, int pref, char *exchange) {
+    struct rr_mx *m = (struct rr_mx *)malloc(sizeof(struct rr_mx));
+    m->type = 15;
+    m->ttl = 7200;
+    strncpy(m->name, name, 31);
+    m->name[31] = 0;
+    m->pref = pref;
+    strncpy(m->exchange, exchange, 31);
+    m->exchange[31] = 0;
+    zone[zone_n] = (struct rr *)m;         /* upcast */
+    zone_n++;
+}
+
+struct rr *zone_find(char *name, int type) {
+    int i;
+    for (i = 0; i < zone_n; i++) {
+        if (zone[i]->type == type && strcmp(zone[i]->name, name) == 0) {
+            return zone[i];
+        }
+    }
+    return 0;
+}
+
+/* ---- wire format with name compression ---- */
+
+struct wirebuf {
+    char data[WIRE];
+    int len;
+    /* name compression: offsets of names already written */
+    int name_off[MAXNAMES];
+    char names[MAXNAMES][32];
+    int n_names;
+};
+
+void wire_reset(struct wirebuf *w) {
+    w->len = 0;
+    w->n_names = 0;
+}
+
+void wire_put8(struct wirebuf *w, int v) {
+    if (w->len < WIRE) { w->data[w->len] = (char)v; w->len++; }
+}
+
+void wire_put16(struct wirebuf *w, int v) {
+    wire_put8(w, (v >> 8) & 255);
+    wire_put8(w, v & 255);
+}
+
+void wire_put32(struct wirebuf *w, unsigned int v) {
+    wire_put16(w, (int)(v >> 16));
+    wire_put16(w, (int)(v & 0xFFFF));
+}
+
+/* write a dotted name with compression pointers */
+void wire_put_name(struct wirebuf *w, char *name) {
+    int i;
+    for (i = 0; i < w->n_names; i++) {
+        if (strcmp(w->names[i], name) == 0) {
+            wire_put16(w, 0xC000 | w->name_off[i]);   /* compression ptr */
+            return;
+        }
+    }
+    if (w->n_names < MAXNAMES) {
+        strncpy(w->names[w->n_names], name, 31);
+        w->names[w->n_names][31] = 0;
+        w->name_off[w->n_names] = w->len;
+        w->n_names++;
+    }
+    /* labels */
+    {
+        char *p = name;
+        while (*p) {
+            char *dot = strchr(p, '.');
+            int n = dot ? (int)(dot - p) : strlen(p);
+            int k;
+            wire_put8(w, n);
+            for (k = 0; k < n; k++) wire_put8(w, p[k]);
+            if (!dot) break;
+            p = dot + 1;
+        }
+        wire_put8(w, 0);
+    }
+}
+
+int wire_get8(struct wirebuf *w, int *pos) {
+    if (*pos >= w->len) return -1;
+    {
+        int v = w->data[*pos] & 255;
+        (*pos)++;
+        return v;
+    }
+}
+
+int wire_get16(struct wirebuf *w, int *pos) {
+    int hi = wire_get8(w, pos);
+    int lo = wire_get8(w, pos);
+    return (hi << 8) | lo;
+}
+
+/* read a possibly compressed name */
+void wire_get_name(struct wirebuf *w, int *pos, char *out, int max) {
+    int o = 0, n, k, hops = 0;
+    int p = *pos;
+    int jumped = 0;
+    for (;;) {
+        n = w->data[p] & 255;
+        if ((n & 0xC0) == 0xC0) {
+            int lo = w->data[p + 1] & 255;
+            if (!jumped) *pos = p + 2;
+            p = ((n & 0x3F) << 8) | lo;
+            jumped = 1;
+            hops++;
+            if (hops > 4) break;
+            continue;
+        }
+        p++;
+        if (n == 0) break;
+        for (k = 0; k < n && o < max - 2; k++) {
+            out[o] = w->data[p + k];
+            o++;
+        }
+        p += n;
+        out[o] = '.';
+        o++;
+    }
+    if (o > 0) o--;          /* strip trailing dot */
+    out[o] = 0;
+    if (!jumped) *pos = p;
+}
+
+/* encode one rr (dispatch on the record's dynamic type) */
+void wire_put_rr(struct wirebuf *w, struct rr *r) {
+    wire_put_name(w, r->name);
+    wire_put16(w, r->type);
+    wire_put32(w, (unsigned int)r->ttl);
+    if (r->type == 1) {
+        struct rr_a *a = (struct rr_a *)r;          /* checked downcast */
+        wire_put16(w, 4);
+        wire_put32(w, a->addr);
+    } else if (r->type == 5) {
+        struct rr_cname *c = (struct rr_cname *)r;  /* checked downcast */
+        wire_put16(w, strlen(c->target) + 2);
+        wire_put_name(w, c->target);
+    } else {
+        struct rr_mx *m = (struct rr_mx *)r;        /* checked downcast */
+        wire_put16(w, strlen(m->exchange) + 4);
+        wire_put16(w, m->pref);
+        wire_put_name(w, m->exchange);
+    }
+}
+
+/* ---- the task system: events with void* arguments (RTTI) ---- */
+
+struct task {
+    void (*action)(void *arg);
+    void *arg;
+    struct task *next;
+};
+
+struct task *task_head;
+struct task *task_tail;
+int tasks_run;
+
+void task_send(void (*action)(void *arg), void *arg) {
+    struct task *t = (struct task *)malloc(sizeof(struct task));
+    t->action = action;
+    t->arg = arg;
+    t->next = 0;
+    if (task_tail) task_tail->next = t; else task_head = t;
+    task_tail = t;
+}
+
+void task_run_all(void) {
+    while (task_head) {
+        struct task *t = task_head;
+        task_head = t->next;
+        if (!task_head) task_tail = 0;
+        t->action(t->arg);
+        tasks_run++;
+        free(t);
+    }
+}
+
+/* ---- query processing ---- */
+
+struct query {
+    char qname[32];
+    int qtype;
+    struct sockaddr_in from;
+    int answered;
+};
+
+/* a custom arena allocator for query objects: the cast from the character
+   pool to the object type is exactly the "unsound cast needed for a custom
+   allocator" that the paper marks as trusted after review */
+enum { ARENA_SZ = 4096 };
+char arena_pool[ARENA_SZ];
+int arena_off;
+
+struct query *arena_alloc_query(void) {
+    struct query *q;
+    if (arena_off + (int)sizeof(struct query) > ARENA_SZ) arena_off = 0;
+    q = __trusted_cast(struct query *, arena_pool + arena_off);
+    arena_off += ((int)sizeof(struct query) + 7) & ~7;
+    return q;
+}
+
+struct wirebuf __SPLIT *reply;   /* sent directly to the library (§4.2) */
+int answers_sent;
+int reply_bytes;
+
+void answer_query(void *arg) {
+    struct query *q = (struct query *)arg;          /* void* downcast */
+    struct rr *r = zone_find(q->qname, q->qtype);
+    wire_reset(reply);
+    wire_put16(reply, 0x8180);                       /* response flags */
+    wire_put16(reply, 1);                            /* qdcount */
+    wire_put16(reply, r ? 1 : 0);                    /* ancount */
+    wire_put_name(reply, q->qname);
+    wire_put16(reply, q->qtype);
+    if (r) {
+        wire_put_rr(reply, r);
+        /* chase CNAMEs one hop, like a real resolver */
+        if (r->type == 5) {
+            struct rr_cname *c = (struct rr_cname *)r;
+            struct rr *a = zone_find(c->target, 1);
+            if (a) wire_put_rr(reply, a);
+        }
+        answers_sent++;
+    }
+    sim_send(reply->data, (unsigned int)reply->len);
+    reply_bytes += reply->len;
+    q->answered = 1;
+    q->answered += sockaddr_port(__trusted_cast(struct sockaddr *, &q->from));
+}
+
+char *qnames[6] = {
+    "www.example.org", "mail.example.org", "ns.example.org",
+    "example.org", "ftp.example.org", "missing.example.org",
+};
+
+void submit_query(int i) {
+    struct query *q = arena_alloc_query();
+    strncpy(q->qname, qnames[i % 6], 31);
+    q->qname[31] = 0;
+    q->qtype = (i % 3 == 0) ? 1 : ((i % 3 == 1) ? 5 : 15);
+    q->from.sin_family = 2;
+    q->from.sin_port = (unsigned short)(1024 + i);
+    q->from.sin_addr = 0x7F000001;
+    q->answered = 0;
+    task_send(answer_query, (void *)q);
+}
+
+/* round-trip check: encode a name, decode it back */
+int codec_selftest(void) {
+    struct wirebuf *w = (struct wirebuf *)malloc(sizeof(struct wirebuf));
+    char out[64];
+    int pos = 0, ok = 1;
+    wire_reset(w);
+    wire_put_name(w, "www.example.org");
+    wire_put_name(w, "www.example.org");   /* second write compresses */
+    wire_get_name(w, &pos, out, 64);
+    if (strcmp(out, "www.example.org") != 0) ok = 0;
+    wire_get_name(w, &pos, out, 64);
+    if (strcmp(out, "www.example.org") != 0) ok = 0;
+    free(w);
+    return ok;
+}
+
+int main(void) {
+    int iter, i;
+    if (!codec_selftest()) { printf("bind codec selftest FAILED\n"); return 1; }
+    reply = (struct wirebuf *)malloc(sizeof(struct wirebuf));
+    zone_add_a("www.example.org", 0xC0A80001);
+    zone_add_a("ns.example.org", 0xC0A80002);
+    zone_add_cname("ftp.example.org", "www.example.org");
+    zone_add_mx("example.org", 10, "mail.example.org");
+    zone_add_a("mail.example.org", 0xC0A80003);
+    for (iter = 0; iter < SCALE; iter++) {
+        for (i = 0; i < QUERIES; i++) submit_query(i);
+        task_run_all();
+    }
+    printf("bind tasks=%d answers=%d bytes=%d\n", tasks_run, answers_sent, reply_bytes);
+    return 0;
+}
+`,
+})

@@ -1,0 +1,112 @@
+// Package corpus contains the benchmark C programs used to reproduce the
+// paper's evaluation. Each program is written in gocured's C subset and
+// mirrors the pointer idioms of the system the paper measured: the Apache
+// modules are string-processing request handlers, the daemons exercise
+// buffers, parsers and polymorphic containers, ijpeg is an object-oriented
+// program with a large physical-subtype hierarchy, and the micro suite
+// reproduces the Spec95/Olden/Ptrdist pointer behaviours (em3d is the
+// pointer-dense split-overhead outlier).
+package corpus
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// Program is one corpus entry.
+type Program struct {
+	Name     string
+	Category string // apache, driver, daemon, spec, olden, ptrdist
+	Desc     string
+	Source   string
+	// TrustBadCasts mirrors the paper's bind methodology: remaining bad
+	// casts are trusted rather than WILD.
+	TrustBadCasts bool
+	// WantStdout, if non-empty, is the expected output at the default
+	// scale (used by tests to validate raw/cured agreement).
+	WantStdout string
+}
+
+var registry = map[string]*Program{}
+
+func register(p *Program) *Program {
+	if _, dup := registry[p.Name]; dup {
+		panic("duplicate corpus program " + p.Name)
+	}
+	registry[p.Name] = p
+	return p
+}
+
+// ByName returns a corpus program or nil.
+func ByName(name string) *Program { return registry[name] }
+
+// All returns every corpus program sorted by name.
+func All() []*Program {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Program, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// ByCategory returns programs in a category, sorted by name.
+func ByCategory(cat string) []*Program {
+	var out []*Program
+	for _, p := range All() {
+		if p.Category == cat {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var scaleRe = regexp.MustCompile(`SCALE = \d+`)
+
+// WithScale returns the program source with its SCALE constant replaced, so
+// benchmarks can lengthen runs without recompiling the corpus.
+func WithScale(p *Program, scale int) string {
+	return scaleRe.ReplaceAllString(p.Source, fmt.Sprintf("SCALE = %d", scale))
+}
+
+// Prelude declares the external library functions available to corpus
+// programs (the "precompiled C library" boundary).
+const Prelude = `
+extern void *malloc(unsigned int n);
+extern void *calloc(unsigned int n, unsigned int size);
+extern void *realloc(void *p, unsigned int n);
+extern void free(void *p);
+extern void *memcpy(void *dst, void *src, unsigned int n);
+extern void *memset(void *dst, int c, unsigned int n);
+extern int memcmp(void *a, void *b, unsigned int n);
+extern int strlen(char *s);
+extern char *strcpy(char *dst, char *src);
+extern char *strncpy(char *dst, char *src, unsigned int n);
+extern char *strcat(char *dst, char *src);
+extern int strcmp(char *a, char *b);
+extern int strncmp(char *a, char *b, unsigned int n);
+extern char *strchr(char *s, int c);
+extern char *strrchr(char *s, int c);
+extern char *strstr(char *hay, char *needle);
+extern char *strdup(char *s);
+extern int printf(char *fmt, ...);
+extern int sprintf(char *buf, char *fmt, ...);
+extern int snprintf(char *buf, unsigned int n, char *fmt, ...);
+extern int puts(char *s);
+extern int putchar(int c);
+extern int atoi(char *s);
+extern int abs(int v);
+extern int rand(void);
+extern void srand(unsigned int seed);
+extern void exit(int code);
+extern void qsort(void *base, unsigned int n, unsigned int size,
+                  int (*cmp)(void *a, void *b));
+extern double sqrt(double x);
+extern int sim_recv(char *buf, unsigned int n);
+extern int sim_send(char *buf, unsigned int n);
+`

@@ -1,0 +1,113 @@
+package corpus_test
+
+import (
+	"strings"
+	"testing"
+
+	"gocured/internal/core"
+	"gocured/internal/corpus"
+	"gocured/internal/infer"
+	"gocured/internal/interp"
+)
+
+// TestCorpusRawVsCured builds every corpus program, runs it raw and cured,
+// and demands: no traps, identical stdout, identical exit codes. This is
+// the central semantic-preservation property of the transformation.
+func TestCorpusRawVsCured(t *testing.T) {
+	for _, p := range corpus.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			u, err := core.Build(p.Name+".c", p.Source, infer.Options{
+				TrustBadCasts: p.TrustBadCasts,
+			})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			raw, err := u.RunRaw(interp.PolicyNone, interp.Config{})
+			if err != nil {
+				t.Fatalf("raw run: %v", err)
+			}
+			if raw.Trap != nil {
+				t.Fatalf("raw trap: %v\nstdout: %s", raw.Trap, raw.Stdout)
+			}
+			cured, err := u.RunCured(interp.Config{})
+			if err != nil {
+				t.Fatalf("cured run: %v", err)
+			}
+			if cured.Trap != nil {
+				t.Fatalf("cured trap: %v\nstdout: %s", cured.Trap, cured.Stdout)
+			}
+			if raw.Stdout != cured.Stdout {
+				t.Fatalf("output mismatch:\nraw:   %q\ncured: %q", raw.Stdout, cured.Stdout)
+			}
+			if raw.ExitCode != cured.ExitCode {
+				t.Fatalf("exit mismatch: raw %d cured %d", raw.ExitCode, cured.ExitCode)
+			}
+			if p.WantStdout != "" && raw.Stdout != p.WantStdout {
+				t.Errorf("stdout = %q, want %q", raw.Stdout, p.WantStdout)
+			}
+			if !strings.Contains(raw.Stdout, p.Name) && !strings.Contains(raw.Stdout, "checksum") {
+				t.Logf("note: output does not echo the program name: %q", raw.Stdout)
+			}
+		})
+	}
+}
+
+// TestCorpusAllSplit runs the split-overhead ablation subjects with every
+// type in the compatible representation and checks semantics still hold.
+func TestCorpusAllSplit(t *testing.T) {
+	for _, name := range []string{"olden-em3d", "ptrdist-anagram", "olden-treeadd", "ijpeg"} {
+		p := corpus.ByName(name)
+		if p == nil {
+			t.Fatalf("missing corpus program %s", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			u, err := core.Build(name+".c", p.Source, infer.Options{SplitAll: true})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			raw, err := u.RunRaw(interp.PolicyNone, interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cured, err := u.RunCured(interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cured.Trap != nil {
+				t.Fatalf("cured all-split trap: %v", cured.Trap)
+			}
+			if raw.Stdout != cured.Stdout {
+				t.Fatalf("all-split output mismatch:\nraw:   %q\ncured: %q", raw.Stdout, cured.Stdout)
+			}
+			if u.Res.Split.Stats.SplitPtrs == 0 {
+				t.Error("all-split inference produced no split pointers")
+			}
+		})
+	}
+}
+
+// TestCorpusScale checks that WithScale actually rescales the workload.
+func TestCorpusScale(t *testing.T) {
+	p := corpus.ByName("pcnet32")
+	if p == nil {
+		t.Fatal("missing pcnet32")
+	}
+	s := corpus.WithScale(p, 7)
+	if !strings.Contains(s, "SCALE = 7") {
+		t.Error("WithScale did not rewrite the SCALE constant")
+	}
+	if strings.Contains(s, "SCALE = 2") {
+		t.Error("old SCALE constant still present")
+	}
+}
+
+// TestCorpusCategoriesPopulated ensures the registry covers the families
+// the experiments need.
+func TestCorpusCategoriesPopulated(t *testing.T) {
+	for _, cat := range []string{"apache", "driver"} {
+		if len(corpus.ByCategory(cat)) == 0 {
+			t.Errorf("no corpus programs in category %q", cat)
+		}
+	}
+}

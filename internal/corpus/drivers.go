@@ -1,0 +1,246 @@
+package corpus
+
+// Linux-driver-like workloads (Figure 9: pcnet32, sbull). The kernel
+// environment is simulated: DMA rings are arrays of descriptor structs,
+// "hardware" is the deterministic sim_recv/sim_send pair, and the block
+// device is a heap-allocated ramdisk.
+
+var _ = register(&Program{
+	Name:     "pcnet32",
+	Category: "driver",
+	Desc:     "PCI Ethernet driver-like: descriptor rings, throughput and ping latency",
+	Source: Prelude + `
+enum { SCALE = 2, RING = 16, MTU = 256, PACKETS = 300 };
+
+struct rx_desc {
+    char *buf;
+    int len;
+    int status;   /* 0 = owned by hw, 1 = done */
+};
+
+struct tx_desc {
+    char *buf;
+    int len;
+    int status;
+};
+
+struct pcnet_priv {
+    struct rx_desc rx_ring[RING];
+    struct tx_desc tx_ring[RING];
+    int rx_head;
+    int tx_head;
+    int rx_packets;
+    int tx_packets;
+    int rx_bytes;
+    int tx_bytes;
+    int errors;
+};
+
+struct pcnet_priv *priv;
+
+void pcnet_init(void) {
+    int i;
+    priv = (struct pcnet_priv *)malloc(sizeof(struct pcnet_priv));
+    memset(priv, 0, sizeof(struct pcnet_priv));
+    for (i = 0; i < RING; i++) {
+        priv->rx_ring[i].buf = (char *)malloc(MTU);
+        priv->rx_ring[i].status = 0;
+        priv->tx_ring[i].buf = (char *)malloc(MTU);
+        priv->tx_ring[i].status = 1;
+    }
+    priv->rx_head = 0;
+    priv->tx_head = 0;
+}
+
+/* "hardware" fills an rx descriptor */
+void hw_rx(int len) {
+    struct rx_desc *d = &priv->rx_ring[priv->rx_head % RING];
+    if (d->status != 0) { priv->errors++; return; }
+    if (len > MTU) len = MTU;
+    sim_recv(d->buf, len);
+    d->len = len;
+    d->status = 1;
+}
+
+int checksum16(char *p, int n) {
+    int sum = 0, i;
+    for (i = 0; i + 1 < n; i += 2) {
+        sum += (p[i] & 255) << 8 | (p[i + 1] & 255);
+        if (sum > 0xFFFF) sum = (sum & 0xFFFF) + 1;
+    }
+    return sum & 0xFFFF;
+}
+
+/* interrupt handler: harvest rx ring, refill */
+int pcnet_interrupt(void) {
+    int handled = 0;
+    while (priv->rx_ring[priv->rx_head % RING].status == 1) {
+        struct rx_desc *d = &priv->rx_ring[priv->rx_head % RING];
+        priv->rx_packets++;
+        priv->rx_bytes += d->len;
+        handled += checksum16(d->buf, d->len);
+        d->status = 0;
+        priv->rx_head++;
+    }
+    return handled & 0xFFFF;
+}
+
+int pcnet_xmit(char *data, int len) {
+    struct tx_desc *d = &priv->tx_ring[priv->tx_head % RING];
+    if (d->status != 1) { priv->errors++; return -1; }
+    if (len > MTU) len = MTU;
+    memcpy(d->buf, data, len);
+    d->len = len;
+    d->status = 0;
+    sim_send(d->buf, len);
+    d->status = 1;       /* hardware completion */
+    priv->tx_head++;
+    priv->tx_packets++;
+    priv->tx_bytes += len;
+    return len;
+}
+
+/* ping: round-trip a packet through rx and tx */
+int ping_once(int seq) {
+    char pkt[MTU];
+    int i, n, csum;
+    hw_rx(64 + (seq % 128));
+    csum = pcnet_interrupt();
+    n = 64;
+    for (i = 0; i < n; i++) pkt[i] = (char)(seq + i);
+    pkt[0] = (char)(csum & 255);
+    return pcnet_xmit(pkt, n);
+}
+
+int main(void) {
+    int iter, i, total = 0;
+    pcnet_init();
+    for (iter = 0; iter < SCALE; iter++) {
+        /* throughput: bursts of receives then transmits */
+        for (i = 0; i < PACKETS; i++) {
+            hw_rx(MTU - (i % 64));
+            if (i % 4 == 3) total += pcnet_interrupt();
+        }
+        total += pcnet_interrupt();
+        for (i = 0; i < PACKETS; i++) {
+            char frame[MTU];
+            int k;
+            for (k = 0; k < 128; k++) frame[k] = (char)(i * 7 + k);
+            pcnet_xmit(frame, 128);
+        }
+        /* latency: pings */
+        for (i = 0; i < 64; i++) total += ping_once(i);
+        total = total % 1000000007;
+    }
+    printf("pcnet32 rx=%d tx=%d err=%d total=%d\n",
+           priv->rx_packets, priv->tx_packets, priv->errors, total);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "sbull",
+	Category: "driver",
+	Desc:     "ramdisk block driver-like: request queue, block reads/writes, seeks",
+	Source: Prelude + `
+enum { SCALE = 2, NSECT = 128, SECT = 256, QDEPTH = 8, OPS = 400 };
+
+struct request {
+    int sector;
+    int nsect;
+    int write;
+    char *buffer;
+    struct request *next;
+};
+
+struct sbull_dev {
+    char *data;           /* NSECT * SECT ramdisk */
+    struct request *queue;
+    int served;
+    int seeks;
+    int cur_sector;
+};
+
+struct sbull_dev dev;
+
+void sbull_init(void) {
+    dev.data = (char *)malloc(NSECT * SECT);
+    memset(dev.data, 0, NSECT * SECT);
+    dev.queue = 0;
+    dev.served = 0;
+    dev.seeks = 0;
+    dev.cur_sector = 0;
+}
+
+void sbull_enqueue(int sector, int nsect, int write, char *buffer) {
+    struct request *rq = (struct request *)malloc(sizeof(struct request));
+    struct request **pp = &dev.queue;
+    rq->sector = sector;
+    rq->nsect = nsect;
+    rq->write = write;
+    rq->buffer = buffer;
+    rq->next = 0;
+    /* elevator: keep the queue sorted by sector */
+    while (*pp && (*pp)->sector <= sector) pp = &(*pp)->next;
+    rq->next = *pp;
+    *pp = rq;
+}
+
+void sbull_transfer(struct request *rq) {
+    int off = rq->sector * SECT;
+    int n = rq->nsect * SECT;
+    if (rq->sector + rq->nsect > NSECT) return;  /* out of range: ignored */
+    if (rq->sector != dev.cur_sector) dev.seeks++;
+    if (rq->write) {
+        memcpy(dev.data + off, rq->buffer, n);
+    } else {
+        memcpy(rq->buffer, dev.data + off, n);
+    }
+    dev.cur_sector = rq->sector + rq->nsect;
+    dev.served++;
+}
+
+void sbull_run_queue(void) {
+    while (dev.queue) {
+        struct request *rq = dev.queue;
+        dev.queue = rq->next;
+        sbull_transfer(rq);
+        free(rq);
+    }
+}
+
+int main(void) {
+    /* the I/O buffer lives on the heap: its address is stored into queued
+       requests (the paper's ports moved such locals to the heap too) */
+    char *buf = (char *)malloc(2 * SECT);
+    int iter, i, total = 0;
+    unsigned int state = 12345;
+    sbull_init();
+    for (iter = 0; iter < SCALE; iter++) {
+        /* sequential writes */
+        for (i = 0; i < OPS; i++) {
+            int k;
+            int sector = i % (NSECT - 2);
+            for (k = 0; k < SECT; k++) buf[k] = (char)(i + k);
+            sbull_enqueue(sector, 1, 1, buf);
+            if (i % QDEPTH == QDEPTH - 1) sbull_run_queue();
+        }
+        sbull_run_queue();
+        /* random seeks and reads */
+        for (i = 0; i < OPS; i++) {
+            int sector;
+            state = state * 1103515245 + 12345;
+            sector = (int)((state >> 16) % (NSECT - 2));
+            sbull_enqueue(sector, 2, 0, buf);
+            if (i % 3 == 0) sbull_run_queue();
+        }
+        sbull_run_queue();
+        for (i = 0; i < SECT; i++) total += buf[i] & 255;
+        total = total % 1000000007;
+    }
+    printf("sbull served=%d seeks=%d total=%d\n", dev.served, dev.seeks, total);
+    return 0;
+}
+`,
+})

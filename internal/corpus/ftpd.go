@@ -1,0 +1,211 @@
+package corpus
+
+// ftpd-BSD-like daemon (Figure 9 and the exploit experiment). The command
+// loop, path handling, and a glob matcher mirror the real daemon's pointer
+// behaviour. replydirname contains the daemon's known one-byte buffer
+// overflow (quote-doubling can run one past the buffer): benign sessions
+// never reach it, and the exploit session in ExploitInput triggers it —
+// raw execution corrupts the adjacent state, cured execution traps.
+
+// FtpdExploitInput is a session whose CWD path overflows replydirname.
+const FtpdExploitInput = "USER anonymous\nPASS guest\n" +
+	"CWD /aaaaaaaaaaaaaaaaaaaaaaaaaa\"\nPWD\nQUIT\n"
+
+// FtpdBenignInput is a normal session.
+const FtpdBenignInput = "USER anonymous\nPASS guest\nPWD\nCWD /pub\nPWD\n" +
+	"LIST *\nRETR readme.txt\nLIST *.tar\nQUIT\n"
+
+var _ = register(&Program{
+	Name:     "ftpd",
+	Category: "daemon",
+	Desc:     "ftpd-BSD-like: command loop, glob, vulnerable replydirname",
+	Source: Prelude + `
+enum { SCALE = 2, PATHMAX = 28, LINEMAX = 128, NFILES = 6 };
+
+extern int getchar(void);
+
+struct ftp_state {
+    int logged_in;
+    int want_pass;
+    char user[32];
+    char cwd[64];
+    int xfers;
+    int bytes;
+};
+
+struct ftp_file {
+    char *name;
+    int size;
+};
+
+struct ftp_file files[NFILES] = {
+    { "readme.txt", 420 },
+    { "index.html", 1300 },
+    { "data.tar", 5120 },
+    { "notes.tar", 2048 },
+    { "core", 9000 },
+    { "motd", 64 },
+};
+
+struct ftp_state st;
+
+/* the known vulnerability: quote doubling can push i one past the buffer */
+void replydirname(char *name, char *message) {
+    char npath[PATHMAX];
+    int i;
+    for (i = 0; *name != 0 && i < PATHMAX; i++, name++) {
+        npath[i] = *name;
+        if (*name == '"') {
+            i++;            /* double the quote */
+            if (i < PATHMAX) npath[i] = '"';
+        }
+    }
+    npath[i] = 0;           /* off-by-one when i == PATHMAX */
+    printf("257 \"%s\" %s\n", npath, message);
+}
+
+/* fnmatch-like glob: supports * and ? */
+int glob_match(char *pat, char *str) {
+    while (*pat) {
+        if (*pat == '*') {
+            pat++;
+            if (*pat == 0) return 1;
+            while (*str) {
+                if (glob_match(pat, str)) return 1;
+                str++;
+            }
+            return 0;
+        }
+        if (*str == 0) return 0;
+        if (*pat != '?' && *pat != *str) return 0;
+        pat++;
+        str++;
+    }
+    return *str == 0;
+}
+
+void do_list(char *pattern) {
+    int i, shown = 0;
+    for (i = 0; i < NFILES; i++) {
+        if (glob_match(pattern, files[i].name)) {
+            printf("-rw-r--r-- %6d %s\n", files[i].size, files[i].name);
+            shown++;
+        }
+    }
+    printf("226 %d entries\n", shown);
+}
+
+void do_retr(char *name) {
+    char chunk[64];
+    int i;
+    for (i = 0; i < NFILES; i++) {
+        if (strcmp(files[i].name, name) == 0) {
+            int left = files[i].size;
+            while (left > 0) {
+                int n = left > 64 ? 64 : left;
+                memset(chunk, 'D', n);
+                sim_send(chunk, n);
+                left -= n;
+                st.bytes += n;
+            }
+            st.xfers++;
+            printf("226 sent %d bytes\n", files[i].size);
+            return;
+        }
+    }
+    printf("550 no such file\n");
+}
+
+int read_line(char *buf, int max) {
+    int i = 0, c;
+    for (;;) {
+        c = getchar();
+        if (c < 0) {
+            buf[i] = 0;
+            return i > 0 ? i : -1;
+        }
+        if (c == '\n') {
+            buf[i] = 0;
+            return i;
+        }
+        if (i < max - 1) buf[i] = (char)c;
+        if (i < max - 1) i++;
+    }
+}
+
+void dispatch(char *line) {
+    char *arg = strchr(line, ' ');
+    if (arg) { *arg = 0; arg++; } else { arg = line + strlen(line); }
+
+    if (strcmp(line, "USER") == 0) {
+        strncpy(st.user, arg, 31);
+        st.user[31] = 0;
+        st.want_pass = 1;
+        printf("331 password required for %s\n", st.user);
+    } else if (strcmp(line, "PASS") == 0) {
+        if (st.want_pass) {
+            st.logged_in = 1;
+            printf("230 user %s logged in\n", st.user);
+        } else {
+            printf("503 login with USER first\n");
+        }
+    } else if (!st.logged_in) {
+        printf("530 please login\n");
+    } else if (strcmp(line, "CWD") == 0) {
+        strncpy(st.cwd, arg, 63);
+        st.cwd[63] = 0;
+        replydirname(st.cwd, "directory changed");
+    } else if (strcmp(line, "PWD") == 0) {
+        replydirname(st.cwd, "is current directory");
+    } else if (strcmp(line, "LIST") == 0) {
+        do_list(*arg ? arg : "*");
+    } else if (strcmp(line, "RETR") == 0) {
+        do_retr(arg);
+    } else if (strcmp(line, "QUIT") == 0) {
+        printf("221 goodbye (%d transfers, %d bytes)\n", st.xfers, st.bytes);
+    } else {
+        printf("500 unknown command %s\n", line);
+    }
+}
+
+void builtin_session(void) {
+    /* the benign load used for timing when no stdin script is given */
+    char cmd[LINEMAX];
+    int iter, i;
+    char *script[9];
+    script[0] = "USER bench";
+    script[1] = "PASS x";
+    script[2] = "PWD";
+    script[3] = "CWD /pub/data";
+    script[4] = "PWD";
+    script[5] = "LIST *";
+    script[6] = "RETR data.tar";
+    script[7] = "LIST *.tar";
+    script[8] = "RETR readme.txt";
+    for (iter = 0; iter < SCALE * 8; iter++) {
+        st.logged_in = 0;
+        st.want_pass = 0;
+        strcpy(st.cwd, "/");
+        for (i = 0; i < 9; i++) {
+            strcpy(cmd, script[i]);
+            dispatch(cmd);
+        }
+    }
+}
+
+int main(void) {
+    char line[LINEMAX];
+    int got_input = 0;
+    strcpy(st.cwd, "/");
+    printf("220 gocured ftpd ready\n");
+    while (read_line(line, LINEMAX) >= 0) {
+        got_input = 1;
+        dispatch(line);
+        if (strcmp(line, "QUIT") == 0) return 0;
+    }
+    if (!got_input) builtin_session();
+    printf("221 done\n");
+    return 0;
+}
+`,
+})

@@ -1,0 +1,170 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ijpeg-like workload. The paper reports that Spec95's ijpeg is written in
+// an object-oriented style with a subtyping hierarchy of about 40 types and
+// 100 downcasts; under the original CCured ~60% of its pointers went WILD
+// (115% slowdown), while RTTI eliminated all bad casts with only 1% of
+// pointers RTTI (45% slowdown). We generate the same shape: a Component
+// base type, 40 physical subtypes with per-type process/tune methods (two
+// checked downcasts each), dynamic dispatch over a pipeline, and image
+// data to crunch.
+
+func genIjpeg() string {
+	var b strings.Builder
+	b.WriteString(Prelude)
+	b.WriteString(`
+enum { SCALE = 2, NCOMP = 40, IMGW = 24, IMGH = 16, IMGSZ = IMGW * IMGH };
+
+struct Component {
+    int (*process)(struct Component *c);
+    int (*tune)(struct Component *c, int knob);
+    int kind;
+    int calls;
+    int *data;      /* the image plane this component transforms */
+};
+`)
+	for i := 0; i < 40; i++ {
+		variant := i % 4
+		var extra string
+		switch variant {
+		case 0:
+			extra = "int scale_q;\n    int bias;"
+		case 1:
+			extra = "int coeffs[8];"
+		case 2:
+			extra = "double gain;\n    int dct_shift;"
+		case 3:
+			extra = "int lut[16];\n    int rounds;"
+		}
+		fmt.Fprintf(&b, `
+struct Comp%[1]d {
+    int (*process)(struct Component *c);
+    int (*tune)(struct Component *c, int knob);
+    int kind;
+    int calls;
+    int *data;
+    %[2]s
+};
+`, i, extra)
+
+		var body, tune string
+		switch variant {
+		case 0:
+			body = fmt.Sprintf(`
+    int i;
+    for (i = 0; i < IMGSZ; i++) {
+        img[i] = (img[i] * self->scale_q + self->bias) %% 4093;
+    }
+    return self->scale_q;`)
+			tune = "self->scale_q = 1 + (self->scale_q + knob) % 31;\n    return self->scale_q;"
+		case 1:
+			body = `
+    int i;
+    for (i = 0; i + 8 <= IMGSZ; i += 8) {
+        int k, acc = 0;
+        for (k = 0; k < 8; k++) acc += img[i + k] * self->coeffs[k];
+        img[i] = acc % 2039;
+    }
+    return img[0];`
+			tune = "self->coeffs[knob & 7] = (self->coeffs[knob & 7] + knob) % 17;\n    return self->coeffs[knob & 7];"
+		case 2:
+			body = `
+    int i;
+    for (i = 0; i < IMGSZ; i++) {
+        double v = (double)img[i] * self->gain;
+        img[i] = ((int)v) >> self->dct_shift;
+        if (img[i] < 0) img[i] = -img[i];
+    }
+    return self->dct_shift;`
+			tune = "self->dct_shift = (self->dct_shift + knob) % 4 + 1;\n    return self->dct_shift;"
+		case 3:
+			body = `
+    int i, r;
+    for (r = 0; r < self->rounds; r++) {
+        for (i = 0; i < IMGSZ; i++) {
+            img[i] = self->lut[img[i] & 15] + (img[i] >> 4);
+        }
+    }
+    return self->rounds;`
+			tune = "self->lut[knob & 15] = (self->lut[knob & 15] * 5 + 1) % 251;\n    return self->lut[knob & 15];"
+		}
+
+		fmt.Fprintf(&b, `
+int process%[1]d(struct Component *c) {
+    struct Comp%[1]d *self = (struct Comp%[1]d *)c;   /* checked downcast */
+    int *img = self->data;
+    c->calls++;
+    {%[2]s
+    }
+}
+
+int tune%[1]d(struct Component *c, int knob) {
+    struct Comp%[1]d *self = (struct Comp%[1]d *)c;   /* checked downcast */
+    %[3]s
+}
+
+struct Component *make%[1]d(int *img) {
+    struct Comp%[1]d *self = (struct Comp%[1]d *)malloc(sizeof(struct Comp%[1]d));
+    self->process = process%[1]d;
+    self->tune = tune%[1]d;
+    self->kind = %[1]d;
+    self->calls = 0;
+    self->data = img;
+`, i, body, tune)
+		switch variant {
+		case 0:
+			fmt.Fprintf(&b, "    self->scale_q = %d;\n    self->bias = %d;\n", 3+i%7, i)
+		case 1:
+			b.WriteString("    { int k; for (k = 0; k < 8; k++) self->coeffs[k] = k + 1; }\n")
+		case 2:
+			fmt.Fprintf(&b, "    self->gain = %d.25;\n    self->dct_shift = %d;\n", 1+i%3, 1+i%3)
+		case 3:
+			fmt.Fprintf(&b, "    { int k; for (k = 0; k < 16; k++) self->lut[k] = (k * %d) %% 251; }\n    self->rounds = %d;\n", 7+i%5, 1+i%3)
+		}
+		b.WriteString("    return (struct Component *)self;      /* upcast */\n}\n")
+	}
+
+	b.WriteString(`
+struct Component *pipeline[NCOMP];
+
+void build_pipeline(int *img) {
+    int i = 0;
+`)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "    pipeline[i] = make%d(img); i++;\n", i)
+	}
+	b.WriteString(`}
+
+int main(void) {
+    int *img = (int *)malloc(IMGSZ * sizeof(int));
+    int iter, i, pass, check = 0;
+    build_pipeline(img);
+    for (i = 0; i < IMGSZ; i++) img[i] = (i * 37) % 256;
+    for (iter = 0; iter < SCALE; iter++) {
+        for (pass = 0; pass < 2; pass++) {
+            for (i = 0; i < NCOMP; i++) {
+                check += pipeline[i]->process(pipeline[i]);
+                check += pipeline[i]->tune(pipeline[i], pass * 3 + i);
+                check = check % 1000000007;
+            }
+        }
+    }
+    for (i = 0; i < IMGSZ; i++) check = (check + img[i]) % 1000000007;
+    printf("ijpeg components=%d check=%d\n", NCOMP, check);
+    return 0;
+}
+`)
+	return b.String()
+}
+
+var _ = register(&Program{
+	Name:     "ijpeg",
+	Category: "spec",
+	Desc:     "ijpeg-like: 40-type OO hierarchy, dynamic dispatch, ~80 checked downcasts",
+	Source:   genIjpeg(),
+})

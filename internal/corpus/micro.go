@@ -1,0 +1,754 @@
+package corpus
+
+// The Spec95/Olden/Ptrdist-like micro suite (§5: CCured adds 7-56% on these
+// while Purify and Valgrind cost 25-100x and 9-130x; the all-split ablation
+// makes em3d the outlier). Each program reproduces the pointer behaviour of
+// its namesake: recursive trees, list sorting, pointer-dense graph
+// relaxation, hierarchy walks, dictionary hashing, greedy graph algorithms,
+// LZW compression, and a small cons-cell evaluator.
+
+var _ = register(&Program{
+	Name:     "olden-treeadd",
+	Category: "olden",
+	Desc:     "treeadd-like: build a binary tree recursively and sum it",
+	Source: Prelude + `
+enum { SCALE = 2, DEPTH = 11 };
+
+struct tree {
+    int val;
+    struct tree *left;
+    struct tree *right;
+};
+
+struct tree *build(int depth, int val) {
+    struct tree *t;
+    if (depth == 0) return 0;
+    t = (struct tree *)malloc(sizeof(struct tree));
+    t->val = val;
+    t->left = build(depth - 1, 2 * val);
+    t->right = build(depth - 1, 2 * val + 1);
+    return t;
+}
+
+int treeadd(struct tree *t) {
+    if (!t) return 0;
+    return t->val + treeadd(t->left) + treeadd(t->right);
+}
+
+int main(void) {
+    int iter, total = 0;
+    struct tree *t = build(DEPTH, 1);
+    for (iter = 0; iter < SCALE * 4; iter++) {
+        total = (total + treeadd(t)) % 1000000007;
+    }
+    printf("treeadd depth=%d total=%d\n", DEPTH, total);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "olden-bisort",
+	Category: "olden",
+	Desc:     "bisort-like: recursive list merge sort (pointer-chasing)",
+	Source: Prelude + `
+enum { SCALE = 2, N = 600 };
+
+struct node {
+    int val;
+    struct node *next;
+};
+
+struct node *make_list(int n, unsigned int seed) {
+    struct node *head = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        struct node *x = (struct node *)malloc(sizeof(struct node));
+        seed = seed * 1103515245 + 12345;
+        x->val = (int)((seed >> 16) & 0x7FFF);
+        x->next = head;
+        head = x;
+    }
+    return head;
+}
+
+struct node *merge(struct node *a, struct node *b) {
+    struct node dummy;
+    struct node *tail = &dummy;
+    dummy.next = 0;
+    while (a && b) {
+        if (a->val <= b->val) { tail->next = a; a = a->next; }
+        else { tail->next = b; b = b->next; }
+        tail = tail->next;
+    }
+    tail->next = a ? a : b;
+    return dummy.next;
+}
+
+struct node *msort(struct node *l) {
+    struct node *slow, *fast, *mid;
+    if (!l || !l->next) return l;
+    slow = l;
+    fast = l->next;
+    while (fast && fast->next) {
+        slow = slow->next;
+        fast = fast->next->next;
+    }
+    mid = slow->next;
+    slow->next = 0;
+    return merge(msort(l), msort(mid));
+}
+
+int is_sorted(struct node *l) {
+    while (l && l->next) {
+        if (l->val > l->next->val) return 0;
+        l = l->next;
+    }
+    return 1;
+}
+
+void free_list(struct node *l) {
+    while (l) {
+        struct node *n = l->next;
+        free(l);
+        l = n;
+    }
+}
+
+int main(void) {
+    int iter, ok = 1, check = 0;
+    for (iter = 0; iter < SCALE; iter++) {
+        struct node *l = make_list(N, (unsigned int)(iter + 1));
+        l = msort(l);
+        ok = ok && is_sorted(l);
+        check = (check + l->val) % 100000;
+        free_list(l);
+    }
+    printf("bisort n=%d sorted=%d check=%d\n", N, ok, check);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "olden-em3d",
+	Category: "olden",
+	Desc:     "em3d-like: bipartite graph relaxation (pointer-dense; the split outlier)",
+	Source: Prelude + `
+enum { SCALE = 2, NNODES = 60, DEGREE = 6, ITERS = 12 };
+
+/* like the real em3d, each node's adjacency is a heap array of pointers
+   walked with pointer arithmetic: the metadata-bearing (SEQ) pointers are
+   what make em3d the split-representation outlier */
+struct gnode {
+    double value;
+    int degree;
+    struct gnode **to;      /* heap array of neighbours */
+    double *coeff;          /* heap array of weights */
+    struct gnode *next;     /* intrusive list of all nodes */
+};
+
+struct gnode *e_list;
+struct gnode *h_list;
+
+struct gnode *make_side(int n, unsigned int seed) {
+    struct gnode *head = 0;
+    int i, k;
+    for (i = 0; i < n; i++) {
+        struct gnode *g = (struct gnode *)malloc(sizeof(struct gnode));
+        seed = seed * 1103515245 + 12345;
+        g->value = (double)((seed >> 16) & 1023) / 64.0;
+        g->degree = DEGREE;
+        g->to = (struct gnode **)malloc(DEGREE * sizeof(struct gnode *));
+        g->coeff = (double *)malloc(DEGREE * sizeof(double));
+        for (k = 0; k < DEGREE; k++) {
+            g->to[k] = 0;
+            seed = seed * 1103515245 + 12345;
+            g->coeff[k] = (double)((seed >> 20) & 255) / 512.0;
+        }
+        g->next = head;
+        head = g;
+    }
+    return head;
+}
+
+/* wire each node to DEGREE pseudo-random nodes of the other side */
+void connect(struct gnode *from, struct gnode *other, int nother, unsigned int seed) {
+    struct gnode *table[NNODES];
+    struct gnode *g;
+    int i = 0, k;
+    for (g = other; g; g = g->next) { table[i] = g; i++; }
+    for (g = from; g; g = g->next) {
+        for (k = 0; k < DEGREE; k++) {
+            seed = seed * 1103515245 + 12345;
+            g->to[k] = table[(seed >> 16) % (unsigned int)nother];
+        }
+    }
+}
+
+void relax(struct gnode *side) {
+    struct gnode *g;
+    for (g = side; g; g = g->next) {
+        double acc = g->value;
+        struct gnode **np = g->to;
+        double *cp = g->coeff;
+        int k;
+        for (k = 0; k < g->degree; k++) {
+            acc = acc - cp[k] * np[k]->value;
+        }
+        g->value = acc / 2.0;
+    }
+}
+
+int main(void) {
+    int iter, i;
+    double check = 0.0;
+    e_list = make_side(NNODES, 7);
+    h_list = make_side(NNODES, 13);
+    connect(e_list, h_list, NNODES, 21);
+    connect(h_list, e_list, NNODES, 42);
+    for (iter = 0; iter < SCALE; iter++) {
+        for (i = 0; i < ITERS; i++) {
+            relax(e_list);
+            relax(h_list);
+        }
+    }
+    {
+        struct gnode *g;
+        for (g = e_list; g; g = g->next) check = check + g->value;
+    }
+    printf("em3d nodes=%d check=%d\n", 2 * NNODES, (int)(check * 1000.0));
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "olden-power",
+	Category: "olden",
+	Desc:     "power-like: hierarchical demand computation over a customer tree",
+	Source: Prelude + `
+enum { SCALE = 2, FEEDERS = 6, BRANCHES = 5, LEAVES = 8 };
+
+struct leaf {
+    double demand;
+    double price;
+};
+
+struct branch {
+    struct leaf *leaves[LEAVES];
+    double impedance;
+    double total;
+};
+
+struct feeder {
+    struct branch *branches[BRANCHES];
+    double total;
+};
+
+struct root {
+    struct feeder *feeders[FEEDERS];
+    double total;
+};
+
+double compute_leaf(struct leaf *l, double price) {
+    l->price = price;
+    l->demand = 10.0 / (1.0 + price) + 0.3;
+    return l->demand;
+}
+
+double compute_branch(struct branch *b, double price) {
+    double sum = 0.0;
+    int i;
+    for (i = 0; i < LEAVES; i++) sum = sum + compute_leaf(b->leaves[i], price + b->impedance);
+    b->total = sum;
+    return sum;
+}
+
+double compute_feeder(struct feeder *f, double price) {
+    double sum = 0.0;
+    int i;
+    for (i = 0; i < BRANCHES; i++) sum = sum + compute_branch(f->branches[i], price * 1.05);
+    f->total = sum;
+    return sum;
+}
+
+struct root *build_root(void) {
+    struct root *r = (struct root *)malloc(sizeof(struct root));
+    int i, j, k;
+    for (i = 0; i < FEEDERS; i++) {
+        struct feeder *f = (struct feeder *)malloc(sizeof(struct feeder));
+        for (j = 0; j < BRANCHES; j++) {
+            struct branch *b = (struct branch *)malloc(sizeof(struct branch));
+            b->impedance = 0.01 * (double)(j + 1);
+            for (k = 0; k < LEAVES; k++) {
+                b->leaves[k] = (struct leaf *)malloc(sizeof(struct leaf));
+                b->leaves[k]->demand = 1.0;
+            }
+            f->branches[j] = b;
+        }
+        r->feeders[i] = f;
+    }
+    return r;
+}
+
+int main(void) {
+    struct root *r = build_root();
+    double price = 0.5, total = 0.0;
+    int iter, i;
+    for (iter = 0; iter < SCALE * 12; iter++) {
+        total = 0.0;
+        for (i = 0; i < FEEDERS; i++) total = total + compute_feeder(r->feeders[i], price);
+        /* newton-ish price update toward a demand target */
+        price = price + (total - 300.0) * 0.0005;
+    }
+    printf("power total=%d price=%d\n", (int)(total * 100.0), (int)(price * 10000.0));
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "ptrdist-anagram",
+	Category: "ptrdist",
+	Desc:     "anagram-like: dictionary bucketing by sorted-letter signature",
+	Source: Prelude + `
+enum { SCALE = 2, BUCKETS = 64, NWORDS = 24 };
+
+struct word {
+    char *text;
+    char sig[16];
+    struct word *next;
+};
+
+struct word *buckets[BUCKETS];
+int groups;
+int members;
+
+char *dict[NWORDS] = {
+    "listen", "silent", "enlist", "tinsel",
+    "stream", "master", "maters", "tamers",
+    "parse", "spare", "pears", "reaps",
+    "night", "thing", "dusty", "study",
+    "cider", "cried", "dicer", "price",
+    "caret", "trace", "crate", "react",
+};
+
+void sort_sig(char *src, char *dst) {
+    int i, j, n = strlen(src);
+    if (n > 15) n = 15;
+    for (i = 0; i < n; i++) dst[i] = src[i];
+    dst[n] = 0;
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            if (dst[j] < dst[i]) {
+                char t = dst[i];
+                dst[i] = dst[j];
+                dst[j] = t;
+            }
+        }
+    }
+}
+
+int sig_hash(char *s) {
+    int h = 0;
+    while (*s) { h = h * 31 + *s; s++; }
+    if (h < 0) h = -h;
+    return h % BUCKETS;
+}
+
+void insert_word(char *text) {
+    struct word *w = (struct word *)malloc(sizeof(struct word));
+    int h;
+    struct word *scan;
+    int found = 0;
+    w->text = text;
+    sort_sig(text, w->sig);
+    h = sig_hash(w->sig);
+    for (scan = buckets[h]; scan; scan = scan->next) {
+        if (strcmp(scan->sig, w->sig) == 0) { found = 1; break; }
+    }
+    if (!found) groups++;
+    members++;
+    w->next = buckets[h];
+    buckets[h] = w;
+}
+
+int count_group(char *text) {
+    char sig[16];
+    int h, n = 0;
+    struct word *scan;
+    sort_sig(text, sig);
+    h = sig_hash(sig);
+    for (scan = buckets[h]; scan; scan = scan->next) {
+        if (strcmp(scan->sig, sig) == 0) n++;
+    }
+    return n;
+}
+
+int main(void) {
+    int iter, i, check = 0;
+    for (i = 0; i < NWORDS; i++) insert_word(dict[i]);
+    for (iter = 0; iter < SCALE * 20; iter++) {
+        for (i = 0; i < NWORDS; i++) check += count_group(dict[i]);
+        check = check % 1000000007;
+    }
+    printf("anagram groups=%d members=%d check=%d\n", groups, members, check);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "ptrdist-ks",
+	Category: "ptrdist",
+	Desc:     "ks-like: Kernighan-Schweikert graph partition with gain updates",
+	Source: Prelude + `
+enum { SCALE = 2, NV = 32, NE = 96 };
+
+struct edge {
+    int a, b, w;
+};
+
+struct vertex {
+    int side;
+    int gain;
+    int locked;
+};
+
+struct vertex verts[NV];
+struct edge edges[NE];
+
+void build_graph(void) {
+    unsigned int seed = 99;
+    int i;
+    for (i = 0; i < NV; i++) {
+        verts[i].side = i & 1;
+        verts[i].locked = 0;
+    }
+    for (i = 0; i < NE; i++) {
+        seed = seed * 1103515245 + 12345;
+        edges[i].a = (int)((seed >> 16) % NV);
+        seed = seed * 1103515245 + 12345;
+        edges[i].b = (int)((seed >> 16) % NV);
+        edges[i].w = 1 + (int)((seed >> 8) & 7);
+        if (edges[i].a == edges[i].b) edges[i].b = (edges[i].b + 1) % NV;
+    }
+}
+
+int cut_cost(void) {
+    int i, cost = 0;
+    for (i = 0; i < NE; i++) {
+        if (verts[edges[i].a].side != verts[edges[i].b].side) cost += edges[i].w;
+    }
+    return cost;
+}
+
+void compute_gains(void) {
+    int i;
+    for (i = 0; i < NV; i++) verts[i].gain = 0;
+    for (i = 0; i < NE; i++) {
+        struct edge *e = &edges[i];
+        if (verts[e->a].side != verts[e->b].side) {
+            verts[e->a].gain += e->w;
+            verts[e->b].gain += e->w;
+        } else {
+            verts[e->a].gain -= e->w;
+            verts[e->b].gain -= e->w;
+        }
+    }
+}
+
+int best_unlocked(void) {
+    int i, best = -1;
+    for (i = 0; i < NV; i++) {
+        if (verts[i].locked) continue;
+        if (best < 0 || verts[i].gain > verts[best].gain) best = i;
+    }
+    return best;
+}
+
+int kl_pass(void) {
+    int moves, v;
+    for (v = 0; v < NV; v++) verts[v].locked = 0;
+    for (moves = 0; moves < NV / 2; moves++) {
+        compute_gains();
+        v = best_unlocked();
+        if (v < 0 || verts[v].gain <= 0) break;
+        verts[v].side = 1 - verts[v].side;
+        verts[v].locked = 1;
+    }
+    return cut_cost();
+}
+
+int main(void) {
+    int iter, cost = 0;
+    build_graph();
+    for (iter = 0; iter < SCALE * 3; iter++) {
+        cost = kl_pass();
+    }
+    printf("ks vertices=%d cost=%d\n", NV, cost);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "ptrdist-ft",
+	Category: "ptrdist",
+	Desc:     "ft-like: minimum spanning tree with a heap-free greedy frontier",
+	Source: Prelude + `
+enum { SCALE = 2, FTV = 48 };
+
+struct fedge {
+    int to;
+    int w;
+    struct fedge *next;
+};
+
+struct fedge *adj[FTV];
+int in_tree[FTV];
+int dist[FTV];
+
+void add_edge(int a, int b, int w) {
+    struct fedge *e = (struct fedge *)malloc(sizeof(struct fedge));
+    e->to = b;
+    e->w = w;
+    e->next = adj[a];
+    adj[a] = e;
+}
+
+void build(void) {
+    unsigned int seed = 31;
+    int i;
+    for (i = 0; i < FTV; i++) adj[i] = 0;
+    for (i = 0; i < FTV; i++) {
+        int j;
+        for (j = 0; j < 4; j++) {
+            int b, w;
+            seed = seed * 1103515245 + 12345;
+            b = (int)((seed >> 16) % FTV);
+            w = 1 + (int)((seed >> 6) & 63);
+            if (b != i) {
+                add_edge(i, b, w);
+                add_edge(b, i, w);
+            }
+        }
+    }
+}
+
+int mst(void) {
+    int total = 0, i, steps;
+    for (i = 0; i < FTV; i++) { in_tree[i] = 0; dist[i] = 1 << 20; }
+    dist[0] = 0;
+    for (steps = 0; steps < FTV; steps++) {
+        int best = -1;
+        struct fedge *e;
+        for (i = 0; i < FTV; i++) {
+            if (!in_tree[i] && (best < 0 || dist[i] < dist[best])) best = i;
+        }
+        if (best < 0 || dist[best] >= (1 << 20)) break;
+        in_tree[best] = 1;
+        total += dist[best];
+        for (e = adj[best]; e; e = e->next) {
+            if (!in_tree[e->to] && e->w < dist[e->to]) dist[e->to] = e->w;
+        }
+    }
+    return total;
+}
+
+int main(void) {
+    int iter, total = 0;
+    build();
+    for (iter = 0; iter < SCALE * 6; iter++) {
+        total = (total + mst()) % 1000000007;
+    }
+    printf("ft vertices=%d total=%d\n", FTV, total);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "spec-compress",
+	Category: "spec",
+	Desc:     "compress-like: LZW with a chained-hash code table",
+	Source: Prelude + `
+enum { SCALE = 2, INSZ = 600, TABSZ = 512, MAXCODES = 400 };
+
+struct code_entry {
+    int prefix;
+    int ch;
+    int code;
+    struct code_entry *next;
+};
+
+struct code_entry *table[TABSZ];
+struct code_entry pool[MAXCODES];
+int npool;
+int next_code;
+
+int code_hash(int prefix, int ch) {
+    int h = prefix * 31 + ch;
+    if (h < 0) h = -h;
+    return h % TABSZ;
+}
+
+int lookup(int prefix, int ch) {
+    struct code_entry *e = table[code_hash(prefix, ch)];
+    while (e) {
+        if (e->prefix == prefix && e->ch == ch) return e->code;
+        e = e->next;
+    }
+    return -1;
+}
+
+void insert(int prefix, int ch) {
+    int h;
+    struct code_entry *e;
+    if (npool >= MAXCODES) return;
+    e = &pool[npool];
+    npool++;
+    e->prefix = prefix;
+    e->ch = ch;
+    e->code = next_code;
+    next_code++;
+    h = code_hash(prefix, ch);
+    e->next = table[h];
+    table[h] = e;
+}
+
+void reset_table(void) {
+    int i;
+    for (i = 0; i < TABSZ; i++) table[i] = 0;
+    npool = 0;
+    next_code = 256;
+}
+
+int compress(char *in, int n, int *out, int maxout) {
+    int i, o = 0;
+    int cur = in[0] & 255;
+    for (i = 1; i < n; i++) {
+        int c = in[i] & 255;
+        int code = lookup(cur, c);
+        if (code >= 0) {
+            cur = code;
+        } else {
+            if (o < maxout) { out[o] = cur; o++; }
+            insert(cur, c);
+            cur = c;
+        }
+    }
+    if (o < maxout) { out[o] = cur; o++; }
+    return o;
+}
+
+int main(void) {
+    char in[INSZ];
+    int out[INSZ];
+    int iter, i, total = 0;
+    for (iter = 0; iter < SCALE * 4; iter++) {
+        int n;
+        sim_recv(in, INSZ);
+        for (i = 0; i < INSZ; i++) {
+            if ((i & 7) < 3) in[i] = 'a' + (char)(i & 3);  /* make it compressible */
+        }
+        reset_table();
+        n = compress(in, INSZ, out, INSZ);
+        total = (total + n) % 1000000007;
+        for (i = 0; i < n && i < 10; i++) total += out[i];
+    }
+    printf("compress in=%d total=%d\n", INSZ, total);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "spec-li",
+	Category: "spec",
+	Desc:     "li-like: cons cells, a tiny evaluator, and mark-free arena reuse",
+	Source: Prelude + `
+enum { SCALE = 2, NCELLS = 2000 };
+
+enum { T_INT = 1, T_CONS = 2, T_SYM = 3 };
+
+struct cell {
+    int tag;
+    int ival;             /* T_INT */
+    char *sym;            /* T_SYM */
+    struct cell *car;     /* T_CONS */
+    struct cell *cdr;
+};
+
+struct cell heap_cells[NCELLS];
+int cell_next;
+
+struct cell *cell_alloc(void) {
+    struct cell *c;
+    if (cell_next >= NCELLS) cell_next = 0;   /* arena reuse */
+    c = &heap_cells[cell_next];
+    cell_next++;
+    return c;
+}
+
+struct cell *mk_int(int v) {
+    struct cell *c = cell_alloc();
+    c->tag = T_INT;
+    c->ival = v;
+    c->car = 0;
+    c->cdr = 0;
+    return c;
+}
+
+struct cell *cons(struct cell *car, struct cell *cdr) {
+    struct cell *c = cell_alloc();
+    c->tag = T_CONS;
+    c->car = car;
+    c->cdr = cdr;
+    return c;
+}
+
+struct cell *mk_list(int n, int base) {
+    struct cell *l = 0;
+    int i;
+    for (i = n - 1; i >= 0; i--) l = cons(mk_int(base + i), l);
+    return l;
+}
+
+int list_sum(struct cell *l) {
+    int s = 0;
+    while (l && l->tag == T_CONS) {
+        if (l->car && l->car->tag == T_INT) s += l->car->ival;
+        l = l->cdr;
+    }
+    return s;
+}
+
+struct cell *list_map_double(struct cell *l) {
+    if (!l || l->tag != T_CONS) return 0;
+    return cons(mk_int(l->car->ival * 2), list_map_double(l->cdr));
+}
+
+struct cell *list_reverse(struct cell *l) {
+    struct cell *acc = 0;
+    while (l && l->tag == T_CONS) {
+        acc = cons(l->car, acc);
+        l = l->cdr;
+    }
+    return acc;
+}
+
+int main(void) {
+    int iter, total = 0;
+    for (iter = 0; iter < SCALE * 10; iter++) {
+        struct cell *l = mk_list(40, iter);
+        struct cell *d = list_map_double(l);
+        struct cell *r = list_reverse(d);
+        total = (total + list_sum(l) + list_sum(r)) % 1000000007;
+    }
+    printf("li cells=%d total=%d\n", NCELLS, total);
+    return 0;
+}
+`,
+})

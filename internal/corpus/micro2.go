@@ -1,0 +1,419 @@
+package corpus
+
+// Additional Olden/Ptrdist/Spec-like workloads, extending the E5 suite
+// breadth: mst (hash-table adjacency), health (linked patient queues),
+// yacr2-like channel routing (dense index arithmetic), and a go-like
+// influence map computation.
+
+var _ = register(&Program{
+	Name:     "olden-mst",
+	Category: "olden",
+	Desc:     "mst-like: minimum spanning tree over hashed adjacency lists",
+	Source: Prelude + `
+enum { SCALE = 2, MVERT = 40, MHASH = 64 };
+
+struct hedge {
+    int to;
+    int w;
+    struct hedge *next;
+};
+
+struct vert {
+    struct hedge *buckets[MHASH / 8];
+    int mindist;
+    int intree;
+};
+
+struct vert verts[MVERT];
+
+int eh(int a, int b) {
+    int h = a * 31 + b * 7;
+    if (h < 0) h = -h;
+    return h % (MHASH / 8);
+}
+
+void add_edge(int a, int b, int w) {
+    struct hedge *e = (struct hedge *)malloc(sizeof(struct hedge));
+    e->to = b;
+    e->w = w;
+    e->next = verts[a].buckets[eh(a, b)];
+    verts[a].buckets[eh(a, b)] = e;
+}
+
+int edge_weight(int a, int b) {
+    struct hedge *e = verts[a].buckets[eh(a, b)];
+    while (e) {
+        if (e->to == b) return e->w;
+        e = e->next;
+    }
+    return 1 << 20;
+}
+
+void build(void) {
+    unsigned int seed = 5;
+    int i, j;
+    for (i = 0; i < MVERT; i++) {
+        for (j = 0; j < MVERT; j++) {
+            if (i == j) continue;
+            seed = seed * 1103515245 + 12345;
+            if ((seed >> 16) % 4 == 0) {
+                int w = 1 + (int)((seed >> 8) & 31);
+                add_edge(i, j, w);
+                add_edge(j, i, w);
+            }
+        }
+    }
+}
+
+int mst_cost(void) {
+    int total = 0, steps, i;
+    for (i = 0; i < MVERT; i++) {
+        verts[i].mindist = 1 << 20;
+        verts[i].intree = 0;
+    }
+    verts[0].mindist = 0;
+    for (steps = 0; steps < MVERT; steps++) {
+        int best = -1;
+        for (i = 0; i < MVERT; i++) {
+            if (!verts[i].intree && (best < 0 || verts[i].mindist < verts[best].mindist)) {
+                best = i;
+            }
+        }
+        if (best < 0 || verts[best].mindist >= (1 << 20)) break;
+        verts[best].intree = 1;
+        total += verts[best].mindist;
+        for (i = 0; i < MVERT; i++) {
+            if (!verts[i].intree) {
+                int w = edge_weight(best, i);
+                if (w < verts[i].mindist) verts[i].mindist = w;
+            }
+        }
+    }
+    return total;
+}
+
+int main(void) {
+    int iter, total = 0;
+    build();
+    for (iter = 0; iter < SCALE * 4; iter++) {
+        total = (total + mst_cost()) % 1000000007;
+    }
+    printf("mst vertices=%d total=%d\n", MVERT, total);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "olden-health",
+	Category: "olden",
+	Desc:     "health-like: hierarchical hospital simulation with patient queues",
+	Source: Prelude + `
+enum { SCALE = 2, LEVELS = 3, STEPS = 40 };
+
+struct patient {
+    int id;
+    int time;
+    struct patient *next;
+};
+
+struct hospital {
+    struct patient *waiting;
+    struct patient *assess;
+    int treated;
+    struct hospital *children[4];
+    int nchildren;
+};
+
+int next_patient_id;
+unsigned int hseed = 11;
+
+int hrand(int n) {
+    hseed = hseed * 1103515245 + 12345;
+    return (int)((hseed >> 16) % (unsigned int)n);
+}
+
+struct hospital *make_hospital(int level) {
+    struct hospital *h = (struct hospital *)malloc(sizeof(struct hospital));
+    int i;
+    h->waiting = 0;
+    h->assess = 0;
+    h->treated = 0;
+    h->nchildren = 0;
+    if (level > 0) {
+        for (i = 0; i < 4; i++) {
+            h->children[i] = make_hospital(level - 1);
+            h->nchildren++;
+        }
+    } else {
+        for (i = 0; i < 4; i++) h->children[i] = 0;
+    }
+    return h;
+}
+
+void put_queue(struct patient **q, struct patient *p) {
+    p->next = *q;
+    *q = p;
+}
+
+struct patient *take_queue(struct patient **q) {
+    struct patient *p = *q;
+    if (p) *q = p->next;
+    return p;
+}
+
+/* one simulation step: generate arrivals at leaves, move patients up */
+int sim(struct hospital *h, int level) {
+    int moved = 0, i;
+    struct patient *p;
+    if (h->nchildren == 0) {
+        if (hrand(3) == 0) {
+            p = (struct patient *)malloc(sizeof(struct patient));
+            p->id = next_patient_id++;
+            p->time = 0;
+            put_queue(&h->waiting, p);
+        }
+    } else {
+        for (i = 0; i < h->nchildren; i++) {
+            moved += sim(h->children[i], level - 1);
+            /* escalate one waiting patient from each child */
+            p = take_queue(&h->children[i]->waiting);
+            if (p) {
+                p->time += 1;
+                put_queue(&h->assess, p);
+                moved++;
+            }
+        }
+    }
+    /* treat one assessed patient */
+    p = take_queue(&h->assess);
+    if (p) {
+        h->treated++;
+        free(p);
+    }
+    return moved;
+}
+
+int count_waiting(struct hospital *h) {
+    int n = 0, i;
+    struct patient *p;
+    for (p = h->waiting; p; p = p->next) n++;
+    for (p = h->assess; p; p = p->next) n++;
+    for (i = 0; i < h->nchildren; i++) n += count_waiting(h->children[i]);
+    return n;
+}
+
+int count_treated(struct hospital *h) {
+    int n = h->treated, i;
+    for (i = 0; i < h->nchildren; i++) n += count_treated(h->children[i]);
+    return n;
+}
+
+int main(void) {
+    struct hospital *root = make_hospital(LEVELS);
+    int iter, s, moved = 0;
+    for (iter = 0; iter < SCALE; iter++) {
+        for (s = 0; s < STEPS; s++) moved += sim(root, LEVELS);
+    }
+    printf("health moved=%d waiting=%d treated=%d\n",
+           moved, count_waiting(root), count_treated(root));
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "ptrdist-yacr",
+	Category: "ptrdist",
+	Desc:     "yacr2-like: channel routing with per-net constraint scans",
+	Source: Prelude + `
+enum { SCALE = 2, NETS = 24, COLS = 48, TRACKS = 16 };
+
+struct net {
+    int left;    /* leftmost column */
+    int right;   /* rightmost column */
+    int track;   /* assigned track (-1 = none) */
+};
+
+struct net nets[NETS];
+int occupancy[TRACKS][COLS];
+
+void make_nets(void) {
+    unsigned int seed = 17;
+    int i;
+    for (i = 0; i < NETS; i++) {
+        int a, b;
+        seed = seed * 1103515245 + 12345;
+        a = (int)((seed >> 16) % COLS);
+        seed = seed * 1103515245 + 12345;
+        b = (int)((seed >> 16) % COLS);
+        if (a > b) { int t = a; a = b; b = t; }
+        if (a == b) b = (b + 3) % COLS;
+        if (a > b) { int t = a; a = b; b = t; }
+        nets[i].left = a;
+        nets[i].right = b;
+        nets[i].track = -1;
+    }
+}
+
+int track_free(int t, int l, int r) {
+    int c;
+    for (c = l; c <= r; c++) {
+        if (occupancy[t][c]) return 0;
+    }
+    return 1;
+}
+
+void claim(int t, int l, int r, int id) {
+    int c;
+    for (c = l; c <= r; c++) occupancy[t][c] = id + 1;
+}
+
+int route_all(void) {
+    int i, t, routed = 0;
+    int order[NETS];
+    /* route wider nets first (greedy left-edge style) */
+    for (i = 0; i < NETS; i++) order[i] = i;
+    for (i = 0; i < NETS; i++) {
+        int j, best = i;
+        for (j = i + 1; j < NETS; j++) {
+            int wi = nets[order[j]].right - nets[order[j]].left;
+            int wb = nets[order[best]].right - nets[order[best]].left;
+            if (wi > wb) best = j;
+        }
+        { int tmp = order[i]; order[i] = order[best]; order[best] = tmp; }
+    }
+    for (i = 0; i < NETS; i++) {
+        struct net *n = &nets[order[i]];
+        for (t = 0; t < TRACKS; t++) {
+            if (track_free(t, n->left, n->right)) {
+                claim(t, n->left, n->right, order[i]);
+                n->track = t;
+                routed++;
+                break;
+            }
+        }
+    }
+    return routed;
+}
+
+void reset(void) {
+    int t, c, i;
+    for (t = 0; t < TRACKS; t++)
+        for (c = 0; c < COLS; c++)
+            occupancy[t][c] = 0;
+    for (i = 0; i < NETS; i++) nets[i].track = -1;
+}
+
+int main(void) {
+    int iter, routed = 0, maxtrack = 0, i;
+    make_nets();
+    for (iter = 0; iter < SCALE * 5; iter++) {
+        reset();
+        routed = route_all();
+    }
+    for (i = 0; i < NETS; i++) {
+        if (nets[i].track > maxtrack) maxtrack = nets[i].track;
+    }
+    printf("yacr routed=%d/%d tracks=%d\n", routed, NETS, maxtrack + 1);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "spec-go",
+	Category: "spec",
+	Desc:     "go-like: board influence maps and group liberty counting",
+	Source: Prelude + `
+enum { SCALE = 2, BOARD = 11, CELLS = BOARD * BOARD };
+
+int board[CELLS];     /* 0 empty, 1 black, 2 white */
+int influence[CELLS];
+int visited[CELLS];
+
+int at(int r, int c) {
+    if (r < 0 || r >= BOARD || c < 0 || c >= BOARD) return -1;
+    return r * BOARD + c;
+}
+
+void setup(void) {
+    unsigned int seed = 23;
+    int i;
+    for (i = 0; i < CELLS; i++) {
+        seed = seed * 1103515245 + 12345;
+        int v = (int)((seed >> 16) % 10);
+        board[i] = v < 3 ? 1 : (v < 6 ? 2 : 0);
+    }
+}
+
+/* flood-fill liberties of the group containing idx */
+int liberties(int idx) {
+    int stack[CELLS];
+    int sp = 0, libs = 0, color = board[idx];
+    int i;
+    if (color == 0) return 0;
+    for (i = 0; i < CELLS; i++) visited[i] = 0;
+    stack[sp] = idx;
+    sp++;
+    visited[idx] = 1;
+    while (sp > 0) {
+        int cur, r, c, d;
+        int dr[4];
+        int dc[4];
+        dr[0] = 1; dr[1] = -1; dr[2] = 0; dr[3] = 0;
+        dc[0] = 0; dc[1] = 0; dc[2] = 1; dc[3] = -1;
+        sp--;
+        cur = stack[sp];
+        r = cur / BOARD;
+        c = cur % BOARD;
+        for (d = 0; d < 4; d++) {
+            int n = at(r + dr[d], c + dc[d]);
+            if (n < 0 || visited[n]) continue;
+            visited[n] = 1;
+            if (board[n] == 0) libs++;
+            else if (board[n] == color && sp < CELLS) { stack[sp] = n; sp++; }
+        }
+    }
+    return libs;
+}
+
+/* propagate influence from stones outward */
+void compute_influence(void) {
+    int i, pass;
+    for (i = 0; i < CELLS; i++) {
+        influence[i] = board[i] == 1 ? 64 : (board[i] == 2 ? -64 : 0);
+    }
+    for (pass = 0; pass < 4; pass++) {
+        int next[CELLS];
+        for (i = 0; i < CELLS; i++) {
+            int r = i / BOARD, c = i % BOARD;
+            int acc = influence[i] * 2;
+            int n;
+            n = at(r - 1, c); if (n >= 0) acc += influence[n];
+            n = at(r + 1, c); if (n >= 0) acc += influence[n];
+            n = at(r, c - 1); if (n >= 0) acc += influence[n];
+            n = at(r, c + 1); if (n >= 0) acc += influence[n];
+            next[i] = acc / 4;
+        }
+        for (i = 0; i < CELLS; i++) influence[i] = next[i];
+    }
+}
+
+int main(void) {
+    int iter, i, score = 0, libsum = 0;
+    setup();
+    for (iter = 0; iter < SCALE * 3; iter++) {
+        compute_influence();
+        for (i = 0; i < CELLS; i++) {
+            if (influence[i] > 0) score++;
+            else if (influence[i] < 0) score--;
+        }
+        for (i = 0; i < CELLS; i += 7) libsum += liberties(i);
+        libsum = libsum % 1000000007;
+    }
+    printf("go score=%d libs=%d\n", score, libsum);
+    return 0;
+}
+`,
+})

@@ -1,0 +1,309 @@
+package corpus
+
+// OpenSSH-like client and server (Figure 9). The heart of OpenSSH's pointer
+// behaviour is its Buffer abstraction (a growable byte region with a read
+// cursor) and the binary packet protocol on top; the key exchange is a
+// small modular-exponentiation handshake and the transport "encrypts" with
+// a stream xor. Client and server share the protocol code and differ in the
+// driver (connect/exchange vs accept/serve).
+
+const sshCommon = `
+enum { SCALE = 2, BUFCAP = 2048, SESSIONS = 6, MSGS = 25 };
+
+/* ---- buffer.c-like growable buffer with read offset ---- */
+
+struct sshbuf {
+    char *buf;
+    int alloc;
+    int off;   /* read cursor */
+    int end;   /* write cursor */
+};
+
+/* buffers cross the library boundary (sim_send); the paper's OpenSSH port
+   used split types at such call sites, so we annotate the allocator */
+struct sshbuf __SPLIT *buf_new(void) {
+    struct sshbuf *b = (struct sshbuf *)malloc(sizeof(struct sshbuf));
+    b->alloc = 256;
+    b->buf = (char *)malloc(b->alloc);
+    b->off = 0;
+    b->end = 0;
+    return b;
+}
+
+void buf_clear(struct sshbuf *b) { b->off = 0; b->end = 0; }
+
+void buf_grow(struct sshbuf *b, int need) {
+    if (b->end + need <= b->alloc) return;
+    while (b->alloc < b->end + need) b->alloc = b->alloc * 2;
+    if (b->alloc > BUFCAP) b->alloc = BUFCAP;
+    {
+        char *nb = (char *)malloc(b->alloc);
+        memcpy(nb, b->buf, b->end);
+        free(b->buf);
+        b->buf = nb;
+    }
+}
+
+void buf_put_char(struct sshbuf *b, int c) {
+    buf_grow(b, 1);
+    b->buf[b->end] = (char)c;
+    b->end++;
+}
+
+void buf_put_int(struct sshbuf *b, unsigned int v) {
+    buf_put_char(b, (int)(v >> 24) & 255);
+    buf_put_char(b, (int)(v >> 16) & 255);
+    buf_put_char(b, (int)(v >> 8) & 255);
+    buf_put_char(b, (int)v & 255);
+}
+
+void buf_put_bytes(struct sshbuf *b, char *p, int n) {
+    int i;
+    buf_grow(b, n);
+    for (i = 0; i < n; i++) b->buf[b->end + i] = p[i];
+    b->end += n;
+}
+
+void buf_put_cstring(struct sshbuf *b, char *s) {
+    int n = strlen(s);
+    buf_put_int(b, (unsigned int)n);
+    buf_put_bytes(b, s, n);
+}
+
+int buf_get_char(struct sshbuf *b) {
+    if (b->off >= b->end) return -1;
+    {
+        int c = b->buf[b->off] & 255;
+        b->off++;
+        return c;
+    }
+}
+
+unsigned int buf_get_int(struct sshbuf *b) {
+    unsigned int v = 0;
+    int i;
+    for (i = 0; i < 4; i++) v = (v << 8) | (unsigned int)buf_get_char(b);
+    return v;
+}
+
+int buf_get_string(struct sshbuf *b, char *out, int max) {
+    int n = (int)buf_get_int(b);
+    int i;
+    if (n >= max) n = max - 1;
+    for (i = 0; i < n; i++) out[i] = (char)buf_get_char(b);
+    out[n] = 0;
+    return n;
+}
+
+int buf_len(struct sshbuf *b) { return b->end - b->off; }
+
+/* ---- tiny Diffie-Hellman-flavoured handshake (word sized) ---- */
+
+unsigned int modpow(unsigned int base, unsigned int e, unsigned int m) {
+    unsigned int acc = 1;
+    base = base % m;
+    while (e) {
+        if (e & 1) acc = (acc * base) % m;
+        base = (base * base) % m;
+        e >>= 1;
+    }
+    return acc;
+}
+
+enum { DH_P = 65521, DH_G = 17 };
+
+/* ---- stream cipher keyed by the shared secret ---- */
+
+struct stream_ctx {
+    unsigned int state;
+};
+
+int stream_next(struct stream_ctx *s) {
+    s->state = s->state * 1103515245 + 12345;
+    return (int)(s->state >> 24) & 255;
+}
+
+void stream_xor(struct stream_ctx *s, char *p, int n) {
+    int i;
+    for (i = 0; i < n; i++) p[i] = (char)(p[i] ^ stream_next(s));
+}
+
+/* ---- packet layer ---- */
+
+enum { MSG_KEXINIT = 20, MSG_NEWKEYS = 21, MSG_DATA = 94, MSG_CLOSE = 97 };
+
+struct packet_state {
+    struct sshbuf *out;
+    struct stream_ctx send_ctx;
+    struct stream_ctx recv_ctx;
+    int secret;
+    int seq;
+};
+
+void packet_start(struct packet_state *ps, int type) {
+    buf_clear(ps->out);
+    buf_put_char(ps->out, type);
+}
+
+int packet_send(struct packet_state *ps) {
+    int n = ps->out->end;
+    stream_xor(&ps->send_ctx, ps->out->buf, n);
+    sim_send(ps->out->buf, (unsigned int)n);
+    stream_xor(&ps->recv_ctx, ps->out->buf, n); /* loopback decrypt */
+    ps->seq++;
+    return n;
+}
+`
+
+var _ = register(&Program{
+	Name:     "ssh-server",
+	Category: "daemon",
+	Desc:     "sshd-like: buffers, packet protocol, handshake, channel echo",
+	Source: Prelude + sshCommon + `
+int serve_session(struct packet_state *ps, int session) {
+    char payload[256];
+    char got[256];
+    int m, bytes = 0;
+    unsigned int server_priv = 1234 + (unsigned int)session;
+    unsigned int server_pub = modpow(DH_G, server_priv, DH_P);
+    unsigned int client_pub = modpow(DH_G, 77 + (unsigned int)session, DH_P);
+    unsigned int shared = modpow(client_pub, server_priv, DH_P);
+
+    packet_start(ps, MSG_KEXINIT);
+    buf_put_cstring(ps->out, "diffie-hellman-group1");
+    buf_put_int(ps->out, server_pub);
+    bytes += packet_send(ps);
+
+    ps->send_ctx.state = shared;
+    ps->recv_ctx.state = shared;
+    packet_start(ps, MSG_NEWKEYS);
+    bytes += packet_send(ps);
+
+    for (m = 0; m < MSGS; m++) {
+        int i, n = 32 + (m * 13) % 128;
+        for (i = 0; i < n; i++) payload[i] = (char)('a' + (i + m) % 26);
+        payload[n] = 0;
+        packet_start(ps, MSG_DATA);
+        buf_put_int(ps->out, (unsigned int)ps->seq);
+        buf_put_cstring(ps->out, payload);
+        bytes += packet_send(ps);
+
+        /* parse our own frame back (exercises the get_* path) */
+        ps->out->off = 0;
+        if (buf_get_char(ps->out) != MSG_DATA) return -1;
+        buf_get_int(ps->out);
+        buf_get_string(ps->out, got, 256);
+        if (strcmp(got, payload) != 0) return -1;
+    }
+    packet_start(ps, MSG_CLOSE);
+    bytes += packet_send(ps);
+    return bytes;
+}
+
+int main(void) {
+    struct packet_state ps;
+    int iter, s, total = 0;
+    ps.out = buf_new();
+    ps.seq = 0;
+    for (iter = 0; iter < SCALE; iter++) {
+        for (s = 0; s < SESSIONS; s++) {
+            ps.send_ctx.state = 1;
+            ps.recv_ctx.state = 1;
+            int r = serve_session(&ps, s);
+            if (r < 0) { printf("ssh-server FAILED session %d\n", s); return 1; }
+            total += r;
+        }
+    }
+    printf("ssh-server sessions=%d bytes=%d\n", SCALE * SESSIONS, total);
+    return 0;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "ssh-client",
+	Category: "daemon",
+	Desc:     "ssh-like client: connect, authenticate, request exec, stream data",
+	Source: Prelude + sshCommon + `
+struct channel {
+    int id;
+    int window;
+    int sent;
+    char *cmd;
+    struct channel *next;
+};
+
+struct channel *channels;
+int next_chan_id = 1;
+
+struct channel *channel_open(char *cmd) {
+    struct channel *c = (struct channel *)malloc(sizeof(struct channel));
+    c->id = next_chan_id++;
+    c->window = 1024;
+    c->sent = 0;
+    c->cmd = strdup(cmd);
+    c->next = channels;
+    channels = c;
+    return c;
+}
+
+void channel_close(struct channel *c) {
+    struct channel **pp = &channels;
+    while (*pp && *pp != c) pp = &(*pp)->next;
+    if (*pp) *pp = c->next;
+    free(c->cmd);
+    free(c);
+}
+
+int run_command(struct packet_state *ps, char *cmd) {
+    char chunk[128];
+    struct channel *c = channel_open(cmd);
+    int bytes = 0, m;
+    packet_start(ps, MSG_DATA);
+    buf_put_cstring(ps->out, "session");
+    buf_put_cstring(ps->out, c->cmd);
+    bytes += packet_send(ps);
+    for (m = 0; m < MSGS; m++) {
+        int n = 16 + (m * 7) % 96;
+        if (c->window < n) break;
+        sim_recv(chunk, (unsigned int)n);
+        packet_start(ps, MSG_DATA);
+        buf_put_int(ps->out, (unsigned int)c->id);
+        buf_put_bytes(ps->out, chunk, n);
+        bytes += packet_send(ps);
+        c->window -= n;
+        c->sent += n;
+    }
+    bytes += c->sent;
+    channel_close(c);
+    return bytes;
+}
+
+int main(void) {
+    struct packet_state ps;
+    char cmdbuf[64];
+    int iter, s, total = 0;
+    unsigned int client_priv = 77;
+    ps.out = buf_new();
+    ps.seq = 0;
+    for (iter = 0; iter < SCALE; iter++) {
+        for (s = 0; s < SESSIONS; s++) {
+            unsigned int client_pub = modpow(DH_G, client_priv + (unsigned int)s, DH_P);
+            unsigned int server_pub = modpow(DH_G, 1234u + (unsigned int)s, DH_P);
+            unsigned int shared = modpow(server_pub, client_priv + (unsigned int)s, DH_P);
+            packet_start(&ps, MSG_KEXINIT);
+            buf_put_cstring(ps.out, "diffie-hellman-group1");
+            buf_put_int(ps.out, client_pub);
+            total += packet_send(&ps);
+            ps.send_ctx.state = shared;
+            ps.recv_ctx.state = shared;
+            sprintf(cmdbuf, "uptime --session %d", s);
+            total += run_command(&ps, cmdbuf);
+        }
+        total = total % 1000000007;
+    }
+    printf("ssh-client sessions=%d total=%d\n", SCALE * SESSIONS, total);
+    return 0;
+}
+`,
+})

@@ -1,0 +1,342 @@
+package corpus
+
+// OpenSSL-like workloads (Figure 9 reports the whole library plus the
+// "cast" cipher and "bn" bignum rows). openssl-cast runs a CAST-style
+// Feistel cipher behind an EVP-like polymorphic cipher table (void*
+// contexts and function pointers: the RTTI showcase); openssl-bn is the
+// big-number package (arrays of limbs, carries, modexp).
+
+var _ = register(&Program{
+	Name:     "openssl-cast",
+	Category: "daemon",
+	Desc:     "CAST-style Feistel cipher behind an EVP-like polymorphic interface",
+	Source: Prelude + `
+enum { SCALE = 2, ROUNDS = 12, BLOCKS = 200 };
+
+/* ---- EVP-like polymorphic cipher layer: void* contexts (RTTI) ---- */
+
+struct evp_cipher {
+    char *name;
+    int block_size;
+    void *(*ctx_new)(char *key);
+    void (*encrypt)(void *ctx, unsigned int *block);
+    void (*decrypt)(void *ctx, unsigned int *block);
+};
+
+/* ---- the CAST-like cipher ---- */
+
+struct cast_ctx {
+    unsigned int km[ROUNDS];
+    int kr[ROUNDS];
+};
+
+unsigned int sbox[4][16] = {
+    { 0x30fb40d4, 0x9fa0ff0b, 0x6beccd2f, 0x3f258c7a,
+      0x1e213f2f, 0x9c004dd3, 0x6003e540, 0xcf9fc949,
+      0xbfd4af27, 0x88bbbdb5, 0xe2034090, 0x98d09675,
+      0x6e63a0e0, 0x15c361d2, 0xc2e7661d, 0x22d4ff8e },
+    { 0x28683b6f, 0xc07fd059, 0xff2379c8, 0x775f50e2,
+      0x43c340d3, 0xdf2f8656, 0x887ca41a, 0xa2d2bd2d,
+      0xa1c9e0d6, 0x346c4819, 0x61b76d87, 0x22540f2f,
+      0x2abe32e1, 0xaa54166b, 0x22568e3a, 0xa2d341d0 },
+    { 0x66db40c8, 0xa784392f, 0x004dff2f, 0x2db9d2de,
+      0x97943fac, 0x4a97c1d8, 0x527644b7, 0xb5f437a7,
+      0xb82cbaef, 0xd751d159, 0x6ff7f0ed, 0x5a097a1f,
+      0x827b68d0, 0x90ecf52e, 0x22b0c054, 0xbc8e5935 },
+    { 0x4f5b9f80, 0x8cf65d5a, 0x2e2f2f88, 0x1d4f8f2e,
+      0x78471d2a, 0x04f25e2e, 0x3f58d2b7, 0x10548b2f,
+      0x1d1f3f2e, 0x3e5f1b22, 0x5e2f88a1, 0x77f02f88,
+      0x5d28e0f0, 0x0f200f02, 0x2f8f1d4f, 0x3b6f2868 },
+};
+
+unsigned int cast_f(unsigned int half, unsigned int km, int kr) {
+    unsigned int t = km + half;
+    t = (t << kr) | (t >> (32 - kr));
+    return sbox[0][(t >> 28) & 15] ^ sbox[1][(t >> 20) & 15]
+         ^ sbox[2][(t >> 12) & 15] ^ sbox[3][(t >> 4) & 15];
+}
+
+void *cast_ctx_new(char *key) {
+    struct cast_ctx *c = (struct cast_ctx *)malloc(sizeof(struct cast_ctx));
+    unsigned int seed = 0x12345678;
+    int i;
+    for (i = 0; key[i]; i++) seed = seed * 31 + (key[i] & 255);
+    for (i = 0; i < ROUNDS; i++) {
+        seed = seed * 1103515245 + 12345;
+        c->km[i] = seed;
+        c->kr[i] = 1 + (int)((seed >> 27) % 31);
+    }
+    return (void *)c;
+}
+
+void cast_encrypt(void *vctx, unsigned int *block) {
+    struct cast_ctx *c = (struct cast_ctx *)vctx;   /* checked downcast */
+    unsigned int l = block[0], r = block[1], t;
+    int i;
+    for (i = 0; i < ROUNDS; i++) {
+        t = r;
+        r = l ^ cast_f(r, c->km[i], c->kr[i]);
+        l = t;
+    }
+    block[0] = r;
+    block[1] = l;
+}
+
+void cast_decrypt(void *vctx, unsigned int *block) {
+    struct cast_ctx *c = (struct cast_ctx *)vctx;
+    unsigned int l = block[0], r = block[1], t;
+    int i;
+    for (i = ROUNDS - 1; i >= 0; i--) {
+        t = r;
+        r = l ^ cast_f(r, c->km[i], c->kr[i]);
+        l = t;
+    }
+    block[0] = r;
+    block[1] = l;
+}
+
+/* ---- a second cipher so the dispatch is genuinely polymorphic ---- */
+
+struct xtea_ctx {
+    unsigned int k[4];
+};
+
+void *xtea_ctx_new(char *key) {
+    struct xtea_ctx *c = (struct xtea_ctx *)malloc(sizeof(struct xtea_ctx));
+    int i;
+    for (i = 0; i < 4; i++) c->k[i] = (key[i % 8] & 255) * 0x9E3779B9 + i;
+    return (void *)c;
+}
+
+void xtea_encrypt(void *vctx, unsigned int *block) {
+    struct xtea_ctx *c = (struct xtea_ctx *)vctx;
+    unsigned int v0 = block[0], v1 = block[1], sum = 0;
+    int i;
+    for (i = 0; i < 16; i++) {
+        v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + c->k[sum & 3]);
+        sum += 0x9E3779B9;
+        v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + c->k[(sum >> 11) & 3]);
+    }
+    block[0] = v0;
+    block[1] = v1;
+}
+
+void xtea_decrypt(void *vctx, unsigned int *block) {
+    struct xtea_ctx *c = (struct xtea_ctx *)vctx;
+    unsigned int v0 = block[0], v1 = block[1], sum = 0x9E3779B9 * 16;
+    int i;
+    for (i = 0; i < 16; i++) {
+        v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + c->k[(sum >> 11) & 3]);
+        sum -= 0x9E3779B9;
+        v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + c->k[sum & 3]);
+    }
+    block[0] = v0;
+    block[1] = v1;
+}
+
+struct evp_cipher ciphers[2] = {
+    { "cast5", 8, cast_ctx_new, cast_encrypt, cast_decrypt },
+    { "xtea",  8, xtea_ctx_new, xtea_encrypt, xtea_decrypt },
+};
+
+int evp_selftest(struct evp_cipher *evp, char *key) {
+    unsigned int data[2 * BLOCKS];
+    unsigned int orig[2 * BLOCKS];
+    void *ctx = evp->ctx_new(key);
+    int i, ok = 1;
+    for (i = 0; i < 2 * BLOCKS; i++) {
+        data[i] = (unsigned int)(i * 2654435761u);
+        orig[i] = data[i];
+    }
+    for (i = 0; i < BLOCKS; i++) evp->encrypt(ctx, data + 2 * i);
+    for (i = 0; i < BLOCKS; i++) {
+        if (data[2 * i] == orig[2 * i]) ok = 0;  /* must have changed */
+    }
+    for (i = 0; i < BLOCKS; i++) evp->decrypt(ctx, data + 2 * i);
+    for (i = 0; i < 2 * BLOCKS; i++) {
+        if (data[i] != orig[i]) ok = 0;
+    }
+    free(ctx);
+    return ok;
+}
+
+int main(void) {
+    int iter, i, passed = 0, total = 0;
+    for (iter = 0; iter < SCALE; iter++) {
+        for (i = 0; i < 2; i++) {
+            passed += evp_selftest(&ciphers[i], "benchmark-key");
+            total++;
+        }
+    }
+    printf("openssl-cast selftests %d/%d passed\n", passed, total);
+    return passed == total ? 0 : 1;
+}
+`,
+})
+
+var _ = register(&Program{
+	Name:     "openssl-bn",
+	Category: "daemon",
+	Desc:     "big-number package: limb arrays, add/sub/mul/mod, modexp",
+	Source: Prelude + `
+enum { SCALE = 2, MAXLIMB = 24 };
+
+/* numbers are little-endian arrays of 16-bit limbs stored in ints */
+struct bignum {
+    int n;                 /* limbs used */
+    unsigned int d[MAXLIMB];
+};
+
+void bn_zero(struct bignum *a) {
+    int i;
+    a->n = 1;
+    for (i = 0; i < MAXLIMB; i++) a->d[i] = 0;
+}
+
+void bn_set(struct bignum *a, unsigned int v) {
+    bn_zero(a);
+    a->d[0] = v & 0xFFFF;
+    a->d[1] = (v >> 16) & 0xFFFF;
+    a->n = a->d[1] ? 2 : 1;
+}
+
+void bn_copy(struct bignum *dst, struct bignum *src) {
+    int i;
+    dst->n = src->n;
+    for (i = 0; i < MAXLIMB; i++) dst->d[i] = src->d[i];
+}
+
+void bn_norm(struct bignum *a) {
+    while (a->n > 1 && a->d[a->n - 1] == 0) a->n--;
+}
+
+int bn_cmp(struct bignum *a, struct bignum *b) {
+    int i;
+    if (a->n != b->n) return a->n - b->n;
+    for (i = a->n - 1; i >= 0; i--) {
+        if (a->d[i] != b->d[i]) return (int)a->d[i] - (int)b->d[i];
+    }
+    return 0;
+}
+
+void bn_add(struct bignum *r, struct bignum *a, struct bignum *b) {
+    unsigned int carry = 0;
+    int i, n = a->n > b->n ? a->n : b->n;
+    for (i = 0; i < n; i++) {
+        unsigned int s = a->d[i] + b->d[i] + carry;
+        r->d[i] = s & 0xFFFF;
+        carry = s >> 16;
+    }
+    if (carry && n < MAXLIMB) { r->d[n] = carry; n++; }
+    r->n = n;
+    for (i = n; i < MAXLIMB; i++) r->d[i] = 0;
+}
+
+/* r = a - b (requires a >= b) */
+void bn_sub(struct bignum *r, struct bignum *a, struct bignum *b) {
+    int borrow = 0, i;
+    for (i = 0; i < a->n; i++) {
+        int s = (int)a->d[i] - (int)b->d[i] - borrow;
+        if (s < 0) { s += 0x10000; borrow = 1; } else borrow = 0;
+        r->d[i] = (unsigned int)s;
+    }
+    r->n = a->n;
+    for (i = a->n; i < MAXLIMB; i++) r->d[i] = 0;
+    bn_norm(r);
+}
+
+void bn_mul(struct bignum *r, struct bignum *a, struct bignum *b) {
+    unsigned int acc[2 * MAXLIMB];
+    int i, j, n;
+    for (i = 0; i < 2 * MAXLIMB; i++) acc[i] = 0;
+    for (i = 0; i < a->n; i++) {
+        for (j = 0; j < b->n && i + j < 2 * MAXLIMB; j++) {
+            acc[i + j] += a->d[i] * b->d[j];
+        }
+        /* propagate carries eagerly so limbs stay below 2^32 */
+        for (j = 0; j < 2 * MAXLIMB - 1; j++) {
+            acc[j + 1] += acc[j] >> 16;
+            acc[j] &= 0xFFFF;
+        }
+    }
+    n = a->n + b->n;
+    if (n > MAXLIMB) n = MAXLIMB;
+    for (i = 0; i < n; i++) r->d[i] = acc[i];
+    for (i = n; i < MAXLIMB; i++) r->d[i] = 0;
+    r->n = n;
+    bn_norm(r);
+}
+
+/* r = a mod m, by binary (doubling) reduction */
+void bn_mod(struct bignum *r, struct bignum *a, struct bignum *m) {
+    struct bignum cur;
+    struct bignum s[64];
+    int top = 0;
+    bn_copy(&cur, a);
+    bn_copy(&s[0], m);
+    while (top < 63 && bn_cmp(&s[top], &cur) <= 0) {
+        bn_add(&s[top + 1], &s[top], &s[top]);
+        top++;
+    }
+    for (; top >= 0; top--) {
+        if (bn_cmp(&cur, &s[top]) >= 0) bn_sub(&cur, &cur, &s[top]);
+    }
+    bn_copy(r, &cur);
+}
+
+/* r = base^exp mod m (square and multiply) */
+void bn_modexp(struct bignum *r, struct bignum *base, unsigned int exp,
+               struct bignum *m) {
+    struct bignum acc, sq, t;
+    bn_set(&acc, 1);
+    bn_copy(&sq, base);
+    while (exp) {
+        if (exp & 1) {
+            bn_mul(&t, &acc, &sq);
+            bn_mod(&acc, &t, m);
+        }
+        bn_mul(&t, &sq, &sq);
+        bn_mod(&sq, &t, m);
+        exp >>= 1;
+    }
+    bn_copy(r, &acc);
+}
+
+unsigned int bn_low32(struct bignum *a) {
+    return a->d[0] | (a->d[1] << 16);
+}
+
+int main(void) {
+    struct bignum a, b, m, r, t;
+    int iter, i;
+    unsigned int check = 0;
+    for (iter = 0; iter < SCALE; iter++) {
+        /* Fermat-style checks: a^(p-1) mod p == 1 for prime p */
+        bn_set(&m, 65537);
+        for (i = 2; i < 12; i++) {
+            bn_set(&a, (unsigned int)i);
+            bn_modexp(&r, &a, 65536, &m);
+            check += bn_low32(&r);
+        }
+        /* (a+b)^2 == a^2 + 2ab + b^2 */
+        bn_set(&a, 123456789);
+        bn_set(&b, 987654321);
+        bn_add(&t, &a, &b);
+        bn_mul(&r, &t, &t);
+        check += bn_low32(&r);
+        /* big multiply chain */
+        bn_set(&t, 7);
+        for (i = 0; i < 12; i++) {
+            bn_mul(&r, &t, &t);
+            bn_set(&b, 65521);
+            bn_mod(&t, &r, &b);
+            bn_add(&t, &t, &a);
+        }
+        check += bn_low32(&t);
+        check = check % 1000000007;
+    }
+    printf("openssl-bn check=%u\n", check);
+    return 0;
+}
+`,
+})

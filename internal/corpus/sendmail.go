@@ -1,0 +1,274 @@
+package corpus
+
+// sendmail-like mail transfer agent (Figure 9). The pointer behaviour that
+// matters: header parsing into envelope structures, a rule-based address
+// rewriting engine (token lists), a delivery queue, and macro expansion
+// into fixed buffers. The paper's port also moved stack buffers to the
+// heap and replaced unions with structs; this corpus program is written in
+// that post-port style.
+
+var _ = register(&Program{
+	Name:     "sendmail",
+	Category: "daemon",
+	Desc:     "sendmail-like: header parsing, address rewriting, delivery queue",
+	Source: Prelude + `
+enum { SCALE = 2, MAXTOK = 16, MAXHDRS = 12, NMSG = 12 };
+
+/* ---- envelope and headers ---- */
+
+struct header {
+    char *field;
+    char *value;
+    struct header *next;
+};
+
+struct envelope {
+    char *from;
+    char *to;
+    struct header *headers;
+    int nheaders;
+    int size;
+    int id;
+};
+
+struct envelope *env_new(int id) {
+    struct envelope *e = (struct envelope *)malloc(sizeof(struct envelope));
+    e->from = 0;
+    e->to = 0;
+    e->headers = 0;
+    e->nheaders = 0;
+    e->size = 0;
+    e->id = id;
+    return e;
+}
+
+void env_add_header(struct envelope *e, char *field, char *value) {
+    struct header *h = (struct header *)malloc(sizeof(struct header));
+    h->field = strdup(field);
+    h->value = strdup(value);
+    h->next = e->headers;
+    e->headers = h;
+    e->nheaders++;
+}
+
+char *env_get_header(struct envelope *e, char *field) {
+    struct header *h = e->headers;
+    while (h) {
+        if (strcmp(h->field, field) == 0) return h->value;
+        h = h->next;
+    }
+    return 0;
+}
+
+void env_free(struct envelope *e) {
+    struct header *h = e->headers;
+    while (h) {
+        struct header *next = h->next;
+        free(h->field);
+        free(h->value);
+        free(h);
+        h = next;
+    }
+    if (e->from) free(e->from);
+    if (e->to) free(e->to);
+    free(e);
+}
+
+/* ---- address tokenizer and rewriting rules (S0-style) ---- */
+
+struct tokens {
+    char *tok[MAXTOK];
+    int n;
+};
+
+void tokenize(char *addr, struct tokens *t, char *storage) {
+    int i = 0, s = 0;
+    t->n = 0;
+    while (addr[i] && t->n < MAXTOK) {
+        char c = addr[i];
+        if (c == '@' || c == '.' || c == '!' || c == '%' || c == '<' || c == '>') {
+            storage[s] = c;
+            storage[s + 1] = 0;
+            t->tok[t->n] = storage + s;
+            t->n++;
+            s += 2;
+            i++;
+        } else {
+            int start = s;
+            while (addr[i] && addr[i] != '@' && addr[i] != '.' && addr[i] != '!'
+                   && addr[i] != '%' && addr[i] != '<' && addr[i] != '>') {
+                storage[s] = addr[i];
+                s++;
+                i++;
+            }
+            storage[s] = 0;
+            s++;
+            t->tok[t->n] = storage + start;
+            t->n++;
+        }
+    }
+}
+
+/* a rewriting rule: if the token list matches lhs, emit rhs */
+struct rwrule {
+    char *lhs;  /* e.g. "$+!$+" : uucp bang path   */
+    char *rhs;  /* e.g. "$2@$1" : rewrite to internet form */
+};
+
+struct rwrule ruleset[3] = {
+    { "$+!$+",   "$2@$1" },
+    { "$+%$+",   "$1@$2" },
+    { "<$+@$+>", "$1@$2" },
+};
+
+/* match tokens against a pattern; bind $+ groups (single token each) */
+int rule_match(struct tokens *t, char *pat, char **bind, int *nbind) {
+    int pi = 0, ti = 0;
+    *nbind = 0;
+    while (pat[pi]) {
+        if (pat[pi] == '$' && pat[pi + 1] == '+') {
+            if (ti >= t->n) return 0;
+            bind[*nbind] = t->tok[ti];
+            (*nbind)++;
+            ti++;
+            pi += 2;
+        } else {
+            char lit[2];
+            lit[0] = pat[pi];
+            lit[1] = 0;
+            if (ti >= t->n || strcmp(t->tok[ti], lit) != 0) return 0;
+            ti++;
+            pi++;
+        }
+    }
+    return ti == t->n;
+}
+
+void rule_apply(char *rhs, char **bind, int nbind, char *out) {
+    int i = 0, o = 0;
+    while (rhs[i]) {
+        if (rhs[i] == '$' && rhs[i + 1] >= '1' && rhs[i + 1] <= '9') {
+            int g = rhs[i + 1] - '1';
+            if (g < nbind) {
+                char *s = bind[g];
+                while (*s) { out[o] = *s; o++; s++; }
+            }
+            i += 2;
+        } else {
+            out[o] = rhs[i];
+            o++;
+            i++;
+        }
+    }
+    out[o] = 0;
+}
+
+/* canonify an address through the ruleset until no rule fires */
+void rewrite_addr(char *addr, char *out) {
+    char cur[96];
+    char storage[192];
+    char next[96];
+    struct tokens t;
+    char *bind[9];
+    int nbind, i, fired, passes = 0;
+    strncpy(cur, addr, 95);
+    cur[95] = 0;
+    for (;;) {
+        fired = 0;
+        tokenize(cur, &t, storage);
+        for (i = 0; i < 3; i++) {
+            if (rule_match(&t, ruleset[i].lhs, bind, &nbind)) {
+                rule_apply(ruleset[i].rhs, bind, nbind, next);
+                strcpy(cur, next);
+                fired = 1;
+                break;
+            }
+        }
+        passes++;
+        if (!fired || passes > 4) break;
+    }
+    strcpy(out, cur);
+}
+
+/* ---- the queue ---- */
+
+struct qentry {
+    struct envelope *env;
+    int tries;
+    struct qentry *next;
+};
+
+struct qentry *queue;
+int delivered;
+int queued;
+
+void queue_put(struct envelope *e) {
+    struct qentry *q = (struct qentry *)malloc(sizeof(struct qentry));
+    q->env = e;
+    q->tries = 0;
+    q->next = queue;
+    queue = q;
+    queued++;
+}
+
+int deliver(struct envelope *e) {
+    char line[160];
+    int n;
+    n = sprintf(line, "From: %s\nTo: %s\nSubject: %s\n\n",
+                e->from, e->to, env_get_header(e, "Subject"));
+    sim_send(line, (unsigned int)n);
+    delivered++;
+    return n;
+}
+
+int run_queue(void) {
+    int bytes = 0;
+    while (queue) {
+        struct qentry *q = queue;
+        queue = q->next;
+        q->tries++;
+        bytes += deliver(q->env);
+        env_free(q->env);
+        free(q);
+    }
+    return bytes;
+}
+
+/* ---- inbound message parsing ---- */
+
+char *samples[4] = {
+    "research!alice",
+    "bob%lab.example.org",
+    "<carol@example.com>",
+    "dave!host!eve",
+};
+
+int accept_message(int id) {
+    char rewritten[96];
+    char subj[48];
+    struct envelope *e = env_new(id);
+    char *raw = samples[id % 4];
+    rewrite_addr(raw, rewritten);
+    e->from = strdup("daemon@bench.example.org");
+    e->to = strdup(rewritten);
+    sprintf(subj, "queue run %d", id);
+    env_add_header(e, "Subject", subj);
+    env_add_header(e, "Received", "from simulator by gocured");
+    env_add_header(e, "Message-Id", "<gen@bench>");
+    e->size = strlen(raw) + 64;
+    queue_put(e);
+    return e->size;
+}
+
+int main(void) {
+    int iter, i, total = 0;
+    for (iter = 0; iter < SCALE; iter++) {
+        for (i = 0; i < NMSG; i++) total += accept_message(iter * NMSG + i);
+        total += run_queue();
+        total = total % 1000000007;
+    }
+    printf("sendmail queued=%d delivered=%d total=%d\n", queued, delivered, total);
+    return 0;
+}
+`,
+})

@@ -1,0 +1,149 @@
+// Package diag provides source positions and diagnostic collection for the
+// gocured C frontend and transformation pipeline.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a source position. Line and Col are 1-based; a zero Pos means
+// "no position" (synthesized code).
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "<generated>"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Note is informational (e.g. inference decisions the user asked to see).
+	Note Severity = iota
+	// Warning does not stop the pipeline.
+	Warning
+	// Error stops the pipeline at the end of the current phase.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one reported condition.
+type Diagnostic struct {
+	Pos      Pos
+	Severity Severity
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Message)
+}
+
+// List accumulates diagnostics. The zero value is ready to use.
+type List struct {
+	diags []Diagnostic
+}
+
+// Add appends a diagnostic.
+func (l *List) Add(pos Pos, sev Severity, format string, args ...any) {
+	l.diags = append(l.diags, Diagnostic{Pos: pos, Severity: sev, Message: fmt.Sprintf(format, args...)})
+}
+
+// Errorf appends an error diagnostic.
+func (l *List) Errorf(pos Pos, format string, args ...any) {
+	l.Add(pos, Error, format, args...)
+}
+
+// Warnf appends a warning diagnostic.
+func (l *List) Warnf(pos Pos, format string, args ...any) {
+	l.Add(pos, Warning, format, args...)
+}
+
+// Notef appends a note diagnostic.
+func (l *List) Notef(pos Pos, format string, args ...any) {
+	l.Add(pos, Note, format, args...)
+}
+
+// HasErrors reports whether any diagnostic is an Error.
+func (l *List) HasErrors() bool {
+	for _, d := range l.diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the diagnostics in source order (stable sort by file, line,
+// col; generated positions last in insertion order).
+func (l *List) All() []Diagnostic {
+	out := make([]Diagnostic, len(l.diags))
+	copy(out, l.diags)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.IsValid() != b.IsValid() {
+			return a.IsValid()
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return out
+}
+
+// Len returns the number of diagnostics.
+func (l *List) Len() int { return len(l.diags) }
+
+// Err returns an error summarizing all Error-severity diagnostics, or nil.
+func (l *List) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	var b strings.Builder
+	n := 0
+	for _, d := range l.All() {
+		if d.Severity != Error {
+			continue
+		}
+		if n > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.String())
+		n++
+		if n == 20 {
+			fmt.Fprintf(&b, "\n... and more errors")
+			break
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -1,0 +1,73 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{File: "a.c", Line: 3, Col: 7}).String(); got != "a.c:3:7" {
+		t.Errorf("pos = %q", got)
+	}
+	if got := (Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("pos without file = %q", got)
+	}
+	if got := (Pos{}).String(); got != "<generated>" {
+		t.Errorf("zero pos = %q", got)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos must be invalid")
+	}
+}
+
+func TestListOrderingAndSeverity(t *testing.T) {
+	var l List
+	l.Warnf(Pos{File: "b.c", Line: 2, Col: 1}, "second")
+	l.Errorf(Pos{File: "a.c", Line: 9, Col: 1}, "first-file")
+	l.Notef(Pos{}, "generated-last")
+	l.Errorf(Pos{File: "b.c", Line: 1, Col: 5}, "b-first")
+
+	if !l.HasErrors() {
+		t.Fatal("list has errors")
+	}
+	all := l.All()
+	if len(all) != 4 {
+		t.Fatalf("len = %d", len(all))
+	}
+	order := []string{"first-file", "b-first", "second", "generated-last"}
+	for i, want := range order {
+		if all[i].Message != want {
+			t.Errorf("position %d: %q, want %q", i, all[i].Message, want)
+		}
+	}
+	if all[0].Severity.String() != "error" || all[2].Severity.String() != "warning" {
+		t.Error("severity names wrong")
+	}
+}
+
+func TestErrSummarizesOnlyErrors(t *testing.T) {
+	var l List
+	l.Warnf(Pos{File: "x.c", Line: 1, Col: 1}, "just a warning")
+	if l.Err() != nil {
+		t.Error("warnings alone produce no error")
+	}
+	l.Errorf(Pos{File: "x.c", Line: 2, Col: 1}, "boom")
+	err := l.Err()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+	if strings.Contains(err.Error(), "warning") {
+		t.Error("warnings must not appear in Err()")
+	}
+}
+
+func TestErrTruncation(t *testing.T) {
+	var l List
+	for i := 0; i < 30; i++ {
+		l.Errorf(Pos{File: "x.c", Line: i + 1, Col: 1}, "e%d", i)
+	}
+	msg := l.Err().Error()
+	if !strings.Contains(msg, "and more errors") {
+		t.Error("long error lists must truncate")
+	}
+}

@@ -1,0 +1,160 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the gocured corpus. Each experiment returns a Table
+// with the measured values next to the paper's published numbers; the
+// bench harness (bench_test.go) and cmd/ccbench drive them.
+//
+// Absolute numbers differ from the paper — our substrate is an interpreter
+// over simulated memory, not gcc on a 2003 machine — but the shapes are
+// preserved: CCured's type-directed checks cost a fraction of the
+// shadow-memory tools, RTTI rescues the ijpeg-style downcast-heavy code
+// from WILD, and split types are cheap except for pointer-dense code.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gocured/internal/core"
+	"gocured/internal/corpus"
+	"gocured/internal/infer"
+	"gocured/internal/interp"
+)
+
+// Config tunes experiment cost.
+type Config struct {
+	// Scale overrides the corpus SCALE constant (0 keeps the source value).
+	Scale int
+}
+
+// Table is one reproduced table/figure.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(&b, "   %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// All runs every experiment.
+func All(cfg Config) []*Table {
+	return []*Table{
+		CastClassification(cfg),
+		Fig8Apache(cfg),
+		Fig9System(cfg),
+		IjpegRTTI(cfg),
+		MicroSuite(cfg),
+		SplitOverhead(cfg),
+		BindCasts(cfg),
+		SplitStats(cfg),
+		Exploits(cfg),
+	}
+}
+
+// ---- shared plumbing ----
+
+type built struct {
+	unit  *core.Unit
+	prog  *corpus.Program
+	lines int
+}
+
+func mustBuild(p *corpus.Program, opts infer.Options, scale int) *built {
+	src := p.Source
+	if scale > 0 {
+		src = corpus.WithScale(p, scale)
+	}
+	u, err := core.Build(p.Name+".c", src, opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: build %s: %v", p.Name, err))
+	}
+	lines := 0
+	for _, l := range strings.Split(src, "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines++
+		}
+	}
+	return &built{unit: u, prog: p, lines: lines}
+}
+
+func defaultOpts(p *corpus.Program) infer.Options {
+	return infer.Options{TrustBadCasts: p.TrustBadCasts}
+}
+
+// cost executes the program once under a policy and returns the
+// deterministic simulated-cycle count. Experiment tables use cost ratios:
+// reproducible run to run, unlike wall time over an interpreter, while
+// wall-clock behaviour is still exercised by bench_test.go.
+func (b *built) cost(policy interp.Policy) uint64 {
+	var out *interp.Outcome
+	var err error
+	if policy == interp.PolicyCured {
+		out, err = b.unit.RunCured(interp.Config{})
+	} else {
+		out, err = b.unit.RunRaw(policy, interp.Config{})
+	}
+	if err != nil {
+		panic(fmt.Sprintf("experiments: run %s/%s: %v", b.prog.Name, policy, err))
+	}
+	if out.Trap != nil {
+		panic(fmt.Sprintf("experiments: %s trapped under %s: %v", b.prog.Name, policy, out.Trap))
+	}
+	return out.Counters.Cost
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func pctStr(f float64) string { return fmt.Sprintf("%.0f", f) }
+
+// kindCols renders the sf/sq/w/rt column of Figures 8 and 9.
+func kindCols(s infer.Stats) string {
+	return fmt.Sprintf("%s/%s/%s/%s",
+		pctStr(s.PctSafe()), pctStr(s.PctSeq()), pctStr(s.PctWild()), pctStr(s.PctRtti()))
+}

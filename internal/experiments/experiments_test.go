@@ -1,0 +1,188 @@
+package experiments_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gocured/internal/experiments"
+)
+
+// The experiment tables are regression-tested for their *shapes*: the
+// qualitative claims of the paper that EXPERIMENTS.md reports as
+// reproduced must keep holding. Cost ratios are deterministic, so these
+// assertions are stable.
+
+var cfg = experiments.Config{Scale: 1}
+
+func cell(t *testing.T, tab *experiments.Table, row int, col string) string {
+	t.Helper()
+	for i, h := range tab.Header {
+		if h == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("table %s has no column %q", tab.ID, col)
+	return ""
+}
+
+func cellF(t *testing.T, tab *experiments.Table, row int, col string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell(t, tab, row, col), "%")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("table %s cell %q not numeric: %q", tab.ID, col, s)
+	}
+	return v
+}
+
+func findRow(t *testing.T, tab *experiments.Table, name string) int {
+	t.Helper()
+	for i, r := range tab.Rows {
+		if r[0] == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no row %q", tab.ID, name)
+	return -1
+}
+
+func TestE1CastShapes(t *testing.T) {
+	tab := experiments.CastClassification(cfg)
+	total := findRow(t, tab, "TOTAL")
+	if cellF(t, tab, total, "bad%") > 1.0 {
+		t.Errorf("bad casts exceed the paper's <1%%: %s", cell(t, tab, total, "bad%"))
+	}
+	up := cellF(t, tab, total, "up%")
+	down := cellF(t, tab, total, "down%")
+	alloc := cellF(t, tab, total, "alloc%")
+	if up+down+alloc < 90 {
+		t.Errorf("up+down+alloc = %.1f%%, want the dominant share", up+down+alloc)
+	}
+}
+
+func TestE4IjpegShape(t *testing.T) {
+	tab := experiments.IjpegRTTI(cfg)
+	noRtti, withRtti := 0, 1
+	if cellF(t, tab, noRtti, "wild%") < 50 {
+		t.Error("without RTTI most ijpeg pointers should be WILD")
+	}
+	if cellF(t, tab, withRtti, "wild%") != 0 {
+		t.Error("with RTTI no pointer should be WILD")
+	}
+	if cell(t, tab, withRtti, "bad-casts") != "0" {
+		t.Error("with RTTI there must be no bad casts")
+	}
+	if cellF(t, tab, noRtti, "cured-ratio") <= cellF(t, tab, withRtti, "cured-ratio") {
+		t.Error("the WILD configuration must be slower than the RTTI one")
+	}
+}
+
+func TestE6SplitShape(t *testing.T) {
+	tab := experiments.SplitOverhead(cfg)
+	em3d := findRow(t, tab, "olden-em3d")
+	treeadd := findRow(t, tab, "olden-treeadd")
+	ks := findRow(t, tab, "ptrdist-ks")
+	if cellF(t, tab, em3d, "overhead%") < 10 {
+		t.Error("em3d must be a split-overhead outlier")
+	}
+	for _, r := range []int{treeadd, ks} {
+		if cellF(t, tab, r, "overhead%") > 5 {
+			t.Errorf("%s: split overhead should be negligible, got %s",
+				tab.Rows[r][0], cell(t, tab, r, "overhead%"))
+		}
+	}
+}
+
+func TestE7BindShape(t *testing.T) {
+	tab := experiments.BindCasts(cfg)
+	noRtti := 0
+	withRtti := 1
+	if cellF(t, tab, noRtti, "wild%") == 0 {
+		t.Error("without RTTI bind must have WILD pointers")
+	}
+	if cell(t, tab, noRtti, "downcasts") != "0" {
+		t.Error("without RTTI there are no checked downcasts")
+	}
+	if cellF(t, tab, withRtti, "wild%") != 0 {
+		t.Error("with RTTI bind's WILD share must drop to zero")
+	}
+	if cell(t, tab, withRtti, "bad") != "0" {
+		t.Error("with RTTI all remaining casts must be recovered or trusted")
+	}
+}
+
+func TestE8SplitStats(t *testing.T) {
+	tab := experiments.SplitStats(cfg)
+	bind := findRow(t, tab, "bind")
+	sendmail := findRow(t, tab, "sendmail")
+	if cellF(t, tab, bind, "split%") == 0 {
+		t.Error("bind's boundary annotation must produce split pointers")
+	}
+	if cellF(t, tab, sendmail, "split%") != 0 {
+		t.Error("unannotated sendmail must have no split pointers")
+	}
+}
+
+func TestE9ExploitShape(t *testing.T) {
+	tab := experiments.Exploits(cfg)
+	benign := findRow(t, tab, "benign session")
+	exploit := findRow(t, tab, "exploit session (CWD overflow)")
+	if !strings.Contains(cell(t, tab, benign, "cured"), "completion") {
+		t.Error("benign session must complete when cured")
+	}
+	if !strings.Contains(cell(t, tab, exploit, "raw"), "completion") {
+		t.Error("exploit must run to completion raw (silent corruption)")
+	}
+	if !strings.Contains(cell(t, tab, exploit, "cured"), "TRAPPED") {
+		t.Error("exploit must trap when cured")
+	}
+}
+
+func TestTimingTablesShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing tables are slow")
+	}
+	micro := experiments.MicroSuite(cfg)
+	for i, r := range micro.Rows {
+		cured := cellF(t, micro, i, "cured")
+		purify := cellF(t, micro, i, "purify")
+		valgrind := cellF(t, micro, i, "valgrind")
+		if !(cured < purify && purify < valgrind) {
+			t.Errorf("%s: want cured < purify < valgrind, got %.2f %.1f %.1f",
+				r[0], cured, purify, valgrind)
+		}
+		if cured > 3.0 {
+			t.Errorf("%s: cured ratio %.2f implausibly high", r[0], cured)
+		}
+		if purify < 5 {
+			t.Errorf("%s: purify ratio %.1f implausibly low", r[0], purify)
+		}
+	}
+
+	fig9 := experiments.Fig9System(cfg)
+	for i, r := range fig9.Rows {
+		cured := cellF(t, fig9, i, "cured")
+		valgrind := cellF(t, fig9, i, "valgrind")
+		if cured >= valgrind {
+			t.Errorf("%s: cured (%.2f) must be far cheaper than valgrind (%.1f)",
+				r[0], cured, valgrind)
+		}
+		if cured > 2.5 {
+			t.Errorf("%s: cured ratio %.2f out of the published band", r[0], cured)
+		}
+	}
+
+	fig8 := experiments.Fig8Apache(cfg)
+	for i, r := range fig8.Rows {
+		cured := cellF(t, fig8, i, "cured-ratio")
+		if cured > 1.6 {
+			t.Errorf("%s: apache module ratio %.2f too high (I/O should dominate)", r[0], cured)
+		}
+		kinds := cell(t, fig8, i, "sf/sq/w/rt")
+		if !strings.HasSuffix(kinds, "/0/0") {
+			t.Errorf("%s: apache modules must have no WILD/RTTI pointers: %s", r[0], kinds)
+		}
+	}
+}

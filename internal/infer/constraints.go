@@ -1,0 +1,450 @@
+package infer
+
+import (
+	"gocured/internal/cil"
+	"gocured/internal/ctypes"
+	"gocured/internal/diag"
+	"gocured/internal/qual"
+)
+
+// collect walks the whole program, registering qualifier nodes for every
+// pointer occurrence and generating constraints.
+func (in *inferrer) collect() {
+	// Register all type occurrences reachable from declarations.
+	for _, g := range in.prog.Globals {
+		in.regType(g.Var.Type)
+		in.regType(g.Var.AddrType)
+		if g.Init != nil {
+			in.collectInit(g.Init, g.Var.Type)
+		}
+	}
+	for _, v := range in.prog.Externs {
+		in.regType(v.Type)
+		in.regType(v.AddrType)
+	}
+	for _, f := range in.prog.Funcs {
+		in.regType(f.Type)
+		for _, p := range f.Params {
+			in.regType(p.Type)
+			in.regType(p.AddrType)
+		}
+		for _, l := range f.Locals {
+			in.regType(l.Type)
+			in.regType(l.AddrType)
+		}
+	}
+	// Walk every function body.
+	for _, f := range in.prog.Funcs {
+		in.collectFunc(f)
+	}
+}
+
+// regType registers qualifier nodes for every pointer/array occurrence in
+// t's reachable type graph, records base-containment edges for WILD
+// spreading, and registers pointer base types in the RTTI hierarchy.
+func (in *inferrer) regType(t *ctypes.Type) {
+	if t == nil {
+		return
+	}
+	ctypes.Walk(t, func(u *ctypes.Type) {
+		if u.Kind != ctypes.Ptr && u.Kind != ctypes.Array {
+			return
+		}
+		n := in.g.NodeFor(u)
+		if u.Kind == ctypes.Ptr && u.Elem.Kind != ctypes.Func {
+			in.hier.Of(u.Elem)
+		}
+		// A decayed pointer is the same inference node as its array.
+		if u.DecayOf != nil {
+			in.g.Union(n, in.g.NodeFor(u.DecayOf))
+		}
+		// Base containment: pointer occurrences in the representation of
+		// the pointee (not through further pointers).
+		for _, b := range repPointers(u.Elem) {
+			in.g.AddBase(n, in.g.NodeFor(b))
+		}
+	})
+}
+
+// repPointers returns the pointer/array occurrences contained in the
+// in-memory representation of t (descending through structs and arrays but
+// not through pointers).
+func repPointers(t *ctypes.Type) []*ctypes.Type {
+	var out []*ctypes.Type
+	var rec func(u *ctypes.Type, depth int)
+	seen := map[*ctypes.StructInfo]bool{}
+	rec = func(u *ctypes.Type, depth int) {
+		if u == nil || depth > 64 {
+			return
+		}
+		switch u.Kind {
+		case ctypes.Ptr:
+			out = append(out, u)
+		case ctypes.Array:
+			out = append(out, u)
+			rec(u.Elem, depth+1)
+		case ctypes.Struct:
+			if !u.SU.Complete || seen[u.SU] {
+				return
+			}
+			seen[u.SU] = true
+			for _, f := range u.SU.Fields {
+				rec(f.Type, depth+1)
+			}
+		}
+	}
+	rec(t, 0)
+	return out
+}
+
+func (in *inferrer) collectInit(init *cil.Init, ty *ctypes.Type) {
+	switch {
+	case init == nil || init.Zero:
+	case init.IsList:
+		switch ty.Kind {
+		case ctypes.Array:
+			for _, e := range init.List {
+				in.collectInit(e, ty.Elem)
+			}
+		case ctypes.Struct:
+			for i, e := range init.List {
+				if i < len(ty.SU.Fields) {
+					in.collectInit(e, ty.SU.Fields[i].Type)
+				}
+			}
+		}
+	default:
+		in.collectExpr(init.Expr)
+		in.flow(init.Expr.Type(), ty, posOfExpr(init.Expr))
+	}
+}
+
+func posOfExpr(e cil.Expr) diag.Pos {
+	if c, ok := e.(*cil.Cast); ok {
+		return c.Pos
+	}
+	return diag.Pos{}
+}
+
+// collectFunc generates constraints from one function body.
+func (in *inferrer) collectFunc(f *cil.Func) {
+	retTy := f.Type.Fn.Ret
+	cil.WalkStmts(f.Body.Stmts, func(s cil.Stmt) {
+		switch st := s.(type) {
+		case *cil.SInstr:
+			switch i := st.Ins.(type) {
+			case *cil.Set:
+				in.collectLvalue(i.LV)
+				in.collectExpr(i.RHS)
+				in.flow(i.RHS.Type(), i.LV.Ty, i.Position())
+			case *cil.Call:
+				in.collectCall(i)
+			case *cil.Check:
+				cil.WalkExpr(i.Ptr, func(e cil.Expr) { in.collectExprShallow(e) })
+			}
+		case *cil.If:
+			in.collectExpr(st.Cond)
+		case *cil.Return:
+			if st.X != nil {
+				in.collectExpr(st.X)
+				in.flow(st.X.Type(), retTy, st.Pos)
+			}
+		case *cil.Switch:
+			in.collectExpr(st.X)
+		}
+	})
+}
+
+func (in *inferrer) collectCall(call *cil.Call) {
+	if call.Result != nil {
+		in.collectLvalue(call.Result)
+	}
+	in.collectExpr(call.Fn)
+	for _, a := range call.Args {
+		in.collectExpr(a)
+	}
+	// Determine the signature.
+	ft := call.Fn.Type()
+	if ft.IsPointer() {
+		ft = ft.Elem
+	}
+	if ft.Kind != ctypes.Func {
+		return
+	}
+	fn := ft.Fn
+	for i, a := range call.Args {
+		if i < len(fn.Params) {
+			in.flow(a.Type(), fn.Params[i], call.Position())
+		}
+	}
+	if call.Result != nil {
+		in.flow(fn.Ret, call.Result.Ty, call.Position())
+	}
+}
+
+// collectExpr registers nodes and generates constraints for e and all
+// subexpressions.
+func (in *inferrer) collectExpr(e cil.Expr) {
+	cil.WalkExpr(e, func(x cil.Expr) { in.collectExprShallow(x) })
+}
+
+// collectExprShallow handles a single expression node (subexpressions are
+// visited by the caller's walk).
+func (in *inferrer) collectExprShallow(x cil.Expr) {
+	switch v := x.(type) {
+	case *cil.StrConst:
+		in.regType(v.Ty)
+	case *cil.FnConst:
+		in.regType(v.Ty)
+	case *cil.AddrOf:
+		in.regType(v.Ty)
+		in.collectLvalueShallow(v.LV)
+	case *cil.Lval:
+		in.collectLvalueShallow(v.LV)
+	case *cil.Cast:
+		in.regType(v.To)
+		in.collectCast(v)
+	case *cil.BinOp:
+		switch v.Op {
+		case cil.OpAddPI, cil.OpSubPI:
+			in.regType(v.A.Type())
+			if n := in.g.Lookup(v.A.Type()); n != nil {
+				n.MarkArith()
+			}
+		case cil.OpSubPP:
+			for _, side := range []cil.Expr{v.A, v.B} {
+				in.regType(side.Type())
+				if n := in.g.Lookup(side.Type()); n != nil {
+					n.MarkArith()
+				}
+			}
+		}
+	}
+}
+
+func (in *inferrer) collectLvalue(lv *cil.Lvalue) {
+	if lv.Mem != nil {
+		in.collectExpr(lv.Mem)
+	}
+	for _, o := range lv.Offset {
+		if o.Index != nil {
+			in.collectExpr(o.Index)
+		}
+	}
+	in.collectLvalueShallow(lv)
+}
+
+// collectLvalueShallow registers arithmetic implied by non-constant array
+// indexing: a[i] is *(a+i) on the decayed pointer, so the array occurrence
+// gets the ARITH constraint (constant in-range indices are checked
+// statically and need no fat representation).
+func (in *inferrer) collectLvalueShallow(lv *cil.Lvalue) {
+	cur := lv.Ty
+	// Recompute the chain from the base to know the array occurrences.
+	if lv.Var != nil {
+		cur = lv.Var.Type
+		in.regType(cur)
+	} else {
+		cur = lv.Mem.Type().Elem
+	}
+	for _, o := range lv.Offset {
+		if o.Field != nil {
+			cur = o.Field.Type
+			continue
+		}
+		// Index step: cur is the array type.
+		if cur.Kind == ctypes.Array {
+			if !isConstInRange(o.Index, cur.Len) {
+				in.regType(cur)
+				if n := in.g.Lookup(cur); n != nil {
+					n.MarkArith()
+				}
+			}
+			cur = cur.Elem
+		} else if cur.Kind == ctypes.Ptr {
+			cur = cur.Elem
+		}
+	}
+}
+
+func isConstInRange(e cil.Expr, n int) bool {
+	c, ok := e.(*cil.Const)
+	return ok && c.I >= 0 && n >= 0 && c.I < int64(n)
+}
+
+// flow generates the constraint for an assignment of a value of type src to
+// a location of type dst (types are structurally equal after sema).
+func (in *inferrer) flow(src, dst *ctypes.Type, pos diag.Pos) {
+	if src == nil || dst == nil || src == dst {
+		return
+	}
+	switch {
+	case src.IsPointer() && dst.IsPointer():
+		in.regType(src)
+		in.regType(dst)
+		ns, nd := in.g.Lookup(src), in.g.Lookup(dst)
+		in.g.Flow(ns, nd)
+		in.edges = append(in.edges, &edge{src: ns, dst: nd, class: edgeAssign})
+		if ok, pairs := ctypes.PhysEqual(src.Elem, dst.Elem); ok {
+			in.unifyPairs(pairs)
+		}
+	case src.Kind == ctypes.Struct && dst.Kind == ctypes.Struct:
+		// Struct copy: contained pointers alias the same data.
+		if ok, pairs := ctypes.PhysEqual(src, dst); ok {
+			in.unifyPairs(pairs)
+		}
+	case src.Kind == ctypes.Array && dst.IsPointer():
+		// Decayed array flow.
+		in.regType(src)
+		in.regType(dst)
+		in.g.Flow(in.g.Lookup(src), in.g.Lookup(dst))
+		in.edges = append(in.edges, &edge{src: in.g.Lookup(src), dst: in.g.Lookup(dst), class: edgeAssign})
+	}
+}
+
+// unifyPairs unions the kinds of matched pointer occurrence pairs.
+func (in *inferrer) unifyPairs(pairs [][2]*ctypes.Type) {
+	for _, p := range pairs {
+		in.regType(p[0])
+		in.regType(p[1])
+		a, b := in.g.Lookup(p[0]), in.g.Lookup(p[1])
+		if a != nil && b != nil {
+			in.g.Union(a, b)
+		}
+	}
+}
+
+// isNullExpr reports whether e is the constant 0 (through casts).
+func isNullExpr(e cil.Expr) bool {
+	switch v := e.(type) {
+	case *cil.Const:
+		return v.I == 0
+	case *cil.Cast:
+		return isNullExpr(v.X)
+	}
+	return false
+}
+
+// collectCast classifies a cast site and generates its constraints. This is
+// the heart of §3: identity and upcasts are statically safe (physical
+// subtyping), downcasts require RTTI, tile-compatible casts require SEQ,
+// and everything else is bad (WILD) unless trusted.
+func (in *inferrer) collectCast(c *cil.Cast) {
+	from, to := c.X.Type(), c.To
+	site := &CastSite{Pos: c.Pos, From: from, To: to, Trusted: c.Trusted}
+	in.casts = append(in.casts, site)
+	in.castOf[c] = site
+
+	switch {
+	case !from.IsPointer() && !to.IsPointer():
+		site.Class = CastNonPtr
+		return
+	case !from.IsPointer() && to.IsPointer():
+		in.regType(to)
+		if isNullExpr(c.X) {
+			site.Class = CastNull
+			return
+		}
+		site.Class = CastIntToPtr
+		// A disguised integer can only live in a SEQ or WILD pointer
+		// (its base field is null; it can never be dereferenced).
+		in.g.Lookup(to).MarkIntCast()
+		return
+	case from.IsPointer() && !to.IsPointer():
+		in.regType(from)
+		site.Class = CastPtrToInt
+		return
+	}
+
+	// Pointer-to-pointer.
+	in.regType(from)
+	in.regType(to)
+	nf, nt := in.g.Lookup(from), in.g.Lookup(to)
+
+	if c.Trusted {
+		site.Class = CastFromPtrTrusted
+		return
+	}
+
+	if in.allocRets[from] {
+		// Fresh allocator result adopting its use type: no compatibility
+		// constraint, but the data flow remains (the allocator's result
+		// node must carry bounds when its uses need them).
+		site.Class = CastAlloc
+		in.g.Flow(nf, nt)
+		in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeAssign, site: site})
+		return
+	}
+
+	if ok, pairs := ctypes.PhysEqual(from.Elem, to.Elem); ok {
+		site.Class = CastIdentity
+		in.unifyPairs(pairs)
+		in.g.Flow(nf, nt)
+		in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeAssign, site: site})
+		return
+	}
+
+	if !in.opts.NoPhysicalSubtyping {
+		if ok, pairs := ctypes.Prefix(from.Elem, to.Elem); ok {
+			// Upcast: from.Elem <= to.Elem.
+			site.Class = CastUpcast
+			site.TileOK, _ = ctypes.Tile(from.Elem, to.Elem)
+			if to.Elem.IsVoid() {
+				// A SEQ void* keeps byte-granular bounds and cannot be
+				// dereferenced, so the tiling requirement is vacuous.
+				site.TileOK = true
+			}
+			in.unifyPairs(pairs)
+			in.g.Flow(nf, nt)
+			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeUpcast, site: site})
+			return
+		}
+		if ok, pairs := ctypes.Prefix(to.Elem, from.Elem); ok {
+			// Downcast: to.Elem <= from.Elem.
+			if in.opts.NoRTTI {
+				if in.opts.TrustBadCasts {
+					site.Class = CastFromPtrTrusted
+					site.Trusted = true
+					return
+				}
+				site.Class = CastBad
+				in.markBadCast(nf, nt, c.Pos)
+				return
+			}
+			site.Class = CastDowncast
+			in.unifyPairs(pairs)
+			nf.MarkRtti()
+			in.g.Flow(nf, nt)
+			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeDowncast, site: site})
+			return
+		}
+		if ok, pairs := ctypes.Tile(from.Elem, to.Elem); ok {
+			// Same tiling: valid between SEQ pointers (§3.1).
+			site.Class = CastSeqTile
+			in.unifyPairs(pairs)
+			nf.MarkArith()
+			nt.MarkArith()
+			in.g.Flow(nf, nt)
+			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeTile, site: site})
+			return
+		}
+	}
+
+	if in.opts.TrustBadCasts {
+		// The bind experiment: trade soundness for efficient kinds; a
+		// security review starts at these casts.
+		site.Class = CastFromPtrTrusted
+		site.Trusted = true
+		return
+	}
+	site.Class = CastBad
+	in.markBadCast(nf, nt, c.Pos)
+}
+
+func (in *inferrer) markBadCast(a, b *qual.Node, pos diag.Pos) {
+	a.MarkBad(pos, "bad cast")
+	b.MarkBad(pos, "bad cast")
+	// Bad casts tie the two pointers into the untyped universe together.
+	in.g.Flow(a, b)
+	in.edges = append(in.edges, &edge{src: a, dst: b, class: edgeAssign})
+}

@@ -1,0 +1,485 @@
+package infer
+
+import (
+	"testing"
+
+	"gocured/internal/cil"
+	"gocured/internal/cparse"
+	"gocured/internal/diag"
+	"gocured/internal/qual"
+	"gocured/internal/sema"
+)
+
+// pipe runs parse -> check -> lower -> infer.
+func pipe(t *testing.T, src string, opts Options) (*cil.Program, *Result) {
+	t.Helper()
+	var d diag.List
+	file := cparse.Parse("test.c", src, &d)
+	unit := sema.Check(file, &d)
+	prog := cil.Lower(unit, &d)
+	if d.HasErrors() {
+		t.Fatalf("frontend errors:\n%v", d.Err())
+	}
+	res := Infer(prog, opts, &d)
+	if d.HasErrors() {
+		t.Fatalf("inference errors:\n%v", d.Err())
+	}
+	return prog, res
+}
+
+// kindOfGlobal returns the solved kind of a global pointer variable.
+func kindOfGlobal(prog *cil.Program, res *Result, name string) qual.Kind {
+	for _, g := range prog.Globals {
+		if g.Var.Name == name {
+			return res.Graph.KindOf(g.Var.Type)
+		}
+	}
+	return qual.Unknown
+}
+
+func TestInferAllSafe(t *testing.T) {
+	prog, res := pipe(t, `
+int *p;
+int x;
+void f(void) { p = &x; *p = 3; }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "p"); k != qual.Safe {
+		t.Errorf("p inferred %s, want SAFE", k)
+	}
+}
+
+func TestInferArithMakesSeq(t *testing.T) {
+	prog, res := pipe(t, `
+int buf[10];
+int *p;
+void f(void) { p = buf; p = p + 1; *p = 2; }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "p"); k != qual.Seq {
+		t.Errorf("p inferred %s, want SEQ", k)
+	}
+}
+
+func TestInferSeqPropagatesBackwards(t *testing.T) {
+	// q gets arithmetic; p flows into q, so p must carry bounds too.
+	prog, res := pipe(t, `
+int buf[10];
+int *p;
+int *q;
+void f(void) { p = buf; q = p; q = q + 1; }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "q"); k != qual.Seq {
+		t.Errorf("q inferred %s, want SEQ", k)
+	}
+	if k := kindOfGlobal(prog, res, "p"); k != qual.Seq {
+		t.Errorf("p inferred %s, want SEQ (bounds originate at the source)", k)
+	}
+}
+
+func TestInferSeqToSafeAllowed(t *testing.T) {
+	// buf's decayed pointer is SEQ (arithmetic); storing buf+1 into p uses
+	// the checked SEQ->SAFE conversion, so p and s stay SAFE — the optimal
+	// solution.
+	prog, res := pipe(t, `
+int buf[10];
+int *p;
+int *s;
+void f(void) { p = buf + 1; s = p; *s = 1; }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "p"); k != qual.Safe {
+		t.Errorf("p inferred %s, want SAFE (checked SEQ->SAFE conversion)", k)
+	}
+	if k := kindOfGlobal(prog, res, "s"); k != qual.Safe {
+		t.Errorf("s inferred %s, want SAFE", k)
+	}
+	if s := res.ComputeStats(); s.Seq == 0 {
+		t.Error("expected the array's decayed pointer to be SEQ")
+	}
+}
+
+func TestInferBadCastMakesWild(t *testing.T) {
+	prog, res := pipe(t, `
+struct A { int x; };
+struct B { float f; };
+struct A *pa;
+struct B *pb;
+void f(void) { pb = (struct B*)pa; }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "pa"); k != qual.Wild {
+		t.Errorf("pa inferred %s, want WILD", k)
+	}
+	if k := kindOfGlobal(prog, res, "pb"); k != qual.Wild {
+		t.Errorf("pb inferred %s, want WILD", k)
+	}
+	s := res.ComputeStats()
+	if s.Bad != 1 {
+		t.Errorf("bad casts = %d, want 1", s.Bad)
+	}
+}
+
+func TestInferWildSpreadsToBaseAndAliases(t *testing.T) {
+	// pp points to p; if pp is WILD, p must be WILD too (the referent of a
+	// wild pointer is dynamically typed).
+	prog, res := pipe(t, `
+struct A { int x; };
+struct B { float f; };
+int **pp;
+int *p;
+struct B *bad;
+void f(void) {
+    pp = &p;
+    bad = (struct B*)(struct A*)pp;
+}
+`, Options{})
+	if k := kindOfGlobal(prog, res, "pp"); k != qual.Wild {
+		t.Errorf("pp inferred %s, want WILD", k)
+	}
+	if k := kindOfGlobal(prog, res, "p"); k != qual.Wild {
+		t.Errorf("p inferred %s, want WILD (base of a WILD pointer)", k)
+	}
+}
+
+const figureCircleSrc = `
+struct Figure { double (*area)(struct Figure *obj); };
+struct Circle { double (*area)(struct Figure *obj); int radius; };
+
+struct Circle *c;
+struct Figure *f;
+
+double circle_area(struct Figure *obj) {
+    struct Circle *cir = (struct Circle*)obj;   /* downcast */
+    return 3.14 * cir->radius * cir->radius;
+}
+
+void setup(void) {
+    f = (struct Figure*)c;                       /* upcast */
+    c->area = circle_area;
+}
+
+double dispatch(void) {
+    return f->area(f);
+}
+`
+
+func TestInferFigureCircle(t *testing.T) {
+	prog, res := pipe(t, figureCircleSrc, Options{})
+	s := res.ComputeStats()
+	if s.Bad != 0 {
+		t.Fatalf("bad casts = %d, want 0 (upcast+downcast are verified)", s.Bad)
+	}
+	if s.Upcasts < 1 || s.Downcasts < 1 {
+		t.Errorf("upcasts=%d downcasts=%d, want >=1 each", s.Upcasts, s.Downcasts)
+	}
+	if s.Wild != 0 {
+		t.Errorf("WILD pointers = %d, want 0", s.Wild)
+	}
+	// The downcast's source (obj, a Figure*) must be RTTI; the upcast
+	// target f (Figure*) must be RTTI too via backward propagation (its
+	// static type has subtypes). c (Circle*) has no subtypes: stays SAFE.
+	if k := kindOfGlobal(prog, res, "c"); k != qual.Safe {
+		t.Errorf("c inferred %s, want SAFE (Circle has no subtypes)", k)
+	}
+	if k := kindOfGlobal(prog, res, "f"); k != qual.Rtti {
+		t.Errorf("f inferred %s, want RTTI", k)
+	}
+	if s.Rtti == 0 {
+		t.Error("expected at least one RTTI pointer")
+	}
+}
+
+func TestInferFigureCircleWithoutRTTI(t *testing.T) {
+	// With RTTI disabled (original CCured), the downcast is bad and WILD
+	// spreads — this is the ijpeg ablation of §5.
+	_, res := pipe(t, figureCircleSrc, Options{NoRTTI: true})
+	s := res.ComputeStats()
+	if s.Bad == 0 {
+		t.Error("expected bad casts with RTTI disabled")
+	}
+	if s.Wild == 0 {
+		t.Error("expected WILD pointers with RTTI disabled")
+	}
+}
+
+func TestInferVoidStarChain(t *testing.T) {
+	// The paper's q1 -> q2 -> q3 -> q4 example:
+	// Circle* -> Figure* -> void* -> Circle*.
+	prog, res := pipe(t, `
+struct Figure { double (*area)(struct Figure *obj); };
+struct Circle { double (*area)(struct Figure *obj); int radius; };
+struct Circle *q1;
+struct Figure *q2;
+void *q3;
+struct Circle *q4;
+void f(void) {
+    q2 = (struct Figure*)q1;
+    q3 = (void*)q2;
+    q4 = (struct Circle*)q3;
+}
+`, Options{})
+	if k := kindOfGlobal(prog, res, "q3"); k != qual.Rtti {
+		t.Errorf("q3 inferred %s, want RTTI (downcast source)", k)
+	}
+	if k := kindOfGlobal(prog, res, "q2"); k != qual.Rtti {
+		t.Errorf("q2 inferred %s, want RTTI (backward propagation)", k)
+	}
+	if k := kindOfGlobal(prog, res, "q1"); k != qual.Safe {
+		t.Errorf("q1 inferred %s, want SAFE (Circle has no subtypes)", k)
+	}
+	if k := kindOfGlobal(prog, res, "q4"); k != qual.Safe {
+		t.Errorf("q4 inferred %s, want SAFE (unconstrained)", k)
+	}
+}
+
+func TestInferSeqUpcastTilingFails(t *testing.T) {
+	// Arithmetic on the upcast target makes both SEQ; Circle/Figure do not
+	// tile, so the cast is demoted to WILD (the soundness example of §3.1).
+	prog, res := pipe(t, `
+struct Figure { double (*area)(struct Figure *obj); };
+struct Circle { double (*area)(struct Figure *obj); int radius; };
+struct Circle *cs;
+struct Figure *fs;
+void f(void) {
+    fs = (struct Figure*)cs;
+    fs = fs + 1;
+}
+`, Options{})
+	if k := kindOfGlobal(prog, res, "fs"); k != qual.Wild {
+		t.Errorf("fs inferred %s, want WILD (SEQ upcast without tiling)", k)
+	}
+	if k := kindOfGlobal(prog, res, "cs"); k != qual.Wild {
+		t.Errorf("cs inferred %s, want WILD", k)
+	}
+}
+
+func TestInferSeqTileCast(t *testing.T) {
+	// Reshaping an int matrix: tiles, so both sides are SEQ, no WILD.
+	prog, res := pipe(t, `
+int matrix[3][4];
+int *flat;
+void f(void) {
+    flat = (int*)matrix;
+    flat = flat + 5;
+    *flat = 7;
+}
+`, Options{})
+	if k := kindOfGlobal(prog, res, "flat"); k != qual.Seq {
+		t.Errorf("flat inferred %s, want SEQ", k)
+	}
+	s := res.ComputeStats()
+	if s.Wild != 0 {
+		t.Errorf("WILD pointers = %d, want 0", s.Wild)
+	}
+}
+
+func TestInferIntToPtrDisguise(t *testing.T) {
+	prog, res := pipe(t, `
+int *p;
+void f(int handle) { p = (int*)handle; }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "p"); k != qual.Seq {
+		t.Errorf("p inferred %s, want SEQ (disguised integer: null base)", k)
+	}
+}
+
+func TestInferNullCastStaysSafe(t *testing.T) {
+	prog, res := pipe(t, `
+int *p;
+void f(void) { p = 0; if (p != 0) *p = 1; }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "p"); k != qual.Safe {
+		t.Errorf("p inferred %s, want SAFE (0 is the null constant)", k)
+	}
+}
+
+func TestInferTrustedCastNoWild(t *testing.T) {
+	prog, res := pipe(t, `
+struct Obj { int tag; float v; };
+char pool[1024];
+struct Obj *alloc(void) {
+    return __trusted_cast(struct Obj *, pool);
+}
+`, Options{})
+	s := res.ComputeStats()
+	if s.Trusted != 1 {
+		t.Errorf("trusted casts = %d, want 1", s.Trusted)
+	}
+	if s.Wild != 0 {
+		t.Errorf("WILD pointers = %d, want 0 (cast was trusted)", s.Wild)
+	}
+	_ = prog
+}
+
+func TestInferTrustBadCastsOption(t *testing.T) {
+	// The bind experiment: remaining bad casts are trusted instead of WILD.
+	_, res := pipe(t, `
+struct A { int x; };
+struct B { float f; };
+struct A *pa;
+struct B *pb;
+void f(void) { pb = (struct B*)pa; }
+`, Options{TrustBadCasts: true})
+	s := res.ComputeStats()
+	if s.Bad != 0 || s.Trusted != 1 {
+		t.Errorf("bad=%d trusted=%d, want 0/1", s.Bad, s.Trusted)
+	}
+	if s.Wild != 0 {
+		t.Errorf("WILD = %d, want 0", s.Wild)
+	}
+}
+
+func TestInferAnnotationsRespected(t *testing.T) {
+	prog, res := pipe(t, `
+int * __WILD w;
+int * __SEQ q;
+void f(void) { }
+`, Options{})
+	if k := kindOfGlobal(prog, res, "w"); k != qual.Wild {
+		t.Errorf("w inferred %s, want WILD (annotation)", k)
+	}
+	if k := kindOfGlobal(prog, res, "q"); k != qual.Seq {
+		t.Errorf("q inferred %s, want SEQ (annotation)", k)
+	}
+}
+
+func TestInferFunctionPointerDispatch(t *testing.T) {
+	// Function pointers with equal signatures unify without WILD.
+	prog, res := pipe(t, `
+int add1(int x) { return x + 1; }
+int mul2(int x) { return x * 2; }
+int (*op)(int);
+int apply(int v) { return op(v); }
+void pick(int which) { op = which ? add1 : mul2; }
+`, Options{})
+	s := res.ComputeStats()
+	if s.Wild != 0 {
+		t.Errorf("WILD = %d, want 0", s.Wild)
+	}
+	if k := kindOfGlobal(prog, res, "op"); k != qual.Safe {
+		t.Errorf("op inferred %s, want SAFE", k)
+	}
+}
+
+func TestInferStringLiteralSeq(t *testing.T) {
+	prog, res := pipe(t, `
+char *scan(char *s) {
+    while (*s) s = s + 1;
+    return s;
+}
+char *use(void) { return scan("hello"); }
+`, Options{})
+	_ = prog
+	s := res.ComputeStats()
+	if s.Wild != 0 {
+		t.Errorf("WILD = %d, want 0", s.Wild)
+	}
+	if s.Seq == 0 {
+		t.Error("expected SEQ pointers from string traversal")
+	}
+}
+
+func TestInferSplitAnnotationsSpread(t *testing.T) {
+	prog, res := pipe(t, `
+struct hostent { char *h_name; char **h_aliases; int h_addrtype; };
+struct hostent __SPLIT * __SAFE h1;
+struct hostent * h2;
+char **a;
+void f(void) {
+    a = h1->h_aliases;
+    h2 = h1;
+}
+`, Options{})
+	// h1's annotation spreads down to its base type and through the
+	// assignments to a and h2.
+	var h1, h2 *cil.Global
+	for _, g := range prog.Globals {
+		switch g.Var.Name {
+		case "h1":
+			h1 = g
+		case "h2":
+			h2 = g
+		}
+	}
+	if !res.Split.IsSplit(h1.Var.Type.Elem) {
+		t.Error("h1's base type must be SPLIT")
+	}
+	if !res.Split.IsSplit(h2.Var.Type.Elem) {
+		t.Error("SPLIT must spread to h2's base type through the assignment")
+	}
+	if res.Split.Stats.SplitPtrs == 0 {
+		t.Error("expected some split pointers")
+	}
+}
+
+func TestInferStatsCastShares(t *testing.T) {
+	// A mixed program: most casts identical/upcasts, one downcast.
+	_, res := pipe(t, figureCircleSrc, Options{})
+	s := res.ComputeStats()
+	if s.Casts == 0 {
+		t.Fatal("no casts recorded")
+	}
+	if got := s.Identity + s.Upcasts + s.Downcasts + s.SeqCasts + s.Bad + s.Trusted; got != s.Casts {
+		t.Errorf("cast classes sum %d != total %d", got, s.Casts)
+	}
+}
+
+func TestKindStringAndOrder(t *testing.T) {
+	if qual.Safe.String() != "SAFE" || qual.Wild.String() != "WILD" {
+		t.Error("kind names wrong")
+	}
+	if !(qual.Safe < qual.Rtti && qual.Rtti < qual.Seq && qual.Seq < qual.Wild) {
+		t.Error("kind escalation order broken")
+	}
+}
+
+func TestInferHeapVoidDowncast(t *testing.T) {
+	// malloc-style: the cast of the fresh result is allocator typing, not
+	// a downcast — no RTTI, no WILD (CCured types allocators
+	// polymorphically).
+	prog, res := pipe(t, `
+extern void *malloc(unsigned int n);
+struct Node { int v; struct Node *next; };
+struct Node *mk(void) {
+    return (struct Node*)malloc(sizeof(struct Node));
+}
+`, Options{})
+	_ = prog
+	s := res.ComputeStats()
+	if s.Wild != 0 {
+		t.Errorf("WILD = %d, want 0", s.Wild)
+	}
+	if s.Downcasts != 0 {
+		t.Errorf("downcasts = %d, want 0 (allocator cast)", s.Downcasts)
+	}
+	found := false
+	for _, c := range res.Casts {
+		if c.Class == CastAlloc {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a CastAlloc site")
+	}
+}
+
+func TestInferVoidPtrVariableDowncast(t *testing.T) {
+	// Once the fresh result lands in a named void* variable, later casts
+	// are genuine downcasts handled by RTTI.
+	prog, res := pipe(t, `
+extern void *malloc(unsigned int n);
+struct Node { int v; struct Node *next; };
+void *cache;
+struct Node *get(void) {
+    if (!cache) cache = malloc(sizeof(struct Node));
+    return (struct Node*)cache;
+}
+`, Options{})
+	s := res.ComputeStats()
+	if s.Wild != 0 {
+		t.Errorf("WILD = %d, want 0", s.Wild)
+	}
+	if s.Downcasts != 1 {
+		t.Errorf("downcasts = %d, want 1", s.Downcasts)
+	}
+	if k := kindOfGlobal(prog, res, "cache"); k != qual.Rtti {
+		t.Errorf("cache inferred %s, want RTTI", k)
+	}
+}

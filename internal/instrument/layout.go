@@ -1,0 +1,177 @@
+// Package instrument implements CCured's curing transformation: it computes
+// the kind-aware memory layout (fat pointers per Figure 1, compatible split
+// layout per Figures 6-7) and inserts the run-time checks of Appendix A as
+// explicit IR instructions. The instrumented program together with its
+// layout oracle is executed by internal/interp.
+package instrument
+
+import (
+	"gocured/internal/ctypes"
+	"gocured/internal/infer"
+	"gocured/internal/qual"
+)
+
+// Pointer representation sizes (Figure 1 and §3.2), in bytes:
+//
+//	SAFE  {p}        1 word
+//	RTTI  {p,t}      2 words
+//	WILD  {p,b}      2 words
+//	SEQ   {p,b,e}    3 words
+//
+// SPLIT occurrences use the C representation (1 word) with metadata held in
+// the parallel shadow structure.
+func repWords(k qual.Kind) int {
+	switch k {
+	case qual.Seq:
+		return 3
+	case qual.Wild, qual.Rtti:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Layout is the kind-aware layout oracle for a cured program.
+type Layout struct {
+	res *infer.Result
+	// structs caches cured (non-split) struct layouts.
+	structs map[*ctypes.StructInfo]*suLayout
+}
+
+type suLayout struct {
+	size, align int
+	offsets     map[*ctypes.Field]int
+}
+
+func newLayout(res *infer.Result) *Layout {
+	return &Layout{res: res, structs: make(map[*ctypes.StructInfo]*suLayout)}
+}
+
+// KindOf returns the inferred kind of a pointer occurrence.
+func (l *Layout) KindOf(t *ctypes.Type) qual.Kind { return l.res.Graph.KindOf(t) }
+
+// IsSplit reports whether the occurrence uses the compatible representation.
+func (l *Layout) IsSplit(t *ctypes.Type) bool {
+	return l.res.Split != nil && l.res.Split.IsSplit(t)
+}
+
+// PtrSize returns the in-memory size of a pointer occurrence.
+func (l *Layout) PtrSize(t *ctypes.Type) int {
+	if l.IsSplit(t) {
+		return ctypes.Word
+	}
+	return repWords(l.KindOf(t)) * ctypes.Word
+}
+
+// Sizeof returns the cured size of an occurrence.
+func (l *Layout) Sizeof(t *ctypes.Type) int {
+	switch t.Kind {
+	case ctypes.Ptr:
+		return l.PtrSize(t)
+	case ctypes.Array:
+		if t.Len < 0 {
+			return 0
+		}
+		return t.Len * l.Sizeof(t.Elem)
+	case ctypes.Struct:
+		if l.IsSplit(t) {
+			return ctypes.Sizeof(t)
+		}
+		return l.suLayoutOf(t.SU).size
+	default:
+		return ctypes.Sizeof(t)
+	}
+}
+
+// Alignof returns the cured alignment of an occurrence.
+func (l *Layout) Alignof(t *ctypes.Type) int {
+	switch t.Kind {
+	case ctypes.Ptr:
+		return ctypes.Word
+	case ctypes.Array:
+		return l.Alignof(t.Elem)
+	case ctypes.Struct:
+		if l.IsSplit(t) {
+			return ctypes.Alignof(t)
+		}
+		return l.suLayoutOf(t.SU).align
+	default:
+		return ctypes.Alignof(t)
+	}
+}
+
+// FieldOff returns the cured byte offset of a field. Split structs keep the
+// C layout; split inference guarantees every field of a split struct is
+// itself split, so the two layouts agree there.
+func (l *Layout) FieldOff(f *ctypes.Field) int {
+	if f.Parent == nil {
+		return f.Offset
+	}
+	if l.IsSplit(f.Type) {
+		return f.Offset
+	}
+	return l.suLayoutOf(f.Parent).offsets[f]
+}
+
+func align(off, a int) int {
+	if a <= 1 {
+		return off
+	}
+	return (off + a - 1) / a * a
+}
+
+func (l *Layout) suLayoutOf(su *ctypes.StructInfo) *suLayout {
+	if s, ok := l.structs[su]; ok {
+		return s
+	}
+	s := &suLayout{align: 1, offsets: make(map[*ctypes.Field]int)}
+	l.structs[su] = s // memoize first (recursive structs via pointers)
+	if su.Union {
+		for _, f := range su.Fields {
+			s.offsets[f] = 0
+			if a := l.Alignof(f.Type); a > s.align {
+				s.align = a
+			}
+			if sz := l.Sizeof(f.Type); sz > s.size {
+				s.size = sz
+			}
+		}
+	} else {
+		off := 0
+		for _, f := range su.Fields {
+			a := l.Alignof(f.Type)
+			if a > s.align {
+				s.align = a
+			}
+			off = align(off, a)
+			s.offsets[f] = off
+			off += l.Sizeof(f.Type)
+		}
+		s.size = off
+	}
+	s.size = align(s.size, s.align)
+	return s
+}
+
+// RawLayout is the uncured layout oracle: C layout, every pointer thin and
+// effectively SAFE-shaped (no metadata). Used by the baseline, Purify, and
+// Valgrind execution policies.
+type RawLayout struct{}
+
+// KindOf always reports Safe: raw pointers have no kinds.
+func (RawLayout) KindOf(*ctypes.Type) qual.Kind { return qual.Safe }
+
+// IsSplit always reports false.
+func (RawLayout) IsSplit(*ctypes.Type) bool { return false }
+
+// Sizeof returns the C size.
+func (RawLayout) Sizeof(t *ctypes.Type) int { return ctypes.Sizeof(t) }
+
+// Alignof returns the C alignment.
+func (RawLayout) Alignof(t *ctypes.Type) int { return ctypes.Alignof(t) }
+
+// FieldOff returns the C field offset.
+func (RawLayout) FieldOff(f *ctypes.Field) int { return f.Offset }
+
+// PtrSize returns the thin pointer size.
+func (RawLayout) PtrSize(*ctypes.Type) int { return ctypes.Word }

@@ -1,0 +1,190 @@
+package instrument
+
+import (
+	"fmt"
+
+	"gocured/internal/cil"
+)
+
+// Redundant-check elimination. The paper notes that, unlike binary
+// instrumentors, CCured can use static information to remove checks; this
+// pass removes a check when an identical check is already established on
+// the same straight-line path and nothing that could change its outcome has
+// intervened.
+//
+// The analysis is local and conservative:
+//
+//   - facts are keyed by (check kind, pointer expression, size, target);
+//   - a Set to a variable kills facts that mention that variable;
+//   - a store through memory kills facts that read memory or mention
+//     address-taken variables (potential aliases);
+//   - a call kills the same set (a callee cannot touch the caller's
+//     non-address-taken locals);
+//   - entering or leaving nested control flow clears all facts.
+
+// factDeps describes what a check's operands depend on.
+type factDeps struct {
+	vars     map[*cil.Var]bool
+	memRead  bool
+	addrVars bool // references an address-taken variable
+}
+
+func depsOf(c *cil.Check) factDeps {
+	d := factDeps{vars: make(map[*cil.Var]bool)}
+	scan := func(e cil.Expr) {
+		cil.WalkExpr(e, func(x cil.Expr) {
+			switch v := x.(type) {
+			case *cil.Lval:
+				if v.LV.Var != nil {
+					d.vars[v.LV.Var] = true
+					if v.LV.Var.AddrTaken || v.LV.Var.Global {
+						d.addrVars = true
+					}
+					if len(v.LV.Offset) > 0 {
+						// reading through offsets touches memory
+						d.memRead = true
+					}
+				} else {
+					d.memRead = true
+				}
+			case *cil.AddrOf:
+				if v.LV.Mem != nil {
+					d.memRead = true
+				}
+			}
+		})
+	}
+	scan(c.Ptr)
+	if c.DstLV != nil {
+		cil.WalkLvalue(c.DstLV, func(e cil.Expr) { scan(e) })
+		if c.DstLV.Var != nil {
+			d.vars[c.DstLV.Var] = true
+		} else {
+			d.memRead = true
+		}
+	}
+	return d
+}
+
+func factKey(c *cil.Check) string {
+	key := fmt.Sprintf("%d|%s|%d", c.Kind, cil.ExprString(c.Ptr), c.Size)
+	if c.RttiTarget != nil {
+		key += "|" + c.RttiTarget.String()
+	}
+	if c.DstLV != nil {
+		key += "|dst:" + cil.LvalString(c.DstLV)
+	}
+	return key
+}
+
+type factSet struct {
+	facts map[string]factDeps
+}
+
+func newFactSet() *factSet { return &factSet{facts: make(map[string]factDeps)} }
+
+func (fs *factSet) clear() {
+	for k := range fs.facts {
+		delete(fs.facts, k)
+	}
+}
+
+// killVar removes facts that depend on v.
+func (fs *factSet) killVar(v *cil.Var) {
+	for k, d := range fs.facts {
+		if d.vars[v] {
+			delete(fs.facts, k)
+		}
+	}
+}
+
+// killMem removes facts that could be invalidated by a memory write or a
+// call: anything reading memory or referencing address-taken variables.
+func (fs *factSet) killMem() {
+	for k, d := range fs.facts {
+		if d.memRead || d.addrVars {
+			delete(fs.facts, k)
+		}
+	}
+}
+
+// Optimize removes redundant checks from every function of prog and returns
+// the number of checks eliminated.
+func Optimize(prog *cil.Program) int {
+	removed := 0
+	for _, f := range prog.Funcs {
+		removed += optimizeBlock(f.Body)
+	}
+	return removed
+}
+
+func optimizeBlock(b *cil.Block) int {
+	removed := 0
+	fs := newFactSet()
+	var out []cil.Stmt
+	for _, s := range b.Stmts {
+		si, isInstr := s.(*cil.SInstr)
+		if !isInstr {
+			// Nested control flow: optimize inside with a fresh state and
+			// assume nothing afterwards.
+			switch st := s.(type) {
+			case *cil.Block:
+				removed += optimizeBlock(st)
+			case *cil.If:
+				removed += optimizeBlock(st.Then)
+				if st.Else != nil {
+					removed += optimizeBlock(st.Else)
+				}
+			case *cil.Loop:
+				removed += optimizeBlock(st.Body)
+				if st.Post != nil {
+					removed += optimizeBlock(st.Post)
+				}
+			case *cil.Switch:
+				for _, c := range st.Cases {
+					inner := &cil.Block{Stmts: c.Body}
+					removed += optimizeBlock(inner)
+					c.Body = inner.Stmts
+				}
+			}
+			fs.clear()
+			out = append(out, s)
+			continue
+		}
+		switch in := si.Ins.(type) {
+		case *cil.Check:
+			key := factKey(in)
+			if _, known := fs.facts[key]; known {
+				removed++
+				continue // drop the redundant check
+			}
+			fs.facts[key] = depsOf(in)
+			out = append(out, s)
+		case *cil.Set:
+			if in.LV.Var != nil && len(in.LV.Offset) == 0 {
+				fs.killVar(in.LV.Var)
+			} else {
+				fs.killMem()
+				if in.LV.Var != nil {
+					fs.killVar(in.LV.Var)
+				}
+			}
+			out = append(out, s)
+		case *cil.Call:
+			fs.killMem()
+			if in.Result != nil {
+				if in.Result.Var != nil && len(in.Result.Offset) == 0 {
+					fs.killVar(in.Result.Var)
+				} else {
+					fs.killMem()
+				}
+			}
+			out = append(out, s)
+		default:
+			fs.clear()
+			out = append(out, s)
+		}
+	}
+	b.Stmts = out
+	return removed
+}

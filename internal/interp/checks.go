@@ -1,0 +1,190 @@
+package interp
+
+import (
+	"gocured/internal/cil"
+	"gocured/internal/ctypes"
+)
+
+// execCheck executes one CCured run-time check (Appendix A). The pointer
+// operand is re-evaluated; IR expressions are pure, so this mirrors the
+// repeated metadata reads of the generated code.
+// checkCost weighs each check kind in simulated cycles: SAFE null checks
+// are one compare; SEQ bounds are two; WILD pays the header read, the area
+// lookup and tag work; RTTI walks the subtype relation.
+var checkCost = map[cil.CheckKind]uint64{
+	cil.CheckNull:        1,
+	cil.CheckSeq:         2,
+	cil.CheckSeqArith:    0,
+	cil.CheckWild:        6,
+	cil.CheckWildRead:    3,
+	cil.CheckWildWrite:   3,
+	cil.CheckRtti:        3,
+	cil.CheckStackEscape: 2,
+	cil.CheckSeqToSafe:   2,
+	cil.CheckNotStackPtr: 1,
+	cil.CheckVerifyNul:   1,
+	cil.CheckIndex:       1,
+}
+
+func (m *Machine) execCheck(fr *frame, c *cil.Check) {
+	m.cnt.Checks++
+	m.cnt.ChecksByKind[c.Kind]++
+	m.addCost(checkCost[c.Kind])
+	switch c.Kind {
+	case cil.CheckNull:
+		v := m.evalExpr(fr, c.Ptr)
+		if v.P == 0 {
+			m.trapf("null", "null pointer dereference")
+		}
+
+	case cil.CheckSeq:
+		v := m.evalExpr(fr, c.Ptr)
+		if v.P == 0 {
+			m.trapf("null", "null SEQ pointer dereference")
+		}
+		if v.B == 0 {
+			m.trapf("int-deref", "dereference of an integer disguised as a pointer")
+		}
+		if v.P < v.B || v.P+uint32(c.Size) > v.E {
+			m.trapf("bounds", "SEQ access out of bounds: p=0x%x not in [0x%x, 0x%x-%d]",
+				v.P, v.B, v.E, c.Size)
+		}
+
+	case cil.CheckSeqToSafe:
+		v := m.evalExpr(fr, c.Ptr)
+		if v.P == 0 {
+			return // null converts freely
+		}
+		if v.B == 0 {
+			m.trapf("int-deref", "conversion of a disguised integer to a SAFE pointer")
+		}
+		if v.P < v.B || v.P+uint32(c.Size) > v.E {
+			m.trapf("bounds", "SEQ->SAFE conversion out of bounds: p=0x%x not in [0x%x, 0x%x-%d]",
+				v.P, v.B, v.E, c.Size)
+		}
+
+	case cil.CheckWild:
+		v := m.evalExpr(fr, c.Ptr)
+		if v.P == 0 {
+			m.trapf("null", "null WILD pointer dereference")
+		}
+		if v.B == 0 {
+			m.trapf("int-deref", "dereference of an integer disguised as a WILD pointer")
+		}
+		blk := m.mem.BlockAt(v.B)
+		if blk == nil {
+			m.trapf("bounds", "WILD pointer base 0x%x is not a valid area", v.B)
+		}
+		// The paper's WILD areas keep their length in a header word: pay
+		// for the header read.
+		if _, err := m.mem.ReadWord(blk.Addr); err != nil {
+			m.check(err)
+		}
+		if v.P < blk.Addr || v.P+uint32(c.Size) > blk.End() {
+			m.trapf("bounds", "WILD access out of bounds: p=0x%x size %d in area %q [0x%x,0x%x)",
+				v.P, c.Size, blk.Name, blk.Addr, blk.End())
+		}
+		// Tag bookkeeping touches every word of the access.
+		blk.MakeWild()
+		for off := uint32(0); off < uint32(c.Size); off += 4 {
+			_ = blk.TagAt(v.P + off)
+		}
+
+	case cil.CheckWildRead:
+		// Reading a pointer out of a dynamically-typed area: the tags must
+		// say a valid base/pointer pair lives here.
+		v := m.evalExpr(fr, c.Ptr)
+		blk := m.mem.BlockAt(v.B)
+		if blk == nil || !blk.Wild {
+			m.trapf("tag", "WILD pointer read from untagged area")
+		}
+		if blk.TagAt(v.P) != 1 || blk.TagAt(v.P+4) != 0 {
+			m.trapf("tag", "WILD read of a non-pointer as a pointer (tag check failed at 0x%x)", v.P)
+		}
+
+	case cil.CheckWildWrite:
+		// Tag updates happen in storePtr; the check instruction exists to
+		// account for the write-barrier cost and to verify the area.
+		v := m.evalExpr(fr, c.Ptr)
+		if blk := m.mem.BlockAt(v.B); blk != nil {
+			blk.MakeWild()
+		}
+
+	case cil.CheckRtti:
+		v := m.evalExpr(fr, c.Ptr)
+		if v.P == 0 {
+			return // null downcasts freely
+		}
+		target := m.hier.Of(c.RttiTarget)
+		if v.RT == nil {
+			// Fresh allocation: adopts any type that fits in the block.
+			blk := m.mem.BlockAt(v.P)
+			if blk == nil {
+				m.trapf("rtti", "downcast of pointer 0x%x to %s: no underlying object", v.P, target)
+			}
+			if blk.Fresh {
+				if v.P+uint32(c.Size) > blk.End() {
+					m.trapf("rtti", "downcast to %s does not fit in %d-byte allocation",
+						target, blk.Size)
+				}
+				return
+			}
+			// A bounded pointer whose type info was lost at a library
+			// boundary (e.g. qsort handing elements back to a cured
+			// comparator): reinterpreting pointer-free data is memory-
+			// safe, so allow it when the target fits within the bounds.
+			if v.B != 0 && !ctypes.ContainsPointer(c.RttiTarget) &&
+				v.P >= v.B && v.P+uint32(c.Size) <= v.E {
+				return
+			}
+			m.trapf("rtti", "downcast of pointer without run-time type information to %s", target)
+		}
+		if !m.hier.IsSubtype(v.RT, target) {
+			m.trapf("rtti", "checked downcast failed: %s is not a subtype of %s", v.RT, target)
+		}
+
+	case cil.CheckStackEscape:
+		v := m.evalExpr(fr, c.Ptr)
+		if v.K != VPtr || v.P == 0 || !m.mem.InStack(v.P) {
+			return
+		}
+		dst, _, _ := m.evalLval(fr, c.DstLV)
+		if !m.mem.InStack(dst) {
+			m.trapf("stack-escape", "storing a stack pointer (0x%x) into non-stack memory (0x%x)",
+				v.P, dst)
+		}
+
+	case cil.CheckIndex:
+		idx := m.evalExpr(fr, c.Ptr).AsInt()
+		if idx < 0 || (c.Size >= 0 && idx >= int64(c.Size)) {
+			m.trapf("bounds", "array index %d out of range [0, %d)", idx, c.Size)
+		}
+
+	case cil.CheckVerifyNul:
+		v := m.evalExpr(fr, c.Ptr)
+		m.verifyNul(v)
+
+	default:
+		m.trapf("internal", "unknown check kind %s", c.Kind)
+	}
+}
+
+// verifyNul implements the __verify_nul wrapper helper: the string must
+// contain a NUL before its bounds end.
+func (m *Machine) verifyNul(v Value) {
+	if v.P == 0 {
+		m.trapf("null", "__verify_nul of null string")
+	}
+	limit := uint32(1 << 20)
+	if v.B != 0 && v.E > v.P {
+		limit = v.E - v.P
+	}
+	for i := uint32(0); i < limit; i++ {
+		b, err := m.mem.ReadInt(v.P+i, 1, false)
+		m.check(err)
+		if b == 0 {
+			return
+		}
+	}
+	m.trapf("bounds", "__verify_nul: string is not NUL-terminated within bounds")
+}

@@ -1,0 +1,918 @@
+// Package interp executes CIL programs over the simulated memory of
+// internal/mem. It is the stand-in for "gcc + native execution" in this
+// reproduction: uncured programs run with thin pointers and raw C layout
+// (optionally under Purify- or Valgrind-style shadow-memory policies), and
+// cured programs run with CCured's fat-pointer layouts and explicit check
+// instructions, whose failures surface as traps.
+package interp
+
+import (
+	"bytes"
+	"fmt"
+
+	"gocured/internal/cil"
+	"gocured/internal/ctypes"
+	"gocured/internal/instrument"
+	"gocured/internal/mem"
+	"gocured/internal/qual"
+	"gocured/internal/rtti"
+)
+
+// Policy selects the execution/checking regime.
+type Policy int
+
+// Policies.
+const (
+	// PolicyNone runs the raw program with no checking (baseline "gcc").
+	PolicyNone Policy = iota
+	// PolicyCured runs an instrumented program, executing its checks.
+	PolicyCured
+	// PolicyPurify runs the raw program with Purify-style shadow memory
+	// (2 status bits per byte, heap red zones; misses stack arrays).
+	PolicyPurify
+	// PolicyValgrind runs the raw program with Valgrind-style shadow
+	// memory (9 bits per byte of program memory, JIT-cost emulation).
+	PolicyValgrind
+)
+
+var policyNames = [...]string{"none", "cured", "purify", "valgrind"}
+
+func (p Policy) String() string { return policyNames[p] }
+
+// Config configures a Machine.
+type Config struct {
+	Policy Policy
+	// Cured must be set when Policy is PolicyCured.
+	Cured *instrument.Cured
+	// StepLimit bounds executed instructions (0 = default 1e9).
+	StepLimit uint64
+	// StackSize in bytes (0 = default 1 MiB).
+	StackSize uint32
+	// Seed for the deterministic rand().
+	Seed uint64
+	// Stdin provides bytes for getchar()/sim input.
+	Stdin []byte
+	// Args are the program arguments; when main is declared as
+	// main(int argc, char **argv) they are materialized in memory with
+	// argv[0] set to the program name.
+	Args []string
+}
+
+// Counters aggregates execution statistics.
+type Counters struct {
+	Steps  uint64
+	Checks uint64
+	// ChecksByKind tallies executed checks per kind.
+	ChecksByKind map[cil.CheckKind]uint64
+	Allocs       uint64
+	// Cost is the deterministic simulated-cycle count: every step, memory
+	// access, check, split-metadata traversal, I/O call, and shadow-memory
+	// operation adds a calibrated weight. Experiment tables use Cost
+	// ratios, which are reproducible run to run (wall time over an
+	// interpreter is too noisy for the paper's percent-level effects).
+	Cost uint64
+}
+
+// Outcome is the result of a run.
+type Outcome struct {
+	ExitCode int
+	Stdout   string
+	// Trap is non-nil if the program died on a memory-safety violation.
+	Trap     *mem.Trap
+	Counters Counters
+	// MemLoads/MemStores are raw memory accesses.
+	MemLoads, MemStores uint64
+	// ToolReports carries Purify/Valgrind-style diagnostics (those tools
+	// report and continue rather than trap).
+	ToolReports []string
+}
+
+type layoutOracle interface {
+	Sizeof(*ctypes.Type) int
+	Alignof(*ctypes.Type) int
+	FieldOff(*ctypes.Field) int
+	KindOf(*ctypes.Type) qual.Kind
+	IsSplit(*ctypes.Type) bool
+	PtrSize(*ctypes.Type) int
+}
+
+// Machine executes one program instance.
+type Machine struct {
+	prog   *cil.Program
+	lay    layoutOracle
+	cured  *instrument.Cured
+	hier   *rtti.Hierarchy
+	policy Policy
+
+	mem     *mem.Memory
+	globals map[*cil.Var]uint32
+	strings map[string]uint32
+
+	funcAddr   map[string]uint32
+	funcByAddr map[uint32]*cil.Func
+	builtins   map[string]builtinFn
+	bltnByAddr map[uint32]string
+
+	funcLayouts map[*cil.Func]*funcLayout
+
+	shadowMeta   map[uint32]metaEntry
+	policyShadow *shadowMem
+
+	stdout    bytes.Buffer
+	stdin     []byte
+	args      []string
+	stdinPos  int
+	cnt       Counters
+	stepLimit uint64
+	rngState  uint64
+	timeTick  int64
+
+	libcState *libcState
+}
+
+type funcLayout struct {
+	size    uint32
+	offsets map[*cil.Var]uint32
+}
+
+// frame is one activation record.
+type frame struct {
+	fn   *cil.Func
+	base uint32
+	lay  *funcLayout
+}
+
+func (f *frame) slot(v *cil.Var, m *Machine) uint32 {
+	off, ok := f.lay.offsets[v]
+	if !ok {
+		m.trapf("internal", "variable %q has no slot in %q", v.Name, f.fn.Name)
+	}
+	return f.base + off
+}
+
+// control-flow signals.
+type signal int
+
+const (
+	sigNext signal = iota
+	sigBreak
+	sigContinue
+	sigReturn
+)
+
+// trapPanic unwinds the interpreter on a memory trap.
+type trapPanic struct{ t *mem.Trap }
+
+// exitPanic unwinds on exit().
+type exitPanic struct{ code int }
+
+// New builds a machine for prog under cfg. For PolicyCured, cfg.Cured.Prog
+// must be the (instrumented) program to run.
+func New(prog *cil.Program, cfg Config) *Machine {
+	m := &Machine{
+		prog:        prog,
+		policy:      cfg.Policy,
+		mem:         mem.New(),
+		globals:     make(map[*cil.Var]uint32),
+		strings:     make(map[string]uint32),
+		funcAddr:    make(map[string]uint32),
+		funcByAddr:  make(map[uint32]*cil.Func),
+		bltnByAddr:  make(map[uint32]string),
+		funcLayouts: make(map[*cil.Func]*funcLayout),
+		shadowMeta:  make(map[uint32]metaEntry),
+		stdin:       cfg.Stdin,
+		args:        cfg.Args,
+		stepLimit:   cfg.StepLimit,
+		rngState:    cfg.Seed*6364136223846793005 + 1442695040888963407,
+		libcState:   &libcState{},
+	}
+	m.cnt.ChecksByKind = make(map[cil.CheckKind]uint64)
+	if m.stepLimit == 0 {
+		m.stepLimit = 1_000_000_000
+	}
+	if cfg.Policy == PolicyCured {
+		m.cured = cfg.Cured
+		m.prog = cfg.Cured.Prog
+		m.lay = cfg.Cured.Lay
+		m.hier = cfg.Cured.Res.Hier
+	} else {
+		m.lay = instrument.RawLayout{}
+	}
+	if cfg.Policy == PolicyPurify || cfg.Policy == PolicyValgrind {
+		m.policyShadow = newShadowMem(cfg.Policy)
+	}
+	m.builtins = builtinTable()
+
+	m.layoutGlobals()
+	stack := cfg.StackSize
+	if stack == 0 {
+		stack = 1 << 20
+	}
+	m.mem.InitStack(stack)
+	return m
+}
+
+// Stdout returns the output produced so far.
+func (m *Machine) Stdout() string { return m.stdout.String() }
+
+// Run executes main() and returns the outcome. Traps are reported in the
+// outcome, not as Go errors; Go errors mean the program is malformed.
+func (m *Machine) Run() (out *Outcome, err error) {
+	mainFn := m.prog.Lookup("main")
+	if mainFn == nil {
+		return nil, fmt.Errorf("program has no main function")
+	}
+	out = &Outcome{}
+	defer func() {
+		if r := recover(); r != nil {
+			switch p := r.(type) {
+			case trapPanic:
+				out.Trap = p.t
+			case exitPanic:
+				out.ExitCode = p.code
+			default:
+				panic(r)
+			}
+		}
+		out.Stdout = m.stdout.String()
+		out.Counters = m.cnt
+		out.MemLoads = m.mem.Loads
+		out.MemStores = m.mem.Stores
+		out.Counters.Cost += m.mem.Loads + m.mem.Stores
+		if m.policyShadow != nil {
+			out.ToolReports = m.policyShadow.reports
+		}
+		err = nil
+	}()
+	ret := m.call(mainFn, m.mainArgs(mainFn))
+	out.ExitCode = int(ret.AsInt())
+	return out, nil
+}
+
+// mainArgs materializes argc/argv for main(int, char**): the strings are
+// interned, argv is an array of pointers in the layout main's parameter
+// type demands, and both carry full bounds.
+func (m *Machine) mainArgs(mainFn *cil.Func) []Value {
+	if len(mainFn.Params) < 2 {
+		return nil
+	}
+	argvTy := mainFn.Params[1].Type
+	if !argvTy.IsPointer() || !argvTy.Elem.IsPointer() {
+		return nil
+	}
+	args := append([]string{"a.out"}, m.args...)
+	elemTy := argvTy.Elem
+	esz := uint32(m.lay.PtrSize(elemTy))
+	blk := m.mem.Alloc(esz*uint32(len(args)+1), mem.RegGlobal, "argv")
+	for i, a := range args {
+		m.store(blk.Addr+uint32(i)*esz, elemTy, m.internString(a))
+	}
+	return []Value{
+		IntVal(int64(len(args))),
+		SeqVal(blk.Addr, blk.Addr, blk.End()),
+	}
+}
+
+func (m *Machine) trapf(kind, format string, args ...any) {
+	panic(trapPanic{mem.NewTrap(kind, format, args...)})
+}
+
+// check converts a memory error into a trap.
+func (m *Machine) check(err error) {
+	if err == nil {
+		return
+	}
+	if t, ok := err.(*mem.Trap); ok {
+		panic(trapPanic{t})
+	}
+	panic(trapPanic{mem.NewTrap("error", "%v", err)})
+}
+
+// ---- Globals and layout ----
+
+func (m *Machine) layoutGlobals() {
+	// Function descriptors first (so function addresses are stable).
+	for _, f := range m.prog.Funcs {
+		b := m.mem.Alloc(4, mem.RegCode, "fn:"+f.Name)
+		m.funcAddr[f.Name] = b.Addr
+		m.funcByAddr[b.Addr] = f
+	}
+	for _, v := range m.prog.Externs {
+		if _, dup := m.funcAddr[v.Name]; dup {
+			continue
+		}
+		b := m.mem.Alloc(4, mem.RegCode, "ext:"+v.Name)
+		m.funcAddr[v.Name] = b.Addr
+		m.bltnByAddr[b.Addr] = v.Name
+	}
+	for _, g := range m.prog.Globals {
+		size := m.lay.Sizeof(g.Var.Type)
+		b := m.mem.Alloc(uint32(size), mem.RegGlobal, g.Var.Name)
+		m.globals[g.Var] = b.Addr
+	}
+	for _, g := range m.prog.Globals {
+		if g.Init != nil {
+			m.applyInit(m.globals[g.Var], g.Var.Type, g.Init)
+		}
+	}
+}
+
+func (m *Machine) applyInit(addr uint32, ty *ctypes.Type, init *cil.Init) {
+	switch {
+	case init == nil || init.Zero:
+	case init.IsList:
+		switch ty.Kind {
+		case ctypes.Array:
+			esz := uint32(m.lay.Sizeof(ty.Elem))
+			for i, e := range init.List {
+				m.applyInit(addr+uint32(i)*esz, ty.Elem, e)
+			}
+		case ctypes.Struct:
+			for i, e := range init.List {
+				if i >= len(ty.SU.Fields) {
+					break
+				}
+				f := ty.SU.Fields[i]
+				m.applyInit(addr+uint32(m.lay.FieldOff(f)), f.Type, e)
+			}
+		default:
+			if len(init.List) > 0 {
+				m.applyInit(addr, ty, init.List[0])
+			}
+		}
+	default:
+		v := m.evalConstExpr(init.Expr)
+		v = m.convert(v, init.Expr.Type(), ty)
+		m.store(addr, ty, v)
+	}
+}
+
+// evalConstExpr evaluates static-initializer expressions (no frame).
+func (m *Machine) evalConstExpr(e cil.Expr) Value {
+	switch x := e.(type) {
+	case *cil.Const:
+		return IntVal(x.I)
+	case *cil.FConst:
+		return FloatVal(x.F)
+	case *cil.SizeOf:
+		return IntVal(int64(m.lay.Sizeof(x.Of)))
+	case *cil.StrConst:
+		return m.internString(x.S)
+	case *cil.FnConst:
+		return PtrVal(m.funcAddrOf(x.Name))
+	case *cil.AddrOf:
+		if x.LV.Var != nil && x.LV.Var.Global {
+			addr := m.globals[x.LV.Var]
+			size := uint32(m.lay.Sizeof(x.LV.Var.Type))
+			return SeqVal(addr, addr, addr+size)
+		}
+	case *cil.Cast:
+		v := m.evalConstExpr(x.X)
+		return m.convert(v, x.X.Type(), x.To)
+	}
+	m.trapf("init", "unsupported static initializer %T", e)
+	return Value{}
+}
+
+func (m *Machine) internString(s string) Value {
+	if addr, ok := m.strings[s]; ok {
+		return SeqVal(addr, addr, addr+uint32(len(s))+1)
+	}
+	b := m.mem.Alloc(uint32(len(s))+1, mem.RegGlobal, "str")
+	for i := 0; i < len(s); i++ {
+		m.check(m.mem.WriteInt(b.Addr+uint32(i), 1, int64(s[i])))
+	}
+	m.check(m.mem.WriteInt(b.Addr+uint32(len(s)), 1, 0))
+	m.strings[s] = b.Addr
+	return SeqVal(b.Addr, b.Addr, b.End())
+}
+
+func (m *Machine) funcAddrOf(name string) uint32 {
+	if a, ok := m.funcAddr[name]; ok {
+		return a
+	}
+	// Unknown extern used only by address: allocate a descriptor lazily.
+	b := m.mem.Alloc(4, mem.RegCode, "ext:"+name)
+	m.funcAddr[name] = b.Addr
+	m.bltnByAddr[b.Addr] = name
+	return b.Addr
+}
+
+func (m *Machine) layoutOf(fn *cil.Func) *funcLayout {
+	if fl, ok := m.funcLayouts[fn]; ok {
+		return fl
+	}
+	fl := &funcLayout{offsets: make(map[*cil.Var]uint32)}
+	off := uint32(0)
+	place := func(v *cil.Var) {
+		a := uint32(m.lay.Alignof(v.Type))
+		if a == 0 {
+			a = 1
+		}
+		off = (off + a - 1) / a * a
+		fl.offsets[v] = off
+		sz := uint32(m.lay.Sizeof(v.Type))
+		if sz == 0 {
+			sz = 4
+		}
+		off += sz
+	}
+	for _, p := range fn.Params {
+		place(p)
+	}
+	for _, l := range fn.Locals {
+		place(l)
+	}
+	fl.size = (off + 7) &^ 7
+	if fl.size == 0 {
+		fl.size = 8
+	}
+	m.funcLayouts[fn] = fl
+	return fl
+}
+
+// ---- Calls ----
+
+// call invokes a defined function with already-converted argument values.
+func (m *Machine) call(fn *cil.Func, args []Value) Value {
+	fl := m.layoutOf(fn)
+	blk, err := m.mem.PushFrame(fl.size, fn.Name)
+	m.check(err)
+	fr := &frame{fn: fn, base: blk.Addr, lay: fl}
+	for i, p := range fn.Params {
+		if i < len(args) {
+			m.store(fr.slot(p, m), p.Type, args[i])
+		}
+	}
+	defer m.mem.PopFrame()
+	sig, ret := m.execBlock(fr, fn.Body)
+	if sig == sigReturn {
+		return ret
+	}
+	return IntVal(0)
+}
+
+// callPtr invokes a function through an address (function pointer or
+// extern builtin).
+func (m *Machine) callPtr(addr uint32, args []Value, argTypes []*ctypes.Type) Value {
+	if fn, ok := m.funcByAddr[addr]; ok {
+		// Convert args to the parameter occurrence types.
+		conv := make([]Value, len(args))
+		for i := range args {
+			conv[i] = args[i]
+			if i < len(fn.Params) && i < len(argTypes) {
+				conv[i] = m.convert(args[i], argTypes[i], fn.Params[i].Type)
+			}
+		}
+		return m.call(fn, conv)
+	}
+	if name, ok := m.bltnByAddr[addr]; ok {
+		if bf, ok := m.builtins[name]; ok {
+			return bf(m, args)
+		}
+		m.trapf("link", "call to unimplemented external function %q", name)
+	}
+	m.trapf("call", "call through invalid function pointer 0x%x", addr)
+	return Value{}
+}
+
+// ---- Statements ----
+
+func (m *Machine) execBlock(fr *frame, b *cil.Block) (signal, Value) {
+	for _, s := range b.Stmts {
+		if sig, v := m.execStmt(fr, s); sig != sigNext {
+			return sig, v
+		}
+	}
+	return sigNext, Value{}
+}
+
+func (m *Machine) addCost(n uint64) { m.cnt.Cost += n }
+
+func (m *Machine) step() {
+	m.cnt.Steps++
+	m.cnt.Cost++
+	if m.cnt.Steps > m.stepLimit {
+		m.trapf("timeout", "step limit (%d) exceeded", m.stepLimit)
+	}
+}
+
+func (m *Machine) execStmt(fr *frame, s cil.Stmt) (signal, Value) {
+	switch st := s.(type) {
+	case *cil.Block:
+		return m.execBlock(fr, st)
+	case *cil.SInstr:
+		m.step()
+		m.execInstr(fr, st.Ins)
+		return sigNext, Value{}
+	case *cil.If:
+		m.step()
+		if m.evalExpr(fr, st.Cond).Truthy() {
+			return m.execBlock(fr, st.Then)
+		}
+		if st.Else != nil {
+			return m.execBlock(fr, st.Else)
+		}
+		return sigNext, Value{}
+	case *cil.Loop:
+		for {
+			sig, v := m.execBlock(fr, st.Body)
+			switch sig {
+			case sigBreak:
+				return sigNext, Value{}
+			case sigReturn:
+				return sig, v
+			}
+			if st.Post != nil {
+				sig, v = m.execBlock(fr, st.Post)
+				switch sig {
+				case sigBreak:
+					return sigNext, Value{}
+				case sigReturn:
+					return sig, v
+				}
+			}
+		}
+	case *cil.Break:
+		return sigBreak, Value{}
+	case *cil.Continue:
+		return sigContinue, Value{}
+	case *cil.Return:
+		m.step()
+		if st.X == nil {
+			return sigReturn, Value{}
+		}
+		v := m.evalExpr(fr, st.X)
+		v = m.convert(v, st.X.Type(), fr.fn.Type.Fn.Ret)
+		return sigReturn, v
+	case *cil.Switch:
+		m.step()
+		x := m.evalExpr(fr, st.X).AsInt()
+		start := -1
+		dflt := -1
+		for i, c := range st.Cases {
+			if c.IsDefault {
+				dflt = i
+			} else if c.Val == x {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			start = dflt
+		}
+		if start < 0 {
+			return sigNext, Value{}
+		}
+		// C fallthrough: run case bodies from the match until a break.
+		for i := start; i < len(st.Cases); i++ {
+			for _, s2 := range st.Cases[i].Body {
+				sig, v := m.execStmt(fr, s2)
+				switch sig {
+				case sigBreak:
+					return sigNext, Value{}
+				case sigContinue, sigReturn:
+					return sig, v
+				}
+			}
+		}
+		return sigNext, Value{}
+	}
+	m.trapf("internal", "unknown statement %T", s)
+	return sigNext, Value{}
+}
+
+func (m *Machine) execInstr(fr *frame, i cil.Instr) {
+	switch in := i.(type) {
+	case *cil.Set:
+		// Aggregate assignment copies bytes; scalars go through values.
+		if in.LV.Ty.Kind == ctypes.Struct || in.LV.Ty.Kind == ctypes.Array {
+			m.execAggregateSet(fr, in)
+			return
+		}
+		v := m.evalExpr(fr, in.RHS)
+		v = m.convert(v, in.RHS.Type(), in.LV.Ty)
+		addr, _, _ := m.evalLval(fr, in.LV)
+		m.store(addr, in.LV.Ty, v)
+	case *cil.Call:
+		m.execCall(fr, in)
+	case *cil.Check:
+		m.execCheck(fr, in)
+	default:
+		m.trapf("internal", "unknown instruction %T", i)
+	}
+}
+
+func (m *Machine) execAggregateSet(fr *frame, in *cil.Set) {
+	lhsAddr, _, _ := m.evalLval(fr, in.LV)
+	rhs, ok := in.RHS.(*cil.Lval)
+	if !ok {
+		m.trapf("internal", "aggregate assignment from non-lvalue %T", in.RHS)
+	}
+	rhsAddr, _, _ := m.evalLval(fr, rhs.LV)
+	m.check(m.mem.Copy(lhsAddr, rhsAddr, uint32(m.lay.Sizeof(in.LV.Ty))))
+}
+
+func (m *Machine) execCall(fr *frame, in *cil.Call) {
+	args := make([]Value, len(in.Args))
+	argTypes := make([]*ctypes.Type, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = m.evalExpr(fr, a)
+		argTypes[i] = a.Type()
+	}
+	var ret Value
+	if fc, ok := in.Fn.(*cil.FnConst); ok {
+		if fn := m.prog.Lookup(fc.Name); fn != nil {
+			conv := make([]Value, len(args))
+			for i := range args {
+				conv[i] = args[i]
+				if i < len(fn.Params) {
+					conv[i] = m.convert(args[i], argTypes[i], fn.Params[i].Type)
+				}
+			}
+			ret = m.call(fn, conv)
+		} else if bf, ok := m.builtins[fc.Name]; ok {
+			ret = bf(m, args)
+		} else {
+			m.trapf("link", "call to undefined function %q", fc.Name)
+		}
+	} else {
+		fnv := m.evalExpr(fr, in.Fn)
+		ret = m.callPtr(fnv.P, args, argTypes)
+	}
+	if in.Result != nil {
+		ft := in.Fn.Type()
+		if ft.IsPointer() {
+			ft = ft.Elem
+		}
+		if ft.Kind == ctypes.Func {
+			ret = m.convert(ret, ft.Fn.Ret, in.Result.Ty)
+		}
+		addr, _, _ := m.evalLval(fr, in.Result)
+		m.store(addr, in.Result.Ty, ret)
+	}
+}
+
+// ---- Expressions ----
+
+func (m *Machine) evalExpr(fr *frame, e cil.Expr) Value {
+	switch x := e.(type) {
+	case *cil.Const:
+		return IntVal(x.I)
+	case *cil.FConst:
+		return FloatVal(x.F)
+	case *cil.SizeOf:
+		return IntVal(int64(m.lay.Sizeof(x.Of)))
+	case *cil.StrConst:
+		return m.internString(x.S)
+	case *cil.FnConst:
+		return PtrVal(m.funcAddrOf(x.Name))
+	case *cil.Lval:
+		addr, _, _ := m.evalLval(fr, x.LV)
+		if m.policyShadow != nil {
+			m.policyShadow.onLoad(m, addr, uint32(m.lay.Sizeof(x.LV.Ty)))
+		}
+		return m.load(addr, x.LV.Ty)
+	case *cil.AddrOf:
+		addr, b, e2 := m.evalLval(fr, x.LV)
+		v := Value{K: VPtr, P: addr, B: b, E: e2}
+		switch m.lay.KindOf(x.Ty) {
+		case qual.Wild:
+			if blk := m.mem.BlockAt(addr); blk != nil {
+				blk.MakeWild()
+				v.B = blk.Addr
+			}
+		case qual.Rtti:
+			// The address of an object knows its exact static type.
+			if m.hier != nil && x.Ty.Elem != nil {
+				v.RT = m.hier.Of(x.Ty.Elem)
+			}
+		}
+		return v
+	case *cil.BinOp:
+		return m.evalBinOp(fr, x)
+	case *cil.UnOp:
+		v := m.evalExpr(fr, x.X)
+		switch x.Op {
+		case cil.OpNeg:
+			if v.K == VFloat {
+				return FloatVal(-v.F)
+			}
+			t := x.Ty
+			return IntVal(normInt(-v.AsInt(), t.Size, t.Signed))
+		case cil.OpNot:
+			if v.Truthy() {
+				return IntVal(0)
+			}
+			return IntVal(1)
+		case cil.OpBitNot:
+			t := x.Ty
+			return IntVal(normInt(^v.AsInt(), t.Size, t.Signed))
+		}
+	case *cil.Cast:
+		v := m.evalExpr(fr, x.X)
+		return m.convertChecked(v, x.X.Type(), x.To, x.Trusted)
+	}
+	m.trapf("internal", "unknown expression %T", e)
+	return Value{}
+}
+
+func (m *Machine) evalBinOp(fr *frame, x *cil.BinOp) Value {
+	a := m.evalExpr(fr, x.A)
+	b := m.evalExpr(fr, x.B)
+	switch x.Op {
+	case cil.OpAddPI, cil.OpSubPI:
+		elem := x.A.Type().Elem
+		esz := int64(m.lay.Sizeof(elem))
+		idx := b.AsInt()
+		if x.Op == cil.OpSubPI {
+			idx = -idx
+		}
+		out := a
+		out.P = uint32(int64(a.P) + idx*esz)
+		return out
+	case cil.OpSubPP:
+		elem := x.A.Type().Elem
+		esz := int64(m.lay.Sizeof(elem))
+		if esz == 0 {
+			esz = 1
+		}
+		return IntVal((int64(a.P) - int64(b.P)) / esz)
+	}
+
+	if a.K == VFloat || b.K == VFloat {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch x.Op {
+		case cil.OpAdd:
+			return m.fret(x, af+bf)
+		case cil.OpSub:
+			return m.fret(x, af-bf)
+		case cil.OpMul:
+			return m.fret(x, af*bf)
+		case cil.OpDiv:
+			return m.fret(x, af/bf)
+		case cil.OpLt:
+			return boolVal(af < bf)
+		case cil.OpGt:
+			return boolVal(af > bf)
+		case cil.OpLe:
+			return boolVal(af <= bf)
+		case cil.OpGe:
+			return boolVal(af >= bf)
+		case cil.OpEq:
+			return boolVal(af == bf)
+		case cil.OpNe:
+			return boolVal(af != bf)
+		}
+		m.trapf("arith", "bad float operator %s", x.Op)
+	}
+
+	ai, bi := a.AsInt(), b.AsInt()
+	t := x.Ty
+	signed := t.Kind != ctypes.Int || t.Signed
+	norm := func(v int64) Value {
+		if t.Kind == ctypes.Int {
+			return IntVal(normInt(v, t.Size, t.Signed))
+		}
+		return IntVal(v)
+	}
+	switch x.Op {
+	case cil.OpAdd:
+		return norm(ai + bi)
+	case cil.OpSub:
+		return norm(ai - bi)
+	case cil.OpMul:
+		return norm(ai * bi)
+	case cil.OpDiv:
+		if bi == 0 {
+			m.trapf("arith", "division by zero")
+		}
+		if !signed {
+			return norm(int64(uint64(uint32(ai)) / uint64(uint32(bi))))
+		}
+		return norm(ai / bi)
+	case cil.OpRem:
+		if bi == 0 {
+			m.trapf("arith", "modulo by zero")
+		}
+		if !signed {
+			return norm(int64(uint64(uint32(ai)) % uint64(uint32(bi))))
+		}
+		return norm(ai % bi)
+	case cil.OpShl:
+		return norm(ai << uint(bi&63))
+	case cil.OpShr:
+		if !signed {
+			return norm(int64(uint32(ai) >> uint(bi&31)))
+		}
+		return norm(ai >> uint(bi&63))
+	case cil.OpBitAnd:
+		return norm(ai & bi)
+	case cil.OpBitOr:
+		return norm(ai | bi)
+	case cil.OpBitXor:
+		return norm(ai ^ bi)
+	case cil.OpLt:
+		return boolVal(cmpInts(a, b, signed) < 0)
+	case cil.OpGt:
+		return boolVal(cmpInts(a, b, signed) > 0)
+	case cil.OpLe:
+		return boolVal(cmpInts(a, b, signed) <= 0)
+	case cil.OpGe:
+		return boolVal(cmpInts(a, b, signed) >= 0)
+	case cil.OpEq:
+		return boolVal(ai == bi)
+	case cil.OpNe:
+		return boolVal(ai != bi)
+	}
+	m.trapf("arith", "bad operator %s", x.Op)
+	return Value{}
+}
+
+func (m *Machine) fret(x *cil.BinOp, f float64) Value {
+	if x.Ty.Kind == ctypes.Float && x.Ty.Size == 4 {
+		return FloatVal(float64(float32(f)))
+	}
+	return FloatVal(f)
+}
+
+func cmpInts(a, b Value, signed bool) int {
+	// Pointer comparisons are unsigned address comparisons.
+	if a.K == VPtr || b.K == VPtr || !signed {
+		ua, ub := uint32(a.AsInt()), uint32(b.AsInt())
+		switch {
+		case ua < ub:
+			return -1
+		case ua > ub:
+			return 1
+		}
+		return 0
+	}
+	ai, bi := a.AsInt(), b.AsInt()
+	switch {
+	case ai < bi:
+		return -1
+	case ai > bi:
+		return 1
+	}
+	return 0
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// evalLval computes the address of an lvalue along with its home-area
+// bounds (used by AddrOf to give SEQ pointers their extent: field steps
+// narrow the bounds to the field, index steps keep the whole array).
+func (m *Machine) evalLval(fr *frame, lv *cil.Lvalue) (addr, homeB, homeE uint32) {
+	var cur *ctypes.Type
+	switch {
+	case lv.Var != nil:
+		v := lv.Var
+		if v.Global {
+			addr = m.globals[v]
+			if addr == 0 {
+				m.trapf("internal", "global %q has no storage", v.Name)
+			}
+		} else {
+			addr = fr.slot(v, m)
+		}
+		cur = v.Type
+		homeB = addr
+		homeE = addr + uint32(m.lay.Sizeof(cur))
+	default:
+		pv := m.evalExpr(fr, lv.Mem)
+		addr = pv.P
+		cur = lv.Mem.Type().Elem
+		if pv.B != 0 && pv.E != 0 {
+			homeB, homeE = pv.B, pv.E
+		} else {
+			homeB = addr
+			homeE = addr + uint32(m.lay.Sizeof(cur))
+		}
+	}
+	for _, o := range lv.Offset {
+		if o.Field != nil {
+			addr += uint32(m.lay.FieldOff(o.Field))
+			cur = o.Field.Type
+			// Field step: the home area narrows to the field.
+			homeB = addr
+			homeE = addr + uint32(m.lay.Sizeof(cur))
+			continue
+		}
+		idx := m.evalExpr(fr, o.Index).AsInt()
+		if cur.Kind == ctypes.Array {
+			esz := int64(m.lay.Sizeof(cur.Elem))
+			addr = uint32(int64(addr) + idx*esz)
+			cur = cur.Elem
+			// Index step: keep the array as the home area.
+			continue
+		}
+		m.trapf("internal", "index step on non-array type %s", cur)
+	}
+	return addr, homeB, homeE
+}

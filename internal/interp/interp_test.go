@@ -1,0 +1,618 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"gocured/internal/core"
+	"gocured/internal/infer"
+	"gocured/internal/interp"
+)
+
+// build compiles src with default options.
+func build(t *testing.T, src string) *core.Unit {
+	t.Helper()
+	u, err := core.Build("test.c", src, infer.Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return u
+}
+
+// runRaw executes the uninstrumented program.
+func runRaw(t *testing.T, u *core.Unit) *interp.Outcome {
+	t.Helper()
+	out, err := u.RunRaw(interp.PolicyNone, interp.Config{})
+	if err != nil {
+		t.Fatalf("run raw: %v", err)
+	}
+	return out
+}
+
+// runCured executes the instrumented program.
+func runCured(t *testing.T, u *core.Unit) *interp.Outcome {
+	t.Helper()
+	out, err := u.RunCured(interp.Config{})
+	if err != nil {
+		t.Fatalf("run cured: %v", err)
+	}
+	return out
+}
+
+// both runs raw and cured and demands identical stdout and exit code with
+// no traps — the transformation must preserve semantics of correct code.
+func both(t *testing.T, src string) (*interp.Outcome, *interp.Outcome) {
+	t.Helper()
+	u := build(t, src)
+	raw := runRaw(t, u)
+	cured := runCured(t, u)
+	if raw.Trap != nil {
+		t.Fatalf("raw trap: %v", raw.Trap)
+	}
+	if cured.Trap != nil {
+		t.Fatalf("cured trap: %v", cured.Trap)
+	}
+	if raw.Stdout != cured.Stdout {
+		t.Fatalf("output mismatch:\nraw:   %q\ncured: %q", raw.Stdout, cured.Stdout)
+	}
+	if raw.ExitCode != cured.ExitCode {
+		t.Fatalf("exit code mismatch: raw %d, cured %d", raw.ExitCode, cured.ExitCode)
+	}
+	return raw, cured
+}
+
+func TestRunHello(t *testing.T) {
+	raw, cured := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    printf("hello, %s! %d\n", "world", 42);
+    return 0;
+}
+`)
+	if raw.Stdout != "hello, world! 42\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+	_ = cured // a pure literal-printing main legitimately needs no checks
+}
+
+func TestRunArithmetic(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    int a = 7, b = -3;
+    unsigned int u = 0xFFFFFFFF;
+    double d = 2.5;
+    printf("%d %d %d %d\n", a + b, a * b, a / b, a % b);
+    printf("%u %u\n", u / 2u, u >> 4);
+    printf("%g %g\n", d * 4.0, d / 2.0);
+    printf("%d %d %d\n", a << 2, a & 5, a ^ 1);
+    return 0;
+}
+`)
+	want := "4 -21 -2 1\n2147483647 268435455\n10 1.25\n28 5 6\n"
+	if raw.Stdout != want {
+		t.Errorf("stdout = %q, want %q", raw.Stdout, want)
+	}
+}
+
+func TestRunControlFlow(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+int main(void) {
+    int i;
+    int total = 0;
+    for (i = 1; i <= 10; i++) total += collatz(i);
+    printf("%d\n", total);
+    do { total--; } while (total > 60);
+    printf("%d\n", total);
+    switch (total) {
+    case 60: printf("sixty\n"); break;
+    default: printf("other\n");
+    }
+    return 0;
+}
+`)
+	if raw.Stdout != "67\n60\nsixty\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestRunPointersAndArrays(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int sum(int *p, int n) {
+    int t = 0;
+    int i;
+    for (i = 0; i < n; i++) t += p[i];
+    return t;
+}
+int main(void) {
+    int a[8];
+    int i;
+    int *q;
+    for (i = 0; i < 8; i++) a[i] = i * i;
+    q = a + 3;
+    printf("%d %d %d\n", sum(a, 8), *q, q[2]);
+    return 0;
+}
+`)
+	if raw.Stdout != "140 9 25\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestRunStructsAndLists(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+void *malloc(unsigned int n);
+struct Node { int val; struct Node *next; };
+int main(void) {
+    struct Node *head = 0;
+    int i;
+    for (i = 0; i < 5; i++) {
+        struct Node *n = (struct Node*)malloc(sizeof(struct Node));
+        n->val = i;
+        n->next = head;
+        head = n;
+    }
+    int sum = 0;
+    while (head) { sum = sum * 10 + head->val; head = head->next; }
+    printf("%d\n", sum);
+    return 0;
+}
+`)
+	if raw.Stdout != "43210\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestRunFunctionPointers(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int main(void) {
+    int (*ops[2])(int, int);
+    int i;
+    ops[0] = add;
+    ops[1] = mul;
+    for (i = 0; i < 2; i++) printf("%d ", ops[i](3, 4));
+    printf("\n");
+    return 0;
+}
+`)
+	if raw.Stdout != "7 12 \n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestRunOOPolymorphism(t *testing.T) {
+	// The paper's Figure/Circle example end to end: upcast, dynamic
+	// dispatch, checked downcast.
+	raw, cured := both(t, `
+int printf(char *fmt, ...);
+void *malloc(unsigned int n);
+struct Figure { int (*area100)(struct Figure *obj); };
+struct Circle { int (*area100)(struct Figure *obj); int radius; };
+struct Square { int (*area100)(struct Figure *obj); int side; };
+
+int circle_area(struct Figure *obj) {
+    struct Circle *c = (struct Circle*)obj;
+    return 314 * c->radius * c->radius / 100;
+}
+int square_area(struct Figure *obj) {
+    struct Square *s = (struct Square*)obj;
+    return s->side * s->side;
+}
+int main(void) {
+    struct Circle *c = (struct Circle*)malloc(sizeof(struct Circle));
+    struct Square *s = (struct Square*)malloc(sizeof(struct Square));
+    struct Figure *figs[2];
+    int i, total = 0;
+    c->area100 = circle_area;
+    c->radius = 2;
+    s->area100 = square_area;
+    s->side = 3;
+    figs[0] = (struct Figure*)c;
+    figs[1] = (struct Figure*)s;
+    for (i = 0; i < 2; i++) total += figs[i]->area100(figs[i]);
+    printf("%d\n", total);
+    return 0;
+}
+`)
+	if raw.Stdout != "21\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+	if cured.Counters.ChecksByKind[6 /* cil.CheckRtti */] == 0 {
+		// index 6 is CheckRtti in the CheckKind enumeration
+		t.Log("note: no RTTI checks executed; acceptable if downcast source inferred SAFE")
+	}
+}
+
+func TestRunStringsAndLibc(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+char *strcpy(char *dst, char *src);
+char *strcat(char *dst, char *src);
+int strlen(char *s);
+int strcmp(char *a, char *b);
+char *strchr(char *s, int c);
+int main(void) {
+    char buf[64];
+    strcpy(buf, "hello");
+    strcat(buf, ", world");
+    printf("%s %d\n", buf, strlen(buf));
+    printf("%d\n", strcmp(buf, "hello, world"));
+    char *comma = strchr(buf, ',');
+    printf("%s\n", comma + 2);
+    return 0;
+}
+`)
+	want := "hello, world 12\n0\nworld\n"
+	if raw.Stdout != want {
+		t.Errorf("stdout = %q, want %q", raw.Stdout, want)
+	}
+}
+
+func TestRunQsortCallback(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+void qsort(void *base, unsigned int n, unsigned int size,
+           int (*cmp)(void *a, void *b));
+int cmp_int(void *a, void *b) {
+    int x = *(int*)a;
+    int y = *(int*)b;
+    return x - y;
+}
+int main(void) {
+    int a[6];
+    int i;
+    a[0]=5; a[1]=2; a[2]=9; a[3]=1; a[4]=7; a[5]=3;
+    qsort(a, 6, sizeof(int), cmp_int);
+    for (i = 0; i < 6; i++) printf("%d ", a[i]);
+    printf("\n");
+    return 0;
+}
+`)
+	if raw.Stdout != "1 2 3 5 7 9 \n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestCuredTrapsBufferOverflow(t *testing.T) {
+	// Off-by-one overflow of a stack array: raw runs to completion (the
+	// corruption lands in the frame), cured traps on the bounds check.
+	u := build(t, `
+int main(void) {
+    int a[4];
+    int i;
+    for (i = 0; i <= 4; i++) a[i] = i;
+    return a[0];
+}
+`)
+	raw := runRaw(t, u)
+	if raw.Trap != nil {
+		t.Fatalf("raw run should tolerate the overflow, got %v", raw.Trap)
+	}
+	cured := runCured(t, u)
+	if cured.Trap == nil {
+		t.Fatal("cured run must trap on the overflow")
+	}
+	if cured.Trap.Kind != "bounds" {
+		t.Errorf("trap kind = %s, want bounds", cured.Trap.Kind)
+	}
+}
+
+func TestCuredTrapsHeapOverflow(t *testing.T) {
+	u := build(t, `
+void *malloc(unsigned int n);
+int main(void) {
+    int *p = (int*)malloc(4 * sizeof(int));
+    int i;
+    for (i = 0; i < 8; i++) p[i] = i;
+    return p[0];
+}
+`)
+	raw := runRaw(t, u)
+	if raw.Trap != nil {
+		t.Fatalf("raw heap overflow stays silent in-arena, got %v", raw.Trap)
+	}
+	cured := runCured(t, u)
+	if cured.Trap == nil || cured.Trap.Kind != "bounds" {
+		t.Fatalf("cured run must trap bounds, got %v", cured.Trap)
+	}
+}
+
+func TestCuredTrapsNullDeref(t *testing.T) {
+	u := build(t, `
+int main(void) {
+    int *p = 0;
+    return *p;
+}
+`)
+	cured := runCured(t, u)
+	if cured.Trap == nil || cured.Trap.Kind != "null" {
+		t.Fatalf("want null trap, got %v", cured.Trap)
+	}
+}
+
+func TestCuredTrapsBadDowncast(t *testing.T) {
+	u := build(t, `
+struct Figure { int (*f)(struct Figure*); };
+struct Circle { int (*f)(struct Figure*); int radius; };
+struct Figure fig;
+int dummy(struct Figure *x) { return 0; }
+int main(void) {
+    struct Figure *fp = &fig;
+    struct Circle *c;
+    fig.f = dummy;
+    c = (struct Circle*)fp;   /* downcast of a genuine Figure: must fail */
+    return c->radius;
+}
+`)
+	cured := runCured(t, u)
+	if cured.Trap == nil || cured.Trap.Kind != "rtti" {
+		t.Fatalf("want rtti trap, got %v", cured.Trap)
+	}
+}
+
+func TestCuredAllowsValidDowncast(t *testing.T) {
+	_, cured := both(t, `
+int printf(char *fmt, ...);
+struct Figure { int (*f)(struct Figure*); };
+struct Circle { int (*f)(struct Figure*); int radius; };
+struct Circle circ;
+int dummy(struct Figure *x) { return 0; }
+int main(void) {
+    struct Figure *fp;
+    struct Circle *c;
+    circ.f = dummy;
+    circ.radius = 11;
+    fp = (struct Figure*)&circ;
+    c = (struct Circle*)fp;
+    printf("%d\n", c->radius);
+    return 0;
+}
+`)
+	if !strings.Contains(cured.Stdout, "11") {
+		t.Errorf("stdout = %q", cured.Stdout)
+	}
+}
+
+func TestCuredTrapsStackEscape(t *testing.T) {
+	u := build(t, `
+int *cell;
+int **heap_cell;
+void *malloc(unsigned int n);
+void leak(void) {
+    int local = 5;
+    *heap_cell = &local;   /* stack pointer escapes to the heap */
+}
+int main(void) {
+    heap_cell = (int**)malloc(sizeof(int*));
+    leak();
+    return 0;
+}
+`)
+	cured := runCured(t, u)
+	if cured.Trap == nil || cured.Trap.Kind != "stack-escape" {
+		t.Fatalf("want stack-escape trap, got %v", cured.Trap)
+	}
+}
+
+func TestCuredTrapsFormatStringBug(t *testing.T) {
+	// The Spec95 bug the paper found: printf %s given a non-pointer.
+	u := build(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    printf("%s\n", 42);
+    return 0;
+}
+`)
+	cured := runCured(t, u)
+	if cured.Trap == nil || cured.Trap.Kind != "format" {
+		t.Fatalf("want format trap, got %v", cured.Trap)
+	}
+}
+
+func TestRawCorruptionIsReal(t *testing.T) {
+	// The overflow of buf corrupts the adjacent `secret` global in raw
+	// mode — memory corruption really happens in the simulated arena.
+	u := build(t, `
+int printf(char *fmt, ...);
+char buf[8];
+int secret = 12345;
+char *strcpy(char *dst, char *src);
+int main(void) {
+    strcpy(buf, "AAAAAAAAAAAAAAAA");  /* 16 A's into 8 bytes */
+    printf("%d\n", secret);
+    return 0;
+}
+`)
+	raw := runRaw(t, u)
+	if raw.Trap != nil {
+		t.Fatalf("raw overflow should not trap, got %v", raw.Trap)
+	}
+	if strings.Contains(raw.Stdout, "12345") {
+		t.Errorf("secret survived the overflow: %q", raw.Stdout)
+	}
+	cured := runCured(t, u)
+	if cured.Trap == nil {
+		t.Fatal("cured strcpy must trap on the overflow")
+	}
+}
+
+func TestWildPointers(t *testing.T) {
+	// A genuinely bad cast makes pointers WILD; well-behaved wild code
+	// still runs correctly (tags maintained).
+	raw, cured := both(t, `
+int printf(char *fmt, ...);
+struct A { int x; int y; };
+struct B { float f; int z; };
+struct A a;
+int main(void) {
+    struct A *pa = &a;
+    struct B *pb = (struct B*)pa;   /* bad cast: WILD */
+    pb->z = 7;
+    printf("%d %d\n", a.y, pb->z);
+    return 0;
+}
+`)
+	_ = raw
+	if cured.Stdout != "7 7\n" {
+		t.Errorf("cured stdout = %q", cured.Stdout)
+	}
+}
+
+func TestWildTagViolationTraps(t *testing.T) {
+	// Writing an integer over a pointer inside a WILD area, then reading
+	// it back as a pointer, must fail the tag check.
+	u := build(t, `
+struct A { int *p; int pad; };
+struct B { int i; int pad; };
+int g;
+struct A a;
+int main(void) {
+    struct A *pa = &a;
+    struct B *pb = (struct B*)pa;   /* bad cast: both WILD */
+    pa->p = &g;
+    pb->i = 1234;       /* overwrite the pointer with an int */
+    return *(pa->p);    /* tag check must fail */
+}
+`)
+	cured := runCured(t, u)
+	if cured.Trap == nil {
+		t.Fatal("expected a trap from the WILD tag check")
+	}
+	if cured.Trap.Kind != "tag" && cured.Trap.Kind != "bounds" && cured.Trap.Kind != "null" {
+		t.Errorf("trap kind = %s, want tag-related", cured.Trap.Kind)
+	}
+}
+
+func TestPurifyDetectsHeapOverflowMissesStack(t *testing.T) {
+	heap := `
+void *malloc(unsigned int n);
+int main(void) {
+    char *p = (char*)malloc(8);
+    p[40] = 1;  /* past the block: lands in the heap red zone */
+    return 0;
+}
+`
+	u := build(t, heap)
+	out, err := u.RunRaw(interp.PolicyPurify, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ToolReports) == 0 {
+		t.Error("purify-style policy should report the wild heap store")
+	}
+
+	stack := `
+int main(void) {
+    int a[4];
+    int i;
+    for (i = 0; i <= 4; i++) a[i] = i;  /* stays inside the frame */
+    return 0;
+}
+`
+	u2 := build(t, stack)
+	out2, err := u2.RunRaw(interp.PolicyPurify, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.ToolReports) != 0 {
+		t.Errorf("purify-style policy should miss stack-array overflow, got %v", out2.ToolReports)
+	}
+}
+
+func TestGethostbynameLibraryCompat(t *testing.T) {
+	// The §4.2 demo: a library-built structure with thin pointers is read
+	// directly by cured code through split types.
+	raw, cured := both(t, `
+int printf(char *fmt, ...);
+struct hostent { char *h_name; char **h_aliases; int h_addrtype; };
+struct hostent *gethostbyname(char *name);
+int main(void) {
+    struct hostent __SPLIT * h = gethostbyname("example.org");
+    printf("%s %d\n", h->h_name, h->h_addrtype);
+    printf("%s\n", h->h_aliases[0]);
+    return 0;
+}
+`)
+	want := "example.org 2\nalias0.example.org\n"
+	if raw.Stdout != want {
+		t.Errorf("raw stdout = %q", raw.Stdout)
+	}
+	if cured.Stdout != want {
+		t.Errorf("cured stdout = %q", cured.Stdout)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+struct P { int x; int y; };
+struct P pts[2] = { {1, 2}, {3, 4} };
+char *greeting = "hi";
+int total = 10;
+int f(void) { return 1; }
+int (*fp)(void) = f;
+int main(void) {
+    printf("%d %d %s %d %d\n", pts[0].x, pts[1].y, greeting, total, fp());
+    return 0;
+}
+`)
+	if raw.Stdout != "1 4 hi 10 1\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestUseAfterFreeDetectedByValgrindPolicy(t *testing.T) {
+	u := build(t, `
+void *malloc(unsigned int n);
+void free(void *p);
+int main(void) {
+    int *p = (int*)malloc(4);
+    *p = 5;
+    free(p);
+    return *p;   /* use after free */
+}
+`)
+	out, err := u.RunRaw(interp.PolicyValgrind, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ToolReports) == 0 {
+		t.Error("valgrind-style policy should report the use-after-free")
+	}
+}
+
+func TestCheckCountsPositive(t *testing.T) {
+	_, cured := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    int a[16];
+    int *p = a;
+    int i, t = 0;
+    for (i = 0; i < 16; i++) { p[i] = i; }
+    for (i = 0; i < 16; i++) { t += a[i]; }
+    printf("%d\n", t);
+    return 0;
+}
+`)
+	if cured.Counters.Checks == 0 {
+		t.Fatal("no checks executed")
+	}
+	if cured.Counters.Steps == 0 {
+		t.Fatal("no steps counted")
+	}
+}

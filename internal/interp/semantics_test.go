@@ -1,0 +1,389 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"gocured/internal/interp"
+)
+
+// These tests pin down C semantics corners of the interpreter: integer
+// widths and signedness, control-flow lowering, aggregate copies, argv,
+// and libc behaviours. Everything runs both raw and cured via both().
+
+func TestUnsignedArithmetic(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    unsigned int a = 10, b = 3;
+    unsigned int big = 0x80000000;
+    printf("%u %u %u\n", a / b, a % b, big / 2);
+    printf("%u %u\n", big >> 1, (unsigned int)(-1) >> 28);
+    int sa = -16;
+    printf("%d %d\n", sa >> 2, sa / 4);
+    return 0;
+}
+`)
+	want := "3 1 1073741824\n1073741824 15\n-4 -4\n"
+	if raw.Stdout != want {
+		t.Errorf("stdout = %q, want %q", raw.Stdout, want)
+	}
+}
+
+func TestCharAndShortTruncation(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    char c = (char)300;        /* 300 mod 256 = 44 */
+    unsigned char u = (unsigned char)(-1);
+    short s = (short)70000;    /* 70000 - 65536 = 4464 */
+    printf("%d %d %d\n", c, u, s);
+    return 0;
+}
+`)
+	if raw.Stdout != "44 255 4464\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestFloatConversions(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    double d = 3.75;
+    float f = (float)d;
+    int i = (int)d;
+    double back = i;
+    printf("%g %g %d %g\n", d, f, i, back);
+    printf("%d\n", (int)-2.9);
+    return 0;
+}
+`)
+	if raw.Stdout != "3.75 3.75 3 3\n-2\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestDoWhileContinueSemantics(t *testing.T) {
+	// continue in do-while must jump to the condition, not loop forever.
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    int i = 0, evens = 0;
+    do {
+        i++;
+        if (i % 2) continue;
+        evens++;
+    } while (i < 10);
+    printf("%d %d\n", i, evens);
+    return 0;
+}
+`)
+	if raw.Stdout != "10 5\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestForContinueRunsPost(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    int i, skipped = 0;
+    for (i = 0; i < 8; i++) {
+        if (i % 3 == 0) { skipped++; continue; }
+    }
+    printf("%d %d\n", i, skipped);
+    return 0;
+}
+`)
+	if raw.Stdout != "8 3\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestCommaAndCompoundAssign(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int main(void) {
+    int a = 1, b = 2;
+    int c = (a += 3, b *= a, a + b);
+    int arr[4];
+    int *p = arr;
+    arr[0] = 10; arr[1] = 20; arr[2] = 30; arr[3] = 40;
+    p += 2;
+    *p -= 5;
+    printf("%d %d %d %d\n", a, b, c, arr[2]);
+    return 0;
+}
+`)
+	if raw.Stdout != "4 8 12 25\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestStructCopySemantics(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+struct P { int x; int y; char tag[4]; };
+int main(void) {
+    struct P a, b;
+    a.x = 1; a.y = 2;
+    a.tag[0] = 'A'; a.tag[1] = 0;
+    b = a;           /* value copy */
+    b.x = 99;
+    printf("%d %d %s %d\n", a.x, b.x, b.tag, b.y);
+    return 0;
+}
+`)
+	if raw.Stdout != "1 99 A 2\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestNestedStructsAndArrays(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+struct Inner { int vals[3]; };
+struct Outer { struct Inner rows[2]; int id; };
+int main(void) {
+    struct Outer o;
+    int i, j, sum = 0;
+    for (i = 0; i < 2; i++)
+        for (j = 0; j < 3; j++)
+            o.rows[i].vals[j] = i * 10 + j;
+    o.id = 7;
+    for (i = 0; i < 2; i++)
+        for (j = 0; j < 3; j++)
+            sum += o.rows[i].vals[j];
+    printf("%d %d\n", sum, o.id);
+    return 0;
+}
+`)
+	if raw.Stdout != "36 7\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int sumdown(int n) { return n == 0 ? 0 : n + sumdown(n - 1); }
+int main(void) {
+    printf("%d %d\n", fib(15), sumdown(200));
+    return 0;
+}
+`)
+	if raw.Stdout != "610 20100\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestMainArgv(t *testing.T) {
+	u := build(t, `
+int printf(char *fmt, ...);
+int strcmp(char *a, char *b);
+int main(int argc, char **argv) {
+    int i;
+    printf("argc=%d\n", argc);
+    for (i = 0; i < argc; i++) printf("arg %d: %s\n", i, argv[i]);
+    if (argc > 1 && strcmp(argv[1], "hello") == 0) return 42;
+    return 0;
+}
+`)
+	for _, mode := range []string{"raw", "cured"} {
+		var out *interp.Outcome
+		var err error
+		cfg := interp.Config{Args: []string{"hello", "world"}}
+		if mode == "cured" {
+			out, err = u.RunCured(cfg)
+		} else {
+			out, err = u.RunRaw(interp.PolicyNone, cfg)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Trap != nil {
+			t.Fatalf("%s trap: %v", mode, out.Trap)
+		}
+		if out.ExitCode != 42 {
+			t.Errorf("%s exit = %d, want 42", mode, out.ExitCode)
+		}
+		if !strings.Contains(out.Stdout, "argc=3") ||
+			!strings.Contains(out.Stdout, "arg 2: world") {
+			t.Errorf("%s stdout = %q", mode, out.Stdout)
+		}
+	}
+}
+
+func TestArgvBoundsChecked(t *testing.T) {
+	u := build(t, `
+int printf(char *fmt, ...);
+int main(int argc, char **argv) {
+    printf("%s\n", argv[argc + 3]);   /* out of bounds */
+    return 0;
+}
+`)
+	out, err := u.RunCured(interp.Config{Args: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trap == nil {
+		t.Fatal("walking past argv must trap when cured")
+	}
+}
+
+func TestReallocPreservesPrefix(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+void *malloc(unsigned int n);
+void *realloc(void *p, unsigned int n);
+int main(void) {
+    int *p = (int *)malloc(4 * sizeof(int));
+    int i, sum = 0;
+    for (i = 0; i < 4; i++) p[i] = i + 1;
+    p = (int *)realloc(p, 8 * sizeof(int));
+    for (i = 4; i < 8; i++) p[i] = 0;
+    for (i = 0; i < 8; i++) sum += p[i];
+    printf("%d\n", sum);
+    return 0;
+}
+`)
+	if raw.Stdout != "10\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := `
+int printf(char *fmt, ...);
+int rand(void);
+void srand(unsigned int s);
+int main(void) {
+    int i;
+    srand(7);
+    for (i = 0; i < 4; i++) printf("%d ", rand() % 100);
+    printf("\n");
+    return 0;
+}
+`
+	u := build(t, src)
+	a := runRaw(t, u)
+	b := runRaw(t, u)
+	if a.Stdout != b.Stdout {
+		t.Errorf("rand not deterministic: %q vs %q", a.Stdout, b.Stdout)
+	}
+}
+
+func TestSprintfSnprintf(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int sprintf(char *buf, char *fmt, ...);
+int snprintf(char *buf, unsigned int n, char *fmt, ...);
+int main(void) {
+    char buf[32];
+    int n = sprintf(buf, "%s-%04d", "id", 42);
+    printf("%s %d\n", buf, n);
+    n = snprintf(buf, 6, "%s", "overflowing");
+    printf("%s %d\n", buf, n);
+    return 0;
+}
+`)
+	want := "id-0042 7\noverf 11\n"
+	if raw.Stdout != want {
+		t.Errorf("stdout = %q, want %q", raw.Stdout, want)
+	}
+}
+
+func TestStringFunctionsAgainstStdlib(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+char *strstr(char *h, char *n);
+char *strrchr(char *s, int c);
+int strncmp(char *a, char *b, unsigned int n);
+char *strncpy(char *d, char *s, unsigned int n);
+int main(void) {
+    char buf[16];
+    char *hay = "the cat sat on the mat";
+    printf("%s\n", strstr(hay, "sat"));
+    printf("%s\n", strrchr(hay, 't'));
+    printf("%d %d\n", strncmp("abcd", "abcf", 3), strncmp("abcd", "abcf", 4) < 0);
+    strncpy(buf, "tiny", 8);
+    printf("%s\n", buf);
+    return 0;
+}
+`)
+	want := "sat on the mat\nt\n0 1\ntiny\n"
+	if raw.Stdout != want {
+		t.Errorf("stdout = %q, want %q", raw.Stdout, want)
+	}
+}
+
+func TestSwitchFallthroughRuntime(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int classify(int x) {
+    int r = 0;
+    switch (x) {
+    case 0:
+    case 1: r += 1;        /* falls through */
+    case 2: r += 10; break;
+    case 3: r = 99; break;
+    default: r = -1;
+    }
+    return r;
+}
+int main(void) {
+    int i;
+    for (i = 0; i < 5; i++) printf("%d ", classify(i));
+    printf("\n");
+    return 0;
+}
+`)
+	if raw.Stdout != "11 11 10 99 -1 \n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestGlobalPointerTables(t *testing.T) {
+	raw, _ := both(t, `
+int printf(char *fmt, ...);
+int one(void) { return 1; }
+int two(void) { return 2; }
+int (*table[2])(void) = { one, two };
+char *names[2] = { "one", "two" };
+int main(void) {
+    int i, sum = 0;
+    for (i = 0; i < 2; i++) {
+        sum += table[i]();
+        printf("%s ", names[i]);
+    }
+    printf("%d\n", sum);
+    return 0;
+}
+`)
+	if raw.Stdout != "one two 3\n" {
+		t.Errorf("stdout = %q", raw.Stdout)
+	}
+}
+
+func TestCostCountersMonotone(t *testing.T) {
+	u := build(t, `
+int main(void) {
+    int i, t = 0;
+    int a[64];
+    for (i = 0; i < 64; i++) a[i] = i;
+    for (i = 0; i < 64; i++) t += a[i];
+    return t & 127;
+}
+`)
+	raw := runRaw(t, u)
+	cured := runCured(t, u)
+	if cured.Counters.Cost <= raw.Counters.Cost {
+		t.Errorf("cured cost %d must exceed raw cost %d", cured.Counters.Cost, raw.Counters.Cost)
+	}
+	rawAgain := runRaw(t, u)
+	if raw.Counters.Cost != rawAgain.Counters.Cost {
+		t.Errorf("cost must be deterministic: %d vs %d", raw.Counters.Cost, rawAgain.Counters.Cost)
+	}
+}

@@ -1,0 +1,247 @@
+// Package qual defines pointer-kind qualifiers and the constraint graph used
+// by the CCured inference. Each syntactic pointer (or array) type occurrence
+// gets a Node; the address of each variable and structure field gets one as
+// well. Inference merges nodes that must share a kind (union-find), connects
+// data flow with directed edges, and records per-node facts (arithmetic,
+// bad casts, annotations) that the solver turns into kinds.
+package qual
+
+import (
+	"fmt"
+
+	"gocured/internal/ctypes"
+	"gocured/internal/diag"
+)
+
+// Kind is a CCured pointer kind.
+type Kind int
+
+// Pointer kinds, ordered so that the solver can only escalate:
+// Unknown < Safe < Rtti < Seq < Wild.
+const (
+	Unknown Kind = iota
+	Safe
+	Rtti
+	Seq
+	Wild
+)
+
+var kindNames = [...]string{"UNKNOWN", "SAFE", "RTTI", "SEQ", "WILD"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Node is one equivalence class representative in the qualifier graph.
+type Node struct {
+	ID int
+	// Ty is the pointer/array occurrence this node was created for (the
+	// first one, if several were unified).
+	Ty *ctypes.Type
+
+	// Facts accumulated during constraint generation.
+	Arith    bool // pointer arithmetic is performed on this pointer
+	BadCast  bool // involved in a cast CCured cannot verify
+	IntCast  bool // a non-zero integer is cast to this pointer
+	RttiNeed bool // a checked downcast reads run-time type info from it
+	Forced   Kind // user annotation (Unknown if none)
+
+	// Kind is the solved pointer kind (valid after Solve).
+	Kind Kind
+
+	// WhyPos/Why record the first reason a node went WILD, for diagnostics
+	// ("a security review should start at these casts").
+	Why    string
+	WhyPos diag.Pos
+
+	parent *Node // union-find
+	rank   int
+
+	// flowOut lists nodes this one flows into (assignment/cast data flow,
+	// source -> destination).
+	flowOut []*Node
+	// flowIn lists nodes flowing into this one.
+	flowIn []*Node
+	// base lists the pointer nodes contained in the representation of the
+	// pointee type (for WILD spreading into base types).
+	base []*Node
+}
+
+// Graph is the whole-program qualifier graph.
+type Graph struct {
+	Nodes  []*Node
+	byType map[*ctypes.Type]*Node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{byType: make(map[*ctypes.Type]*Node)}
+}
+
+// NodeFor returns the node for a pointer/array type occurrence, creating it
+// on first use. The occurrence's Node field is set to the node ID.
+func (g *Graph) NodeFor(t *ctypes.Type) *Node {
+	if t == nil || (t.Kind != ctypes.Ptr && t.Kind != ctypes.Array) {
+		return nil
+	}
+	if n, ok := g.byType[t]; ok {
+		return n.Find()
+	}
+	n := &Node{ID: len(g.Nodes) + 1, Ty: t}
+	switch t.Ann {
+	case ctypes.AnnSafe:
+		n.Forced = Safe
+	case ctypes.AnnSeq:
+		n.Forced = Seq
+	case ctypes.AnnWild:
+		n.Forced = Wild
+	case ctypes.AnnRtti:
+		n.Forced = Rtti
+	}
+	n.parent = n
+	g.Nodes = append(g.Nodes, n)
+	g.byType[t] = n
+	t.Node = n.ID
+	return n
+}
+
+// Lookup returns the representative node for an occurrence, or nil.
+func (g *Graph) Lookup(t *ctypes.Type) *Node {
+	if n, ok := g.byType[t]; ok {
+		return n.Find()
+	}
+	return nil
+}
+
+// Find returns the representative of n's equivalence class.
+func (n *Node) Find() *Node {
+	for n.parent != n {
+		n.parent = n.parent.parent
+		n = n.parent
+	}
+	return n
+}
+
+// Union merges the classes of a and b (they must have the same kind).
+func (g *Graph) Union(a, b *Node) *Node {
+	ra, rb := a.Find(), b.Find()
+	if ra == rb {
+		return ra
+	}
+	if ra.rank < rb.rank {
+		ra, rb = rb, ra
+	}
+	if ra.rank == rb.rank {
+		ra.rank++
+	}
+	rb.parent = ra
+	// Merge facts into the representative.
+	ra.Arith = ra.Arith || rb.Arith
+	ra.IntCast = ra.IntCast || rb.IntCast
+	ra.RttiNeed = ra.RttiNeed || rb.RttiNeed
+	if rb.BadCast && !ra.BadCast {
+		ra.BadCast = true
+		ra.Why, ra.WhyPos = rb.Why, rb.WhyPos
+	}
+	if ra.Forced == Unknown {
+		ra.Forced = rb.Forced
+	}
+	ra.flowOut = append(ra.flowOut, rb.flowOut...)
+	ra.flowIn = append(ra.flowIn, rb.flowIn...)
+	ra.base = append(ra.base, rb.base...)
+	return ra
+}
+
+// Flow records data flow from src to dst (assignment dst = src).
+func (g *Graph) Flow(src, dst *Node) {
+	if src == nil || dst == nil {
+		return
+	}
+	rs, rd := src.Find(), dst.Find()
+	if rs == rd {
+		return
+	}
+	rs.flowOut = append(rs.flowOut, rd)
+	rd.flowIn = append(rd.flowIn, rs)
+}
+
+// AddBase records that base is a pointer contained in the representation of
+// n's pointee (WILD spreads from n to base).
+func (g *Graph) AddBase(n, base *Node) {
+	if n == nil || base == nil {
+		return
+	}
+	rn := n.Find()
+	rn.base = append(rn.base, base)
+}
+
+// MarkArith records pointer arithmetic on n.
+func (n *Node) MarkArith() {
+	if n != nil {
+		n.Find().Arith = true
+	}
+}
+
+// MarkBad records a bad cast with provenance.
+func (n *Node) MarkBad(pos diag.Pos, why string) {
+	if n == nil {
+		return
+	}
+	r := n.Find()
+	if !r.BadCast {
+		r.BadCast = true
+		r.Why = why
+		r.WhyPos = pos
+	}
+}
+
+// MarkIntCast records a non-zero integer flowing into the pointer.
+func (n *Node) MarkIntCast() {
+	if n != nil {
+		n.Find().IntCast = true
+	}
+}
+
+// MarkRtti records that a checked downcast needs RTTI from this pointer.
+func (n *Node) MarkRtti() {
+	if n != nil {
+		n.Find().RttiNeed = true
+	}
+}
+
+// Reps returns the unique class representatives.
+func (g *Graph) Reps() []*Node {
+	seen := make(map[*Node]bool)
+	var out []*Node
+	for _, n := range g.Nodes {
+		r := n.Find()
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// KindOf returns the solved kind for the class of t's node; pointers that
+// never entered the graph (unreached occurrences) default to Safe.
+func (g *Graph) KindOf(t *ctypes.Type) Kind {
+	if n := g.Lookup(t); n != nil {
+		if n.Kind == Unknown {
+			return Safe
+		}
+		return n.Kind
+	}
+	return Safe
+}
+
+// FlowsOut exposes n's outgoing flow edges (representatives).
+func (n *Node) FlowsOut() []*Node { return n.Find().flowOut }
+
+// FlowsIn exposes n's incoming flow edges (representatives).
+func (n *Node) FlowsIn() []*Node { return n.Find().flowIn }
+
+// BaseNodes exposes the pointee-contained pointer nodes.
+func (n *Node) BaseNodes() []*Node { return n.Find().base }
+
+func (n *Node) String() string {
+	return fmt.Sprintf("n%d(%s:%s)", n.ID, n.Ty, n.Kind)
+}

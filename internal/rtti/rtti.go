@@ -1,0 +1,153 @@
+// Package rtti implements the global run-time type hierarchy of §3.2:
+// a registry of the pointer base types occurring in a program, the
+// compile-time function rttiOf mapping a type to its hierarchy node, and the
+// run-time predicate isSubtype over nodes (physical subtyping). RTTI
+// pointers carry a node alongside the pointer value; checked downcasts call
+// IsSubtype at run time.
+package rtti
+
+import (
+	"fmt"
+	"strings"
+
+	"gocured/internal/ctypes"
+)
+
+// Node is one type in the hierarchy.
+type Node struct {
+	ID   int
+	Ty   *ctypes.Type
+	Name string
+}
+
+func (n *Node) String() string { return n.Name }
+
+// Hierarchy is the program-wide physical subtyping hierarchy.
+type Hierarchy struct {
+	nodes    []*Node
+	byKey    map[string]*Node
+	subCache map[[2]int]int8 // -1 unknown, 0 false, 1 true
+	// VoidNode is the top of the hierarchy (every type ≤ void).
+	VoidNode *Node
+}
+
+// NewHierarchy returns a hierarchy containing only void.
+func NewHierarchy() *Hierarchy {
+	h := &Hierarchy{
+		byKey:    make(map[string]*Node),
+		subCache: make(map[[2]int]int8),
+	}
+	h.VoidNode = h.Of(ctypes.VoidType())
+	return h
+}
+
+// key canonicalizes a type for hierarchy identity: struct types by
+// definition, everything else structurally.
+func key(t *ctypes.Type) string {
+	switch t.Kind {
+	case ctypes.Void:
+		return "void"
+	case ctypes.Int:
+		sign := "u"
+		if t.Signed {
+			sign = "i"
+		}
+		return fmt.Sprintf("%s%d", sign, t.Size*8)
+	case ctypes.Float:
+		return fmt.Sprintf("f%d", t.Size*8)
+	case ctypes.Ptr:
+		return "*" + key(t.Elem)
+	case ctypes.Array:
+		return fmt.Sprintf("[%d]%s", t.Len, key(t.Elem))
+	case ctypes.Struct:
+		return fmt.Sprintf("su%d", t.SU.ID)
+	case ctypes.Func:
+		var b strings.Builder
+		b.WriteString("fn(")
+		for i, p := range t.Fn.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(key(p))
+		}
+		if t.Fn.Variadic {
+			b.WriteString(",...")
+		}
+		b.WriteString(")")
+		b.WriteString(key(t.Fn.Ret))
+		return b.String()
+	}
+	return "?"
+}
+
+// Of registers (if needed) and returns the hierarchy node for t. This is
+// the compile-time rttiOf function.
+func (h *Hierarchy) Of(t *ctypes.Type) *Node {
+	k := key(t)
+	if n, ok := h.byKey[k]; ok {
+		return n
+	}
+	n := &Node{ID: len(h.nodes) + 1, Ty: t, Name: t.String()}
+	h.nodes = append(h.nodes, n)
+	h.byKey[k] = n
+	return n
+}
+
+// Lookup returns the node for t if registered, else nil.
+func (h *Hierarchy) Lookup(t *ctypes.Type) *Node {
+	return h.byKey[key(t)]
+}
+
+// IsSubtype reports whether a ≤ b (a is a physical subtype of b), i.e. a
+// pointer to an a may be used where a pointer to a b is expected after a
+// checked downcast from b to a succeeds in reverse. It is the run-time
+// subtype test of §3.2.
+func (h *Hierarchy) IsSubtype(a, b *Node) bool {
+	if a == b {
+		return true
+	}
+	ck := [2]int{a.ID, b.ID}
+	if v, ok := h.subCache[ck]; ok {
+		return v == 1
+	}
+	// a ≤ b iff b's layout is a prefix of a's layout.
+	ok, _ := ctypes.Prefix(a.Ty, b.Ty)
+	v := int8(0)
+	if ok {
+		v = 1
+	}
+	h.subCache[ck] = v
+	return ok
+}
+
+// HasStrictSubtypes reports whether any registered aggregate type is a
+// strict physical subtype of n's type. The inference uses this to avoid
+// propagating the RTTI kind to pointers whose static type has no subtypes
+// in the program (§3.2: such pointers stay SAFE).
+func (h *Hierarchy) HasStrictSubtypes(n *Node) bool {
+	if n == h.VoidNode {
+		// Everything is a subtype of void; void has strict subtypes as
+		// soon as the program has any other registered type.
+		return len(h.nodes) > 1
+	}
+	// Only aggregates participate (a scalar's "subtypes" — structs that
+	// start with it — do not make programs use it polymorphically).
+	if n.Ty.Kind != ctypes.Struct {
+		return false
+	}
+	for _, m := range h.nodes {
+		if m == n || m.Ty.Kind != ctypes.Struct {
+			continue
+		}
+		if h.IsSubtype(m, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns all registered nodes.
+func (h *Hierarchy) Nodes() []*Node { return h.nodes }
+
+// Len returns the number of registered types.
+func (h *Hierarchy) Len() int { return len(h.nodes) }

@@ -1,0 +1,551 @@
+package sema
+
+import (
+	"gocured/internal/cparse"
+	"gocured/internal/ctypes"
+)
+
+// This file type checks expressions. The cardinal rule: every conversion
+// becomes an explicit Cast node (marked Implicit), because the pointer-kind
+// inference reads its constraints off casts.
+
+// decay wraps an expression of array or function type in its decayed
+// pointer form. Array decay reuses the array's qualifier node (the decayed
+// pointer IS the array pointer, so they must share a kind).
+func decay(e cparse.Expr) cparse.Expr {
+	t := e.Type()
+	switch t.Kind {
+	case ctypes.Array:
+		e.SetType(t.Decay())
+		return e
+	case ctypes.Func:
+		e.SetType(ctypes.PointerTo(t))
+		return e
+	}
+	return e
+}
+
+// isNullConst reports whether e is the integer constant 0 (a null pointer
+// constant), looking through implicit int casts.
+func isNullConst(e cparse.Expr) bool {
+	switch x := e.(type) {
+	case *cparse.IntLit:
+		return x.Val == 0
+	case *cparse.Cast:
+		if x.Implicit && x.To.IsInteger() {
+			return isNullConst(x.X)
+		}
+	}
+	return false
+}
+
+// convert coerces e to type to, inserting an implicit Cast when the types
+// differ structurally. Identical types never get a cast, so cast statistics
+// reflect genuine conversions.
+func (c *checker) convert(e cparse.Expr, to *ctypes.Type) cparse.Expr {
+	e = decay(e)
+	from := e.Type()
+	if from == to || ctypes.Equal(from, to) {
+		return e
+	}
+	okConv := false
+	switch {
+	case from.IsArith() && to.IsArith():
+		okConv = true
+	case from.IsPointer() && to.IsPointer():
+		okConv = true // classification happens during inference
+	case from.IsInteger() && to.IsPointer():
+		okConv = true // null constants and int-to-pointer disguises
+	case from.IsPointer() && to.IsInteger():
+		okConv = true
+	case to.IsVoid():
+		okConv = true
+	}
+	if !okConv {
+		c.diags.Errorf(e.Pos(), "cannot convert %s to %s", from, to)
+	}
+	cast := &cparse.Cast{To: to, X: e, Implicit: true}
+	cast.P = e.Pos()
+	cast.SetType(to)
+	return cast
+}
+
+// usualArith computes the usual arithmetic conversion target for a and b.
+func usualArith(a, b *ctypes.Type) *ctypes.Type {
+	if a.Kind == ctypes.Float || b.Kind == ctypes.Float {
+		sz := 4
+		if a.Kind == ctypes.Float && a.Size == 8 || b.Kind == ctypes.Float && b.Size == 8 {
+			sz = 8
+		}
+		return ctypes.FloatType(sz)
+	}
+	// Integer promotion: everything smaller than int promotes to int.
+	sz, unsigned := 4, false
+	if a.Size > sz {
+		sz = a.Size
+	}
+	if b.Size > sz {
+		sz = b.Size
+	}
+	if (a.Size >= sz && !a.Signed) || (b.Size >= sz && !b.Signed) {
+		unsigned = true
+	}
+	return ctypes.IntType(sz, !unsigned)
+}
+
+func (c *checker) checkExpr(e cparse.Expr) cparse.Expr {
+	switch x := e.(type) {
+	case *cparse.IntLit:
+		if x.Type() == nil {
+			x.SetType(ctypes.IntT())
+		}
+		return x
+	case *cparse.FloatLit:
+		x.SetType(ctypes.FloatType(8))
+		return x
+	case *cparse.StrLit:
+		// A string literal is a char array that decays to char*; each
+		// literal is its own qualifier node.
+		x.SetType(ctypes.PointerTo(ctypes.CharType()))
+		return x
+	case *cparse.Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.diags.Errorf(x.Pos(), "undeclared identifier %q", x.Name)
+			x.SetType(ctypes.IntT())
+			return x
+		}
+		x.Sym = sym
+		x.SetType(sym.Type)
+		return x
+	case *cparse.Unary:
+		return c.checkUnary(x)
+	case *cparse.Binary:
+		return c.checkBinary(x)
+	case *cparse.Assign:
+		return c.checkAssign(x)
+	case *cparse.Cond:
+		return c.checkCondExpr(x)
+	case *cparse.Cast:
+		x.X = decay(c.checkExpr(x.X))
+		from, to := x.X.Type(), x.To
+		if !from.IsScalar() && !from.IsVoid() && !to.IsScalar() && !to.IsVoid() &&
+			!ctypes.Equal(from, to) {
+			c.diags.Errorf(x.Pos(), "invalid cast from %s to %s", from, to)
+		}
+		x.SetType(to)
+		return x
+	case *cparse.Call:
+		return c.checkCall(x)
+	case *cparse.Index:
+		x.X = decay(c.checkExpr(x.X))
+		x.I = c.checkExpr(x.I)
+		xt := x.X.Type()
+		it := x.I.Type()
+		// C allows i[p]; normalize to p[i].
+		if it.IsPointer() && xt.IsInteger() {
+			x.X, x.I = x.I, x.X
+			xt, it = it, xt
+		}
+		if !xt.IsPointer() {
+			c.diags.Errorf(x.Pos(), "subscripted value %s is not a pointer or array", xt)
+			x.SetType(ctypes.IntT())
+			return x
+		}
+		if !it.IsInteger() {
+			c.diags.Errorf(x.Pos(), "array index must be an integer, got %s", it)
+		}
+		x.SetType(xt.Elem)
+		return x
+	case *cparse.Member:
+		return c.checkMember(x)
+	case *cparse.SizeofExpr:
+		if x.X != nil {
+			x.X = c.checkExpr(x.X)
+		}
+		x.SetType(ctypes.UIntT())
+		return x
+	case *cparse.Comma:
+		x.X = c.checkExpr(x.X)
+		x.Y = c.checkExpr(x.Y)
+		x.SetType(x.Y.Type())
+		return x
+	}
+	c.diags.Errorf(e.Pos(), "unhandled expression %T", e)
+	e.SetType(ctypes.IntT())
+	return e
+}
+
+// isLvalue reports whether e designates an object.
+func isLvalue(e cparse.Expr) bool {
+	switch x := e.(type) {
+	case *cparse.Ident:
+		return x.Sym != nil && x.Sym.Kind == cparse.SymVar
+	case *cparse.Index:
+		return true
+	case *cparse.Member:
+		return x.Arrow || isLvalue(x.X)
+	case *cparse.Unary:
+		return x.Op == cparse.Deref
+	}
+	return false
+}
+
+func (c *checker) checkUnary(x *cparse.Unary) cparse.Expr {
+	switch x.Op {
+	case cparse.Neg, cparse.BitNot:
+		x.X = c.checkExpr(x.X)
+		t := x.X.Type()
+		if !t.IsArith() || (x.Op == cparse.BitNot && !t.IsInteger()) {
+			c.diags.Errorf(x.Pos(), "invalid operand type %s for unary %s", t, x.Op)
+			x.SetType(ctypes.IntT())
+			return x
+		}
+		if t.IsInteger() && t.Size < 4 {
+			x.X = c.convert(x.X, ctypes.IntT())
+		}
+		x.SetType(x.X.Type())
+		return x
+	case cparse.Not:
+		x.X = decay(c.checkExpr(x.X))
+		if !x.X.Type().IsScalar() {
+			c.diags.Errorf(x.Pos(), "invalid operand type %s for !", x.X.Type())
+		}
+		x.SetType(ctypes.IntT())
+		return x
+	case cparse.Deref:
+		x.X = decay(c.checkExpr(x.X))
+		t := x.X.Type()
+		if !t.IsPointer() {
+			c.diags.Errorf(x.Pos(), "cannot dereference non-pointer %s", t)
+			x.SetType(ctypes.IntT())
+			return x
+		}
+		if t.Elem.Kind == ctypes.Func {
+			// *f on a function pointer is the function itself.
+			x.SetType(t.Elem)
+			return x
+		}
+		x.SetType(t.Elem)
+		return x
+	case cparse.AddrOf:
+		return c.checkAddrOf(x)
+	case cparse.PreInc, cparse.PreDec, cparse.PostInc, cparse.PostDec:
+		x.X = c.checkExpr(x.X)
+		if !isLvalue(x.X) {
+			c.diags.Errorf(x.Pos(), "operand of %s is not an lvalue", x.Op)
+		}
+		t := x.X.Type()
+		if t.Kind == ctypes.Array || !t.IsScalar() {
+			c.diags.Errorf(x.Pos(), "invalid operand type %s for %s", t, x.Op)
+			x.SetType(ctypes.IntT())
+			return x
+		}
+		x.SetType(t)
+		return x
+	}
+	c.diags.Errorf(x.Pos(), "unhandled unary operator %s", x.Op)
+	x.SetType(ctypes.IntT())
+	return x
+}
+
+// checkAddrOf handles &e. Addresses of variables and fields use shared
+// per-symbol / per-field pointer occurrences so that all address-of sites
+// share one qualifier node; &p[i] is rewritten to p + i and &*p to p, so
+// the result shares p's node.
+func (c *checker) checkAddrOf(x *cparse.Unary) cparse.Expr {
+	inner := c.checkExpr(x.X)
+	switch v := inner.(type) {
+	case *cparse.Ident:
+		sym := v.Sym
+		if sym == nil {
+			x.SetType(ctypes.PointerTo(ctypes.IntT()))
+			return x
+		}
+		if sym.Kind == cparse.SymFunc {
+			// &f is just f decayed.
+			return decay(v)
+		}
+		sym.AddrTaken = true
+		if sym.AddrType == nil {
+			sym.AddrType = ctypes.PointerTo(sym.Type)
+		}
+		x.X = v
+		x.SetType(sym.AddrType)
+		return x
+	case *cparse.Member:
+		f := v.Field
+		if f != nil {
+			if f.AddrType == nil {
+				f.AddrType = ctypes.PointerTo(f.Type)
+			}
+			if !v.Arrow {
+				c.markAddrTaken(v.X)
+			}
+			x.X = v
+			x.SetType(f.AddrType)
+			return x
+		}
+		x.SetType(ctypes.PointerTo(ctypes.IntT()))
+		return x
+	case *cparse.Index:
+		// &p[i] == p + i (shares p's qualifier node).
+		add := &cparse.Binary{Op: cparse.Add, X: v.X, Y: v.I}
+		add.P = x.Pos()
+		add.SetType(v.X.Type())
+		return add
+	case *cparse.Unary:
+		if v.Op == cparse.Deref {
+			return v.X // &*p == p
+		}
+	}
+	if !isLvalue(inner) {
+		c.diags.Errorf(x.Pos(), "cannot take the address of this expression")
+	}
+	x.X = inner
+	x.SetType(ctypes.PointerTo(inner.Type()))
+	return x
+}
+
+// markAddrTaken records that the base object of a member chain has its
+// address exposed (e.g. &s.f exposes s).
+func (c *checker) markAddrTaken(e cparse.Expr) {
+	switch v := e.(type) {
+	case *cparse.Ident:
+		if v.Sym != nil {
+			v.Sym.AddrTaken = true
+		}
+	case *cparse.Member:
+		if !v.Arrow {
+			c.markAddrTaken(v.X)
+		}
+	case *cparse.Index:
+		// base already behind a pointer
+	}
+}
+
+func (c *checker) checkBinary(x *cparse.Binary) cparse.Expr {
+	x.X = decay(c.checkExpr(x.X))
+	x.Y = decay(c.checkExpr(x.Y))
+	lt, rt := x.X.Type(), x.Y.Type()
+
+	switch x.Op {
+	case cparse.LogAnd, cparse.LogOr:
+		if !lt.IsScalar() || !rt.IsScalar() {
+			c.diags.Errorf(x.Pos(), "invalid operands %s, %s for %s", lt, rt, x.Op)
+		}
+		x.SetType(ctypes.IntT())
+		return x
+
+	case cparse.Eq, cparse.Ne, cparse.Lt, cparse.Gt, cparse.Le, cparse.Ge:
+		switch {
+		case lt.IsArith() && rt.IsArith():
+			common := usualArith(lt, rt)
+			x.X = c.convert(x.X, common)
+			x.Y = c.convert(x.Y, common)
+		case lt.IsPointer() && rt.IsPointer():
+			// Comparing unequal pointer types requires a cast; insert one
+			// toward the left type so inference sees it.
+			if !ctypes.Equal(lt, rt) {
+				x.Y = c.convert(x.Y, lt)
+			}
+		case lt.IsPointer() && rt.IsInteger():
+			x.Y = c.convert(x.Y, lt)
+		case rt.IsPointer() && lt.IsInteger():
+			x.X = c.convert(x.X, rt)
+		default:
+			c.diags.Errorf(x.Pos(), "invalid comparison of %s and %s", lt, rt)
+		}
+		x.SetType(ctypes.IntT())
+		return x
+
+	case cparse.Add:
+		if lt.IsPointer() && rt.IsInteger() {
+			x.SetType(lt)
+			return x
+		}
+		if lt.IsInteger() && rt.IsPointer() {
+			x.X, x.Y = x.Y, x.X // normalize: pointer on the left
+			x.SetType(rt)
+			return x
+		}
+	case cparse.Sub:
+		if lt.IsPointer() && rt.IsInteger() {
+			x.SetType(lt)
+			return x
+		}
+		if lt.IsPointer() && rt.IsPointer() {
+			if !ctypes.Equal(lt.Elem, rt.Elem) {
+				c.diags.Errorf(x.Pos(), "subtraction of incompatible pointers %s and %s", lt, rt)
+			}
+			x.SetType(ctypes.IntT())
+			return x
+		}
+	}
+
+	// Remaining cases are arithmetic.
+	if !lt.IsArith() || !rt.IsArith() {
+		c.diags.Errorf(x.Pos(), "invalid operands %s, %s for %s", lt, rt, x.Op)
+		x.SetType(ctypes.IntT())
+		return x
+	}
+	switch x.Op {
+	case cparse.Rem, cparse.Shl, cparse.Shr, cparse.BitAnd, cparse.BitOr, cparse.BitXor:
+		if !lt.IsInteger() || !rt.IsInteger() {
+			c.diags.Errorf(x.Pos(), "operator %s requires integers, got %s, %s", x.Op, lt, rt)
+		}
+	}
+	common := usualArith(lt, rt)
+	x.X = c.convert(x.X, common)
+	x.Y = c.convert(x.Y, common)
+	x.SetType(common)
+	return x
+}
+
+func (c *checker) checkAssign(x *cparse.Assign) cparse.Expr {
+	x.L = c.checkExpr(x.L)
+	if !isLvalue(x.L) {
+		c.diags.Errorf(x.Pos(), "assignment target is not an lvalue")
+	}
+	lt := x.L.Type()
+	if lt.Kind == ctypes.Array {
+		c.diags.Errorf(x.Pos(), "cannot assign to an array")
+		lt = ctypes.IntT()
+	}
+	if x.Op < 0 {
+		x.R = c.convert(c.checkExpr(x.R), lt)
+		x.SetType(lt)
+		return x
+	}
+	// Compound assignment `l op= r`: the lowering evaluates the lvalue
+	// address once, reads it, applies the operator, and writes back. Here
+	// we validate operand types and convert the right operand; no pointer
+	// casts are involved (pointer compound assignment is arithmetic only),
+	// so inference loses nothing.
+	x.R = decay(c.checkExpr(x.R))
+	rt := x.R.Type()
+	switch {
+	case lt.IsPointer():
+		if x.Op != cparse.Add && x.Op != cparse.Sub {
+			c.diags.Errorf(x.Pos(), "invalid operator %s= on pointer", x.Op)
+		}
+		if !rt.IsInteger() {
+			c.diags.Errorf(x.Pos(), "pointer %s= requires an integer, got %s", x.Op, rt)
+		}
+	case lt.IsArith() && rt.IsArith():
+		switch x.Op {
+		case cparse.Rem, cparse.Shl, cparse.Shr, cparse.BitAnd, cparse.BitOr, cparse.BitXor:
+			if !lt.IsInteger() || !rt.IsInteger() {
+				c.diags.Errorf(x.Pos(), "operator %s= requires integers", x.Op)
+			}
+		}
+		x.R = c.convert(x.R, usualArith(lt, rt))
+	default:
+		c.diags.Errorf(x.Pos(), "invalid operands %s, %s for %s=", lt, rt, x.Op)
+	}
+	x.SetType(lt)
+	return x
+}
+
+func (c *checker) checkCondExpr(x *cparse.Cond) cparse.Expr {
+	x.C = decay(c.checkExpr(x.C))
+	if !x.C.Type().IsScalar() {
+		c.diags.Errorf(x.Pos(), "?: condition must be scalar")
+	}
+	x.T = decay(c.checkExpr(x.T))
+	x.F = decay(c.checkExpr(x.F))
+	tt, ft := x.T.Type(), x.F.Type()
+	switch {
+	case tt.IsArith() && ft.IsArith():
+		common := usualArith(tt, ft)
+		x.T = c.convert(x.T, common)
+		x.F = c.convert(x.F, common)
+		x.SetType(common)
+	case tt.IsPointer() && ft.IsPointer():
+		if !ctypes.Equal(tt, ft) {
+			x.F = c.convert(x.F, tt)
+		}
+		x.SetType(tt)
+	case tt.IsPointer() && isNullConst(x.F):
+		x.F = c.convert(x.F, tt)
+		x.SetType(tt)
+	case ft.IsPointer() && isNullConst(x.T):
+		x.T = c.convert(x.T, ft)
+		x.SetType(ft)
+	case tt.IsVoid() && ft.IsVoid():
+		x.SetType(ctypes.VoidType())
+	default:
+		c.diags.Errorf(x.Pos(), "incompatible ?: arms: %s and %s", tt, ft)
+		x.SetType(tt)
+	}
+	return x
+}
+
+func (c *checker) checkCall(x *cparse.Call) cparse.Expr {
+	x.Fn = c.checkExpr(x.Fn)
+	ft := x.Fn.Type()
+	if ft.IsPointer() && ft.Elem.Kind == ctypes.Func {
+		ft = ft.Elem
+	}
+	if ft.Kind != ctypes.Func {
+		c.diags.Errorf(x.Pos(), "called object has type %s, not a function", ft)
+		x.SetType(ctypes.IntT())
+		return x
+	}
+	fn := ft.Fn
+	if len(x.Args) < len(fn.Params) || (len(x.Args) > len(fn.Params) && !fn.Variadic) {
+		c.diags.Errorf(x.Pos(), "wrong number of arguments: have %d, want %d",
+			len(x.Args), len(fn.Params))
+	}
+	for i := range x.Args {
+		x.Args[i] = c.checkExpr(x.Args[i])
+		if i < len(fn.Params) {
+			x.Args[i] = c.convert(x.Args[i], fn.Params[i])
+		} else {
+			// Default argument promotions for variadic tails.
+			x.Args[i] = decay(x.Args[i])
+			at := x.Args[i].Type()
+			if at.IsInteger() && at.Size < 4 {
+				x.Args[i] = c.convert(x.Args[i], ctypes.IntT())
+			} else if at.Kind == ctypes.Float && at.Size == 4 {
+				x.Args[i] = c.convert(x.Args[i], ctypes.FloatType(8))
+			}
+		}
+	}
+	x.SetType(fn.Ret)
+	return x
+}
+
+func (c *checker) checkMember(x *cparse.Member) cparse.Expr {
+	x.X = c.checkExpr(x.X)
+	t := x.X.Type()
+	if x.Arrow {
+		t = t.Decay()
+		if !t.IsPointer() {
+			c.diags.Errorf(x.Pos(), "-> on non-pointer type %s", x.X.Type())
+			x.SetType(ctypes.IntT())
+			return x
+		}
+		x.X.SetType(t) // record decay
+		t = t.Elem
+	}
+	if t.Kind != ctypes.Struct {
+		c.diags.Errorf(x.Pos(), "member access on non-struct type %s", t)
+		x.SetType(ctypes.IntT())
+		return x
+	}
+	if !t.SU.Complete {
+		c.diags.Errorf(x.Pos(), "member access on incomplete type %s", t)
+		x.SetType(ctypes.IntT())
+		return x
+	}
+	f := t.SU.FieldByName(x.Name)
+	if f == nil {
+		c.diags.Errorf(x.Pos(), "%s has no field %q", t, x.Name)
+		x.SetType(ctypes.IntT())
+		return x
+	}
+	x.Field = f
+	x.SetType(f.Type)
+	return x
+}

@@ -1,0 +1,380 @@
+// Package sema performs symbol resolution and type checking on the parsed
+// AST. Its most important job for CCured is making every conversion
+// explicit: after Check, each implicit C conversion (argument passing,
+// assignment, void* coercions, null-pointer constants, array decay) appears
+// as a Cast node, because pointer-kind inference derives its constraints
+// from casts.
+package sema
+
+import (
+	"fmt"
+
+	"gocured/internal/cparse"
+	"gocured/internal/ctypes"
+	"gocured/internal/diag"
+)
+
+// FuncSema is the checked form of one function definition.
+type FuncSema struct {
+	Def    *cparse.FuncDef
+	Params []*cparse.Symbol
+	Locals []*cparse.Symbol // block-scoped locals, flattened and uniquified
+}
+
+// Unit is a checked translation unit.
+type Unit struct {
+	File    *cparse.File
+	Globals []*cparse.Symbol // variables only, in declaration order
+	Funcs   []*FuncSema      // defined functions, in source order
+	// Symbols maps every global name (variables and functions) to its symbol.
+	Symbols map[string]*cparse.Symbol
+	// Externs lists functions declared but not defined (library boundary).
+	Externs []*cparse.Symbol
+}
+
+type checker struct {
+	diags  *diag.List
+	unit   *Unit
+	scopes []map[string]*cparse.Symbol
+	cur    *FuncSema
+	names  map[string]int // per-function local name uniquifier
+}
+
+// Check resolves and type checks file.
+func Check(file *cparse.File, diags *diag.List) *Unit {
+	c := &checker{
+		diags: diags,
+		unit: &Unit{
+			File:    file,
+			Symbols: make(map[string]*cparse.Symbol),
+		},
+	}
+	c.collectGlobals()
+	c.checkGlobalInits()
+	for _, fd := range file.Funcs {
+		if fd.Body != nil {
+			c.checkFunc(fd)
+		}
+	}
+	for _, name := range sortedNames(c.unit.Symbols) {
+		sym := c.unit.Symbols[name]
+		if sym.Kind == cparse.SymFunc && sym.Def == nil {
+			c.unit.Externs = append(c.unit.Externs, sym)
+		}
+	}
+	return c.unit
+}
+
+func sortedNames(m map[string]*cparse.Symbol) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func (c *checker) collectGlobals() {
+	for _, g := range c.unit.File.Globals {
+		if prev, ok := c.unit.Symbols[g.Name]; ok {
+			// Tolerate re-declaration with an equal type (extern then def).
+			if !ctypes.Equal(prev.Type, g.Type) {
+				c.diags.Errorf(g.P, "conflicting declarations of %q: %s vs %s",
+					g.Name, prev.Type, g.Type)
+			}
+			if g.Init != nil {
+				prev.VDecl = g
+				g.Sym = prev
+			}
+			continue
+		}
+		sym := &cparse.Symbol{Name: g.Name, Kind: cparse.SymVar, Type: g.Type, Global: true, VDecl: g}
+		g.Sym = sym
+		c.unit.Symbols[g.Name] = sym
+		c.unit.Globals = append(c.unit.Globals, sym)
+	}
+	for _, fd := range c.unit.File.Funcs {
+		if prev, ok := c.unit.Symbols[fd.Name]; ok {
+			if prev.Kind != cparse.SymFunc {
+				c.diags.Errorf(fd.P, "%q redeclared as a function", fd.Name)
+				continue
+			}
+			if !signaturesCompatible(prev.Type, fd.Type) {
+				c.diags.Errorf(fd.P, "conflicting declarations of function %q", fd.Name)
+			}
+			if fd.Body != nil {
+				if prev.Def != nil && prev.Def.Body != nil {
+					c.diags.Errorf(fd.P, "redefinition of function %q", fd.Name)
+				}
+				prev.Def = fd
+				// Prefer the definition's type occurrence (it carries the
+				// parameter names and annotation sites for the body).
+				prev.Type = fd.Type
+			}
+			fd.Sym = prev
+			continue
+		}
+		sym := &cparse.Symbol{Name: fd.Name, Kind: cparse.SymFunc, Type: fd.Type, Global: true}
+		if fd.Body != nil {
+			sym.Def = fd
+		}
+		fd.Sym = sym
+		c.unit.Symbols[fd.Name] = sym
+	}
+}
+
+func signaturesCompatible(a, b *ctypes.Type) bool {
+	if a.Kind != ctypes.Func || b.Kind != ctypes.Func {
+		return false
+	}
+	if len(a.Fn.Params) != len(b.Fn.Params) || a.Fn.Variadic != b.Fn.Variadic {
+		return false
+	}
+	if !ctypes.Equal(a.Fn.Ret, b.Fn.Ret) {
+		return false
+	}
+	for i := range a.Fn.Params {
+		if !ctypes.Equal(a.Fn.Params[i], b.Fn.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Scopes ----
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*cparse.Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declareLocal(d *cparse.VarDecl, param bool) *cparse.Symbol {
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[d.Name]; dup {
+		c.diags.Errorf(d.P, "redeclaration of %q in the same scope", d.Name)
+	}
+	name := d.Name
+	if n := c.names[d.Name]; n > 0 {
+		name = fmt.Sprintf("%s$%d", d.Name, n)
+	}
+	c.names[d.Name]++
+	sym := &cparse.Symbol{Name: name, Kind: cparse.SymVar, Type: d.Type, Param: param, VDecl: d}
+	scope[d.Name] = sym
+	d.Sym = sym
+	if param {
+		c.cur.Params = append(c.cur.Params, sym)
+	} else {
+		c.cur.Locals = append(c.cur.Locals, sym)
+	}
+	return sym
+}
+
+func (c *checker) lookup(name string) *cparse.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.unit.Symbols[name]
+}
+
+// ---- Functions ----
+
+func (c *checker) checkFunc(fd *cparse.FuncDef) {
+	fs := &FuncSema{Def: fd}
+	c.cur = fs
+	c.names = make(map[string]int)
+	c.scopes = nil
+	c.push()
+	fn := fd.Type.Fn
+	for i, pt := range fn.Params {
+		name := ""
+		if i < len(fn.Names) {
+			name = fn.Names[i]
+		}
+		if name == "" {
+			c.diags.Errorf(fd.P, "function %q parameter %d is unnamed", fd.Name, i)
+			name = fmt.Sprintf("__p%d", i)
+		}
+		c.declareLocal(&cparse.VarDecl{P: fd.P, Name: name, Type: pt}, true)
+	}
+	c.checkBlock(fd.Body)
+	c.pop()
+	c.unit.Funcs = append(c.unit.Funcs, fs)
+	c.cur = nil
+}
+
+func (c *checker) checkBlock(b *cparse.Block) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) checkStmt(s cparse.Stmt) {
+	switch st := s.(type) {
+	case *cparse.Block:
+		c.checkBlock(st)
+	case *cparse.Empty:
+	case *cparse.ExprStmt:
+		st.X = c.checkExpr(st.X)
+	case *cparse.DeclStmt:
+		for _, d := range st.Decls {
+			if d.Type.Kind == ctypes.Array && d.Type.Len < 0 && d.Init != nil {
+				c.completeArrayFromInit(d)
+			}
+			if ctypes.Sizeof(d.Type) == 0 && d.Type.Kind != ctypes.Func {
+				c.diags.Errorf(d.P, "variable %q has incomplete type %s", d.Name, d.Type)
+			}
+			c.declareLocal(d, false)
+			if d.Init != nil {
+				c.checkInit(d.Init, d.Type)
+			}
+		}
+	case *cparse.If:
+		st.Cond = c.checkCond(st.Cond)
+		c.checkStmt(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *cparse.While:
+		st.Cond = c.checkCond(st.Cond)
+		c.checkStmt(st.Body)
+	case *cparse.DoWhile:
+		c.checkStmt(st.Body)
+		st.Cond = c.checkCond(st.Cond)
+	case *cparse.For:
+		c.push()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = c.checkCond(st.Cond)
+		}
+		if st.Post != nil {
+			st.Post = c.checkExpr(st.Post)
+		}
+		c.checkStmt(st.Body)
+		c.pop()
+	case *cparse.Return:
+		ret := c.cur.Def.Type.Fn.Ret
+		if st.X == nil {
+			if !ret.IsVoid() {
+				c.diags.Errorf(st.Pos(), "function %q must return %s", c.cur.Def.Name, ret)
+			}
+			return
+		}
+		if ret.IsVoid() {
+			c.diags.Errorf(st.Pos(), "void function %q returns a value", c.cur.Def.Name)
+			st.X = c.checkExpr(st.X)
+			return
+		}
+		st.X = c.convert(c.checkExpr(st.X), ret)
+	case *cparse.Break, *cparse.Continue:
+	case *cparse.Switch:
+		st.X = c.checkExpr(st.X)
+		if !st.X.Type().IsInteger() {
+			c.diags.Errorf(st.Pos(), "switch expression must be an integer, got %s", st.X.Type())
+		}
+		for _, cs := range st.Cases {
+			for _, s2 := range cs.Stmts {
+				c.checkStmt(s2)
+			}
+		}
+	default:
+		c.diags.Errorf(s.Pos(), "unhandled statement %T", s)
+	}
+}
+
+// completeArrayFromInit gives `T a[] = {...}` its length.
+func (c *checker) completeArrayFromInit(d *cparse.VarDecl) {
+	switch {
+	case d.Init.IsList:
+		d.Type.Len = len(d.Init.List)
+	case d.Init.Expr != nil:
+		if s, ok := d.Init.Expr.(*cparse.StrLit); ok && d.Type.Elem.IsInteger() && d.Type.Elem.Size == 1 {
+			d.Type.Len = len(s.Val) + 1
+		}
+	}
+	if d.Type.Len < 0 {
+		c.diags.Errorf(d.P, "cannot deduce length of array %q", d.Name)
+		d.Type.Len = 1
+	}
+}
+
+// checkInit type checks an initializer against the declared type.
+func (c *checker) checkInit(in *cparse.Initializer, ty *ctypes.Type) {
+	if in.IsList {
+		switch ty.Kind {
+		case ctypes.Array:
+			if ty.Len >= 0 && len(in.List) > ty.Len {
+				c.diags.Errorf(in.P, "too many initializers for %s", ty)
+			}
+			for _, e := range in.List {
+				c.checkInit(e, ty.Elem)
+			}
+		case ctypes.Struct:
+			if ty.SU.Union {
+				if len(in.List) > 1 {
+					c.diags.Errorf(in.P, "too many initializers for union")
+				}
+				if len(in.List) == 1 && len(ty.SU.Fields) > 0 {
+					c.checkInit(in.List[0], ty.SU.Fields[0].Type)
+				}
+				return
+			}
+			if len(in.List) > len(ty.SU.Fields) {
+				c.diags.Errorf(in.P, "too many initializers for %s", ty)
+			}
+			for i, e := range in.List {
+				if i < len(ty.SU.Fields) {
+					c.checkInit(e, ty.SU.Fields[i].Type)
+				}
+			}
+		default:
+			if len(in.List) != 1 {
+				c.diags.Errorf(in.P, "brace-list initializer for scalar %s", ty)
+			}
+			if len(in.List) >= 1 {
+				c.checkInit(in.List[0], ty)
+			}
+		}
+		return
+	}
+	// Scalar initializer; `char a[n] = "str"` is also allowed.
+	if s, ok := in.Expr.(*cparse.StrLit); ok && ty.Kind == ctypes.Array &&
+		ty.Elem.IsInteger() && ty.Elem.Size == 1 {
+		if ty.Len >= 0 && len(s.Val)+1 > ty.Len {
+			c.diags.Errorf(in.P, "string literal longer than array")
+		}
+		s.SetType(ctypes.ArrayOf(ctypes.CharType(), len(s.Val)+1))
+		return
+	}
+	in.Expr = c.convert(c.checkExpr(in.Expr), ty)
+}
+
+// checkCond checks a boolean context expression (any scalar type).
+func (c *checker) checkCond(e cparse.Expr) cparse.Expr {
+	e = c.checkExpr(e)
+	if !e.Type().IsScalar() {
+		c.diags.Errorf(e.Pos(), "condition must be scalar, got %s", e.Type())
+	}
+	return e
+}
+
+// CheckGlobals type checks global initializers; called by Check for the
+// unit's own globals after symbol collection.
+func (c *checker) checkGlobalInits() {
+	for _, g := range c.unit.File.Globals {
+		if g.Init == nil {
+			continue
+		}
+		if g.Type.Kind == ctypes.Array && g.Type.Len < 0 {
+			c.completeArrayFromInit(g)
+		}
+		c.checkInit(g.Init, g.Type)
+	}
+}

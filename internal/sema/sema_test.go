@@ -1,0 +1,255 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"gocured/internal/cparse"
+	"gocured/internal/ctypes"
+	"gocured/internal/diag"
+	"gocured/internal/sema"
+)
+
+func check(t *testing.T, src string) (*sema.Unit, *diag.List) {
+	t.Helper()
+	var d diag.List
+	f := cparse.Parse("t.c", src, &d)
+	u := sema.Check(f, &d)
+	return u, &d
+}
+
+func mustCheck(t *testing.T, src string) *sema.Unit {
+	t.Helper()
+	u, d := check(t, src)
+	if d.HasErrors() {
+		t.Fatalf("unexpected errors:\n%v", d.Err())
+	}
+	return u
+}
+
+func mustFail(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, d := check(t, src)
+	if !d.HasErrors() {
+		t.Fatalf("expected errors for:\n%s", src)
+	}
+	if wantSubstr != "" && !strings.Contains(d.Err().Error(), wantSubstr) {
+		t.Errorf("errors %v\nmissing substring %q", d.Err(), wantSubstr)
+	}
+}
+
+func TestResolveAndScopes(t *testing.T) {
+	u := mustCheck(t, `
+int g;
+int f(int x) {
+    int y = x + g;
+    {
+        int y = 2 * y; /* note: C reads the new y; our checker resolves in order */
+        g = y;
+    }
+    return y;
+}
+`)
+	if len(u.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(u.Funcs))
+	}
+	fs := u.Funcs[0]
+	if len(fs.Params) != 1 || len(fs.Locals) != 2 {
+		t.Errorf("params=%d locals=%d, want 1/2", len(fs.Params), len(fs.Locals))
+	}
+	// The shadowed local must have been renamed for the flat lowering.
+	names := map[string]bool{}
+	for _, l := range fs.Locals {
+		names[l.Name] = true
+	}
+	if !names["y"] || len(names) != 2 {
+		t.Errorf("local names = %v, want y and a uniquified y", names)
+	}
+}
+
+func TestUndeclaredIdentifier(t *testing.T) {
+	mustFail(t, `int f(void) { return nope; }`, "undeclared")
+}
+
+func TestTypeErrors(t *testing.T) {
+	mustFail(t, `
+struct S { int x; };
+int f(void) { struct S s; return s + 1; }
+`, "invalid operands")
+	mustFail(t, `int f(int *p) { return p * 2; }`, "invalid operands")
+	mustFail(t, `int f(void) { int a[3]; a = 0; return 0; }`, "cannot assign to an array")
+	mustFail(t, `struct S; int f(struct S *p) { return p->x; }`, "incomplete")
+	mustFail(t, `struct S { int x; }; int f(struct S *p) { return p->y; }`, "no field")
+}
+
+func TestArgumentChecking(t *testing.T) {
+	mustFail(t, `
+int add(int a, int b);
+int f(void) { return add(1); }
+`, "wrong number of arguments")
+	mustFail(t, `
+int add(int a, int b);
+int f(void) { return add(1, 2, 3); }
+`, "wrong number of arguments")
+	// Variadic tails are fine.
+	mustCheck(t, `
+int printf(char *fmt, ...);
+int f(void) { return printf("%d %d %d", 1, 2, 3); }
+`)
+}
+
+func TestImplicitCastsInserted(t *testing.T) {
+	u := mustCheck(t, `
+void use(void *p);
+int f(void) {
+    int x;
+    double d = x;     /* int -> double */
+    use(&x);          /* int* -> void* */
+    return (int)d;
+}
+`)
+	// Find the void* conversion on the call argument.
+	fs := u.Funcs[0]
+	found := false
+	var scan func(s cparse.Stmt)
+	scanExpr := func(e cparse.Expr) {
+		var walk func(e cparse.Expr)
+		walk = func(e cparse.Expr) {
+			switch x := e.(type) {
+			case *cparse.Cast:
+				if x.Implicit && x.To.IsPointer() && x.To.Elem.IsVoid() {
+					found = true
+				}
+				walk(x.X)
+			case *cparse.Call:
+				for _, a := range x.Args {
+					walk(a)
+				}
+			case *cparse.Unary:
+				walk(x.X)
+			case *cparse.Binary:
+				walk(x.X)
+				walk(x.Y)
+			case *cparse.Assign:
+				walk(x.L)
+				walk(x.R)
+			}
+		}
+		walk(e)
+	}
+	scan = func(s cparse.Stmt) {
+		switch st := s.(type) {
+		case *cparse.Block:
+			for _, s2 := range st.Stmts {
+				scan(s2)
+			}
+		case *cparse.ExprStmt:
+			scanExpr(st.X)
+		case *cparse.DeclStmt:
+			for _, dcl := range st.Decls {
+				if dcl.Init != nil && dcl.Init.Expr != nil {
+					scanExpr(dcl.Init.Expr)
+				}
+			}
+		case *cparse.Return:
+			if st.X != nil {
+				scanExpr(st.X)
+			}
+		}
+	}
+	scan(fs.Def.Body)
+	if !found {
+		t.Error("no implicit cast to void* found on the call argument")
+	}
+}
+
+func TestReturnChecking(t *testing.T) {
+	mustFail(t, `void f(void) { return 3; }`, "void function")
+	mustFail(t, `int f(void) { return; }`, "must return")
+	mustCheck(t, `int f(void) { return 0; }`)
+}
+
+func TestAddrTakenTracked(t *testing.T) {
+	u := mustCheck(t, `
+int *g;
+int f(void) {
+    int local = 1;
+    g = &local;  /* semantically dubious but type-correct */
+    return *g;
+}
+`)
+	fs := u.Funcs[0]
+	var localSym *cparse.Symbol
+	for _, l := range fs.Locals {
+		if strings.HasPrefix(l.Name, "local") {
+			localSym = l
+		}
+	}
+	if localSym == nil || !localSym.AddrTaken {
+		t.Error("address-taken local not marked")
+	}
+	if localSym.AddrType == nil || !localSym.AddrType.IsPointer() {
+		t.Error("AddrType not created")
+	}
+}
+
+func TestArrayLengthFromInitializer(t *testing.T) {
+	u := mustCheck(t, `
+int xs[] = { 1, 2, 3, 4 };
+char msg[] = "hey";
+`)
+	byName := map[string]*cparse.Symbol{}
+	for _, g := range u.Globals {
+		byName[g.Name] = g
+	}
+	if byName["xs"].Type.Len != 4 {
+		t.Errorf("xs len = %d, want 4", byName["xs"].Type.Len)
+	}
+	if byName["msg"].Type.Len != 4 { // "hey" + NUL
+		t.Errorf("msg len = %d, want 4", byName["msg"].Type.Len)
+	}
+}
+
+func TestConflictingDeclarations(t *testing.T) {
+	mustFail(t, `
+int g;
+double g;
+`, "conflicting")
+	mustFail(t, `
+int f(void) { return 0; }
+int f(void) { return 1; }
+`, "redefinition")
+	// extern then definition with the same type is fine.
+	mustCheck(t, `
+extern int h(int x);
+int h(int x) { return x; }
+`)
+}
+
+func TestExternsCollected(t *testing.T) {
+	u := mustCheck(t, `
+extern int strlen(char *s);
+int f(char *s) { return strlen(s); }
+`)
+	found := false
+	for _, e := range u.Externs {
+		if e.Name == "strlen" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("externs = %v, want strlen", u.Externs)
+	}
+}
+
+func TestCondArmsUnify(t *testing.T) {
+	mustCheck(t, `
+char *pick(int c, char *a, char *b) { return c ? a : b; }
+int *zero(int c, int *p) { return c ? p : 0; }
+`)
+	mustFail(t, `
+struct A { int x; };
+int f(int c, struct A a) { return c ? a : 3; }
+`, "")
+	_ = ctypes.Word
+}

@@ -1,0 +1,110 @@
+// Package wrappers provides the packaged library-wrapper set of §4.1: C
+// source defining ccuredWrapperOf wrappers for commonly used C library
+// functions, written against the helper functions __ptrof (strip metadata
+// for the underlying call), __mkptr (rebuild a fat pointer from a result
+// and a model pointer), __verify_nul (check NUL-termination within bounds),
+// and __endof (remaining capacity).
+//
+// Appending Source to a program makes the curing transformation redirect
+// its calls to these functions through the wrappers (except inside the
+// wrappers themselves, whose calls reach the real library). A single
+// wrapper text works with any set of inferred qualifiers, exactly as the
+// paper describes.
+package wrappers
+
+import "strings"
+
+// Helpers declares the wrapper helper functions (provided by the runtime).
+const Helpers = `
+extern char *__ptrof(char *p);
+extern char *__mkptr(char *raw, char *model);
+extern void __verify_nul(char *s);
+extern unsigned int __endof(char *p);
+`
+
+// Source is the packaged wrapper set. Each wrapper validates the
+// preconditions the library relies on, strips metadata for the call, and
+// rebuilds fat pointers for results.
+const Source = Helpers + `
+#pragma ccuredWrapperOf("strchr_wrapper", "strchr")
+char *strchr_wrapper(char *str, int chr) {
+    char *result;
+    __verify_nul(str);                 /* check for NUL termination */
+    result = strchr(__ptrof(str), chr);
+    return __mkptr(result, str);       /* wide pointer for the result */
+}
+
+#pragma ccuredWrapperOf("strrchr_wrapper", "strrchr")
+char *strrchr_wrapper(char *str, int chr) {
+    char *result;
+    __verify_nul(str);
+    result = strrchr(__ptrof(str), chr);
+    return __mkptr(result, str);
+}
+
+#pragma ccuredWrapperOf("strstr_wrapper", "strstr")
+char *strstr_wrapper(char *hay, char *needle) {
+    char *result;
+    __verify_nul(hay);
+    __verify_nul(needle);
+    result = strstr(__ptrof(hay), __ptrof(needle));
+    return __mkptr(result, hay);
+}
+
+#pragma ccuredWrapperOf("strlen_wrapper", "strlen")
+int strlen_wrapper(char *s) {
+    __verify_nul(s);
+    return strlen(__ptrof(s));
+}
+
+#pragma ccuredWrapperOf("strcpy_wrapper", "strcpy")
+char *strcpy_wrapper(char *dst, char *src) {
+    __verify_nul(src);
+    if (__endof(dst) != 0) {
+        /* precondition: dst must have room for src plus the NUL */
+        unsigned int need = (unsigned int)strlen(__ptrof(src)) + 1;
+        char *lim = dst + need;
+        if ((unsigned int)lim > __endof(dst)) {
+            /* force the bounds failure through a checked write */
+            dst[need - 1] = 0;
+        }
+    }
+    strcpy(__ptrof(dst), __ptrof(src));
+    return dst;
+}
+
+#pragma ccuredWrapperOf("strcmp_wrapper", "strcmp")
+int strcmp_wrapper(char *a, char *b) {
+    __verify_nul(a);
+    __verify_nul(b);
+    return strcmp(__ptrof(a), __ptrof(b));
+}
+
+#pragma ccuredWrapperOf("atoi_wrapper", "atoi")
+int atoi_wrapper(char *s) {
+    __verify_nul(s);
+    return atoi(__ptrof(s));
+}
+
+#pragma ccuredWrapperOf("puts_wrapper", "puts")
+int puts_wrapper(char *s) {
+    __verify_nul(s);
+    return puts(__ptrof(s));
+}
+`
+
+// Names lists the functions covered by the packaged wrappers.
+func Names() []string {
+	var out []string
+	for _, line := range strings.Split(Source, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "#pragma ccuredWrapperOf("); ok {
+			parts := strings.Split(rest, ",")
+			if len(parts) == 2 {
+				name := strings.Trim(strings.TrimSuffix(strings.TrimSpace(parts[1]), ")"), "\"")
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
