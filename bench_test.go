@@ -9,13 +9,17 @@ package gocured_test
 // BenchmarkRun benches time individual corpus programs per execution mode.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"gocured"
 	"gocured/internal/core"
 	"gocured/internal/corpus"
 	"gocured/internal/experiments"
 	"gocured/internal/infer"
 	"gocured/internal/interp"
+	"gocured/internal/pipeline"
 )
 
 var benchCfg = experiments.Config{Scale: 1}
@@ -67,6 +71,63 @@ func BenchmarkCompile(b *testing.B) {
 		if _, err := core.Build("bind.c", p.Source, infer.Options{TrustBadCasts: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCacheColdCompile times curing bind through the pipeline with
+// caching disabled: every iteration pays the full parse/infer/cure cost.
+// Compare against BenchmarkCacheWarmCompile for the content-addressed
+// cache's speedup.
+func BenchmarkCacheColdCompile(b *testing.B) {
+	r := pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1, CacheEntries: -1})
+	p := corpus.ByName("bind")
+	for i := 0; i < b.N; i++ {
+		if res := r.Compile(context.Background(), "bind.c", p.Source, infraOpts(p)); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkCacheWarmCompile times the same compile served from the cache.
+func BenchmarkCacheWarmCompile(b *testing.B) {
+	r := pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1})
+	p := corpus.ByName("bind")
+	if res := r.Compile(context.Background(), "bind.c", p.Source, infraOpts(p)); res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Compile(context.Background(), "bind.c", p.Source, infraOpts(p))
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if !res.CacheHit {
+			b.Fatal("warm compile missed the cache")
+		}
+	}
+}
+
+func infraOpts(p *corpus.Program) gocured.Options {
+	return gocured.Options{TrustBadCasts: p.TrustBadCasts}
+}
+
+// BenchmarkCorpusCureWorkers cures the whole corpus (compile only, cache
+// disabled so every job does real work) with 1, 2, 4, and 8 workers; on a
+// multicore machine the wall time per op should fall with the worker count
+// until it hits the core count.
+func BenchmarkCorpusCureWorkers(b *testing.B) {
+	jobs := pipeline.CorpusCompileJobs(1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := pipeline.NewRunner(pipeline.RunnerOptions{Workers: workers, CacheEntries: -1})
+				for _, res := range r.DoAll(context.Background(), jobs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -3,23 +3,30 @@
 //
 // Usage:
 //
-//	ccbench [-scale N] [-repeats N] [-only E3]
+//	ccbench [-scale N] [-j N] [-only E3]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gocured/internal/experiments"
+	"gocured/internal/pipeline"
 )
 
 func main() {
 	scale := flag.Int("scale", 0, "override the corpus SCALE constant (0 = source default)")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent curing/execution jobs")
 	only := flag.String("only", "", "run a single experiment by id (E1..E9)")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale}
+	cfg := experiments.Config{
+		Scale:  *scale,
+		Jobs:   *jobs,
+		Runner: pipeline.NewRunner(pipeline.RunnerOptions{Workers: *jobs}),
+	}
 	all := map[string]func(experiments.Config) *experiments.Table{
 		"E1": experiments.CastClassification,
 		"E2": experiments.Fig8Apache,
@@ -43,4 +50,8 @@ func main() {
 	for _, t := range experiments.All(cfg) {
 		fmt.Println(t.Format())
 	}
+	m := cfg.Runner.Metrics()
+	fmt.Printf("-- pipeline: %d jobs on %d workers, cache %d/%d hit/miss, compile mean %.1fms, run mean %.1fms\n",
+		m.JobsRun, m.Workers, m.Cache.Hits, m.Cache.Misses,
+		m.CompileWall.MeanMS(), m.RunWall.MeanMS())
 }

@@ -1,0 +1,292 @@
+// Command ccserve exposes the curing pipeline as an HTTP service: clients
+// POST C sources and get back pointer-kind statistics, diagnostics, and
+// (optionally) the result of executing the cured program in a chosen mode.
+//
+//	ccserve [-addr :8080] [-j N] [-cache N] [-step-limit N] [-timeout D]
+//
+// Endpoints:
+//
+//	POST /cure          cure (and optionally run) a source; see CureRequest
+//	GET  /metrics       pipeline metrics snapshot as JSON
+//	GET  /corpus        list the built-in corpus programs
+//	GET  /corpus/{name} fetch one corpus program (source and metadata)
+//	GET  /debug/vars    expvar, including the pipeline metrics
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// are drained before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"gocured"
+	"gocured/internal/corpus"
+	"gocured/internal/pipeline"
+)
+
+// CureRequest is the POST /cure body.
+type CureRequest struct {
+	// Name labels the translation unit in diagnostics (default "input.c").
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source"`
+
+	Options struct {
+		NoRTTI              bool `json:"no_rtti,omitempty"`
+		NoPhysicalSubtyping bool `json:"no_physical_subtyping,omitempty"`
+		TrustBadCasts       bool `json:"trust_bad_casts,omitempty"`
+		ForceSplitAll       bool `json:"force_split_all,omitempty"`
+	} `json:"options,omitempty"`
+
+	// Run requests execution after curing; Mode defaults to "cured".
+	Run       bool     `json:"run,omitempty"`
+	Mode      string   `json:"mode,omitempty"`
+	Stdin     string   `json:"stdin,omitempty"`
+	Args      []string `json:"args,omitempty"`
+	StepLimit uint64   `json:"step_limit,omitempty"`
+}
+
+// CureResponse is the POST /cure reply.
+type CureResponse struct {
+	Name        string        `json:"name"`
+	Key         string        `json:"key"`
+	CacheHit    bool          `json:"cache_hit"`
+	Stats       gocured.Stats `json:"stats"`
+	Diagnostics []string      `json:"diagnostics,omitempty"`
+	Run         *RunResponse  `json:"run,omitempty"`
+}
+
+// RunResponse is the execution part of a CureResponse.
+type RunResponse struct {
+	Mode        string   `json:"mode"`
+	ExitCode    int      `json:"exit_code"`
+	Stdout      string   `json:"stdout"`
+	Trapped     bool     `json:"trapped"`
+	TrapKind    string   `json:"trap_kind,omitempty"`
+	TrapMessage string   `json:"trap_message,omitempty"`
+	Steps       uint64   `json:"steps"`
+	Checks      uint64   `json:"checks"`
+	SimCycles   uint64   `json:"sim_cycles"`
+	ToolReports []string `json:"tool_reports,omitempty"`
+}
+
+// server bundles the Runner with the HTTP handlers so tests can drive the
+// mux without a listener.
+type server struct {
+	runner   *pipeline.Runner
+	maxBytes int64
+	mux      *http.ServeMux
+}
+
+func newServer(runner *pipeline.Runner, maxBytes int64) *server {
+	s := &server{runner: runner, maxBytes: maxBytes, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/cure", s.handleCure)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/corpus", s.handleCorpusList)
+	s.mux.HandleFunc("/corpus/", s.handleCorpusGet)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBytes)
+	var req CureRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "input.c"
+	}
+	mode := gocured.ModeCured
+	if req.Mode != "" {
+		var err error
+		if mode, err = gocured.ParseMode(req.Mode); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	job := pipeline.Job{
+		Name:   name,
+		Source: req.Source,
+		Options: gocured.Options{
+			NoRTTI:              req.Options.NoRTTI,
+			NoPhysicalSubtyping: req.Options.NoPhysicalSubtyping,
+			TrustBadCasts:       req.Options.TrustBadCasts,
+			ForceSplitAll:       req.Options.ForceSplitAll,
+		},
+		Run:  req.Run,
+		Mode: mode,
+		RunOptions: gocured.RunOptions{
+			Stdin:     []byte(req.Stdin),
+			Args:      req.Args,
+			StepLimit: req.StepLimit,
+		},
+	}
+	res := s.runner.Do(r.Context(), job)
+	if res.Err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", res.Err)
+		return
+	}
+	resp := CureResponse{
+		Name:        res.Name,
+		Key:         res.Key.String(),
+		CacheHit:    res.CacheHit,
+		Stats:       res.Stats,
+		Diagnostics: res.Diagnostics,
+	}
+	if res.Run != nil {
+		resp.Run = &RunResponse{
+			Mode:        mode.String(),
+			ExitCode:    res.Run.ExitCode,
+			Stdout:      res.Run.Stdout,
+			Trapped:     res.Run.Trapped,
+			TrapKind:    res.Run.TrapKind,
+			TrapMessage: res.Run.TrapMessage,
+			Steps:       res.Run.Steps,
+			Checks:      res.Run.Checks,
+			SimCycles:   res.Run.SimCycles,
+			ToolReports: res.Run.ToolReports,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.runner.Metrics())
+}
+
+// corpusEntry is one row of GET /corpus.
+type corpusEntry struct {
+	Name          string `json:"name"`
+	Category      string `json:"category"`
+	Lines         int    `json:"lines"`
+	TrustBadCasts bool   `json:"trust_bad_casts,omitempty"`
+}
+
+func (s *server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
+	var out []corpusEntry
+	for _, p := range corpus.All() {
+		out = append(out, corpusEntry{
+			Name:          p.Name,
+			Category:      p.Category,
+			Lines:         gocured.CountLines(p.Source),
+			TrustBadCasts: p.TrustBadCasts,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleCorpusGet(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/corpus/")
+	p := corpus.ByName(name)
+	if p == nil {
+		writeError(w, http.StatusNotFound, "no corpus program %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		corpusEntry
+		Source     string `json:"source"`
+		WantStdout string `json:"want_stdout,omitempty"`
+	}{
+		corpusEntry: corpusEntry{
+			Name:          p.Name,
+			Category:      p.Category,
+			Lines:         gocured.CountLines(p.Source),
+			TrustBadCasts: p.TrustBadCasts,
+		},
+		Source:     p.Source,
+		WantStdout: p.WantStdout,
+	})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent curing/execution jobs")
+	cacheEntries := flag.Int("cache", pipeline.DefaultCacheEntries, "compile cache entries (negative disables)")
+	stepLimit := flag.Uint64("step-limit", 200_000_000, "default interpreter step limit per run")
+	jobTimeout := flag.Duration("timeout", 60*time.Second, "wall-clock bound per job (0 = none)")
+	maxBytes := flag.Int64("max-request-bytes", 1<<20, "maximum POST /cure body size")
+	flag.Parse()
+
+	runner := pipeline.NewRunner(pipeline.RunnerOptions{
+		Workers:          *jobs,
+		CacheEntries:     *cacheEntries,
+		DefaultStepLimit: *stepLimit,
+		JobTimeout:       *jobTimeout,
+	})
+	expvar.Publish("gocured_pipeline", runner.ExpvarVar())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(runner, *maxBytes),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("ccserve listening on %s (%d workers, %s version %s)",
+		*addr, runner.Workers(), "gocured", gocured.Version)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("ccserve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("ccserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("ccserve: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gocured/internal/pipeline"
+)
+
+func testServer() *server {
+	return newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 2}), 1<<20)
+}
+
+func post(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, CureResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/cure", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var resp CureResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec, resp
+}
+
+func TestCureEndpoint(t *testing.T) {
+	s := testServer()
+	body := `{"name":"hello.c","source":"extern int printf(char *fmt, ...);\nint main(void){ printf(\"hi\\n\"); return 0; }","run":true,"mode":"cured"}`
+
+	rec, resp := post(t, s, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Run == nil || resp.Run.Stdout != "hi\n" || resp.Run.Trapped {
+		t.Fatalf("run = %+v, want stdout %q", resp.Run, "hi\n")
+	}
+	if resp.Stats.Pointers == 0 || resp.Key == "" {
+		t.Errorf("missing stats/key: %+v", resp)
+	}
+	if resp.CacheHit {
+		t.Error("first request must miss the cache")
+	}
+
+	// The same source again is a cache hit.
+	if _, resp2 := post(t, s, body); !resp2.CacheHit {
+		t.Error("second request must hit the cache")
+	}
+
+	// A cured out-of-bounds program traps instead of erroring.
+	oob := `{"source":"int main(void){ int a[2]; int i,t=0; for(i=0;i<=2;i++) t+=a[i]; return t; }","run":true}`
+	rec, resp = post(t, s, oob)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("oob status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Run == nil || !resp.Run.Trapped || resp.Run.TrapKind != "bounds" {
+		t.Fatalf("oob run = %+v, want bounds trap", resp.Run)
+	}
+}
+
+func TestCureErrors(t *testing.T) {
+	s := testServer()
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"empty source", `{"source":""}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"bad mode", `{"source":"int main(void){return 0;}","mode":"quick"}`, http.StatusBadRequest},
+		{"syntax error", `{"source":"int main( {"}`, http.StatusUnprocessableEntity},
+	} {
+		rec, _ := post(t, s, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/cure", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /cure status = %d, want 405", rec.Code)
+	}
+}
+
+func TestRequestSizeLimit(t *testing.T) {
+	s := newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1}), 256)
+	big := `{"source":"` + strings.Repeat("x", 1024) + `"}`
+	rec, _ := post(t, s, big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer()
+	post(t, s, `{"source":"int main(void){return 0;}","run":true,"mode":"raw"}`)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var m pipeline.Metrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if m.JobsRun != 1 || m.RunsExecuted != 1 {
+		t.Errorf("metrics = %+v, want one job/run", m)
+	}
+}
+
+func TestCorpusEndpoints(t *testing.T) {
+	s := testServer()
+
+	req := httptest.NewRequest(http.MethodGet, "/corpus", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var list []corpusEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list) == 0 {
+		t.Fatalf("corpus list: err=%v n=%d", err, len(list))
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/corpus/"+list[0].Name, nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var prog struct {
+		Name   string `json:"name"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &prog); err != nil || prog.Source == "" {
+		t.Fatalf("corpus get: err=%v body=%s", err, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/corpus/no-such-program", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("missing program status = %d, want 404", rec.Code)
+	}
+}

@@ -30,6 +30,11 @@ import (
 	"gocured/internal/interp"
 )
 
+// Version identifies the compiler/analysis revision. The pipeline's
+// content-addressed cache folds it into every key, so cached Programs are
+// invalidated whenever the curing algorithm changes behaviour.
+const Version = "gocured-1"
+
 // Options configure compilation and inference.
 type Options struct {
 	// NoRTTI disables the RTTI pointer kind: checked downcasts become bad
@@ -67,6 +72,21 @@ const (
 var modeNames = [...]string{"raw", "cured", "purify", "valgrind"}
 
 func (m Mode) String() string { return modeNames[m] }
+
+// Modes lists every execution mode, in Mode order.
+func Modes() []Mode {
+	return []Mode{ModeRaw, ModeCured, ModePurify, ModeValgrind}
+}
+
+// ParseMode parses a mode name ("raw", "cured", "purify", "valgrind").
+func ParseMode(s string) (Mode, error) {
+	for i, n := range modeNames {
+		if s == n {
+			return Mode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q (want raw, cured, purify, or valgrind)", s)
+}
 
 // RunOptions configure one execution.
 type RunOptions struct {
@@ -131,6 +151,15 @@ type Stats struct {
 }
 
 // Program is a compiled and cured translation unit.
+//
+// A Program is safe for concurrent use: Run creates a fresh interpreter
+// (machine state, simulated memory, stack) per call, and the shared
+// analysis artifacts it consults — the solved qualifier graph, the split
+// result, the struct-layout cache, and the RTTI hierarchy — are either
+// frozen read-only after Compile or internally synchronized. Many
+// goroutines may Run the same Program (in any mix of Modes) and read
+// Stats, Casts, and Diagnostics at the same time; the pipeline Runner
+// relies on this to execute cached Programs in parallel.
 type Program struct {
 	unit *core.Unit
 	opts Options

@@ -1,7 +1,9 @@
 package gocured_test
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"gocured"
@@ -46,6 +48,54 @@ func TestCompileAndRunModes(t *testing.T) {
 		if res.Stdout != want {
 			t.Errorf("%s stdout = %q, want %q", mode, res.Stdout, want)
 		}
+	}
+}
+
+// TestConcurrentRuns is the -race regression for the documented guarantee
+// that one compiled Program may be Run from many goroutines: 8 goroutines
+// share a single Program, cycling through every execution mode (plus Stats
+// and Diagnostics reads), and every run must produce the sequential result.
+// Under the race detector this exercises the qualifier-graph, layout-cache,
+// and RTTI-hierarchy synchronization.
+func TestConcurrentRuns(t *testing.T) {
+	prog, err := gocured.Compile("demo.c", apiDemo, gocured.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "dist=7 sum=30\n"
+	const goroutines = 8
+	const runsEach = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*runsEach)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < runsEach; i++ {
+				mode := gocured.Modes()[(g+i)%len(gocured.Modes())]
+				res, err := prog.Run(mode, gocured.RunOptions{})
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if res.Trapped {
+					errs <- fmt.Errorf("%s trapped: %s", mode, res.TrapMessage)
+					continue
+				}
+				if res.Stdout != want {
+					errs <- fmt.Errorf("%s stdout = %q, want %q", mode, res.Stdout, want)
+				}
+				if s := prog.Stats(); s.Pointers == 0 {
+					errs <- fmt.Errorf("concurrent Stats lost pointers")
+				}
+				_ = prog.Diagnostics()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

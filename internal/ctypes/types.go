@@ -11,6 +11,7 @@ package ctypes
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Word is the machine word size in bytes. The paper's appendix assumes
@@ -133,13 +134,14 @@ type FuncInfo struct {
 	Variadic bool
 }
 
-var nextStructID = 1
+// nextStructID is atomic so that independent translation units can be
+// compiled concurrently (the pipeline Runner fans Build out over a worker
+// pool) while struct IDs stay process-unique.
+var nextStructID atomic.Int64
 
 // NewStruct creates a fresh, incomplete struct or union definition.
 func NewStruct(name string, union bool) *StructInfo {
-	s := &StructInfo{Name: name, Union: union, ID: nextStructID}
-	nextStructID++
-	return s
+	return &StructInfo{Name: name, Union: union, ID: int(nextStructID.Add(1))}
 }
 
 // Define completes a struct definition with its fields and computes layout.

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"gocured"
 	"gocured/internal/corpus"
-	"gocured/internal/infer"
-	"gocured/internal/interp"
 )
 
 // CastClassification reproduces §3's cast statistics: "around 63% of casts
@@ -20,16 +19,21 @@ func CastClassification(cfg Config) *Table {
 			"6% downcasts, <1% genuinely bad",
 		Header: []string{"program", "casts", "ident%", "up%", "down%", "alloc%", "tile%", "bad%", "trusted%"},
 	}
-	var tot infer.Stats
-	for _, p := range corpus.All() {
-		b := mustBuild(p, defaultOpts(p), cfg.Scale)
-		s := b.unit.Stats()
+	r := cfg.runner()
+	progs := corpus.All()
+	stats := make([]gocured.Stats, len(progs))
+	eachRow(len(progs), func(i int) {
+		stats[i] = mustBuild(r, progs[i], defaultOpts(progs[i]), cfg.Scale).stats
+	})
+	var tot gocured.Stats
+	for i, p := range progs {
+		s := stats[i]
 		tot.Casts += s.Casts
 		tot.Identity += s.Identity
 		tot.Upcasts += s.Upcasts
 		tot.Downcasts += s.Downcasts
 		tot.SeqCasts += s.SeqCasts
-		tot.Bad += s.Bad
+		tot.BadCasts += s.BadCasts
 		tot.Trusted += s.Trusted
 		tot.Alloc += s.Alloc
 		t.Rows = append(t.Rows, castRow(p.Name, s))
@@ -38,7 +42,7 @@ func CastClassification(cfg Config) *Table {
 	return t
 }
 
-func castRow(name string, s infer.Stats) []string {
+func castRow(name string, s gocured.Stats) []string {
 	pc := func(n int) string {
 		if s.Casts == 0 {
 			return "0"
@@ -46,7 +50,7 @@ func castRow(name string, s infer.Stats) []string {
 		return fmt.Sprintf("%.1f", 100*float64(n)/float64(s.Casts))
 	}
 	return []string{name, fmt.Sprintf("%d", s.Casts), pc(s.Identity), pc(s.Upcasts),
-		pc(s.Downcasts), pc(s.Alloc), pc(s.SeqCasts), pc(s.Bad), pc(s.Trusted)}
+		pc(s.Downcasts), pc(s.Alloc), pc(s.SeqCasts), pc(s.BadCasts), pc(s.Trusted)}
 }
 
 // paperFig8 holds the published Apache-module ratios (Figure 8).
@@ -65,16 +69,19 @@ func Fig8Apache(cfg Config) *Table {
 		Note:   "sf/sq/w/rt: % of static pointers inferred SAFE/SEQ/WILD/RTTI",
 		Header: []string{"module", "lines", "sf/sq/w/rt", "cured-ratio", "paper-ratio"},
 	}
-	for _, p := range corpus.ByCategory("apache") {
-		b := mustBuild(p, defaultOpts(p), cfg.Scale)
-		s := b.unit.Stats()
-		raw := b.cost(interp.PolicyNone)
-		cured := b.cost(interp.PolicyCured)
-		t.Rows = append(t.Rows, []string{
-			p.Name, fmt.Sprintf("%d", b.lines), kindCols(s),
+	r := cfg.runner()
+	progs := corpus.ByCategory("apache")
+	t.Rows = make([][]string, len(progs))
+	eachRow(len(progs), func(i int) {
+		p := progs[i]
+		b := mustBuild(r, p, defaultOpts(p), cfg.Scale)
+		raw := b.cost(gocured.ModeRaw)
+		cured := b.cost(gocured.ModeCured)
+		t.Rows[i] = []string{
+			p.Name, fmt.Sprintf("%d", b.lines), kindCols(b.stats),
 			fmt.Sprintf("%.2f", ratio(cured, raw)), paperFig8[p.Name],
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -102,23 +109,24 @@ func Fig9System(cfg Config) *Table {
 		Header: []string{"name", "lines", "sf/sq/w/rt", "cured", "valgrind",
 			"paper-kinds", "paper-cured", "paper-valgrind"},
 	}
+	r := cfg.runner()
 	names := []string{"pcnet32", "sbull", "ftpd", "openssl-cast", "openssl-bn",
 		"ssh-client", "ssh-server", "sendmail", "bind"}
-	for _, name := range names {
-		p := corpus.ByName(name)
-		b := mustBuild(p, defaultOpts(p), cfg.Scale)
-		s := b.unit.Stats()
-		raw := b.cost(interp.PolicyNone)
-		cured := b.cost(interp.PolicyCured)
-		valgrind := b.cost(interp.PolicyValgrind)
+	t.Rows = make([][]string, len(names))
+	eachRow(len(names), func(i int) {
+		name := names[i]
+		b := mustBuild(r, corpus.ByName(name), defaultOpts(corpus.ByName(name)), cfg.Scale)
+		raw := b.cost(gocured.ModeRaw)
+		cured := b.cost(gocured.ModeCured)
+		valgrind := b.cost(gocured.ModeValgrind)
 		pub := paperFig9[name]
-		t.Rows = append(t.Rows, []string{
-			name, fmt.Sprintf("%d", b.lines), kindCols(s),
+		t.Rows[i] = []string{
+			name, fmt.Sprintf("%d", b.lines), kindCols(b.stats),
 			fmt.Sprintf("%.2f", ratio(cured, raw)),
 			fmt.Sprintf("%.1f", ratio(valgrind, raw)),
 			pub[0], pub[1], pub[2],
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -133,26 +141,28 @@ func IjpegRTTI(cfg Config) *Table {
 			"1.45x, zero bad casts",
 		Header: []string{"config", "wild%", "rtti%", "bad-casts", "cured-ratio"},
 	}
+	r := cfg.runner()
 	p := corpus.ByName("ijpeg")
-	for _, mode := range []struct {
+	configs := []struct {
 		name string
-		opts infer.Options
+		opts gocured.Options
 	}{
-		{"original (no RTTI)", infer.Options{NoRTTI: true}},
-		{"with RTTI", infer.Options{}},
-	} {
-		b := mustBuild(p, mode.opts, cfg.Scale)
-		s := b.unit.Stats()
-		raw := b.cost(interp.PolicyNone)
-		cured := b.cost(interp.PolicyCured)
-		t.Rows = append(t.Rows, []string{
-			mode.name,
-			fmt.Sprintf("%.1f", s.PctWild()),
-			fmt.Sprintf("%.1f", s.PctRtti()),
-			fmt.Sprintf("%d", s.Bad),
-			fmt.Sprintf("%.2f", ratio(cured, raw)),
-		})
+		{"original (no RTTI)", gocured.Options{NoRTTI: true}},
+		{"with RTTI", gocured.Options{}},
 	}
+	t.Rows = make([][]string, len(configs))
+	eachRow(len(configs), func(i int) {
+		b := mustBuild(r, p, configs[i].opts, cfg.Scale)
+		raw := b.cost(gocured.ModeRaw)
+		cured := b.cost(gocured.ModeCured)
+		t.Rows[i] = []string{
+			configs[i].name,
+			fmt.Sprintf("%.1f", b.stats.PctWild),
+			fmt.Sprintf("%.1f", b.stats.PctRtti),
+			fmt.Sprintf("%d", b.stats.BadCasts),
+			fmt.Sprintf("%.2f", ratio(cured, raw)),
+		}
+	})
 	return t
 }
 
@@ -166,21 +176,26 @@ func MicroSuite(cfg Config) *Table {
 			"(shape to check: cured << purify < valgrind)",
 		Header: []string{"program", "cured", "purify", "valgrind"},
 	}
+	r := cfg.runner()
+	var progs []*corpus.Program
 	for _, cat := range []string{"spec", "olden", "ptrdist"} {
-		for _, p := range corpus.ByCategory(cat) {
-			b := mustBuild(p, defaultOpts(p), cfg.Scale)
-			raw := b.cost(interp.PolicyNone)
-			cured := b.cost(interp.PolicyCured)
-			purify := b.cost(interp.PolicyPurify)
-			valgrind := b.cost(interp.PolicyValgrind)
-			t.Rows = append(t.Rows, []string{
-				p.Name,
-				fmt.Sprintf("%.2f", ratio(cured, raw)),
-				fmt.Sprintf("%.1f", ratio(purify, raw)),
-				fmt.Sprintf("%.1f", ratio(valgrind, raw)),
-			})
-		}
+		progs = append(progs, corpus.ByCategory(cat)...)
 	}
+	t.Rows = make([][]string, len(progs))
+	eachRow(len(progs), func(i int) {
+		p := progs[i]
+		b := mustBuild(r, p, defaultOpts(p), cfg.Scale)
+		raw := b.cost(gocured.ModeRaw)
+		cured := b.cost(gocured.ModeCured)
+		purify := b.cost(gocured.ModePurify)
+		valgrind := b.cost(gocured.ModeValgrind)
+		t.Rows[i] = []string{
+			p.Name,
+			fmt.Sprintf("%.2f", ratio(cured, raw)),
+			fmt.Sprintf("%.1f", ratio(purify, raw)),
+			fmt.Sprintf("%.1f", ratio(valgrind, raw)),
+		}
+	})
 	return t
 }
 
@@ -195,21 +210,23 @@ func SplitOverhead(cfg Config) *Table {
 			"paper: mostly <3%, em3d +58%, anagram +7%",
 		Header: []string{"program", "cured", "all-split", "overhead%"},
 	}
+	r := cfg.runner()
 	names := []string{"olden-treeadd", "olden-bisort", "olden-em3d", "olden-power",
 		"ptrdist-anagram", "ptrdist-ks", "ptrdist-ft", "ijpeg"}
-	for _, name := range names {
-		p := corpus.ByName(name)
-		normal := mustBuild(p, defaultOpts(p), cfg.Scale)
-		split := mustBuild(p, infer.Options{TrustBadCasts: p.TrustBadCasts, SplitAll: true}, cfg.Scale)
-		curedN := normal.cost(interp.PolicyCured)
-		curedS := split.cost(interp.PolicyCured)
-		t.Rows = append(t.Rows, []string{
-			name,
+	t.Rows = make([][]string, len(names))
+	eachRow(len(names), func(i int) {
+		p := corpus.ByName(names[i])
+		normal := mustBuild(r, p, defaultOpts(p), cfg.Scale)
+		split := mustBuild(r, p, gocured.Options{TrustBadCasts: p.TrustBadCasts, ForceSplitAll: true}, cfg.Scale)
+		curedN := normal.cost(gocured.ModeCured)
+		curedS := split.cost(gocured.ModeCured)
+		t.Rows[i] = []string{
+			names[i],
 			fmt.Sprintf("%.1fM cycles", float64(curedN)/1e6),
 			fmt.Sprintf("%.1fM cycles", float64(curedS)/1e6),
 			fmt.Sprintf("%+.0f", 100*(ratio(curedS, curedN)-1)),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -224,24 +241,26 @@ func BindCasts(cfg Config) *Table {
 			"recovers 150 (28%) as downcasts; remaining 380 trusted; WILD -> 0",
 		Header: []string{"config", "casts", "upcasts", "downcasts", "bad", "trusted", "wild%"},
 	}
+	r := cfg.runner()
 	p := corpus.ByName("bind")
-	for _, mode := range []struct {
+	configs := []struct {
 		name string
-		opts infer.Options
+		opts gocured.Options
 	}{
-		{"no RTTI, no trust", infer.Options{NoRTTI: true}},
-		{"RTTI, no trust", infer.Options{}},
-		{"RTTI + trusted casts", infer.Options{TrustBadCasts: true}},
-	} {
-		b := mustBuild(p, mode.opts, cfg.Scale)
-		s := b.unit.Stats()
-		t.Rows = append(t.Rows, []string{
-			mode.name,
-			fmt.Sprintf("%d", s.Casts), fmt.Sprintf("%d", s.Upcasts),
-			fmt.Sprintf("%d", s.Downcasts), fmt.Sprintf("%d", s.Bad),
-			fmt.Sprintf("%d", s.Trusted), fmt.Sprintf("%.0f", s.PctWild()),
-		})
+		{"no RTTI, no trust", gocured.Options{NoRTTI: true}},
+		{"RTTI, no trust", gocured.Options{}},
+		{"RTTI + trusted casts", gocured.Options{TrustBadCasts: true}},
 	}
+	t.Rows = make([][]string, len(configs))
+	eachRow(len(configs), func(i int) {
+		s := mustBuild(r, p, configs[i].opts, cfg.Scale).stats
+		t.Rows[i] = []string{
+			configs[i].name,
+			fmt.Sprintf("%d", s.Casts), fmt.Sprintf("%d", s.Upcasts),
+			fmt.Sprintf("%d", s.Downcasts), fmt.Sprintf("%d", s.BadCasts),
+			fmt.Sprintf("%d", s.Trusted), fmt.Sprintf("%.0f", s.PctWild),
+		}
+	})
 	return t
 }
 
@@ -256,16 +275,18 @@ func SplitStats(cfg Config) *Table {
 			"OpenSSH <1%; ssh-against-uncured-OpenSSL 3% split / 5% metadata",
 		Header: []string{"program", "pointers", "split%", "meta%"},
 	}
-	for _, name := range []string{"bind", "ssh-client", "ssh-server", "sendmail"} {
-		p := corpus.ByName(name)
-		b := mustBuild(p, defaultOpts(p), cfg.Scale)
-		st := b.unit.Res.Split.Stats
-		t.Rows = append(t.Rows, []string{
-			name, fmt.Sprintf("%d", st.Ptrs),
-			fmt.Sprintf("%.1f", st.PctSplit()),
-			fmt.Sprintf("%.1f", st.PctMeta()),
-		})
-	}
+	r := cfg.runner()
+	names := []string{"bind", "ssh-client", "ssh-server", "sendmail"}
+	t.Rows = make([][]string, len(names))
+	eachRow(len(names), func(i int) {
+		p := corpus.ByName(names[i])
+		s := mustBuild(r, p, defaultOpts(p), cfg.Scale).stats
+		t.Rows[i] = []string{
+			names[i], fmt.Sprintf("%d", s.Pointers),
+			fmt.Sprintf("%.1f", s.PctSplit),
+			fmt.Sprintf("%.1f", s.PctMeta),
+		}
+	})
 	return t
 }
 
@@ -278,34 +299,33 @@ func Exploits(cfg Config) *Table {
 		Note:   "paper: \"this version of ftpd has a known vulnerability ... we\nverified that CCured prevents this error\"",
 		Header: []string{"scenario", "raw", "cured"},
 	}
+	r := cfg.runner()
 	p := corpus.ByName("ftpd")
-	b := mustBuild(p, defaultOpts(p), 1)
-	run := func(policy interp.Policy, stdin string) string {
-		cfg := interp.Config{Stdin: []byte(stdin)}
-		var out *interp.Outcome
-		var err error
-		if policy == interp.PolicyCured {
-			out, err = b.unit.RunCured(cfg)
-		} else {
-			out, err = b.unit.RunRaw(policy, cfg)
-		}
+	b := mustBuild(r, p, defaultOpts(p), 1)
+	run := func(mode gocured.Mode, stdin string) string {
+		out, err := b.run(mode, gocured.RunOptions{Stdin: []byte(stdin)})
 		if err != nil {
 			return "error: " + err.Error()
 		}
-		if out.Trap != nil {
-			return "TRAPPED (" + out.Trap.Kind + ")"
+		if out.Trapped {
+			return "TRAPPED (" + out.TrapKind + ")"
 		}
 		return fmt.Sprintf("ran to completion (exit %d)", out.ExitCode)
 	}
-	t.Rows = append(t.Rows, []string{
-		"benign session",
-		run(interp.PolicyNone, corpus.FtpdBenignInput),
-		run(interp.PolicyCured, corpus.FtpdBenignInput),
+	cells := make([]string, 4)
+	eachRow(4, func(i int) {
+		mode := gocured.ModeRaw
+		if i%2 == 1 {
+			mode = gocured.ModeCured
+		}
+		stdin := corpus.FtpdBenignInput
+		if i >= 2 {
+			stdin = corpus.FtpdExploitInput
+		}
+		cells[i] = run(mode, stdin)
 	})
-	t.Rows = append(t.Rows, []string{
-		"exploit session (CWD overflow)",
-		run(interp.PolicyNone, corpus.FtpdExploitInput),
-		run(interp.PolicyCured, corpus.FtpdExploitInput),
-	})
+	t.Rows = append(t.Rows,
+		[]string{"benign session", cells[0], cells[1]},
+		[]string{"exploit session (CWD overflow)", cells[2], cells[3]})
 	return t
 }

@@ -163,5 +163,9 @@ func Infer(prog *cil.Program, opts Options, diags *diag.List) *Result {
 		Opts:   opts,
 	}
 	res.Split = inferSplit(prog, in.g, opts.SplitAll, diags)
+	// Freeze the qualifier graph: collapse every union-find chain so the
+	// layout oracle's KindOf queries never write shared state. A compiled
+	// unit can then be executed from many goroutines concurrently.
+	in.g.Compress()
 	return res
 }

@@ -23,12 +23,14 @@ type snode struct {
 	down []*snode
 }
 
+// find returns the representative without mutating the chain, so solved
+// results can be queried from concurrent runs; inferSplit compresses every
+// chain once the inference is done.
 func (n *snode) find() *snode {
-	for n.parent != n {
-		n.parent = n.parent.parent
+	for n.parent != n.parent.parent {
 		n = n.parent
 	}
-	return n
+	return n.parent
 }
 
 // SplitStats summarizes the split inference outcome.
@@ -87,6 +89,11 @@ func inferSplit(prog *cil.Program, g *qual.Graph, splitAll bool, diags *diag.Lis
 	si.collect()
 	si.propagate()
 	si.res.computeStats(g)
+	// Collapse the union-find chains: IsSplit is queried by the layout
+	// oracle on the interpreter's hot path, possibly from many goroutines.
+	for _, n := range si.res.nodes {
+		n.parent = n.find()
+	}
 	return si.res
 }
 

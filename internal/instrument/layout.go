@@ -6,6 +6,8 @@
 package instrument
 
 import (
+	"sync"
+
 	"gocured/internal/ctypes"
 	"gocured/internal/infer"
 	"gocured/internal/qual"
@@ -31,9 +33,16 @@ func repWords(k qual.Kind) int {
 	}
 }
 
-// Layout is the kind-aware layout oracle for a cured program.
+// Layout is the kind-aware layout oracle for a cured program. It is safe
+// for concurrent use: the struct-layout cache is guarded by a mutex, and
+// everything else it consults (the solved qualifier graph and the split
+// result) is frozen read-only after inference.
 type Layout struct {
 	res *infer.Result
+	// mu guards structs; suLayoutOf takes it once per query and recurses
+	// through the *Locked variants so nested struct layouts do not
+	// re-enter the lock.
+	mu sync.Mutex
 	// structs caches cured (non-split) struct layouts.
 	structs map[*ctypes.StructInfo]*suLayout
 }
@@ -121,6 +130,12 @@ func align(off, a int) int {
 }
 
 func (l *Layout) suLayoutOf(su *ctypes.StructInfo) *suLayout {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.suLayoutLocked(su)
+}
+
+func (l *Layout) suLayoutLocked(su *ctypes.StructInfo) *suLayout {
 	if s, ok := l.structs[su]; ok {
 		return s
 	}
@@ -129,28 +144,65 @@ func (l *Layout) suLayoutOf(su *ctypes.StructInfo) *suLayout {
 	if su.Union {
 		for _, f := range su.Fields {
 			s.offsets[f] = 0
-			if a := l.Alignof(f.Type); a > s.align {
+			if a := l.alignofLocked(f.Type); a > s.align {
 				s.align = a
 			}
-			if sz := l.Sizeof(f.Type); sz > s.size {
+			if sz := l.sizeofLocked(f.Type); sz > s.size {
 				s.size = sz
 			}
 		}
 	} else {
 		off := 0
 		for _, f := range su.Fields {
-			a := l.Alignof(f.Type)
+			a := l.alignofLocked(f.Type)
 			if a > s.align {
 				s.align = a
 			}
 			off = align(off, a)
 			s.offsets[f] = off
-			off += l.Sizeof(f.Type)
+			off += l.sizeofLocked(f.Type)
 		}
 		s.size = off
 	}
 	s.size = align(s.size, s.align)
 	return s
+}
+
+// sizeofLocked mirrors Sizeof for recursion under the struct-cache lock.
+func (l *Layout) sizeofLocked(t *ctypes.Type) int {
+	switch t.Kind {
+	case ctypes.Ptr:
+		return l.PtrSize(t)
+	case ctypes.Array:
+		if t.Len < 0 {
+			return 0
+		}
+		return t.Len * l.sizeofLocked(t.Elem)
+	case ctypes.Struct:
+		if l.IsSplit(t) {
+			return ctypes.Sizeof(t)
+		}
+		return l.suLayoutLocked(t.SU).size
+	default:
+		return ctypes.Sizeof(t)
+	}
+}
+
+// alignofLocked mirrors Alignof for recursion under the struct-cache lock.
+func (l *Layout) alignofLocked(t *ctypes.Type) int {
+	switch t.Kind {
+	case ctypes.Ptr:
+		return ctypes.Word
+	case ctypes.Array:
+		return l.alignofLocked(t.Elem)
+	case ctypes.Struct:
+		if l.IsSplit(t) {
+			return ctypes.Alignof(t)
+		}
+		return l.suLayoutLocked(t.SU).align
+	default:
+		return ctypes.Alignof(t)
+	}
 }
 
 // RawLayout is the uncured layout oracle: C layout, every pointer thin and

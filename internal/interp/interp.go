@@ -497,6 +497,19 @@ func (m *Machine) step() {
 	}
 }
 
+// backEdge counts a loop back-edge against the step limit without charging
+// simulated cost (the calibrated cost model charges per instruction, and
+// both sides of every slowdown ratio would pay the back-edge equally).
+// Without it a loop whose body executes no statements — `for (;;) {}` —
+// would spin forever, immune to the step limit that the pipeline relies on
+// as its hard backstop for runaway jobs.
+func (m *Machine) backEdge() {
+	m.cnt.Steps++
+	if m.cnt.Steps > m.stepLimit {
+		m.trapf("timeout", "step limit (%d) exceeded", m.stepLimit)
+	}
+}
+
 func (m *Machine) execStmt(fr *frame, s cil.Stmt) (signal, Value) {
 	switch st := s.(type) {
 	case *cil.Block:
@@ -516,6 +529,7 @@ func (m *Machine) execStmt(fr *frame, s cil.Stmt) (signal, Value) {
 		return sigNext, Value{}
 	case *cil.Loop:
 		for {
+			m.backEdge()
 			sig, v := m.execBlock(fr, st.Body)
 			switch sig {
 			case sigBreak:

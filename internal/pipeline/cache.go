@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"gocured"
+)
+
+// Key is the content address of one compile job: the SHA-256 of the
+// compiler version, the file name, the inference options, and the source
+// text. Two jobs with equal keys are guaranteed to produce the same
+// Program, so the cache can hand the compiled artifact to both.
+type Key [sha256.Size]byte
+
+// String renders a short hex prefix for logs and metrics.
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// CacheKey computes the content address for a compile job.
+func CacheKey(filename, source string, opts gocured.Options) Key {
+	h := sha256.New()
+	// Length-prefix each variable-size component so concatenations cannot
+	// collide; Options is a flat struct of bools with a stable rendering.
+	fmt.Fprintf(h, "%s\x00%d:%s\x00%+v\x00%d:", gocured.Version, len(filename), filename, opts, len(source))
+	h.Write([]byte(source))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Compiled is a cached compilation artifact: the Program itself plus the
+// statistics and rendered diagnostics, memoized so cache hits skip the
+// qualifier-graph walk too.
+type Compiled struct {
+	Key         Key
+	Filename    string
+	Program     *gocured.Program
+	Stats       gocured.Stats
+	Diagnostics []string
+	// SourceBytes is the size of the source text, retained for the cache
+	// size accounting after the source itself is dropped.
+	SourceBytes int
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Entries    int    `json:"entries"`
+	MaxEntries int    `json:"max_entries"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+}
+
+// Cache is a bounded, content-addressed memoization of Compile results
+// with LRU eviction. Lookups that race on the same missing key coalesce:
+// one goroutine compiles, the rest wait for its result (a thundering herd
+// of identical sources costs one compile). It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used; values are *Compiled
+	entries  map[Key]*list.Element
+	inflight map[Key]*flight
+
+	hits, misses, evictions uint64
+}
+
+// flight is one in-progress compile other goroutines can wait on.
+type flight struct {
+	done chan struct{}
+	res  *Compiled
+	err  error
+}
+
+// NewCache returns a cache bounded to max entries (max <= 0 means the
+// DefaultCacheEntries bound).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{
+		max:      max,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// DefaultCacheEntries bounds the cache when no explicit size is given.
+const DefaultCacheEntries = 256
+
+// GetOrCompile returns the Compiled artifact for (filename, source, opts),
+// compiling at most once per content address. The second return reports
+// whether the result came from the cache (including waiting on another
+// goroutine's in-flight compile of the same key). Compile errors are
+// returned, not cached: the next identical request retries.
+func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Compiled, bool, error) {
+	key := CacheKey(filename, source, opts)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*Compiled), true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.res, true, f.err
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = compileSource(key, filename, source, opts)
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insertLocked(key, f.res)
+	}
+	c.mu.Unlock()
+	return f.res, false, f.err
+}
+
+// compileSource builds the artifact outside the lock. A panic in the
+// compiler is converted into an error so that goroutines waiting on this
+// flight are released (the Runner additionally isolates panics per job).
+func compileSource(key Key, filename, source string, opts gocured.Options) (res *Compiled, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("compile %s: panic: %v", filename, p)
+		}
+	}()
+	prog, err := gocured.Compile(filename, source, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Key:         key,
+		Filename:    filename,
+		Program:     prog,
+		Stats:       prog.Stats(),
+		Diagnostics: prog.Diagnostics(),
+		SourceBytes: len(source),
+	}, nil
+}
+
+func (c *Cache) insertLocked(key Key, res *Compiled) {
+	if _, ok := c.entries[key]; ok {
+		return // a racing flight already inserted it
+	}
+	c.entries[key] = c.ll.PushFront(res)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*Compiled).Key)
+		c.evictions++
+	}
+}
+
+// Lookup returns the cached artifact for a key without compiling, or nil.
+// It does not disturb the LRU order and counts neither hit nor miss; it
+// exists for introspection (ccserve's cache probe).
+func (c *Cache) Lookup(key Key) *Compiled {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*Compiled)
+	}
+	return nil
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:    c.ll.Len(),
+		MaxEntries: c.max,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+	}
+}

@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// histBoundsMS are the upper bounds (milliseconds, inclusive) of the wall
+// time histogram buckets; a final overflow bucket catches the rest.
+var histBoundsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// HistBucket is one cumulative-free histogram bucket.
+type HistBucket struct {
+	LeMS  float64 `json:"le_ms"` // upper bound; 0 marks the overflow bucket
+	Count uint64  `json:"count"`
+}
+
+// Histogram is a snapshot of a wall-time distribution.
+type Histogram struct {
+	Count   uint64       `json:"count"`
+	SumMS   float64      `json:"sum_ms"`
+	MaxMS   float64      `json:"max_ms"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// MeanMS returns the mean observation in milliseconds.
+func (h Histogram) MeanMS() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumMS / float64(h.Count)
+}
+
+// histogram is the mutable accumulator behind a Histogram snapshot.
+type histogram struct {
+	count   uint64
+	sumMS   float64
+	maxMS   float64
+	buckets [len(histBoundsMS) + 1]uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.count++
+	h.sumMS += ms
+	if ms > h.maxMS {
+		h.maxMS = ms
+	}
+	for i, le := range histBoundsMS {
+		if ms <= le {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(histBoundsMS)]++
+}
+
+func (h *histogram) snapshot() Histogram {
+	out := Histogram{Count: h.count, SumMS: h.sumMS, MaxMS: h.maxMS}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		b := HistBucket{Count: n}
+		if i < len(histBoundsMS) {
+			b.LeMS = histBoundsMS[i]
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	return out
+}
+
+// Metrics is a point-in-time snapshot of a Runner's counters. It marshals
+// directly to JSON (ccserve's GET /metrics and the expvar export).
+type Metrics struct {
+	Workers      int   `json:"workers"`
+	JobsInFlight int64 `json:"jobs_in_flight"`
+
+	JobsRun      uint64 `json:"jobs_run"`
+	JobsFailed   uint64 `json:"jobs_failed"`
+	JobsPanicked uint64 `json:"jobs_panicked"`
+	JobsTimedOut uint64 `json:"jobs_timed_out"`
+
+	RunsExecuted uint64            `json:"runs_executed"`
+	Traps        uint64            `json:"traps"`
+	TrapsByKind  map[string]uint64 `json:"traps_by_kind,omitempty"`
+
+	Cache CacheStats `json:"cache"`
+
+	CompileWall Histogram `json:"compile_wall"`
+	RunWall     Histogram `json:"run_wall"`
+}
+
+// metrics is the Runner's internal accumulator. One mutex guards all of it:
+// updates are a few counter bumps per job, far off the interpreter's hot
+// path, so contention is negligible next to compile/run work.
+type metrics struct {
+	mu           sync.Mutex
+	jobsInFlight int64
+	jobsRun      uint64
+	jobsFailed   uint64
+	jobsPanicked uint64
+	jobsTimedOut uint64
+	runsExecuted uint64
+	traps        uint64
+	trapsByKind  map[string]uint64
+	compileWall  histogram
+	runWall      histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{trapsByKind: make(map[string]uint64)}
+}
+
+func (m *metrics) jobStarted() {
+	m.mu.Lock()
+	m.jobsInFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobFinished(res *JobResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsInFlight--
+	m.jobsRun++
+	if res.Err != nil {
+		m.jobsFailed++
+		return
+	}
+	if !res.CacheHit {
+		m.compileWall.observe(res.CompileTime)
+	}
+	if res.Run != nil {
+		m.runsExecuted++
+		m.runWall.observe(res.RunTime)
+		if res.Run.Trapped {
+			m.traps++
+			m.trapsByKind[res.Run.TrapKind]++
+		}
+	}
+}
+
+func (m *metrics) jobPanicked() {
+	m.mu.Lock()
+	m.jobsPanicked++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobTimedOut() {
+	m.mu.Lock()
+	m.jobsTimedOut++
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot(workers int, cache CacheStats) Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		Workers:      workers,
+		JobsInFlight: m.jobsInFlight,
+		JobsRun:      m.jobsRun,
+		JobsFailed:   m.jobsFailed,
+		JobsPanicked: m.jobsPanicked,
+		JobsTimedOut: m.jobsTimedOut,
+		RunsExecuted: m.runsExecuted,
+		Traps:        m.traps,
+		Cache:        cache,
+		CompileWall:  m.compileWall.snapshot(),
+		RunWall:      m.runWall.snapshot(),
+	}
+	if len(m.trapsByKind) > 0 {
+		out.TrapsByKind = make(map[string]uint64, len(m.trapsByKind))
+		for k, v := range m.trapsByKind {
+			out.TrapsByKind[k] = v
+		}
+	}
+	return out
+}
+
+// ExpvarVar adapts the Runner's metrics to the expvar interface; publish it
+// with expvar.Publish (ccserve does, under "gocured_pipeline") and it shows
+// up on /debug/vars alongside the Go runtime's variables.
+func (r *Runner) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any { return r.Metrics() })
+}

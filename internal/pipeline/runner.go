@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"gocured"
+)
+
+// RunnerOptions tune a Runner.
+type RunnerOptions struct {
+	// Workers bounds concurrent jobs (0 = runtime.NumCPU()).
+	Workers int
+	// CacheEntries bounds the compile cache (0 = DefaultCacheEntries,
+	// negative = caching disabled).
+	CacheEntries int
+	// DefaultStepLimit is applied to run jobs that do not set their own
+	// RunOptions.StepLimit (0 keeps the interpreter's default of 1e9).
+	// ccserve lowers it so one request cannot monopolize a worker.
+	DefaultStepLimit uint64
+	// JobTimeout is the default wall-clock bound per job (0 = none). A
+	// timed-out job's result is abandoned; its worker slot is freed only
+	// when the underlying compile/run actually stops (the step limit is
+	// the hard backstop), so pathological jobs exert backpressure instead
+	// of accumulating unbounded goroutines.
+	JobTimeout time.Duration
+}
+
+// Job is one unit of pipeline work: cure a source file and, optionally,
+// execute it in one Mode.
+type Job struct {
+	// Name labels the job and names the translation unit in diagnostics
+	// (a ".c" suffix is conventional but not required).
+	Name    string
+	Source  string
+	Options gocured.Options
+
+	// Run requests execution after curing; Mode and RunOptions configure it.
+	Run        bool
+	Mode       gocured.Mode
+	RunOptions gocured.RunOptions
+
+	// Timeout overrides the Runner's JobTimeout when positive.
+	Timeout time.Duration
+
+	// testPanic makes execute panic before doing any work; package tests
+	// inject it to exercise the per-job panic isolation.
+	testPanic bool
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	Name string
+	Key  Key
+
+	// Program, Stats and Diagnostics are set when compilation succeeded.
+	Program     *gocured.Program
+	Stats       gocured.Stats
+	Diagnostics []string
+	// CacheHit reports that compilation was served from the cache.
+	CacheHit bool
+
+	// Run is the execution result for run jobs.
+	Run *gocured.Result
+
+	CompileTime time.Duration
+	RunTime     time.Duration
+
+	// Err is non-nil on compile errors, run errors, panics (isolated per
+	// job) and timeouts. A trapped execution is not an error: see
+	// Run.Trapped.
+	Err error
+}
+
+// Runner cures and executes Jobs on a bounded worker pool over a shared
+// content-addressed cache. One Runner is intended to live for the whole
+// process (ccserve) or batch (ccbench); it is safe for concurrent use.
+type Runner struct {
+	opts  RunnerOptions
+	sem   chan struct{}
+	cache *Cache
+	m     *metrics
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts RunnerOptions) *Runner {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	r := &Runner{
+		opts: opts,
+		sem:  make(chan struct{}, opts.Workers),
+		m:    newMetrics(),
+	}
+	if opts.CacheEntries >= 0 {
+		r.cache = NewCache(opts.CacheEntries)
+	}
+	return r
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return r.opts.Workers }
+
+// Metrics snapshots the Runner's counters.
+func (r *Runner) Metrics() Metrics {
+	var cs CacheStats
+	if r.cache != nil {
+		cs = r.cache.Stats()
+	}
+	return r.m.snapshot(r.opts.Workers, cs)
+}
+
+// Do executes one job, blocking until a worker slot is free (or ctx is
+// cancelled) and then until the job completes, times out, or panics. It
+// always returns a non-nil result; inspect Err.
+func (r *Runner) Do(ctx context.Context, job Job) *JobResult {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return &JobResult{Name: job.Name, Err: ctx.Err()}
+	}
+	r.m.jobStarted()
+
+	resCh := make(chan *JobResult, 1)
+	go func() {
+		defer func() { <-r.sem }()
+		res := r.execute(job)
+		r.m.jobFinished(res)
+		resCh <- res
+	}()
+
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = r.opts.JobTimeout
+	}
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case res := <-resCh:
+		return res
+	case <-ctx.Done():
+		return &JobResult{Name: job.Name, Err: ctx.Err()}
+	case <-timeoutCh:
+		r.m.jobTimedOut()
+		return &JobResult{Name: job.Name, Err: fmt.Errorf("job %q timed out after %v", job.Name, timeout)}
+	}
+}
+
+// DoAll fans jobs out over the worker pool and returns their results in
+// input order once all have completed (or ctx is cancelled, in which case
+// the remaining results carry ctx's error).
+func (r *Runner) DoAll(ctx context.Context, jobs []Job) []*JobResult {
+	results := make([]*JobResult, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Do(ctx, jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Compile cures a source through the worker pool and cache without
+// executing it.
+func (r *Runner) Compile(ctx context.Context, name, source string, opts gocured.Options) *JobResult {
+	return r.Do(ctx, Job{Name: name, Source: source, Options: opts})
+}
+
+// execute runs one job on the calling goroutine. Panics anywhere in the
+// compile/run path are isolated into Err so one pathological source cannot
+// take down a batch.
+func (r *Runner) execute(job Job) (res *JobResult) {
+	res = &JobResult{Name: job.Name}
+	defer func() {
+		if p := recover(); p != nil {
+			r.m.jobPanicked()
+			res.Err = fmt.Errorf("job %q panicked: %v\n%s", job.Name, p, debug.Stack())
+		}
+	}()
+	if job.testPanic {
+		panic("injected test panic")
+	}
+
+	start := time.Now()
+	compiled, hit, err := r.compile(job)
+	res.CompileTime = time.Since(start)
+	if err != nil {
+		res.Err = fmt.Errorf("compile %s: %w", job.Name, err)
+		return res
+	}
+	res.Key = compiled.Key
+	res.Program = compiled.Program
+	res.Stats = compiled.Stats
+	res.Diagnostics = compiled.Diagnostics
+	res.CacheHit = hit
+
+	if !job.Run {
+		return res
+	}
+	ro := job.RunOptions
+	if ro.StepLimit == 0 && r.opts.DefaultStepLimit > 0 {
+		ro.StepLimit = r.opts.DefaultStepLimit
+	}
+	runStart := time.Now()
+	out, err := compiled.Program.Run(job.Mode, ro)
+	res.RunTime = time.Since(runStart)
+	if err != nil {
+		res.Err = fmt.Errorf("run %s (%s): %w", job.Name, job.Mode, err)
+		return res
+	}
+	res.Run = out
+	return res
+}
+
+func (r *Runner) compile(job Job) (*Compiled, bool, error) {
+	if r.cache != nil {
+		return r.cache.GetOrCompile(job.Name, job.Source, job.Options)
+	}
+	compiled, err := compileSource(CacheKey(job.Name, job.Source, job.Options), job.Name, job.Source, job.Options)
+	return compiled, false, err
+}

@@ -111,13 +111,25 @@ func (g *Graph) Lookup(t *ctypes.Type) *Node {
 	return nil
 }
 
-// Find returns the representative of n's equivalence class.
+// Find returns the representative of n's equivalence class. It never
+// mutates the chain: queries stay race-free when a solved graph is read
+// from several goroutines at once (concurrent Run of a compiled program).
+// Compress collapses every chain after solving, so post-solve lookups are
+// one hop; during inference chains stay short via union by rank.
 func (n *Node) Find() *Node {
-	for n.parent != n {
-		n.parent = n.parent.parent
+	for n.parent != n.parent.parent {
 		n = n.parent
 	}
-	return n
+	return n.parent
+}
+
+// Compress points every node directly at its representative. The solver
+// calls it once after the kinds are final so that later concurrent Find
+// calls are single-hop reads.
+func (g *Graph) Compress() {
+	for _, n := range g.Nodes {
+		n.parent = n.Find()
+	}
 }
 
 // Union merges the classes of a and b (they must have the same kind).

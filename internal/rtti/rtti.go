@@ -9,6 +9,7 @@ package rtti
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"gocured/internal/ctypes"
 )
@@ -22,8 +23,12 @@ type Node struct {
 
 func (n *Node) String() string { return n.Name }
 
-// Hierarchy is the program-wide physical subtyping hierarchy.
+// Hierarchy is the program-wide physical subtyping hierarchy. It is safe
+// for concurrent use: the interpreter consults it (and may register nodes
+// or cache subtype verdicts) while a compiled program runs, possibly from
+// many goroutines at once.
 type Hierarchy struct {
+	mu       sync.RWMutex
 	nodes    []*Node
 	byKey    map[string]*Node
 	subCache map[[2]int]int8 // -1 unknown, 0 false, 1 true
@@ -81,13 +86,22 @@ func key(t *ctypes.Type) string {
 }
 
 // Of registers (if needed) and returns the hierarchy node for t. This is
-// the compile-time rttiOf function.
+// the compile-time rttiOf function; the interpreter also calls it at run
+// time when a statically-typed pointer first records its type.
 func (h *Hierarchy) Of(t *ctypes.Type) *Node {
 	k := key(t)
+	h.mu.RLock()
+	n, ok := h.byKey[k]
+	h.mu.RUnlock()
+	if ok {
+		return n
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if n, ok := h.byKey[k]; ok {
 		return n
 	}
-	n := &Node{ID: len(h.nodes) + 1, Ty: t, Name: t.String()}
+	n = &Node{ID: len(h.nodes) + 1, Ty: t, Name: t.String()}
 	h.nodes = append(h.nodes, n)
 	h.byKey[k] = n
 	return n
@@ -95,7 +109,10 @@ func (h *Hierarchy) Of(t *ctypes.Type) *Node {
 
 // Lookup returns the node for t if registered, else nil.
 func (h *Hierarchy) Lookup(t *ctypes.Type) *Node {
-	return h.byKey[key(t)]
+	k := key(t)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.byKey[k]
 }
 
 // IsSubtype reports whether a ≤ b (a is a physical subtype of b), i.e. a
@@ -107,17 +124,22 @@ func (h *Hierarchy) IsSubtype(a, b *Node) bool {
 		return true
 	}
 	ck := [2]int{a.ID, b.ID}
-	if v, ok := h.subCache[ck]; ok {
+	h.mu.RLock()
+	v, ok := h.subCache[ck]
+	h.mu.RUnlock()
+	if ok {
 		return v == 1
 	}
 	// a ≤ b iff b's layout is a prefix of a's layout.
-	ok, _ := ctypes.Prefix(a.Ty, b.Ty)
-	v := int8(0)
-	if ok {
+	sub, _ := ctypes.Prefix(a.Ty, b.Ty)
+	v = 0
+	if sub {
 		v = 1
 	}
+	h.mu.Lock()
 	h.subCache[ck] = v
-	return ok
+	h.mu.Unlock()
+	return sub
 }
 
 // HasStrictSubtypes reports whether any registered aggregate type is a
@@ -125,17 +147,18 @@ func (h *Hierarchy) IsSubtype(a, b *Node) bool {
 // propagating the RTTI kind to pointers whose static type has no subtypes
 // in the program (§3.2: such pointers stay SAFE).
 func (h *Hierarchy) HasStrictSubtypes(n *Node) bool {
+	nodes := h.Nodes()
 	if n == h.VoidNode {
 		// Everything is a subtype of void; void has strict subtypes as
 		// soon as the program has any other registered type.
-		return len(h.nodes) > 1
+		return len(nodes) > 1
 	}
 	// Only aggregates participate (a scalar's "subtypes" — structs that
 	// start with it — do not make programs use it polymorphically).
 	if n.Ty.Kind != ctypes.Struct {
 		return false
 	}
-	for _, m := range h.nodes {
+	for _, m := range nodes {
 		if m == n || m.Ty.Kind != ctypes.Struct {
 			continue
 		}
@@ -146,8 +169,19 @@ func (h *Hierarchy) HasStrictSubtypes(n *Node) bool {
 	return false
 }
 
-// Nodes returns all registered nodes.
-func (h *Hierarchy) Nodes() []*Node { return h.nodes }
+// Nodes returns a snapshot of all registered nodes. Node IDs are 1-based
+// and dense, so nodes[id-1] recovers a node from its ID; elements already
+// registered are never mutated, making the snapshot safe to read while
+// other goroutines register new types.
+func (h *Hierarchy) Nodes() []*Node {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nodes[:len(h.nodes):len(h.nodes)]
+}
 
 // Len returns the number of registered types.
-func (h *Hierarchy) Len() int { return len(h.nodes) }
+func (h *Hierarchy) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.nodes)
+}
