@@ -71,7 +71,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "[%s] steps=%d checks=%d mem=%d\n",
 		*mode, res.Steps, res.Checks, res.MemAccesses)
 	if res.Trapped {
-		fmt.Fprintf(os.Stderr, "TRAP (%s): %s\n", res.TrapKind, res.TrapMessage)
+		at := ""
+		if res.TrapPos != "" {
+			at = " at " + res.TrapPos
+		}
+		fmt.Fprintf(os.Stderr, "TRAP (%s)%s: %s\n", res.TrapKind, at, res.TrapMessage)
+		for _, fn := range res.TrapStack {
+			fmt.Fprintf(os.Stderr, "  in %s\n", fn)
+		}
+		for _, l := range res.TrapBlame {
+			fmt.Fprintf(os.Stderr, "  | %s\n", l)
+		}
 		os.Exit(3)
 	}
 	os.Exit(res.ExitCode)

@@ -6,11 +6,17 @@
 //
 // Endpoints:
 //
-//	POST /cure          cure (and optionally run) a source; see CureRequest
-//	GET  /metrics       pipeline metrics snapshot as JSON
-//	GET  /corpus        list the built-in corpus programs
-//	GET  /corpus/{name} fetch one corpus program (source and metadata)
-//	GET  /debug/vars    expvar, including the pipeline metrics
+//	POST /cure                cure (and optionally run) a source; see CureRequest
+//	GET  /metrics             pipeline metrics snapshot as JSON
+//	GET  /metrics/prometheus  the same counters in Prometheus text format
+//	GET  /corpus              list the built-in corpus programs
+//	GET  /corpus/{name}       fetch one corpus program (source and metadata)
+//	GET  /debug/vars          expvar, including the pipeline metrics
+//	GET  /debug/pprof/        Go profiling (only with -pprof)
+//
+// Every request is logged as one structured (slog JSON) line with a request
+// ID, method, path, status, and duration; /cure lines additionally carry
+// mode, cache hit/miss, and a trap summary.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // are drained before exit.
@@ -23,18 +29,23 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"gocured"
 	"gocured/internal/corpus"
 	"gocured/internal/pipeline"
+	"gocured/internal/trace"
 )
 
 // CureRequest is the POST /cure body.
@@ -65,21 +76,39 @@ type CureResponse struct {
 	CacheHit    bool          `json:"cache_hit"`
 	Stats       gocured.Stats `json:"stats"`
 	Diagnostics []string      `json:"diagnostics,omitempty"`
-	Run         *RunResponse  `json:"run,omitempty"`
+	// Phases are the per-phase wall times of the job (parse, sema, lower,
+	// infer, instrument, and "run" for run jobs).
+	Phases []trace.Span `json:"phases,omitempty"`
+	Run    *RunResponse `json:"run,omitempty"`
 }
 
 // RunResponse is the execution part of a CureResponse.
 type RunResponse struct {
-	Mode        string   `json:"mode"`
-	ExitCode    int      `json:"exit_code"`
-	Stdout      string   `json:"stdout"`
-	Trapped     bool     `json:"trapped"`
-	TrapKind    string   `json:"trap_kind,omitempty"`
-	TrapMessage string   `json:"trap_message,omitempty"`
-	Steps       uint64   `json:"steps"`
-	Checks      uint64   `json:"checks"`
-	SimCycles   uint64   `json:"sim_cycles"`
-	ToolReports []string `json:"tool_reports,omitempty"`
+	Mode        string `json:"mode"`
+	ExitCode    int    `json:"exit_code"`
+	Stdout      string `json:"stdout"`
+	Trapped     bool   `json:"trapped"`
+	TrapKind    string `json:"trap_kind,omitempty"`
+	TrapMessage string `json:"trap_message,omitempty"`
+	// TrapPos/TrapStack/TrapBlame attribute a trap: source location, cured
+	// call stack (innermost first), and the inference blame chain of the
+	// pointer whose check fired.
+	TrapPos   string   `json:"trap_pos,omitempty"`
+	TrapStack []string `json:"trap_stack,omitempty"`
+	TrapBlame []string `json:"trap_blame,omitempty"`
+	Steps     uint64   `json:"steps"`
+	Checks    uint64   `json:"checks"`
+	SimCycles uint64   `json:"sim_cycles"`
+	// HotSites are the hottest run-time check sites of the run.
+	HotSites    []gocured.CheckSiteCount `json:"hot_sites,omitempty"`
+	ToolReports []string                 `json:"tool_reports,omitempty"`
+}
+
+// serverConfig bundles the serving options newServer needs.
+type serverConfig struct {
+	MaxBytes int64
+	Logger   *slog.Logger
+	Pprof    bool
 }
 
 // server bundles the Runner with the HTTP handlers so tests can drive the
@@ -87,20 +116,74 @@ type RunResponse struct {
 type server struct {
 	runner   *pipeline.Runner
 	maxBytes int64
+	logger   *slog.Logger
 	mux      *http.ServeMux
+	reqSeq   atomic.Uint64
 }
 
-func newServer(runner *pipeline.Runner, maxBytes int64) *server {
-	s := &server{runner: runner, maxBytes: maxBytes, mux: http.NewServeMux()}
+func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 1 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &server{runner: runner, maxBytes: cfg.MaxBytes, logger: cfg.Logger, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/cure", s.handleCure)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/prometheus", s.handlePrometheus)
 	s.mux.HandleFunc("/corpus", s.handleCorpusList)
 	s.mux.HandleFunc("/corpus/", s.handleCorpusGet)
 	s.mux.Handle("/debug/vars", expvar.Handler())
+	if cfg.Pprof {
+		// Explicit routes rather than the net/http/pprof blank import: the
+		// profiling surface exists only when asked for.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ctxKey keys the per-request logger in the request context.
+type ctxKey struct{}
+
+// reqLogger returns the request-scoped logger (carrying the request ID).
+func (s *server) reqLogger(r *http.Request) *slog.Logger {
+	if l, ok := r.Context().Value(ctxKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return s.logger
+}
+
+// ServeHTTP assigns every request an ID, threads a request-scoped logger
+// through the context, and logs one structured line when the handler
+// returns.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.reqSeq.Add(1)
+	lg := s.logger.With("req_id", id)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ctxKey{}, lg)))
+	lg.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"dur_ms", float64(time.Since(start))/float64(time.Millisecond))
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -110,8 +193,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// errorBody is the structured error reply of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// errCode renders an HTTP status as a stable snake_case error code
+// ("bad_request", "request_entity_too_large", ...).
+func errCode(status int) string {
+	return strings.ReplaceAll(strings.ToLower(http.StatusText(status)), " ", "_")
+}
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: errCode(status)})
 }
 
 func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
@@ -122,7 +217,9 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBytes)
 	var req CureRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
@@ -165,12 +262,14 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 			StepLimit: req.StepLimit,
 		},
 	}
+	start := time.Now()
 	res := s.runner.Do(r.Context(), job)
 	if res.Err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
 			status = http.StatusServiceUnavailable
 		}
+		s.reqLogger(r).Warn("cure failed", "name", name, "mode", mode.String(), "err", res.Err.Error())
 		writeError(w, status, "%v", res.Err)
 		return
 	}
@@ -180,6 +279,13 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 		CacheHit:    res.CacheHit,
 		Stats:       res.Stats,
 		Diagnostics: res.Diagnostics,
+		Phases:      res.Phases,
+	}
+	logAttrs := []any{
+		"name", name,
+		"mode", mode.String(),
+		"cache_hit", res.CacheHit,
+		"dur_ms", float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if res.Run != nil {
 		resp.Run = &RunResponse{
@@ -189,17 +295,33 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 			Trapped:     res.Run.Trapped,
 			TrapKind:    res.Run.TrapKind,
 			TrapMessage: res.Run.TrapMessage,
+			TrapPos:     res.Run.TrapPos,
+			TrapStack:   res.Run.TrapStack,
+			TrapBlame:   res.Run.TrapBlame,
 			Steps:       res.Run.Steps,
 			Checks:      res.Run.Checks,
 			SimCycles:   res.Run.SimCycles,
+			HotSites:    res.Run.TopCheckSites(5),
 			ToolReports: res.Run.ToolReports,
 		}
+		logAttrs = append(logAttrs, "trapped", res.Run.Trapped)
+		if res.Run.Trapped {
+			logAttrs = append(logAttrs, "trap_kind", res.Run.TrapKind, "trap_pos", res.Run.TrapPos)
+		}
 	}
+	s.reqLogger(r).Info("cure", logAttrs...)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.runner.Metrics())
+}
+
+// handlePrometheus serves the pipeline metrics in the Prometheus text
+// exposition format.
+func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pipeline.WritePrometheus(w, s.runner.Metrics())
 }
 
 // corpusEntry is one row of GET /corpus.
@@ -253,6 +375,7 @@ func main() {
 	stepLimit := flag.Uint64("step-limit", 200_000_000, "default interpreter step limit per run")
 	jobTimeout := flag.Duration("timeout", 60*time.Second, "wall-clock bound per job (0 = none)")
 	maxBytes := flag.Int64("max-request-bytes", 1<<20, "maximum POST /cure body size")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
 	flag.Parse()
 
 	runner := pipeline.NewRunner(pipeline.RunnerOptions{
@@ -263,9 +386,10 @@ func main() {
 	})
 	expvar.Publish("gocured_pipeline", runner.ExpvarVar())
 
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(runner, *maxBytes),
+		Handler:           newServer(runner, serverConfig{MaxBytes: *maxBytes, Logger: logger, Pprof: *pprofFlag}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -11,7 +11,7 @@ import (
 )
 
 func testServer() *server {
-	return newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 2}), 1<<20)
+	return newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 2}), serverConfig{MaxBytes: 1 << 20})
 }
 
 func post(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, CureResponse) {
@@ -88,7 +88,7 @@ func TestCureErrors(t *testing.T) {
 }
 
 func TestRequestSizeLimit(t *testing.T) {
-	s := newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1}), 256)
+	s := newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1}), serverConfig{MaxBytes: 256})
 	big := `{"source":"` + strings.Repeat("x", 1024) + `"}`
 	rec, _ := post(t, s, big)
 	if rec.Code != http.StatusRequestEntityTooLarge {
@@ -141,5 +141,127 @@ func TestCorpusEndpoints(t *testing.T) {
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/corpus/no-such-program", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("missing program status = %d, want 404", rec.Code)
+	}
+}
+
+func TestUnknownJSONFieldRejected(t *testing.T) {
+	s := testServer()
+	rec, _ := post(t, s, `{"source":"int main(void){return 0;}","bogus_field":1}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	var e errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if e.Code != "bad_request" || !strings.Contains(e.Error, "bogus_field") {
+		t.Errorf("error body = %+v, want code bad_request naming the field", e)
+	}
+}
+
+// TestPrometheusEndpoint sanity-checks the text exposition format: every
+// sample line must belong to a family declared by a preceding # TYPE line,
+// histogram buckets must be cumulative and end at +Inf == _count.
+func TestPrometheusEndpoint(t *testing.T) {
+	s := testServer()
+	post(t, s, `{"source":"int main(void){return 0;}","run":true}`)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics/prometheus", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	body := rec.Body.String()
+	typed := map[string]string{} // family -> type
+	var lastInf, lastCount string
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && typed[f] == "histogram" {
+				fam = f
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			t.Errorf("sample %q has no # TYPE declaration", line)
+		}
+		if strings.Contains(line, `le="+Inf"`) {
+			lastInf = strings.Fields(line)[1]
+		}
+		if strings.HasSuffix(name, "_count") && typed[fam] == "histogram" {
+			lastCount = strings.Fields(line)[1]
+			if lastInf != lastCount {
+				t.Errorf("histogram %s: +Inf bucket %s != count %s", fam, lastInf, lastCount)
+			}
+		}
+	}
+	for _, want := range []string{"gocured_jobs_run_total 1", "gocured_runs_executed_total 1", "gocured_compile_wall_ms_bucket"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestCureTrapProvenance checks that a trapping run reports where it
+// trapped, the call stack, the blame chain, and the hottest check sites.
+func TestCureTrapProvenance(t *testing.T) {
+	s := testServer()
+	src := `int main(void){ int a[4]; int i, t = 0; for (i = 0; i <= 4; i++) t += a[i]; return t; }`
+	rec, resp := post(t, s, `{"name":"oob.c","source":"`+src+`","run":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	run := resp.Run
+	if run == nil || !run.Trapped {
+		t.Fatalf("run = %+v, want a trap", run)
+	}
+	if !strings.Contains(run.TrapPos, "oob.c:") {
+		t.Errorf("TrapPos = %q, want an oob.c position", run.TrapPos)
+	}
+	if len(run.TrapStack) == 0 || run.TrapStack[0] != "main" {
+		t.Errorf("TrapStack = %v, want [main]", run.TrapStack)
+	}
+	if len(run.TrapBlame) == 0 {
+		t.Errorf("TrapBlame is empty, want a blame chain")
+	}
+	if len(run.HotSites) == 0 || run.HotSites[0].Hits == 0 {
+		t.Errorf("HotSites = %v, want at least one hot site", run.HotSites)
+	}
+	if len(resp.Phases) == 0 {
+		t.Errorf("Phases is empty, want per-phase spans")
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	off := testServer()
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof off: status = %d, want 404", rec.Code)
+	}
+
+	on := newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1}), serverConfig{Pprof: true})
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof on: status = %d, want 200", rec.Code)
 	}
 }

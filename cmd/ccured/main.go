@@ -6,15 +6,35 @@
 // Usage:
 //
 //	ccured [-dump] [-dump-raw] [-no-rtti] [-no-subtyping] [-trust] [-split-all] file.c
+//
+// With -explain, ccured prints an annotated blame chain for every pointer
+// with a checked (non-SAFE) kind: the shortest constraint path from the
+// pointer back to the cast, arithmetic, or annotation that forced the kind,
+// with rule names and source locations. -site restricts the output to casts
+// at one source position ("file.c:12" matches every column on that line).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gocured"
 )
+
+// writeExplain renders the -explain output: one annotated blame chain per
+// pointer equivalence class with a checked kind at the selected sites.
+func writeExplain(w io.Writer, prog *gocured.Program, site string) {
+	chains := prog.ExplainKind(site)
+	fmt.Fprintln(w, "---- blame chains (why pointers have checked kinds) ----")
+	if len(chains) == 0 {
+		fmt.Fprintln(w, "nothing to explain: every pointer at the selected sites is SAFE")
+	}
+	for _, ch := range chains {
+		fmt.Fprint(w, ch)
+	}
+}
 
 func main() {
 	dump := flag.Bool("dump", false, "print the instrumented (cured) program")
@@ -24,6 +44,8 @@ func main() {
 	trust := flag.Bool("trust", false, "trust remaining bad casts instead of making pointers WILD")
 	splitAll := flag.Bool("split-all", false, "force the compatible (split) representation everywhere")
 	listCasts := flag.Bool("list-casts", false, "list every pointer cast with its classification (review trusted/bad ones)")
+	explain := flag.Bool("explain", false, "print blame chains for WILD/SEQ/RTTI pointers (why each kind was inferred)")
+	site := flag.String("site", "", "with -explain: only explain casts at this source position prefix (e.g. file.c:12)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccured [flags] file.c")
@@ -68,6 +90,9 @@ func main() {
 			}
 			fmt.Printf("%-20s %-10s %s -> %s%s\n", c.Pos, c.Class, c.From, c.To, mark)
 		}
+	}
+	if *explain {
+		writeExplain(os.Stdout, prog, *site)
 	}
 	if *dumpRaw {
 		fmt.Println("---- raw program ----")

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gocured"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestExplainGolden pins the -explain output for examples/explain/wild.c:
+// every WILD pointer gets a blame chain with rule names and source
+// locations, walking data flow back to the bad cast that caused it.
+func TestExplainGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "explain")
+	src, err := os.ReadFile(filepath.Join(dir, "wild.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile under the bare name so positions in the golden file do not
+	// depend on where the repository is checked out.
+	prog, err := gocured.Compile("wild.c", string(src), gocured.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	writeExplain(&b, prog, "")
+	got := b.String()
+
+	goldenPath := filepath.Join(dir, "wild.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("explain output differs from %s (run with -update to regenerate)\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+
+	// Sanity beyond the exact text: a WILD chain must blame the bad cast
+	// at its source position.
+	for _, needle := range []string{"is WILD:", "bad-cast at wild.c:12:16", "[flow: assign]"} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("explain output missing %q", needle)
+		}
+	}
+}
+
+// TestExplainSiteFilter checks that -site restricts chains to casts at one
+// source position prefix.
+func TestExplainSiteFilter(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "explain", "wild.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := gocured.Compile("wild.c", string(src), gocured.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	writeExplain(&b, prog, "wild.c:14")
+	got := b.String()
+	if !strings.Contains(got, "[flow: cast-identity]") {
+		t.Errorf("site-filtered output lost the chain for the line-14 cast:\n%s", got)
+	}
+
+	b.Reset()
+	writeExplain(&b, prog, "wild.c:999")
+	if got := b.String(); !strings.Contains(got, "nothing to explain") {
+		t.Errorf("filter with no matches must say so, got:\n%s", got)
+	}
+}

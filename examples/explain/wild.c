@@ -1,0 +1,18 @@
+/* Pointers forced WILD by a bad cast: the input for ccured -explain's
+ * blame-chain golden test. The cast on line 12 converts an int* into an
+ * int** — nothing physical subtyping can verify — so both sides of the
+ * cast go WILD. The copy into jp and the identity cast into kp then
+ * inherit the wildness through ordinary data flow, so their blame chains
+ * walk back through the assignments to the original bad cast. */
+extern int printf(char *fmt, ...);
+
+int main(void) {
+    int v = 7;
+    int *ip = &v;
+    int **pp = (int **)ip;  /* bad cast: an int * is not an int ** */
+    int *jp = ip;           /* jp catches the infection by assignment */
+    int *kp = (int *)jp;    /* an innocent cast that went WILD */
+    if (pp && kp) { }
+    printf("%d\n", v);
+    return 0;
+}

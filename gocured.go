@@ -26,8 +26,10 @@ import (
 
 	"gocured/internal/cil"
 	"gocured/internal/core"
+	"gocured/internal/ctypes"
 	"gocured/internal/infer"
 	"gocured/internal/interp"
+	"gocured/internal/trace"
 )
 
 // Version identifies the compiler/analysis revision. The pipeline's
@@ -111,12 +113,38 @@ type Result struct {
 	Trapped     bool
 	TrapKind    string
 	TrapMessage string
+	// TrapPos is the rendered source location of the trapping statement,
+	// TrapStack the cured-program call stack at the trap (innermost frame
+	// first), and TrapBlame the inference blame chain of the pointer whose
+	// check fired — why the pointer had a checked kind at all.
+	TrapPos   string
+	TrapStack []string
+	TrapBlame []string
 	// Steps and Checks are dynamic counters; MemAccesses counts raw
 	// loads+stores; SimCycles is the deterministic simulated-cycle count
 	// used for slowdown ratios (see EXPERIMENTS.md).
 	Steps, Checks, MemAccesses, SimCycles uint64
+	// CheckSites lists every executed check site with its hit and trap
+	// counts, hottest first (per-site attribution of the checking cost).
+	CheckSites []CheckSiteCount
 	// ToolReports carries Purify/Valgrind-style diagnostics.
 	ToolReports []string
+}
+
+// CheckSiteCount is one check site's dynamic counters.
+type CheckSiteCount struct {
+	Pos   string `json:"pos"`
+	Kind  string `json:"kind"`
+	Hits  uint64 `json:"hits"`
+	Traps uint64 `json:"traps"`
+}
+
+// TopCheckSites returns the n hottest check sites of the run.
+func (r *Result) TopCheckSites(n int) []CheckSiteCount {
+	if n > len(r.CheckSites) {
+		n = len(r.CheckSites)
+	}
+	return r.CheckSites[:n]
 }
 
 // Stats summarizes the static analysis of a compiled program: the pointer
@@ -219,8 +247,72 @@ func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {
 		res.Trapped = true
 		res.TrapKind = out.Trap.Kind
 		res.TrapMessage = out.Trap.Msg
+		res.TrapPos = out.Trap.Pos
+		res.TrapStack = out.Trap.Stack
+		if out.TrapProv != nil {
+			res.TrapBlame = out.TrapProv.Blame
+		}
+	}
+	for _, s := range out.Counters.TopSites(0) {
+		res.CheckSites = append(res.CheckSites, CheckSiteCount{
+			Pos: s.Pos, Kind: s.Kind.String(), Hits: s.Hits, Traps: s.Traps,
+		})
 	}
 	return res, nil
+}
+
+// Spans returns the per-phase wall times of the compilation (parse, sema,
+// lower, infer, instrument).
+func (p *Program) Spans() []trace.Span { return p.unit.Spans }
+
+// ExplainKind returns rendered blame chains explaining why pointers at a
+// given cast site carry a checked (non-SAFE) kind: bad or demoted casts
+// explain WILD, downcasts RTTI, tiling and integer casts SEQ. site is a
+// prefix of the rendered source position ("file.c:12" matches every column
+// on that line); "" explains every interesting site. Chains for pointers in
+// the same equivalence class are reported once.
+func (p *Program) ExplainKind(site string) []string {
+	res := p.unit.Res
+	seen := make(map[string]bool)
+	var out []string
+	explain := func(t *ctypes.Type) {
+		n := res.Graph.Lookup(t)
+		if n == nil {
+			return
+		}
+		key := fmt.Sprintf("n%d/%s", n.ID, res.Graph.KindOf(t))
+		if seen[key] {
+			return
+		}
+		ch := res.Explain(t)
+		if ch == nil {
+			return
+		}
+		seen[key] = true
+		out = append(out, ch.Render())
+	}
+	for _, c := range res.Casts {
+		if site != "" && !strings.HasPrefix(c.Pos.String(), site) {
+			continue
+		}
+		switch {
+		case c.Class == infer.CastBad || c.WentWild:
+			explain(c.From)
+			explain(c.To)
+		case c.Class == infer.CastDowncast:
+			explain(c.From)
+		case c.Class == infer.CastSeqTile, c.Class == infer.CastIntToPtr:
+			explain(c.From)
+			explain(c.To)
+		case c.Class == infer.CastIdentity, c.Class == infer.CastUpcast:
+			// An innocent-looking cast whose pointers were infected through
+			// data flow: explain() is a no-op for SAFE pointers, so only the
+			// infected ones produce chains.
+			explain(c.From)
+			explain(c.To)
+		}
+	}
+	return out
 }
 
 // Stats returns the static analysis summary.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"gocured"
+	"gocured/internal/corpus"
 )
 
 const apiDemo = `
@@ -251,5 +252,49 @@ func TestCountLines(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if gocured.ModeRaw.String() != "raw" || gocured.ModeCured.String() != "cured" {
 		t.Error("mode names wrong")
+	}
+}
+
+// TestHottestCheckSite pins the per-site check attribution on a corpus
+// program: cured olden-treeadd spends most of its checks on the null test
+// guarding the recursive child-pointer walk, and the counters must come
+// back sorted hottest-first.
+func TestHottestCheckSite(t *testing.T) {
+	p := corpus.ByName("olden-treeadd")
+	if p == nil {
+		t.Fatal("corpus program olden-treeadd missing")
+	}
+	prog, err := gocured.Compile(p.Name+".c", p.Source, gocured.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(gocured.ModeCured, gocured.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trapped {
+		t.Fatalf("treeadd trapped: %s", res.TrapKind)
+	}
+	if len(res.CheckSites) == 0 {
+		t.Fatal("no per-site check counters recorded")
+	}
+	for i := 1; i < len(res.CheckSites); i++ {
+		if res.CheckSites[i].Hits > res.CheckSites[i-1].Hits {
+			t.Fatalf("CheckSites not sorted by hits: %v before %v",
+				res.CheckSites[i-1], res.CheckSites[i])
+		}
+	}
+	hot := res.CheckSites[0]
+	if hot.Pos != "olden-treeadd.c:55:28" || hot.Kind != "null" {
+		t.Errorf("hottest site = %s %s (%d hits), want the null check at olden-treeadd.c:55:28",
+			hot.Pos, hot.Kind, hot.Hits)
+	}
+	if hot.Traps != 0 {
+		t.Errorf("treeadd must not trap, yet hottest site has %d traps", hot.Traps)
+	}
+	// TopCheckSites(n) truncates without re-sorting.
+	top := res.TopCheckSites(3)
+	if len(top) != 3 || top[0] != hot {
+		t.Errorf("TopCheckSites(3) = %v, want prefix starting at %v", top, hot)
 	}
 }

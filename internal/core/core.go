@@ -15,6 +15,7 @@ import (
 	"gocured/internal/instrument"
 	"gocured/internal/interp"
 	"gocured/internal/sema"
+	"gocured/internal/trace"
 )
 
 // Unit is one fully processed program.
@@ -31,19 +32,27 @@ type Unit struct {
 
 	// Diags collects warnings and notes from all phases.
 	Diags *diag.List
+
+	// Spans records per-phase wall time of the build (parse/sema/lower of
+	// the cure pass, plus frontend-raw, infer, instrument).
+	Spans []trace.Span
 }
 
-// frontend runs parse/check/lower once.
-func frontend(filename, src string, diags *diag.List) (*cil.Program, error) {
-	file := cparse.Parse(filename, src, diags)
+// frontend runs parse/check/lower once, timing each phase into spans (which
+// may be nil).
+func frontend(filename, src string, diags *diag.List, spans *trace.SpanSet) (*cil.Program, error) {
+	var file *cparse.File
+	spans.Do("parse", func() { file = cparse.Parse(filename, src, diags) })
 	if diags.HasErrors() {
 		return nil, diags.Err()
 	}
-	unit := sema.Check(file, diags)
+	var unit *sema.Unit
+	spans.Do("sema", func() { unit = sema.Check(file, diags) })
 	if diags.HasErrors() {
 		return nil, diags.Err()
 	}
-	prog := cil.Lower(unit, diags)
+	var prog *cil.Program
+	spans.Do("lower", func() { prog = cil.Lower(unit, diags) })
 	if diags.HasErrors() {
 		return nil, diags.Err()
 	}
@@ -53,23 +62,29 @@ func frontend(filename, src string, diags *diag.List) (*cil.Program, error) {
 // Build compiles and cures a source file.
 func Build(filename, src string, opts infer.Options) (*Unit, error) {
 	u := &Unit{Filename: filename, Source: src, Diags: &diag.List{}}
-	raw, err := frontend(filename, src, u.Diags)
+	spans := &trace.SpanSet{}
+	var raw *cil.Program
+	var err error
+	spans.Do("frontend-raw", func() { raw, err = frontend(filename, src, u.Diags, nil) })
 	if err != nil {
 		return nil, fmt.Errorf("frontend: %w", err)
 	}
 	u.Raw = raw
 
 	// Independent second pass for the cured program (curing mutates it).
+	// This pass's phases are the ones timed individually: it is the one
+	// whose output the service serves.
 	curedDiags := &diag.List{}
-	prog2, err := frontend(filename, src, curedDiags)
+	prog2, err := frontend(filename, src, curedDiags, spans)
 	if err != nil {
 		return nil, fmt.Errorf("frontend (cure pass): %w", err)
 	}
 	// Wrapper redirection must precede inference so wrapper constraints
 	// reach every call site (§4.1).
 	instrument.RedirectWrappers(prog2, u.Diags)
-	u.Res = infer.Infer(prog2, opts, u.Diags)
-	u.Cured = instrument.Cure(prog2, u.Res, u.Diags)
+	spans.Do("infer", func() { u.Res = infer.Infer(prog2, opts, u.Diags) })
+	spans.Do("instrument", func() { u.Cured = instrument.Cure(prog2, u.Res, u.Diags) })
+	u.Spans = spans.Spans
 	if u.Diags.HasErrors() {
 		return nil, u.Diags.Err()
 	}

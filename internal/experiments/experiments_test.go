@@ -138,6 +138,12 @@ func TestE9ExploitShape(t *testing.T) {
 	if !strings.Contains(cell(t, tab, exploit, "cured"), "TRAPPED") {
 		t.Error("exploit must trap when cured")
 	}
+	if got := cell(t, tab, benign, "top trap site"); got != "-" {
+		t.Errorf("benign session top trap site = %q, want -", got)
+	}
+	if got := cell(t, tab, exploit, "top trap site"); !strings.Contains(got, "ftpd.c:") {
+		t.Errorf("exploit top trap site = %q, want an ftpd.c position", got)
+	}
 }
 
 func TestTimingTablesShapes(t *testing.T) {

@@ -297,22 +297,23 @@ func Exploits(cfg Config) *Table {
 		ID:     "E9",
 		Title:  "Exploit prevention: ftpd replydirname overflow (§5)",
 		Note:   "paper: \"this version of ftpd has a known vulnerability ... we\nverified that CCured prevents this error\"",
-		Header: []string{"scenario", "raw", "cured"},
+		Header: []string{"scenario", "raw", "cured", "top trap site"},
 	}
 	r := cfg.runner()
 	p := corpus.ByName("ftpd")
 	b := mustBuild(r, p, defaultOpts(p), 1)
-	run := func(mode gocured.Mode, stdin string) string {
+	run := func(mode gocured.Mode, stdin string) (string, *gocured.Result) {
 		out, err := b.run(mode, gocured.RunOptions{Stdin: []byte(stdin)})
 		if err != nil {
-			return "error: " + err.Error()
+			return "error: " + err.Error(), nil
 		}
 		if out.Trapped {
-			return "TRAPPED (" + out.TrapKind + ")"
+			return "TRAPPED (" + out.TrapKind + ")", out
 		}
-		return fmt.Sprintf("ran to completion (exit %d)", out.ExitCode)
+		return fmt.Sprintf("ran to completion (exit %d)", out.ExitCode), out
 	}
 	cells := make([]string, 4)
+	results := make([]*gocured.Result, 4)
 	eachRow(4, func(i int) {
 		mode := gocured.ModeRaw
 		if i%2 == 1 {
@@ -322,10 +323,29 @@ func Exploits(cfg Config) *Table {
 		if i >= 2 {
 			stdin = corpus.FtpdExploitInput
 		}
-		cells[i] = run(mode, stdin)
+		cells[i], results[i] = run(mode, stdin)
 	})
 	t.Rows = append(t.Rows,
-		[]string{"benign session", cells[0], cells[1]},
-		[]string{"exploit session (CWD overflow)", cells[2], cells[3]})
+		[]string{"benign session", cells[0], cells[1], topTrapSite(results[1])},
+		[]string{"exploit session (CWD overflow)", cells[2], cells[3], topTrapSite(results[3])})
 	return t
+}
+
+// topTrapSite names the check site of a cured run that trapped the most —
+// where the attribution counters lay the blame. "-" when nothing trapped.
+func topTrapSite(out *gocured.Result) string {
+	if out == nil {
+		return "-"
+	}
+	best := -1
+	for i, s := range out.CheckSites {
+		if s.Traps > 0 && (best < 0 || s.Traps > out.CheckSites[best].Traps) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return "-"
+	}
+	s := out.CheckSites[best]
+	return fmt.Sprintf("%s %s x%d", s.Pos, s.Kind, s.Traps)
 }

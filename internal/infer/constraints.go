@@ -56,7 +56,7 @@ func (in *inferrer) regType(t *ctypes.Type) {
 		}
 		// A decayed pointer is the same inference node as its array.
 		if u.DecayOf != nil {
-			in.g.Union(n, in.g.NodeFor(u.DecayOf))
+			in.g.UnionR(n, in.g.NodeFor(u.DecayOf), "decay", diag.Pos{})
 		}
 		// Base containment: pointer occurrences in the representation of
 		// the pointee (not through further pointers).
@@ -115,7 +115,7 @@ func (in *inferrer) collectInit(init *cil.Init, ty *ctypes.Type) {
 		}
 	default:
 		in.collectExpr(init.Expr)
-		in.flow(init.Expr.Type(), ty, posOfExpr(init.Expr))
+		in.flow(init.Expr.Type(), ty, "init", posOfExpr(init.Expr))
 	}
 }
 
@@ -136,7 +136,7 @@ func (in *inferrer) collectFunc(f *cil.Func) {
 			case *cil.Set:
 				in.collectLvalue(i.LV)
 				in.collectExpr(i.RHS)
-				in.flow(i.RHS.Type(), i.LV.Ty, i.Position())
+				in.flow(i.RHS.Type(), i.LV.Ty, "assign", i.Position())
 			case *cil.Call:
 				in.collectCall(i)
 			case *cil.Check:
@@ -147,7 +147,7 @@ func (in *inferrer) collectFunc(f *cil.Func) {
 		case *cil.Return:
 			if st.X != nil {
 				in.collectExpr(st.X)
-				in.flow(st.X.Type(), retTy, st.Pos)
+				in.flow(st.X.Type(), retTy, "return", st.Pos)
 			}
 		case *cil.Switch:
 			in.collectExpr(st.X)
@@ -174,11 +174,11 @@ func (in *inferrer) collectCall(call *cil.Call) {
 	fn := ft.Fn
 	for i, a := range call.Args {
 		if i < len(fn.Params) {
-			in.flow(a.Type(), fn.Params[i], call.Position())
+			in.flow(a.Type(), fn.Params[i], "call-arg", call.Position())
 		}
 	}
 	if call.Result != nil {
-		in.flow(fn.Ret, call.Result.Ty, call.Position())
+		in.flow(fn.Ret, call.Result.Ty, "call-ret", call.Position())
 	}
 }
 
@@ -273,8 +273,9 @@ func isConstInRange(e cil.Expr, n int) bool {
 }
 
 // flow generates the constraint for an assignment of a value of type src to
-// a location of type dst (types are structurally equal after sema).
-func (in *inferrer) flow(src, dst *ctypes.Type, pos diag.Pos) {
+// a location of type dst (types are structurally equal after sema). rule
+// names the syntactic context ("assign", "call-arg", ...) for provenance.
+func (in *inferrer) flow(src, dst *ctypes.Type, rule string, pos diag.Pos) {
 	if src == nil || dst == nil || src == dst {
 		return
 	}
@@ -283,33 +284,33 @@ func (in *inferrer) flow(src, dst *ctypes.Type, pos diag.Pos) {
 		in.regType(src)
 		in.regType(dst)
 		ns, nd := in.g.Lookup(src), in.g.Lookup(dst)
-		in.g.Flow(ns, nd)
+		in.g.FlowR(ns, nd, rule, pos)
 		in.edges = append(in.edges, &edge{src: ns, dst: nd, class: edgeAssign})
 		if ok, pairs := ctypes.PhysEqual(src.Elem, dst.Elem); ok {
-			in.unifyPairs(pairs)
+			in.unifyPairs(pairs, rule, pos)
 		}
 	case src.Kind == ctypes.Struct && dst.Kind == ctypes.Struct:
 		// Struct copy: contained pointers alias the same data.
 		if ok, pairs := ctypes.PhysEqual(src, dst); ok {
-			in.unifyPairs(pairs)
+			in.unifyPairs(pairs, "struct-copy", pos)
 		}
 	case src.Kind == ctypes.Array && dst.IsPointer():
 		// Decayed array flow.
 		in.regType(src)
 		in.regType(dst)
-		in.g.Flow(in.g.Lookup(src), in.g.Lookup(dst))
+		in.g.FlowR(in.g.Lookup(src), in.g.Lookup(dst), "array-decay", pos)
 		in.edges = append(in.edges, &edge{src: in.g.Lookup(src), dst: in.g.Lookup(dst), class: edgeAssign})
 	}
 }
 
 // unifyPairs unions the kinds of matched pointer occurrence pairs.
-func (in *inferrer) unifyPairs(pairs [][2]*ctypes.Type) {
+func (in *inferrer) unifyPairs(pairs [][2]*ctypes.Type, rule string, pos diag.Pos) {
 	for _, p := range pairs {
 		in.regType(p[0])
 		in.regType(p[1])
 		a, b := in.g.Lookup(p[0]), in.g.Lookup(p[1])
 		if a != nil && b != nil {
-			in.g.Union(a, b)
+			in.g.UnionR(a, b, rule, pos)
 		}
 	}
 }
@@ -348,7 +349,7 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 		site.Class = CastIntToPtr
 		// A disguised integer can only live in a SEQ or WILD pointer
 		// (its base field is null; it can never be dereferenced).
-		in.g.Lookup(to).MarkIntCast()
+		in.g.Lookup(to).MarkIntCastAt(c.Pos)
 		return
 	case from.IsPointer() && !to.IsPointer():
 		in.regType(from)
@@ -371,15 +372,15 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 		// constraint, but the data flow remains (the allocator's result
 		// node must carry bounds when its uses need them).
 		site.Class = CastAlloc
-		in.g.Flow(nf, nt)
+		in.g.FlowR(nf, nt, "alloc-adopt", c.Pos)
 		in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeAssign, site: site})
 		return
 	}
 
 	if ok, pairs := ctypes.PhysEqual(from.Elem, to.Elem); ok {
 		site.Class = CastIdentity
-		in.unifyPairs(pairs)
-		in.g.Flow(nf, nt)
+		in.unifyPairs(pairs, "cast-identity", c.Pos)
+		in.g.FlowR(nf, nt, "cast-identity", c.Pos)
 		in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeAssign, site: site})
 		return
 	}
@@ -394,8 +395,8 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 				// dereferenced, so the tiling requirement is vacuous.
 				site.TileOK = true
 			}
-			in.unifyPairs(pairs)
-			in.g.Flow(nf, nt)
+			in.unifyPairs(pairs, "upcast", c.Pos)
+			in.g.FlowR(nf, nt, "upcast", c.Pos)
 			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeUpcast, site: site})
 			return
 		}
@@ -412,19 +413,19 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 				return
 			}
 			site.Class = CastDowncast
-			in.unifyPairs(pairs)
-			nf.MarkRtti()
-			in.g.Flow(nf, nt)
+			in.unifyPairs(pairs, "downcast", c.Pos)
+			nf.MarkRttiAt(c.Pos)
+			in.g.FlowR(nf, nt, "downcast", c.Pos)
 			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeDowncast, site: site})
 			return
 		}
 		if ok, pairs := ctypes.Tile(from.Elem, to.Elem); ok {
 			// Same tiling: valid between SEQ pointers (§3.1).
 			site.Class = CastSeqTile
-			in.unifyPairs(pairs)
-			nf.MarkArith()
-			nt.MarkArith()
-			in.g.Flow(nf, nt)
+			in.unifyPairs(pairs, "seq-tile", c.Pos)
+			nf.MarkArithAt(c.Pos)
+			nt.MarkArithAt(c.Pos)
+			in.g.FlowR(nf, nt, "seq-tile", c.Pos)
 			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeTile, site: site})
 			return
 		}
@@ -445,6 +446,6 @@ func (in *inferrer) markBadCast(a, b *qual.Node, pos diag.Pos) {
 	a.MarkBad(pos, "bad cast")
 	b.MarkBad(pos, "bad cast")
 	// Bad casts tie the two pointers into the untyped universe together.
-	in.g.Flow(a, b)
+	in.g.FlowR(a, b, "bad-cast", pos)
 	in.edges = append(in.edges, &edge{src: a, dst: b, class: edgeAssign})
 }

@@ -17,6 +17,7 @@ import (
 	"gocured/internal/diag"
 	"gocured/internal/qual"
 	"gocured/internal/rtti"
+	"gocured/internal/trace"
 )
 
 // Options configure the inference.
@@ -86,6 +87,35 @@ type Result struct {
 	CastOf map[*cil.Cast]*CastSite
 	Opts   Options
 	Split  *SplitResult
+	// Prov records every constraint edge and kind-forcing fact generated
+	// during inference; Explain reconstructs blame chains from it.
+	Prov *trace.Prov
+}
+
+// Explain reconstructs the blame chain for the solved kind of the pointer
+// occurrence t: the shortest constraint path from t back to the cast (or
+// arithmetic, annotation, ...) that forced it WILD, SEQ, or RTTI. Returns
+// nil for SAFE pointers (nothing to blame) and unregistered occurrences.
+func (r *Result) Explain(t *ctypes.Type) *trace.Chain {
+	if r == nil || r.Prov == nil || t == nil {
+		return nil
+	}
+	occ := r.Graph.OccNode(t)
+	if occ == nil {
+		return nil
+	}
+	var goal trace.Goal
+	switch r.Graph.KindOf(t) {
+	case qual.Wild:
+		goal = trace.GoalWild
+	case qual.Seq:
+		goal = trace.GoalSeq
+	case qual.Rtti:
+		goal = trace.GoalRtti
+	default:
+		return nil
+	}
+	return r.Prov.Explain(occ.ID, goal)
 }
 
 type edgeClass int
@@ -161,6 +191,7 @@ func Infer(prog *cil.Program, opts Options, diags *diag.List) *Result {
 		Casts:  in.casts,
 		CastOf: in.castOf,
 		Opts:   opts,
+		Prov:   in.g.Prov,
 	}
 	res.Split = inferSplit(prog, in.g, opts.SplitAll, diags)
 	// Freeze the qualifier graph: collapse every union-find chain so the

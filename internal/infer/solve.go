@@ -2,6 +2,7 @@ package infer
 
 import (
 	"gocured/internal/ctypes"
+	"gocured/internal/diag"
 	"gocured/internal/qual"
 )
 
@@ -99,6 +100,10 @@ func (in *inferrer) propagateIntCast() {
 			r := m.Find()
 			if !r.IntCast {
 				r.IntCast = true
+				// Seed the blame index too: SEQ chains walk with the data
+				// flow, so a downstream node infected here needs its own
+				// seed to be explainable.
+				in.g.Prov.AddSeed(r.ID, "int-cast-flow", diag.Pos{}, "receives a disguised integer via data flow")
 				work = append(work, r)
 			}
 		}

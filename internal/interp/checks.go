@@ -29,7 +29,16 @@ var checkCost = map[cil.CheckKind]uint64{
 func (m *Machine) execCheck(fr *frame, c *cil.Check) {
 	m.cnt.Checks++
 	m.cnt.ChecksByKind[c.Kind]++
+	if sc := m.siteCount(c); sc != nil {
+		sc.Hits++
+	}
 	m.addCost(checkCost[c.Kind])
+	// Track the in-flight check so a trap raised anywhere below (including
+	// inside mem) is attributed to this site; restore on normal exit and on
+	// unwind alike.
+	prev := m.curCheck
+	m.curCheck = c
+	defer func() { m.curCheck = prev }()
 	switch c.Kind {
 	case cil.CheckNull:
 		v := m.evalExpr(fr, c.Ptr)

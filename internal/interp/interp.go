@@ -9,9 +9,11 @@ package interp
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"gocured/internal/cil"
 	"gocured/internal/ctypes"
+	"gocured/internal/diag"
 	"gocured/internal/instrument"
 	"gocured/internal/mem"
 	"gocured/internal/qual"
@@ -58,13 +60,38 @@ type Config struct {
 	Args []string
 }
 
+// SiteKey identifies one static check site: rendered source position ×
+// check kind.
+type SiteKey struct {
+	Pos  string
+	Kind cil.CheckKind
+}
+
+// SiteCount tallies executions and traps of one check site.
+type SiteCount struct {
+	Hits  uint64
+	Traps uint64
+}
+
+// SiteStat is one check site with its counts, for top-N reporting.
+type SiteStat struct {
+	Pos   string
+	Kind  cil.CheckKind
+	Hits  uint64
+	Traps uint64
+}
+
 // Counters aggregates execution statistics.
 type Counters struct {
 	Steps  uint64
 	Checks uint64
 	// ChecksByKind tallies executed checks per kind.
 	ChecksByKind map[cil.CheckKind]uint64
-	Allocs       uint64
+	// Sites tallies per-site check executions and traps (file:line:col ×
+	// check kind), the run-time attribution that lets the optimizer be
+	// evaluated against real hit counts.
+	Sites  map[SiteKey]*SiteCount
+	Allocs uint64
 	// Cost is the deterministic simulated-cycle count: every step, memory
 	// access, check, split-metadata traversal, I/O call, and shadow-memory
 	// operation adds a calibrated weight. Experiment tables use Cost
@@ -73,12 +100,46 @@ type Counters struct {
 	Cost uint64
 }
 
+// TopSites returns the n hottest check sites by hit count (ties broken by
+// position then kind, so the order is deterministic).
+func (c *Counters) TopSites(n int) []SiteStat {
+	out := make([]SiteStat, 0, len(c.Sites))
+	for k, v := range c.Sites {
+		out = append(out, SiteStat{Pos: k.Pos, Kind: k.Kind, Hits: v.Hits, Traps: v.Traps})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TrapProvenance explains one trap end to end: where it fired, the cured
+// program's call stack at that moment, and the inference blame chain of the
+// pointer whose check fired (why it had a checked kind at all).
+type TrapProvenance struct {
+	Pos       string   `json:"pos,omitempty"`
+	CheckKind string   `json:"check_kind,omitempty"`
+	Stack     []string `json:"stack,omitempty"`
+	Blame     []string `json:"blame,omitempty"`
+}
+
 // Outcome is the result of a run.
 type Outcome struct {
 	ExitCode int
 	Stdout   string
 	// Trap is non-nil if the program died on a memory-safety violation.
-	Trap     *mem.Trap
+	Trap *mem.Trap
+	// TrapProv explains the trap (nil when the run did not trap).
+	TrapProv *TrapProvenance
 	Counters Counters
 	// MemLoads/MemStores are raw memory accesses.
 	MemLoads, MemStores uint64
@@ -126,6 +187,16 @@ type Machine struct {
 	stepLimit uint64
 	rngState  uint64
 	timeTick  int64
+
+	// frames mirrors the call stack for trap attribution; curPos tracks the
+	// source position of the statement being executed and curCheck the check
+	// instruction in flight. Trap records are decorated from these at trap
+	// creation time — by the time Run's recover sees the panic, the deferred
+	// frame pops have already unwound the stack.
+	frames   []*frame
+	curPos   diag.Pos
+	curCheck *cil.Check
+	trapProv *TrapProvenance
 
 	libcState *libcState
 }
@@ -187,6 +258,7 @@ func New(prog *cil.Program, cfg Config) *Machine {
 		libcState:   &libcState{},
 	}
 	m.cnt.ChecksByKind = make(map[cil.CheckKind]uint64)
+	m.cnt.Sites = make(map[SiteKey]*SiteCount)
 	if m.stepLimit == 0 {
 		m.stepLimit = 1_000_000_000
 	}
@@ -228,6 +300,7 @@ func (m *Machine) Run() (out *Outcome, err error) {
 			switch p := r.(type) {
 			case trapPanic:
 				out.Trap = p.t
+				out.TrapProv = m.trapProv
 			case exitPanic:
 				out.ExitCode = p.code
 			default:
@@ -274,7 +347,9 @@ func (m *Machine) mainArgs(mainFn *cil.Func) []Value {
 }
 
 func (m *Machine) trapf(kind, format string, args ...any) {
-	panic(trapPanic{mem.NewTrap(kind, format, args...)})
+	t := mem.NewTrap(kind, format, args...)
+	m.decorateTrap(t)
+	panic(trapPanic{t})
 }
 
 // check converts a memory error into a trap.
@@ -283,9 +358,69 @@ func (m *Machine) check(err error) {
 		return
 	}
 	if t, ok := err.(*mem.Trap); ok {
+		m.decorateTrap(t)
 		panic(trapPanic{t})
 	}
-	panic(trapPanic{mem.NewTrap("error", "%v", err)})
+	t := mem.NewTrap("error", "%v", err)
+	m.decorateTrap(t)
+	panic(trapPanic{t})
+}
+
+// decorateTrap attaches the trapping statement's source position and the
+// live call stack to t, and records the run's trap provenance (including
+// the inference blame chain when the trap fired inside a check). It must
+// run at trap-creation time: panic unwinding pops the frames.
+func (m *Machine) decorateTrap(t *mem.Trap) {
+	pos := m.curPos
+	if m.curCheck != nil && m.curCheck.Pos.IsValid() {
+		pos = m.curCheck.Pos
+	}
+	if t.Pos == "" && pos.IsValid() {
+		t.Pos = pos.String()
+	}
+	if t.Stack == nil {
+		t.Stack = m.stackTrace()
+	}
+	if m.curCheck != nil {
+		if sc := m.siteCount(m.curCheck); sc != nil {
+			sc.Traps++
+		}
+	}
+	if m.trapProv == nil {
+		tp := &TrapProvenance{Pos: t.Pos, Stack: t.Stack}
+		if m.curCheck != nil {
+			tp.CheckKind = m.curCheck.Kind.String()
+			if m.cured != nil && m.curCheck.Ptr != nil {
+				if ch := m.cured.Res.Explain(m.curCheck.Ptr.Type()); ch != nil {
+					tp.Blame = ch.Lines()
+				}
+			}
+		}
+		m.trapProv = tp
+	}
+}
+
+// stackTrace renders the live call stack, innermost frame first.
+func (m *Machine) stackTrace() []string {
+	out := make([]string, 0, len(m.frames))
+	for i := len(m.frames) - 1; i >= 0; i-- {
+		out = append(out, m.frames[i].fn.Name)
+	}
+	return out
+}
+
+// siteCount returns (creating on first use) the per-site counter of c.
+func (m *Machine) siteCount(c *cil.Check) *SiteCount {
+	if m.cnt.Sites == nil {
+		return nil
+	}
+	k := SiteKey{Pos: c.Pos.String(), Kind: c.Kind}
+	sc, ok := m.cnt.Sites[k]
+	if !ok {
+		sc = &SiteCount{}
+		m.cnt.Sites[k] = sc
+	}
+	return sc
 }
 
 // ---- Globals and layout ----
@@ -444,7 +579,11 @@ func (m *Machine) call(fn *cil.Func, args []Value) Value {
 			m.store(fr.slot(p, m), p.Type, args[i])
 		}
 	}
-	defer m.mem.PopFrame()
+	m.frames = append(m.frames, fr)
+	defer func() {
+		m.frames = m.frames[:len(m.frames)-1]
+		m.mem.PopFrame()
+	}()
 	sig, ret := m.execBlock(fr, fn.Body)
 	if sig == sigReturn {
 		return ret
@@ -516,6 +655,9 @@ func (m *Machine) execStmt(fr *frame, s cil.Stmt) (signal, Value) {
 		return m.execBlock(fr, st)
 	case *cil.SInstr:
 		m.step()
+		if p := st.Ins.Position(); p.IsValid() {
+			m.curPos = p
+		}
 		m.execInstr(fr, st.Ins)
 		return sigNext, Value{}
 	case *cil.If:
@@ -553,6 +695,9 @@ func (m *Machine) execStmt(fr *frame, s cil.Stmt) (signal, Value) {
 		return sigContinue, Value{}
 	case *cil.Return:
 		m.step()
+		if st.Pos.IsValid() {
+			m.curPos = st.Pos
+		}
 		if st.X == nil {
 			return sigReturn, Value{}
 		}

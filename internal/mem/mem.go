@@ -65,9 +65,20 @@ func (b *Block) Contains(addr uint32) bool { return addr >= b.Addr && addr < b.E
 type Trap struct {
 	Kind string
 	Msg  string
+	// Pos is the rendered source location ("file:line:col") of the trapping
+	// statement; empty when unknown. Stack is the cured-program call stack,
+	// innermost frame first. Both are attached by the interpreter at trap
+	// time (mem itself has no source information).
+	Pos   string
+	Stack []string
 }
 
-func (t *Trap) Error() string { return fmt.Sprintf("memory trap (%s): %s", t.Kind, t.Msg) }
+func (t *Trap) Error() string {
+	if t.Pos != "" {
+		return fmt.Sprintf("memory trap (%s) at %s: %s", t.Kind, t.Pos, t.Msg)
+	}
+	return fmt.Sprintf("memory trap (%s): %s", t.Kind, t.Msg)
+}
 
 // NewTrap builds a trap error.
 func NewTrap(kind, format string, args ...any) *Trap {

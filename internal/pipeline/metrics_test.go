@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramMeanMSZeroCount(t *testing.T) {
+	var h Histogram
+	if got := h.MeanMS(); got != 0 {
+		t.Errorf("empty histogram MeanMS = %v, want 0 (no division by zero)", got)
+	}
+	h = Histogram{Count: 4, SumMS: 10}
+	if got := h.MeanMS(); got != 2.5 {
+		t.Errorf("MeanMS = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h histogram
+	h.observe(500 * time.Microsecond) // le=1 bucket
+	h.observe(3 * time.Millisecond)   // le=5 bucket
+	h.observe(10 * time.Second)       // overflow bucket
+	s := h.snapshot()
+	if s.Count != 3 || s.MaxMS != 10000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Empty buckets are dropped; the overflow bucket has LeMS 0.
+	if len(s.Buckets) != 3 {
+		t.Fatalf("buckets = %+v, want 3 non-empty", s.Buckets)
+	}
+	if s.Buckets[0].LeMS != 1 || s.Buckets[1].LeMS != 5 || s.Buckets[2].LeMS != 0 {
+		t.Errorf("bucket bounds = %+v", s.Buckets)
+	}
+}
+
+// TestWritePrometheusFormat unit-tests the text renderer on a hand-built
+// snapshot: cumulative buckets rebuilt over the canonical bounds, sorted
+// trap-kind labels, and counter/gauge samples.
+func TestWritePrometheusFormat(t *testing.T) {
+	m := Metrics{
+		Workers:      4,
+		JobsRun:      7,
+		RunsExecuted: 5,
+		Traps:        2,
+		TrapsByKind:  map[string]uint64{"null": 1, "bounds": 1},
+		Cache:        CacheStats{Entries: 3, Hits: 2, Misses: 5},
+		CompileWall: Histogram{
+			Count: 3, SumMS: 12.5, MaxMS: 9,
+			Buckets: []HistBucket{{LeMS: 2, Count: 1}, {LeMS: 10, Count: 2}},
+		},
+	}
+	var b strings.Builder
+	WritePrometheus(&b, m)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE gocured_workers gauge\ngocured_workers 4\n",
+		"# TYPE gocured_jobs_run_total counter\ngocured_jobs_run_total 7\n",
+		"gocured_traps_total 2\n",
+		// Label values sort: bounds before null.
+		"gocured_traps_by_kind_total{kind=\"bounds\"} 1\ngocured_traps_by_kind_total{kind=\"null\"} 1\n",
+		"gocured_cache_hits_total 2\n",
+		// Sparse buckets {2:1, 10:2} become cumulative over all bounds:
+		// le=1 -> 0, le=2 -> 1, le=5 -> 1, le=10 -> 3, ... le=5000 -> 3.
+		"gocured_compile_wall_ms_bucket{le=\"1\"} 0\n",
+		"gocured_compile_wall_ms_bucket{le=\"2\"} 1\n",
+		"gocured_compile_wall_ms_bucket{le=\"5\"} 1\n",
+		"gocured_compile_wall_ms_bucket{le=\"10\"} 3\n",
+		"gocured_compile_wall_ms_bucket{le=\"5000\"} 3\n",
+		"gocured_compile_wall_ms_bucket{le=\"+Inf\"} 3\n",
+		"gocured_compile_wall_ms_sum 12.5\n",
+		"gocured_compile_wall_ms_count 3\n",
+		// The empty run histogram still renders a complete family.
+		"gocured_run_wall_ms_bucket{le=\"+Inf\"} 0\n",
+		"gocured_run_wall_ms_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Every # TYPE is preceded by its # HELP line.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "# TYPE ") {
+			if i == 0 || !strings.HasPrefix(lines[i-1], "# HELP ") {
+				t.Errorf("TYPE line without preceding HELP: %q", l)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders a Metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per family,
+// counters and gauges as single samples, histograms as cumulative
+// le-labelled buckets plus _sum and _count.
+func WritePrometheus(w io.Writer, m Metrics) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("gocured_workers", "Size of the job worker pool.", float64(m.Workers))
+	gauge("gocured_jobs_in_flight", "Jobs currently executing.", float64(m.JobsInFlight))
+	counter("gocured_jobs_run_total", "Jobs completed (including failures).", m.JobsRun)
+	counter("gocured_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed)
+	counter("gocured_jobs_panicked_total", "Jobs isolated after a panic.", m.JobsPanicked)
+	counter("gocured_jobs_timed_out_total", "Jobs abandoned on timeout.", m.JobsTimedOut)
+	counter("gocured_runs_executed_total", "Cured/raw program executions.", m.RunsExecuted)
+
+	counter("gocured_traps_total", "Executions stopped by a memory-safety trap.", m.Traps)
+	if len(m.TrapsByKind) > 0 {
+		name := "gocured_traps_by_kind_total"
+		fmt.Fprintf(w, "# HELP %s Traps by check kind.\n# TYPE %s counter\n", name, name)
+		kinds := make([]string, 0, len(m.TrapsByKind))
+		for k := range m.TrapsByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "%s{kind=%q} %d\n", name, k, m.TrapsByKind[k])
+		}
+	}
+
+	gauge("gocured_cache_entries", "Live compile-cache entries.", float64(m.Cache.Entries))
+	counter("gocured_cache_hits_total", "Compile-cache hits.", m.Cache.Hits)
+	counter("gocured_cache_misses_total", "Compile-cache misses.", m.Cache.Misses)
+	counter("gocured_cache_evictions_total", "Compile-cache LRU evictions.", m.Cache.Evictions)
+
+	writeHistogram(w, "gocured_compile_wall_ms", "Compile wall time in milliseconds.", m.CompileWall)
+	writeHistogram(w, "gocured_run_wall_ms", "Run wall time in milliseconds.", m.RunWall)
+}
+
+// writeHistogram renders one Histogram snapshot as cumulative buckets over
+// the canonical bounds. Snapshots drop empty buckets, so counts are summed
+// back up while walking the full bound list.
+func writeHistogram(w io.Writer, name, help string, h Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	byLe := make(map[float64]uint64, len(h.Buckets))
+	for _, b := range h.Buckets {
+		if b.LeMS > 0 {
+			byLe[b.LeMS] = b.Count
+		}
+	}
+	var cum uint64
+	for _, le := range histBoundsMS {
+		cum += byLe[le]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.SumMS))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gocured"
+	"gocured/internal/trace"
 )
 
 // RunnerOptions tune a Runner.
@@ -66,6 +67,11 @@ type JobResult struct {
 
 	// Run is the execution result for run jobs.
 	Run *gocured.Result
+
+	// Phases records the per-phase wall times of the job: the compile
+	// phases (parse/sema/lower/infer/instrument — from the original
+	// compilation when served from cache) plus a "run" span for run jobs.
+	Phases []trace.Span
 
 	CompileTime time.Duration
 	RunTime     time.Duration
@@ -204,6 +210,7 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 	res.Stats = compiled.Stats
 	res.Diagnostics = compiled.Diagnostics
 	res.CacheHit = hit
+	res.Phases = append(res.Phases, compiled.Program.Spans()...)
 
 	if !job.Run {
 		return res
@@ -215,6 +222,7 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 	runStart := time.Now()
 	out, err := compiled.Program.Run(job.Mode, ro)
 	res.RunTime = time.Since(runStart)
+	res.Phases = append(res.Phases, trace.Span{Name: "run", DurMS: float64(res.RunTime) / float64(time.Millisecond)})
 	if err != nil {
 		res.Err = fmt.Errorf("run %s (%s): %w", job.Name, job.Mode, err)
 		return res

@@ -11,6 +11,7 @@ import (
 
 	"gocured/internal/ctypes"
 	"gocured/internal/diag"
+	"gocured/internal/trace"
 )
 
 // Kind is a CCured pointer kind.
@@ -54,6 +55,7 @@ type Node struct {
 
 	parent *Node // union-find
 	rank   int
+	g      *Graph // owning graph (provenance recording)
 
 	// flowOut lists nodes this one flows into (assignment/cast data flow,
 	// source -> destination).
@@ -69,11 +71,15 @@ type Node struct {
 type Graph struct {
 	Nodes  []*Node
 	byType map[*ctypes.Type]*Node
+	// Prov records every constraint edge and kind-forcing fact with its
+	// rule name and source location, so solved kinds can be explained by a
+	// blame chain (trace.Prov.Explain).
+	Prov *trace.Prov
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{byType: make(map[*ctypes.Type]*Node)}
+	return &Graph{byType: make(map[*ctypes.Type]*Node), Prov: trace.NewProv()}
 }
 
 // NodeFor returns the node for a pointer/array type occurrence, creating it
@@ -85,7 +91,7 @@ func (g *Graph) NodeFor(t *ctypes.Type) *Node {
 	if n, ok := g.byType[t]; ok {
 		return n.Find()
 	}
-	n := &Node{ID: len(g.Nodes) + 1, Ty: t}
+	n := &Node{ID: len(g.Nodes) + 1, Ty: t, g: g}
 	switch t.Ann {
 	case ctypes.AnnSafe:
 		n.Forced = Safe
@@ -100,7 +106,18 @@ func (g *Graph) NodeFor(t *ctypes.Type) *Node {
 	g.Nodes = append(g.Nodes, n)
 	g.byType[t] = n
 	t.Node = n.ID
+	g.Prov.Describe(n.ID, t.String())
+	if n.Forced != Unknown {
+		g.Prov.AddSeed(n.ID, "forced-"+n.Forced.String(), diag.Pos{}, "user annotation")
+	}
 	return n
+}
+
+// OccNode returns the node created for the occurrence t itself (not its
+// class representative), or nil. Blame chains start at occurrence nodes so
+// the explanation names the exact type the user wrote.
+func (g *Graph) OccNode(t *ctypes.Type) *Node {
+	return g.byType[t]
 }
 
 // Lookup returns the representative node for an occurrence, or nil.
@@ -134,10 +151,17 @@ func (g *Graph) Compress() {
 
 // Union merges the classes of a and b (they must have the same kind).
 func (g *Graph) Union(a, b *Node) *Node {
+	return g.UnionR(a, b, "unify", diag.Pos{})
+}
+
+// UnionR is Union with provenance: rule names the inference rule that
+// demanded the unification and pos its source location.
+func (g *Graph) UnionR(a, b *Node, rule string, pos diag.Pos) *Node {
 	ra, rb := a.Find(), b.Find()
 	if ra == rb {
 		return ra
 	}
+	g.Prov.AddEdge(a.ID, b.ID, trace.CatUnify, rule, pos)
 	if ra.rank < rb.rank {
 		ra, rb = rb, ra
 	}
@@ -164,6 +188,12 @@ func (g *Graph) Union(a, b *Node) *Node {
 
 // Flow records data flow from src to dst (assignment dst = src).
 func (g *Graph) Flow(src, dst *Node) {
+	g.FlowR(src, dst, "flow", diag.Pos{})
+}
+
+// FlowR is Flow with provenance: rule names the inference rule behind the
+// edge ("assign", "upcast", "call-arg", ...) and pos its source location.
+func (g *Graph) FlowR(src, dst *Node, rule string, pos diag.Pos) {
 	if src == nil || dst == nil {
 		return
 	}
@@ -171,6 +201,7 @@ func (g *Graph) Flow(src, dst *Node) {
 	if rs == rd {
 		return
 	}
+	g.Prov.AddEdge(src.ID, dst.ID, trace.CatFlow, rule, pos)
 	rs.flowOut = append(rs.flowOut, rd)
 	rd.flowIn = append(rd.flowIn, rs)
 }
@@ -181,13 +212,26 @@ func (g *Graph) AddBase(n, base *Node) {
 	if n == nil || base == nil {
 		return
 	}
+	g.Prov.AddEdge(n.ID, base.ID, trace.CatBase, "contains", diag.Pos{})
 	rn := n.Find()
 	rn.base = append(rn.base, base)
 }
 
+// seed records a kind-forcing fact on the occurrence node itself (not the
+// representative), so blame chains end at the exact site that forced it.
+func (n *Node) seed(fact string, pos diag.Pos, why string) {
+	if n.g != nil {
+		n.g.Prov.AddSeed(n.ID, fact, pos, why)
+	}
+}
+
 // MarkArith records pointer arithmetic on n.
-func (n *Node) MarkArith() {
+func (n *Node) MarkArith() { n.MarkArithAt(diag.Pos{}) }
+
+// MarkArithAt is MarkArith with the arithmetic's source location.
+func (n *Node) MarkArithAt(pos diag.Pos) {
 	if n != nil {
+		n.seed("arith", pos, "pointer arithmetic")
 		n.Find().Arith = true
 	}
 }
@@ -197,6 +241,7 @@ func (n *Node) MarkBad(pos diag.Pos, why string) {
 	if n == nil {
 		return
 	}
+	n.seed("bad-cast", pos, why)
 	r := n.Find()
 	if !r.BadCast {
 		r.BadCast = true
@@ -206,15 +251,23 @@ func (n *Node) MarkBad(pos diag.Pos, why string) {
 }
 
 // MarkIntCast records a non-zero integer flowing into the pointer.
-func (n *Node) MarkIntCast() {
+func (n *Node) MarkIntCast() { n.MarkIntCastAt(diag.Pos{}) }
+
+// MarkIntCastAt is MarkIntCast with the cast's source location.
+func (n *Node) MarkIntCastAt(pos diag.Pos) {
 	if n != nil {
+		n.seed("int-cast", pos, "non-zero integer cast to pointer")
 		n.Find().IntCast = true
 	}
 }
 
 // MarkRtti records that a checked downcast needs RTTI from this pointer.
-func (n *Node) MarkRtti() {
+func (n *Node) MarkRtti() { n.MarkRttiAt(diag.Pos{}) }
+
+// MarkRttiAt is MarkRtti with the downcast's source location.
+func (n *Node) MarkRttiAt(pos diag.Pos) {
 	if n != nil {
+		n.seed("rtti-need", pos, "source of a checked downcast")
 		n.Find().RttiNeed = true
 	}
 }

@@ -1,0 +1,35 @@
+package trace
+
+import "time"
+
+// Span is one timed pipeline phase (parse, sema, lower, infer, instrument,
+// run). DurMS is milliseconds, the unit the metrics surface uses.
+type Span struct {
+	Name  string  `json:"name"`
+	DurMS float64 `json:"dur_ms"`
+}
+
+// SpanSet accumulates phase spans. The zero value is ready to use; it is
+// not safe for concurrent use (phases run sequentially).
+type SpanSet struct {
+	Spans []Span
+}
+
+// Add records a completed span.
+func (s *SpanSet) Add(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Spans = append(s.Spans, Span{Name: name, DurMS: float64(d) / float64(time.Millisecond)})
+}
+
+// Do times fn and records it under name.
+func (s *SpanSet) Do(name string, fn func()) {
+	if s == nil {
+		fn()
+		return
+	}
+	t0 := time.Now()
+	fn()
+	s.Add(name, time.Since(t0))
+}
