@@ -19,7 +19,8 @@ import (
 func main() {
 	scale := flag.Int("scale", 0, "override the corpus SCALE constant (0 = source default)")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent curing/execution jobs")
-	only := flag.String("only", "", "run a single experiment by id (E1..E9)")
+	only := flag.String("only", "", "run a single experiment by id (E1..E10)")
+	optJSON := flag.String("opt-json", "", "write the E10 -O0 vs -O comparison to this file as JSON (BENCH_opt.json)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -28,20 +29,31 @@ func main() {
 		Runner: pipeline.NewRunner(pipeline.RunnerOptions{Workers: *jobs}),
 	}
 	all := map[string]func(experiments.Config) *experiments.Table{
-		"E1": experiments.CastClassification,
-		"E2": experiments.Fig8Apache,
-		"E3": experiments.Fig9System,
-		"E4": experiments.IjpegRTTI,
-		"E5": experiments.MicroSuite,
-		"E6": experiments.SplitOverhead,
-		"E7": experiments.BindCasts,
-		"E8": experiments.SplitStats,
-		"E9": experiments.Exploits,
+		"E1":  experiments.CastClassification,
+		"E2":  experiments.Fig8Apache,
+		"E3":  experiments.Fig9System,
+		"E4":  experiments.IjpegRTTI,
+		"E5":  experiments.MicroSuite,
+		"E6":  experiments.SplitOverhead,
+		"E7":  experiments.BindCasts,
+		"E8":  experiments.SplitStats,
+		"E9":  experiments.Exploits,
+		"E10": experiments.OptOverhead,
+	}
+	if *optJSON != "" {
+		b, err := experiments.WriteOptBench(cfg, *optJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: dynamic checks %d (-O0) -> %d (-O), %.1f%% eliminated\n",
+			*optJSON, b.TotalChecksO0, b.TotalChecksO, b.DynReductionPct)
+		return
 	}
 	if *only != "" {
 		fn, ok := all[*only]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E9)\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E10)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Println(fn(cfg).Format())

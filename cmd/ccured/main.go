@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ccured [-dump] [-dump-raw] [-no-rtti] [-no-subtyping] [-trust] [-split-all] file.c
+//	ccured [-dump] [-dump-raw] [-no-rtti] [-no-subtyping] [-trust] [-split-all] [-O level] file.c
 //
 // With -explain, ccured prints an annotated blame chain for every pointer
 // with a checked (non-SAFE) kind: the shortest constraint path from the
@@ -43,6 +43,7 @@ func main() {
 	noSub := flag.Bool("no-subtyping", false, "disable physical subtyping (POPL02 CCured)")
 	trust := flag.Bool("trust", false, "trust remaining bad casts instead of making pointers WILD")
 	splitAll := flag.Bool("split-all", false, "force the compatible (split) representation everywhere")
+	optLevel := flag.Int("O", 1, "check optimization level: 0 keeps every inserted check, 1 runs the CFG optimizer")
 	listCasts := flag.Bool("list-casts", false, "list every pointer cast with its classification (review trusted/bad ones)")
 	explain := flag.Bool("explain", false, "print blame chains for WILD/SEQ/RTTI pointers (why each kind was inferred)")
 	site := flag.String("site", "", "with -explain: only explain casts at this source position prefix (e.g. file.c:12)")
@@ -63,6 +64,7 @@ func main() {
 		NoPhysicalSubtyping: *noSub,
 		TrustBadCasts:       *trust,
 		ForceSplitAll:       *splitAll,
+		NoOptimize:          *optLevel == 0,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -81,6 +83,11 @@ func main() {
 	fmt.Printf("split: %d pointers split (%.1f%%), %d need metadata pointers (%.1f%%)\n",
 		s.SplitPointers, s.PctSplit, s.MetaPointers, s.PctMeta)
 	fmt.Printf("run-time checks inserted: %d\n", s.ChecksInserted)
+	if *optLevel > 0 {
+		remaining := s.ChecksInserted - s.ChecksEliminated - s.ChecksCoalesced
+		fmt.Printf("optimizer: %d eliminated, %d coalesced, %d hoisted, %d widened; %d remain\n",
+			s.ChecksEliminated, s.ChecksCoalesced, s.ChecksHoisted, s.ChecksWidened, remaining)
+	}
 	if *listCasts {
 		fmt.Println("---- casts (a security review starts at trusted/bad ones) ----")
 		for _, c := range prog.Casts() {

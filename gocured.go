@@ -52,6 +52,10 @@ type Options struct {
 	// ForceSplitAll puts every type in the compatible (split)
 	// representation — the §5 all-split overhead ablation.
 	ForceSplitAll bool
+	// NoOptimize disables the CFG-based check optimizer (-O0): every check
+	// the curer inserted stays in the program. The default (optimizer on)
+	// deletes checks proven redundant and hoists loop-invariant ones.
+	NoOptimize bool
 }
 
 // Mode selects how Run executes the program.
@@ -131,12 +135,15 @@ type Result struct {
 	ToolReports []string
 }
 
-// CheckSiteCount is one check site's dynamic counters.
+// CheckSiteCount is one check site's dynamic counters. Eliminated counts
+// checks the optimizer deleted statically at the site, so the report stays
+// truthful about what curing originally inserted there.
 type CheckSiteCount struct {
-	Pos   string `json:"pos"`
-	Kind  string `json:"kind"`
-	Hits  uint64 `json:"hits"`
-	Traps uint64 `json:"traps"`
+	Pos        string `json:"pos"`
+	Kind       string `json:"kind"`
+	Hits       uint64 `json:"hits"`
+	Traps      uint64 `json:"traps"`
+	Eliminated uint64 `json:"eliminated,omitempty"`
 }
 
 // TopCheckSites returns the n hottest check sites of the run.
@@ -175,7 +182,14 @@ type Stats struct {
 	PctMeta       float64
 
 	ChecksInserted int // static run-time checks added by curing
-	Lines          int // source lines
+	// Optimizer statistics (all zero at -O0): checks deleted outright
+	// (eliminated as available + coalesced into a widened neighbor), and
+	// checks moved out of loops (hoisted invariant + widened induction).
+	ChecksEliminated int
+	ChecksCoalesced  int
+	ChecksHoisted    int
+	ChecksWidened    int
+	Lines            int // source lines
 }
 
 // Program is a compiled and cured translation unit.
@@ -201,6 +215,7 @@ func Compile(filename, src string, opts Options) (*Program, error) {
 		NoPhysicalSubtyping: opts.NoPhysicalSubtyping,
 		TrustBadCasts:       opts.TrustBadCasts,
 		SplitAll:            opts.ForceSplitAll,
+		NoOptimize:          opts.NoOptimize,
 	})
 	if err != nil {
 		return nil, err
@@ -256,6 +271,7 @@ func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {
 	for _, s := range out.Counters.TopSites(0) {
 		res.CheckSites = append(res.CheckSites, CheckSiteCount{
 			Pos: s.Pos, Kind: s.Kind.String(), Hits: s.Hits, Traps: s.Traps,
+			Eliminated: s.Elided,
 		})
 	}
 	return res, nil
@@ -334,6 +350,12 @@ func (p *Program) Stats() Stats {
 	}
 	for _, n := range p.unit.Cured.ChecksInserted {
 		out.ChecksInserted += n
+	}
+	if o := p.unit.Cured.Opt; o != nil {
+		out.ChecksEliminated = o.Eliminated
+		out.ChecksCoalesced = o.Coalesced
+		out.ChecksHoisted = o.Hoisted
+		out.ChecksWidened = o.Widened
 	}
 	return out
 }

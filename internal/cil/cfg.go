@@ -1,0 +1,176 @@
+package cil
+
+// Basic-block control-flow graph over the structured IR. The statement tree
+// (If/Loop/Switch/Break/Continue/Return) stays the single source of truth —
+// blocks reference the *SInstr statements of the tree, so a pass that decides
+// "delete this check" on the CFG applies the decision by filtering the tree.
+//
+// Shape of the translation:
+//
+//   - If: the condition ends the current block; both arms converge on a join
+//     block (a missing else arm is an edge straight to the join).
+//   - Loop: entry edge to a header block; the body falls through to the Post
+//     block (when present) and back to the header; Break edges to the block
+//     after the loop, Continue to Post (or the header).
+//   - Switch: the dispatch block has an edge to every case head (plus the
+//     join when there is no default); case bodies fall through to the next
+//     case head, C-style; Break edges to the join.
+//   - Return: edge to the function exit block.
+//
+// Statements after a Break/Continue/Return accumulate in a fresh block with
+// no predecessors; such unreachable blocks are kept in Blocks but are not
+// visited by ReversePostorder, so dataflow passes skip them.
+
+// BBlock is one basic block: a maximal run of instructions with one entry
+// and one exit.
+type BBlock struct {
+	ID     int
+	Instrs []*SInstr
+	Succs  []*BBlock
+	Preds  []*BBlock
+}
+
+// CFG is the control-flow graph of one function.
+type CFG struct {
+	Fn     *Func
+	Entry  *BBlock
+	Exit   *BBlock
+	Blocks []*BBlock
+}
+
+// BuildCFG constructs the control-flow graph of fn.
+func BuildCFG(fn *Func) *CFG {
+	b := &cfgBuilder{g: &CFG{Fn: fn}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	last := b.stmts(fn.Body.Stmts, b.g.Entry, nil, nil)
+	edge(last, b.g.Exit) // falling off the end returns
+	return b.g
+}
+
+type cfgBuilder struct {
+	g *CFG
+}
+
+func (b *cfgBuilder) newBlock() *BBlock {
+	blk := &BBlock{ID: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *BBlock) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// stmts translates a statement list starting in cur; brk and cont are the
+// targets of Break and Continue in this context (nil at the top level).
+// It returns the block where control continues afterwards.
+func (b *cfgBuilder) stmts(list []Stmt, cur *BBlock, brk, cont *BBlock) *BBlock {
+	for _, s := range list {
+		switch st := s.(type) {
+		case *SInstr:
+			cur.Instrs = append(cur.Instrs, st)
+		case *Block:
+			cur = b.stmts(st.Stmts, cur, brk, cont)
+		case *If:
+			thenB := b.newBlock()
+			edge(cur, thenB)
+			thenEnd := b.stmts(st.Then.Stmts, thenB, brk, cont)
+			join := b.newBlock()
+			if st.Else != nil {
+				elseB := b.newBlock()
+				edge(cur, elseB)
+				elseEnd := b.stmts(st.Else.Stmts, elseB, brk, cont)
+				edge(elseEnd, join)
+			} else {
+				edge(cur, join)
+			}
+			edge(thenEnd, join)
+			cur = join
+		case *Loop:
+			header := b.newBlock()
+			edge(cur, header)
+			after := b.newBlock()
+			var postHead *BBlock
+			backTo := header
+			if st.Post != nil {
+				postHead = b.newBlock()
+				backTo = postHead
+			}
+			bodyEnd := b.stmts(st.Body.Stmts, header, after, backTo)
+			if st.Post != nil {
+				edge(bodyEnd, postHead)
+				// A Break inside Post (the do-while trailing test) exits the
+				// loop; Continue cannot occur there.
+				postEnd := b.stmts(st.Post.Stmts, postHead, after, header)
+				edge(postEnd, header)
+			} else {
+				edge(bodyEnd, header)
+			}
+			cur = after
+		case *Switch:
+			join := b.newBlock()
+			heads := make([]*BBlock, len(st.Cases))
+			hasDefault := false
+			for i, cs := range st.Cases {
+				heads[i] = b.newBlock()
+				edge(cur, heads[i])
+				if cs.IsDefault {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				edge(cur, join)
+			}
+			for i, cs := range st.Cases {
+				// Break binds to the switch; Continue still binds to the
+				// enclosing loop (C semantics).
+				end := b.stmts(cs.Body, heads[i], join, cont)
+				if i+1 < len(heads) {
+					edge(end, heads[i+1]) // fallthrough
+				} else {
+					edge(end, join)
+				}
+			}
+			cur = join
+		case *Break:
+			if brk != nil {
+				edge(cur, brk)
+			}
+			cur = b.newBlock() // unreachable continuation
+		case *Continue:
+			if cont != nil {
+				edge(cur, cont)
+			}
+			cur = b.newBlock()
+		case *Return:
+			edge(cur, b.g.Exit)
+			cur = b.newBlock()
+		}
+	}
+	return cur
+}
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder of a depth-first walk (every block after all its non-back-edge
+// predecessors) — the canonical iteration order for forward dataflow.
+func (g *CFG) ReversePostorder() []*BBlock {
+	seen := make([]bool, len(g.Blocks))
+	var post []*BBlock
+	var dfs func(*BBlock)
+	dfs = func(b *BBlock) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

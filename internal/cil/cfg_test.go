@@ -1,0 +1,238 @@
+package cil
+
+import (
+	"testing"
+
+	"gocured/internal/ctypes"
+)
+
+// Helpers building IR fragments directly (cfg construction is independent
+// of the frontend, so the tests assemble statement trees by hand).
+
+func intTy() *ctypes.Type { return &ctypes.Type{Kind: ctypes.Int, Size: 4} }
+
+func intVar(name string, id int) *Var {
+	return &Var{Name: name, Type: intTy(), ID: id}
+}
+
+func setI(v *Var, val int64) Stmt {
+	return &SInstr{Ins: &Set{LV: VarLV(v), RHS: &Const{I: val, Ty: v.Type}}}
+}
+
+func fnOf(stmts ...Stmt) *Func {
+	return &Func{Name: "f", Body: &Block{Stmts: stmts}}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	v := intVar("x", 0)
+	g := BuildCFG(fnOf(setI(v, 1), setI(v, 2)))
+	rpo := g.ReversePostorder()
+	if rpo[0] != g.Entry {
+		t.Fatalf("RPO does not start at entry")
+	}
+	if len(g.Entry.Instrs) != 2 {
+		t.Errorf("entry block has %d instrs, want 2", len(g.Entry.Instrs))
+	}
+	// Falling off the end reaches the exit.
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry should fall through to exit")
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	v := intVar("x", 0)
+	cond := &Lval{LV: VarLV(v)}
+	fn := fnOf(
+		setI(v, 1),
+		&If{Cond: cond, Then: &Block{Stmts: []Stmt{setI(v, 2)}}, Else: &Block{Stmts: []Stmt{setI(v, 3)}}},
+		setI(v, 4),
+	)
+	g := BuildCFG(fn)
+	// entry branches to both arms; both arms reach the join holding x=4.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(g.Entry.Succs))
+	}
+	join := g.Entry.Succs[0].Succs[0]
+	if join != g.Entry.Succs[1].Succs[0] {
+		t.Fatalf("arms do not converge on one join block")
+	}
+	if len(join.Instrs) != 1 {
+		t.Errorf("join block has %d instrs, want 1", len(join.Instrs))
+	}
+	d := g.Dominators()
+	if !d.Dominates(g.Entry, join) {
+		t.Errorf("entry must dominate the join")
+	}
+	for _, arm := range g.Entry.Succs {
+		if d.Dominates(arm, join) {
+			t.Errorf("an if arm must not dominate the join")
+		}
+		if d.Idom(arm) != g.Entry {
+			t.Errorf("arm idom = %v, want entry", d.Idom(arm))
+		}
+	}
+	if d.Idom(join) != g.Entry {
+		t.Errorf("join idom should be the branch head")
+	}
+}
+
+func TestCFGMissingElse(t *testing.T) {
+	v := intVar("x", 0)
+	fn := fnOf(
+		&If{Cond: &Lval{LV: VarLV(v)}, Then: &Block{Stmts: []Stmt{setI(v, 2)}}},
+		setI(v, 4),
+	)
+	g := BuildCFG(fn)
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2 (then + fallthrough)", len(g.Entry.Succs))
+	}
+}
+
+func TestCFGLoopShape(t *testing.T) {
+	v := intVar("i", 0)
+	// loop { if (!i) break; i = 2 } post { i = 3 } — the canonical lowering
+	// of a while loop with a post block.
+	body := &Block{Stmts: []Stmt{
+		&If{Cond: &UnOp{Op: OpNot, X: &Lval{LV: VarLV(v)}, Ty: v.Type}, Then: &Block{Stmts: []Stmt{&Break{}}}},
+		setI(v, 2),
+	}}
+	post := &Block{Stmts: []Stmt{setI(v, 3)}}
+	fn := fnOf(setI(v, 1), &Loop{Body: body, Post: post}, setI(v, 4))
+	g := BuildCFG(fn)
+	d := g.Dominators()
+	loops := g.NaturalLoops(d)
+	if len(loops) != 1 {
+		t.Fatalf("found %d natural loops, want 1", len(loops))
+	}
+	l := loops[0]
+	// Header dominates every block of the loop.
+	for b := range l.Blocks {
+		if !d.Dominates(l.Head, b) {
+			t.Errorf("loop header does not dominate block %d", b.ID)
+		}
+	}
+	// The post block (holding i=3) is part of the loop.
+	found := false
+	for b := range l.Blocks {
+		for _, si := range b.Instrs {
+			if s, ok := si.Ins.(*Set); ok {
+				if c, ok := s.RHS.(*Const); ok && c.I == 3 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("post block not collected into the natural loop")
+	}
+}
+
+func TestCFGNestedLoops(t *testing.T) {
+	v := intVar("i", 0)
+	brk := func() *If {
+		return &If{Cond: &Lval{LV: VarLV(v)}, Then: &Block{Stmts: []Stmt{&Break{}}}}
+	}
+	inner := &Loop{Body: &Block{Stmts: []Stmt{brk(), setI(v, 2)}}}
+	outer := &Loop{Body: &Block{Stmts: []Stmt{brk(), inner, setI(v, 3)}}}
+	g := BuildCFG(fnOf(outer))
+	d := g.Dominators()
+	loops := g.NaturalLoops(d)
+	if len(loops) != 2 {
+		t.Fatalf("found %d natural loops, want 2", len(loops))
+	}
+	// One loop body must strictly contain the other.
+	a, b := loops[0], loops[1]
+	if len(a.Blocks) < len(b.Blocks) {
+		a, b = b, a
+	}
+	for blk := range b.Blocks {
+		if !a.Blocks[blk] {
+			t.Fatalf("inner loop block %d not contained in outer loop", blk.ID)
+		}
+	}
+}
+
+func TestCFGDeadCodeUnreachable(t *testing.T) {
+	v := intVar("x", 0)
+	fn := fnOf(&Return{}, setI(v, 1)) // code after return
+	g := BuildCFG(fn)
+	rpo := g.ReversePostorder()
+	for _, b := range rpo {
+		for _, si := range b.Instrs {
+			if _, ok := si.Ins.(*Set); ok {
+				t.Errorf("dead instruction reachable in RPO")
+			}
+		}
+	}
+	if len(rpo) >= len(g.Blocks) {
+		t.Errorf("expected unreachable blocks to be excluded from RPO (%d blocks, %d in RPO)",
+			len(g.Blocks), len(rpo))
+	}
+	d := g.Dominators()
+	// Unreachable blocks dominate nothing.
+	for _, b := range g.Blocks {
+		reachable := false
+		for _, r := range rpo {
+			if r == b {
+				reachable = true
+			}
+		}
+		if !reachable && d.Dominates(b, g.Exit) {
+			t.Errorf("unreachable block %d claims to dominate the exit", b.ID)
+		}
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	v := intVar("x", 0)
+	sw := &Switch{
+		X: &Lval{LV: VarLV(v)},
+		Cases: []*SwitchCase{
+			{Val: 0, Body: []Stmt{setI(v, 1)}}, // falls through
+			{Val: 1, Body: []Stmt{setI(v, 2), &Break{}}},
+			{IsDefault: true, Body: []Stmt{setI(v, 3)}},
+		},
+	}
+	g := BuildCFG(fnOf(sw, setI(v, 9)))
+	// Dispatch block has one successor per case (default present: no direct
+	// join edge).
+	if len(g.Entry.Succs) != 3 {
+		t.Fatalf("switch dispatch has %d successors, want 3", len(g.Entry.Succs))
+	}
+	// Case 0 falls through into case 1's head.
+	c0, c1 := g.Entry.Succs[0], g.Entry.Succs[1]
+	fallsThrough := false
+	for _, s := range c0.Succs {
+		if s == c1 {
+			fallsThrough = true
+		}
+	}
+	if !fallsThrough {
+		t.Errorf("case 0 does not fall through to case 1")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// Diamond: A -> B, A -> C, B -> D, C -> D. Built via If/Else.
+	v := intVar("x", 0)
+	fn := fnOf(
+		&If{Cond: &Lval{LV: VarLV(v)},
+			Then: &Block{Stmts: []Stmt{setI(v, 1)}},
+			Else: &Block{Stmts: []Stmt{setI(v, 2)}}},
+		&Return{},
+	)
+	g := BuildCFG(fn)
+	d := g.Dominators()
+	if d.Idom(g.Entry) != nil {
+		t.Errorf("entry has an idom")
+	}
+	// Exit's idom is the join (which holds no instrs here but leads to
+	// exit); walking idoms from exit must reach entry.
+	steps := 0
+	for b := g.Exit; b != nil; b = d.Idom(b) {
+		steps++
+		if steps > len(g.Blocks) {
+			t.Fatalf("idom chain from exit does not terminate")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package cil
+
+// Dominator tree and natural-loop identification over the CFG, using the
+// iterative algorithm of Cooper, Harvey and Kennedy ("A Simple, Fast
+// Dominance Algorithm"): walk blocks in reverse postorder intersecting the
+// predecessors' dominator sets, represented implicitly by immediate-
+// dominator pointers. On the reducible graphs our structured IR produces
+// this converges in two passes.
+
+// DomTree holds the immediate-dominator relation of a CFG.
+type DomTree struct {
+	g *CFG
+	// idom[b.ID] is b's immediate dominator (nil for the entry block and
+	// for unreachable blocks).
+	idom []*BBlock
+	// order[b.ID] is b's reverse-postorder index (-1 if unreachable).
+	order []int
+}
+
+// Dominators computes the dominator tree of g.
+func (g *CFG) Dominators() *DomTree {
+	rpo := g.ReversePostorder()
+	d := &DomTree{
+		g:     g,
+		idom:  make([]*BBlock, len(g.Blocks)),
+		order: make([]int, len(g.Blocks)),
+	}
+	for i := range d.order {
+		d.order[i] = -1
+	}
+	for i, b := range rpo {
+		d.order[b.ID] = i
+	}
+	// Self-loop on the entry makes the intersection below well-founded.
+	d.idom[g.Entry.ID] = g.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var ni *BBlock
+			for _, p := range b.Preds {
+				if d.idom[p.ID] == nil {
+					continue // not yet reached
+				}
+				if ni == nil {
+					ni = p
+				} else {
+					ni = d.intersect(p, ni)
+				}
+			}
+			if ni != nil && d.idom[b.ID] != ni {
+				d.idom[b.ID] = ni
+				changed = true
+			}
+		}
+	}
+	d.idom[g.Entry.ID] = nil
+	return d
+}
+
+// intersect walks the two dominator chains up to their common ancestor.
+func (d *DomTree) intersect(a, b *BBlock) *BBlock {
+	for a != b {
+		for d.order[a.ID] > d.order[b.ID] {
+			a = d.idom[a.ID]
+		}
+		for d.order[b.ID] > d.order[a.ID] {
+			b = d.idom[b.ID]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator (nil for the entry or unreachable
+// blocks).
+func (d *DomTree) Idom(b *BBlock) *BBlock { return d.idom[b.ID] }
+
+// Dominates reports whether a dominates b (every path from the entry to b
+// passes through a). A block dominates itself.
+func (d *DomTree) Dominates(a, b *BBlock) bool {
+	if d.order[b.ID] < 0 || d.order[a.ID] < 0 {
+		return false // unreachable blocks dominate nothing
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = d.idom[b.ID]
+	}
+	return false
+}
+
+// NatLoop is one natural loop: the target of a back edge plus every block
+// that can reach the back edge without passing through the header.
+type NatLoop struct {
+	Head   *BBlock
+	Blocks map[*BBlock]bool
+}
+
+// NaturalLoops finds every natural loop of g: one per back edge (an edge
+// u -> h where h dominates u), merging loops that share a header.
+func (g *CFG) NaturalLoops(d *DomTree) []*NatLoop {
+	byHead := make(map[*BBlock]*NatLoop)
+	var order []*NatLoop
+	for _, u := range g.Blocks {
+		for _, h := range u.Succs {
+			if !d.Dominates(h, u) {
+				continue
+			}
+			l := byHead[h]
+			if l == nil {
+				l = &NatLoop{Head: h, Blocks: map[*BBlock]bool{h: true}}
+				byHead[h] = l
+				order = append(order, l)
+			}
+			// Collect the loop body walking predecessors back from the
+			// latch until the header. Unreachable blocks (dead code after a
+			// break/return can be a predecessor of a join) are not part of
+			// any loop.
+			stack := []*BBlock{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[b] || d.order[b.ID] < 0 {
+					continue
+				}
+				l.Blocks[b] = true
+				stack = append(stack, b.Preds...)
+			}
+		}
+	}
+	return order
+}

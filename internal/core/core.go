@@ -84,6 +84,9 @@ func Build(filename, src string, opts infer.Options) (*Unit, error) {
 	instrument.RedirectWrappers(prog2, u.Diags)
 	spans.Do("infer", func() { u.Res = infer.Infer(prog2, opts, u.Diags) })
 	spans.Do("instrument", func() { u.Cured = instrument.Cure(prog2, u.Res, u.Diags) })
+	if !opts.NoOptimize {
+		spans.Do("optimize", func() { instrument.Optimize(u.Cured) })
+	}
 	u.Spans = spans.Spans
 	if u.Diags.HasErrors() {
 		return nil, u.Diags.Err()

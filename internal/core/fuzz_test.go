@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gocured/internal/core"
+	"gocured/internal/infer"
+)
+
+// FuzzCompile pushes arbitrary input through the whole build pipeline —
+// parse, sema, lower, inference, curing, optimization — asserting it never
+// panics. Bad programs must be rejected with an error carrying
+// diagnostics, not a crash.
+func FuzzCompile(f *testing.F) {
+	if data, err := os.ReadFile("../../examples/explain/wild.c"); err == nil {
+		f.Add(string(data))
+	}
+	for _, path := range []string{
+		"../../examples/quickstart/main.go",
+		"../../examples/oop/main.go",
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		s := string(data)
+		if i := strings.Index(s, "const src = `"); i >= 0 {
+			s = s[i+len("const src = `"):]
+			if j := strings.Index(s, "`"); j >= 0 {
+				f.Add(s[:j])
+			}
+		}
+	}
+	f.Add(`int main(void) { int a[4]; return a[4]; }`)
+	f.Add(`struct S; int f(struct S *p) { return *(int *)p; }`)
+	f.Add(`int main(void) { void *p = 0; return *(int *)p; }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		// Both optimizer settings must survive any input that builds.
+		_, _ = core.Build("fuzz.c", src, infer.Options{})
+		_, _ = core.Build("fuzz.c", src, infer.Options{NoOptimize: true})
+	})
+}

@@ -43,6 +43,11 @@ func (lx *Lexer) peek2() byte {
 }
 
 func (lx *Lexer) advance() byte {
+	if lx.pos >= len(lx.src) {
+		// Truncated input (e.g. a character literal at EOF): stay put and
+		// hand back NUL; the caller reports the malformed token.
+		return 0
+	}
 	c := lx.src[lx.pos]
 	lx.pos++
 	if c == '\n' {

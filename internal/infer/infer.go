@@ -35,6 +35,10 @@ type Options struct {
 	// SplitAll forces the compatible (split) representation on every
 	// non-WILD type — the "all types split" overhead ablation of §5.
 	SplitAll bool
+	// NoOptimize disables the post-curing check optimizer (-O0). Consumed
+	// by the build pipeline, not by inference itself; it lives here so one
+	// options struct keys compile caching for the whole pipeline.
+	NoOptimize bool
 }
 
 // CastClass classifies one cast site.

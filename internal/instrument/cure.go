@@ -18,6 +18,8 @@ type Cured struct {
 	ChecksInserted map[cil.CheckKind]int
 	// ChecksEliminated counts checks removed by the redundancy optimizer.
 	ChecksEliminated int
+	// Opt holds the full optimizer statistics (nil when curing ran at -O0).
+	Opt *OptStats
 }
 
 // RedirectWrappers rewrites calls to wrapped extern functions so they go
@@ -91,7 +93,8 @@ func Cure(prog *cil.Program, res *infer.Result, diags *diag.List) *Cured {
 		c.curFn = f
 		c.cureBlock(f.Body)
 	}
-	c.cured.ChecksEliminated = Optimize(prog)
+	// Check optimization (see optimize.go) runs as a separate pipeline
+	// stage so it can be disabled with -O0; core.Build calls Optimize.
 	return c.cured
 }
 

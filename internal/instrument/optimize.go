@@ -2,31 +2,161 @@ package instrument
 
 import (
 	"fmt"
+	"strings"
 
 	"gocured/internal/cil"
+	"gocured/internal/diag"
 )
 
-// Redundant-check elimination. The paper notes that, unlike binary
-// instrumentors, CCured can use static information to remove checks; this
-// pass removes a check when an identical check is already established on
-// the same straight-line path and nothing that could change its outcome has
-// intervened.
+// Check-elimination over a real control-flow graph. The paper notes that,
+// unlike binary instrumentors, CCured can use static information to remove
+// checks; this pass is where that advantage is cashed in. Three
+// transformations run per function, in order:
 //
-// The analysis is local and conservative:
+//  1. Loop pass (structured tree): checks in the guaranteed prefix of a
+//     loop body — the statements that execute on every iteration before
+//     anything can write memory or leave the loop, crossing only
+//     `if (c) break;` guards — are moved to a guarded preheader when their
+//     operands are loop-invariant, and *widened* to a pair of endpoint
+//     checks when they are affine in a recognized induction variable
+//     (`for (i = i0; i < N; i++) ... a[i]`: check a+i0 and a+N-1 once,
+//     instead of a+i every iteration).
 //
-//   - facts are keyed by (check kind, pointer expression, size, target);
+//  2. Available-check elimination (CFG dataflow): a check is deleted when
+//     an identical check is available on *every* path from the entry and
+//     nothing that could change its outcome intervenes. Availability is an
+//     intersection dataflow over the basic-block graph, so facts survive
+//     branches and joins: a check established before an `if` (or in both
+//     arms) still covers the code after the join, and a check dominated by
+//     an identical unkilled check is always removed (availability on every
+//     path subsumes availability on the dominating path). This replaces
+//     the old straight-line pass, whose "entering or leaving nested
+//     control flow clears all facts" conservatism gave loops — exactly
+//     where SEQ bounds checks dominate cost — no relief.
+//
+//  3. SEQ coalescing (per block): adjacent SEQ bounds checks on the same
+//     base pointer with constant element offsets collapse into the first
+//     check, widened to cover the whole constant range (`p[0] + p[1] +
+//     p[2]` pays one check, not three).
+//
+// Safety argument (the differential fuzzer in internal/interp enforces it
+// empirically): a hoisted or widened check may trap *earlier* than the
+// checks it replaces, but only on executions that would have trapped
+// anyway — the guaranteed-prefix rule means the moved check runs in the
+// preheader exactly when the first iteration would have run it, and the
+// endpoint pair of a widened check fails exactly when some iteration's
+// check would have failed (the offsets are monotone in the induction
+// variable, so the endpoints bound every intermediate access). Eliminated
+// checks are re-proved by an identical check on every incoming path.
+// Coalescing can move a bounds trap from a later access in a group to the
+// group head, but the group spans no observable effect (checks are emitted
+// adjacently, before the statement they guard), so only the trap's column
+// and pointer value can differ — never whether the program traps, the trap
+// kind, or anything it printed.
+
+// Kill rules (shared by every pass):
+//
 //   - a Set to a variable kills facts that mention that variable;
 //   - a store through memory kills facts that read memory or mention
-//     address-taken variables (potential aliases);
+//     address-taken or global variables (potential aliases);
 //   - a call kills the same set (a callee cannot touch the caller's
-//     non-address-taken locals);
-//   - entering or leaving nested control flow clears all facts.
+//     non-address-taken locals).
+
+// OptStats summarizes one optimization run over a program.
+type OptStats struct {
+	// Eliminated counts checks deleted by available-check elimination;
+	// Coalesced counts SEQ checks merged into a widened neighbor. Both are
+	// static deletions.
+	Eliminated int
+	Coalesced  int
+	// Hoisted counts loop-invariant checks moved to a preheader; Widened
+	// counts induction checks replaced by an endpoint pair. These keep a
+	// static site but stop executing once per iteration.
+	Hoisted int
+	Widened int
+	// EliminatedByKind breaks the static deletions down by check kind.
+	EliminatedByKind map[cil.CheckKind]int
+	// PerFunc maps function name to its per-function statistics.
+	PerFunc map[string]*FuncOpt
+	// Sites attributes every statically deleted check to its source
+	// position, so run-time reporting (TopSites, -explain) can show what
+	// the optimizer removed instead of silently under-counting.
+	Sites []SiteElim
+}
+
+// Removed returns the number of check instructions deleted outright.
+func (s *OptStats) Removed() int { return s.Eliminated + s.Coalesced }
+
+// FuncOpt is the per-function optimization summary.
+type FuncOpt struct {
+	Before, After                           int // static checks in the body
+	Eliminated, Hoisted, Widened, Coalesced int
+	Blocks, Loops                           int // CFG shape
+}
+
+// SiteElim records statically deleted checks at one source site.
+type SiteElim struct {
+	Pos  diag.Pos
+	Kind cil.CheckKind
+	N    int
+}
+
+// Optimize runs the check optimizer over c.Prog and records the statistics
+// on c. It must run after Cure and is skipped entirely at -O0.
+func Optimize(c *Cured) *OptStats {
+	st := &OptStats{
+		EliminatedByKind: make(map[cil.CheckKind]int),
+		PerFunc:          make(map[string]*FuncOpt),
+	}
+	siteIdx := make(map[string]int)
+	record := func(chk *cil.Check) {
+		st.EliminatedByKind[chk.Kind]++
+		key := chk.Pos.String() + "|" + chk.Kind.String()
+		if i, ok := siteIdx[key]; ok {
+			st.Sites[i].N++
+		} else {
+			siteIdx[key] = len(st.Sites)
+			st.Sites = append(st.Sites, SiteElim{Pos: chk.Pos, Kind: chk.Kind, N: 1})
+		}
+	}
+	for _, f := range c.Prog.Funcs {
+		fo := &FuncOpt{Before: countChecks(f.Body.Stmts)}
+		hoistLoops(f.Body, fo)
+		g := cil.BuildCFG(f)
+		dom := g.Dominators()
+		fo.Blocks = len(g.Blocks)
+		fo.Loops = len(g.NaturalLoops(dom))
+		eliminateAvailable(g, f, fo, record)
+		coalesceSeq(f.Body, c.Lay, fo, record)
+		fo.After = countChecks(f.Body.Stmts)
+		st.PerFunc[f.Name] = fo
+		st.Eliminated += fo.Eliminated
+		st.Hoisted += fo.Hoisted
+		st.Widened += fo.Widened
+		st.Coalesced += fo.Coalesced
+	}
+	c.Opt = st
+	c.ChecksEliminated = st.Removed()
+	return st
+}
+
+func countChecks(stmts []cil.Stmt) int {
+	n := 0
+	cil.WalkInstrs(stmts, func(i cil.Instr) {
+		if _, ok := i.(*cil.Check); ok {
+			n++
+		}
+	})
+	return n
+}
+
+// ---- fact keys and dependencies ----
 
 // factDeps describes what a check's operands depend on.
 type factDeps struct {
 	vars     map[*cil.Var]bool
 	memRead  bool
-	addrVars bool // references an address-taken variable
+	addrVars bool // references an address-taken or global variable
 }
 
 func depsOf(c *cil.Check) factDeps {
@@ -66,125 +196,929 @@ func depsOf(c *cil.Check) factDeps {
 	return d
 }
 
+// keyExpr renders e into b as a value-identity key. Unlike ExprString it
+// qualifies variables with their IDs (shadowed names must not collide) and
+// type occurrences with their node address (two casts that print alike can
+// still convert between different pointer kinds).
+func keyExpr(b *strings.Builder, e cil.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *cil.Const:
+		fmt.Fprintf(b, "c%d", x.I)
+	case *cil.FConst:
+		fmt.Fprintf(b, "f%g", x.F)
+	case *cil.StrConst:
+		fmt.Fprintf(b, "s%q", x.S)
+	case *cil.FnConst:
+		fmt.Fprintf(b, "fn:%s", x.Name)
+	case *cil.SizeOf:
+		fmt.Fprintf(b, "sz%p", x.Of)
+	case *cil.Lval:
+		keyLval(b, x.LV)
+	case *cil.AddrOf:
+		b.WriteByte('&')
+		keyLval(b, x.LV)
+	case *cil.BinOp:
+		fmt.Fprintf(b, "(%d ", int(x.Op))
+		keyExpr(b, x.A)
+		b.WriteByte(' ')
+		keyExpr(b, x.B)
+		b.WriteByte(')')
+	case *cil.UnOp:
+		fmt.Fprintf(b, "(u%d ", int(x.Op))
+		keyExpr(b, x.X)
+		b.WriteByte(')')
+	case *cil.Cast:
+		fmt.Fprintf(b, "(cast%p ", x.To)
+		keyExpr(b, x.X)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "?%T", e)
+	}
+}
+
+func keyLval(b *strings.Builder, lv *cil.Lvalue) {
+	if lv.Var != nil {
+		if lv.Var.Global {
+			fmt.Fprintf(b, "g%d", lv.Var.ID)
+		} else {
+			fmt.Fprintf(b, "l%d", lv.Var.ID)
+		}
+	} else {
+		b.WriteString("(*")
+		keyExpr(b, lv.Mem)
+		b.WriteByte(')')
+	}
+	for _, o := range lv.Offset {
+		if o.Field != nil {
+			fmt.Fprintf(b, ".%s", o.Field.Name)
+		} else {
+			b.WriteByte('[')
+			keyExpr(b, o.Index)
+			b.WriteByte(']')
+		}
+	}
+}
+
 func factKey(c *cil.Check) string {
-	key := fmt.Sprintf("%d|%s|%d", c.Kind, cil.ExprString(c.Ptr), c.Size)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", int(c.Kind))
+	keyExpr(&b, c.Ptr)
+	fmt.Fprintf(&b, "|%d", c.Size)
 	if c.RttiTarget != nil {
-		key += "|" + c.RttiTarget.String()
+		fmt.Fprintf(&b, "|%p", c.RttiTarget)
 	}
 	if c.DstLV != nil {
-		key += "|dst:" + cil.LvalString(c.DstLV)
+		b.WriteString("|dst:")
+		keyLval(&b, c.DstLV)
 	}
-	return key
+	return b.String()
 }
 
-type factSet struct {
-	facts map[string]factDeps
+// ---- loop pass: invariant hoisting and induction widening ----
+
+// loopKills summarizes what one loop (body + post, including nested
+// statements) can modify.
+type loopKills struct {
+	vars map[*cil.Var]bool
+	mem  bool // stores through memory or into variable interiors
+	call bool
 }
 
-func newFactSet() *factSet { return &factSet{facts: make(map[string]factDeps)} }
+// exitCounts tallies the ways control can leave one loop.
+type exitCounts struct {
+	breaks, continues, returns int
+}
 
-func (fs *factSet) clear() {
-	for k := range fs.facts {
-		delete(fs.facts, k)
+func summarizeLoop(l *cil.Loop) (loopKills, exitCounts) {
+	k := loopKills{vars: make(map[*cil.Var]bool)}
+	var ex exitCounts
+	killLV := func(lv *cil.Lvalue) {
+		if lv == nil {
+			return
+		}
+		if lv.Var != nil && len(lv.Offset) == 0 {
+			k.vars[lv.Var] = true
+		} else {
+			k.mem = true
+			if lv.Var != nil {
+				k.vars[lv.Var] = true
+			}
+		}
 	}
+	stmts := l.Body.Stmts
+	if l.Post != nil {
+		stmts = append(append([]cil.Stmt{}, stmts...), l.Post.Stmts...)
+	}
+	cil.WalkInstrs(stmts, func(i cil.Instr) {
+		switch in := i.(type) {
+		case *cil.Set:
+			killLV(in.LV)
+		case *cil.Call:
+			k.call = true
+			k.mem = true
+			killLV(in.Result)
+		}
+	})
+	countExits(stmts, 0, &ex)
+	return k, ex
 }
 
-// killVar removes facts that depend on v.
-func (fs *factSet) killVar(v *cil.Var) {
-	for k, d := range fs.facts {
-		if d.vars[v] {
-			delete(fs.facts, k)
+// countExits tallies Break/Continue/Return statements binding to the loop
+// at depth 0. depth counts enclosing Loop nesting; Switch captures Break
+// but not Continue.
+func countExits(stmts []cil.Stmt, depth int, ex *exitCounts) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *cil.Break:
+			if depth == 0 {
+				ex.breaks++
+			}
+		case *cil.Continue:
+			if depth == 0 {
+				ex.continues++
+			}
+		case *cil.Return:
+			ex.returns++
+		case *cil.Block:
+			countExits(st.Stmts, depth, ex)
+		case *cil.If:
+			countExits(st.Then.Stmts, depth, ex)
+			if st.Else != nil {
+				countExits(st.Else.Stmts, depth, ex)
+			}
+		case *cil.Loop:
+			countExits(st.Body.Stmts, depth+1, ex)
+			if st.Post != nil {
+				countExits(st.Post.Stmts, depth+1, ex)
+			}
+		case *cil.Switch:
+			for _, c := range st.Cases {
+				// A Break here binds to the switch; Continue still binds to
+				// our loop.
+				var inner exitCounts
+				countExits(c.Body, depth+1, &inner)
+				if depth == 0 {
+					ex.continues += inner.continues
+				}
+				ex.returns += inner.returns
+			}
 		}
 	}
 }
 
-// killMem removes facts that could be invalidated by a memory write or a
-// call: anything reading memory or referencing address-taken variables.
-func (fs *factSet) killMem() {
-	for k, d := range fs.facts {
-		if d.memRead || d.addrVars {
-			delete(fs.facts, k)
+// invariantIn reports whether deps cannot be modified by a loop with the
+// given kill summary.
+func invariantIn(d factDeps, k loopKills, ignore *cil.Var) bool {
+	for v := range d.vars {
+		if v != ignore && k.vars[v] {
+			return false
 		}
 	}
-}
-
-// Optimize removes redundant checks from every function of prog and returns
-// the number of checks eliminated.
-func Optimize(prog *cil.Program) int {
-	removed := 0
-	for _, f := range prog.Funcs {
-		removed += optimizeBlock(f.Body)
+	if (d.memRead || d.addrVars) && (k.mem || k.call) {
+		return false
 	}
-	return removed
+	return true
 }
 
-func optimizeBlock(b *cil.Block) int {
-	removed := 0
-	fs := newFactSet()
+// hoistLoops walks the statement tree innermost-loop-first, building a
+// preheader for each loop out of its hoistable prefix checks.
+func hoistLoops(b *cil.Block, fo *FuncOpt) {
 	var out []cil.Stmt
 	for _, s := range b.Stmts {
-		si, isInstr := s.(*cil.SInstr)
-		if !isInstr {
-			// Nested control flow: optimize inside with a fresh state and
-			// assume nothing afterwards.
-			switch st := s.(type) {
-			case *cil.Block:
-				removed += optimizeBlock(st)
-			case *cil.If:
-				removed += optimizeBlock(st.Then)
-				if st.Else != nil {
-					removed += optimizeBlock(st.Else)
-				}
-			case *cil.Loop:
-				removed += optimizeBlock(st.Body)
-				if st.Post != nil {
-					removed += optimizeBlock(st.Post)
-				}
-			case *cil.Switch:
-				for _, c := range st.Cases {
-					inner := &cil.Block{Stmts: c.Body}
-					removed += optimizeBlock(inner)
-					c.Body = inner.Stmts
-				}
+		switch st := s.(type) {
+		case *cil.Loop:
+			hoistLoops(st.Body, fo)
+			if st.Post != nil {
+				hoistLoops(st.Post, fo)
 			}
-			fs.clear()
-			out = append(out, s)
-			continue
-		}
-		switch in := si.Ins.(type) {
-		case *cil.Check:
-			key := factKey(in)
-			if _, known := fs.facts[key]; known {
-				removed++
-				continue // drop the redundant check
+			out = append(out, hoistFromLoop(st, fo)...)
+			out = append(out, st)
+		case *cil.If:
+			hoistLoops(st.Then, fo)
+			if st.Else != nil {
+				hoistLoops(st.Else, fo)
 			}
-			fs.facts[key] = depsOf(in)
-			out = append(out, s)
-		case *cil.Set:
-			if in.LV.Var != nil && len(in.LV.Offset) == 0 {
-				fs.killVar(in.LV.Var)
-			} else {
-				fs.killMem()
-				if in.LV.Var != nil {
-					fs.killVar(in.LV.Var)
-				}
+			out = append(out, st)
+		case *cil.Switch:
+			for _, c := range st.Cases {
+				inner := &cil.Block{Stmts: c.Body}
+				hoistLoops(inner, fo)
+				c.Body = inner.Stmts
 			}
-			out = append(out, s)
-		case *cil.Call:
-			fs.killMem()
-			if in.Result != nil {
-				if in.Result.Var != nil && len(in.Result.Offset) == 0 {
-					fs.killVar(in.Result.Var)
-				} else {
-					fs.killMem()
-				}
-			}
-			out = append(out, s)
+			out = append(out, st)
+		case *cil.Block:
+			hoistLoops(st, fo)
+			out = append(out, st)
 		default:
-			fs.clear()
 			out = append(out, s)
 		}
 	}
 	b.Stmts = out
-	return removed
+}
+
+// induction describes a recognized simple counting loop: v starts at its
+// preheader value and increases by 1 per iteration while v < limit (or
+// v <= limit). limit is a compile-time constant, so endpoint substitution
+// cannot overflow the simulated address space.
+type induction struct {
+	v     *cil.Var
+	limit int64
+	maxTy *cil.Const // the guard's constant, reused for the endpoint's type
+	le    bool       // guard is v <= limit
+}
+
+// maxVal returns the largest value v takes inside the loop.
+func (ind *induction) maxVal() int64 {
+	if ind.le {
+		return ind.limit
+	}
+	return ind.limit - 1
+}
+
+// hoistScan walks the guaranteed prefix of a loop body: the statements that
+// run on every iteration before anything can modify state or leave the
+// loop, crossing only `if (c) break;` guards. It replays the prefix —
+// guards as nested Ifs, hoistable checks as instructions — into a
+// preheader, and marks the moved checks for removal from the body.
+type hoistScan struct {
+	kills   loopKills
+	simple  bool // single guard-break exit, no calls: widening is allowed
+	indOK   map[*cil.Var]bool
+	ind     *induction
+	pre     []cil.Stmt
+	cur     *[]cil.Stmt
+	moved   map[*cil.SInstr]bool
+	nHoist  int
+	nWiden  int
+	nGuards int
+}
+
+// hoistFromLoop returns the preheader statements for l (nil when nothing
+// hoists) and deletes the moved checks from the loop body.
+func hoistFromLoop(l *cil.Loop, fo *FuncOpt) []cil.Stmt {
+	kills, exits := summarizeLoop(l)
+	hs := &hoistScan{
+		kills:  kills,
+		simple: exits.breaks == 1 && exits.continues == 0 && exits.returns == 0 && !kills.call,
+		indOK:  make(map[*cil.Var]bool),
+		moved:  make(map[*cil.SInstr]bool),
+	}
+	hs.cur = &hs.pre
+	if hs.simple {
+		for v := range kills.vars {
+			if unitIncrement(l, v) {
+				hs.indOK[v] = true
+			}
+		}
+	}
+	hs.scan(l.Body.Stmts)
+	if hs.nHoist == 0 && hs.nWiden == 0 {
+		return nil
+	}
+	removeMoved(l.Body, hs.moved)
+	fo.Hoisted += hs.nHoist
+	fo.Widened += hs.nWiden
+	return hs.pre
+}
+
+// unitIncrement reports whether v's only modification in the loop is a
+// single top-level `v = v + 1` in the body or post block.
+func unitIncrement(l *cil.Loop, v *cil.Var) bool {
+	if v.AddrTaken || v.Global || !v.Type.IsInteger() {
+		return false
+	}
+	// Count every Set targeting v anywhere in the loop.
+	total := 0
+	stmts := l.Body.Stmts
+	if l.Post != nil {
+		stmts = append(append([]cil.Stmt{}, stmts...), l.Post.Stmts...)
+	}
+	cil.WalkInstrs(stmts, func(i cil.Instr) {
+		switch in := i.(type) {
+		case *cil.Set:
+			if in.LV.Var == v && len(in.LV.Offset) == 0 {
+				total++
+			}
+		case *cil.Call:
+			if in.Result != nil && in.Result.Var == v && len(in.Result.Offset) == 0 {
+				total++
+			}
+		}
+	})
+	if total != 1 {
+		return false
+	}
+	// The one Set must be top-level (guaranteed once per iteration) and of
+	// the form v = v + 1 — either directly or through the lowerer's
+	// post-increment temp pair `t = v; v = t + 1`.
+	topLevel := func(stmts []cil.Stmt) bool {
+		for idx, s := range stmts {
+			si, ok := s.(*cil.SInstr)
+			if !ok {
+				continue
+			}
+			set, ok := si.Ins.(*cil.Set)
+			if !ok || set.LV.Var != v || len(set.LV.Offset) != 0 {
+				continue
+			}
+			if isPlusOne(set.RHS, v) {
+				return true
+			}
+			if idx > 0 {
+				if psi, ok := stmts[idx-1].(*cil.SInstr); ok {
+					if ps, ok := psi.Ins.(*cil.Set); ok &&
+						ps.LV.Var != nil && ps.LV.Var.Temp && len(ps.LV.Offset) == 0 &&
+						isVarRead(ps.RHS, v) && isPlusOne(set.RHS, ps.LV.Var) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return false
+	}
+	if l.Post != nil && topLevel(l.Post.Stmts) {
+		return true
+	}
+	return topLevel(l.Body.Stmts)
+}
+
+func isPlusOne(e cil.Expr, v *cil.Var) bool {
+	bo, ok := stripCasts(e).(*cil.BinOp)
+	if !ok || bo.Op != cil.OpAdd {
+		return false
+	}
+	a, b := stripCasts(bo.A), stripCasts(bo.B)
+	if c, ok := b.(*cil.Const); ok && c.I == 1 {
+		return isVarRead(a, v)
+	}
+	if c, ok := a.(*cil.Const); ok && c.I == 1 {
+		return isVarRead(b, v)
+	}
+	return false
+}
+
+func stripCasts(e cil.Expr) cil.Expr {
+	for {
+		c, ok := e.(*cil.Cast)
+		if !ok {
+			return e
+		}
+		e = c.X
+	}
+}
+
+func isVarRead(e cil.Expr, v *cil.Var) bool {
+	lv, ok := e.(*cil.Lval)
+	return ok && lv.LV.Var == v && len(lv.LV.Offset) == 0
+}
+
+// maxWidenLimit bounds the constant loop limit widening accepts: endpoint
+// substitution multiplies the limit by the element stride at run time, and
+// the product must stay far from wrapping the 32-bit simulated address
+// space (wrapping could make the endpoint check pass while an intermediate
+// access traps).
+const maxWidenLimit = 1 << 20
+
+// scan consumes the guaranteed prefix; it returns false when it reaches a
+// statement it cannot cross.
+func (hs *hoistScan) scan(stmts []cil.Stmt) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *cil.SInstr:
+			chk, ok := st.Ins.(*cil.Check)
+			if !ok {
+				return false
+			}
+			d := depsOf(chk)
+			if invariantIn(d, hs.kills, nil) {
+				*hs.cur = append(*hs.cur, &cil.SInstr{Ins: chk})
+				hs.moved[st] = true
+				hs.nHoist++
+				continue
+			}
+			if w := hs.widen(chk, d); w != nil {
+				*hs.cur = append(*hs.cur, &cil.SInstr{Ins: chk}, &cil.SInstr{Ins: w})
+				hs.moved[st] = true
+				hs.nWiden++
+				continue
+			}
+			// A check we cannot move pins everything after it: moving a
+			// later check above this one could reorder traps.
+			return false
+		case *cil.Block:
+			if !hs.scan(st.Stmts) {
+				return false
+			}
+		case *cil.If:
+			// Only the guard shape `if (c) break;` can be crossed: when c
+			// holds the loop exits, so the rest of the prefix runs exactly
+			// when !c — replayed as a nested `if (!c)` in the preheader.
+			if len(st.Then.Stmts) != 1 || (st.Else != nil && len(st.Else.Stmts) != 0) {
+				return false
+			}
+			if _, isBreak := st.Then.Stmts[0].(*cil.Break); !isBreak {
+				return false
+			}
+			guard := negate(st.Cond)
+			nb := &cil.Block{}
+			*hs.cur = append(*hs.cur, &cil.If{Cond: guard, Then: nb})
+			hs.cur = &nb.Stmts
+			hs.nGuards++
+			hs.noteInduction(guard)
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// noteInduction recognizes a `v < limit` / `v <= limit` guard over a
+// unit-increment local with a small constant limit, enabling widening for
+// the checks that follow it.
+func (hs *hoistScan) noteInduction(guard cil.Expr) {
+	if hs.ind != nil || !hs.simple || hs.nGuards != 1 {
+		return // widening trusts exactly one guard: the loop's own test
+	}
+	bo, ok := guard.(*cil.BinOp)
+	if !ok || (bo.Op != cil.OpLt && bo.Op != cil.OpLe) {
+		return
+	}
+	lv, ok := stripCasts(bo.A).(*cil.Lval)
+	if !ok || lv.LV.Var == nil || len(lv.LV.Offset) != 0 || !hs.indOK[lv.LV.Var] {
+		return
+	}
+	limit, ok := stripCasts(bo.B).(*cil.Const)
+	if !ok || limit.I < 0 || limit.I > maxWidenLimit {
+		return
+	}
+	hs.ind = &induction{v: lv.LV.Var, limit: limit.I, maxTy: limit, le: bo.Op == cil.OpLe}
+}
+
+// widen returns the endpoint companion of an induction-affine check: the
+// original check (evaluated at the loop's entry value of v, under the
+// guard) plus this clone at v's final value cover every iteration, because
+// the checked quantity is monotone in v. Returns nil when chk is not
+// widenable.
+func (hs *hoistScan) widen(chk *cil.Check, d factDeps) *cil.Check {
+	ind := hs.ind
+	if ind == nil || !d.vars[ind.v] {
+		return nil
+	}
+	if chk.Kind != cil.CheckSeq && chk.Kind != cil.CheckIndex {
+		return nil
+	}
+	if !invariantIn(d, hs.kills, ind.v) {
+		return nil
+	}
+	maxC := &cil.Const{I: ind.maxVal(), Ty: ind.maxTy.Ty}
+	sub, n, monotone := substVar(chk.Ptr, ind.v, maxC)
+	if n != 1 || !monotone {
+		return nil
+	}
+	w := &cil.Check{Kind: chk.Kind, Ptr: sub, Size: chk.Size, RttiTarget: chk.RttiTarget}
+	w.Pos = chk.Pos
+	return w
+}
+
+// substVar clones e with reads of v replaced by rep. It returns the clone,
+// the number of substitutions, and whether every substitution sits under
+// operators that keep the expression monotone in v (+, -, pointer ±, unary
+// minus, casts, and multiplication by a constant) — the condition for two
+// endpoint checks to bound every intermediate value.
+func substVar(e cil.Expr, v *cil.Var, rep cil.Expr) (cil.Expr, int, bool) {
+	switch x := e.(type) {
+	case *cil.Lval:
+		if x.LV.Var == v && len(x.LV.Offset) == 0 {
+			return rep, 1, true
+		}
+		// v anywhere else inside an lvalue (an index, a deref base) is not
+		// a monotone position.
+		found := false
+		cil.WalkLvalue(x.LV, func(sub cil.Expr) {
+			cil.WalkExpr(sub, func(y cil.Expr) {
+				if isVarRead(y, v) {
+					found = true
+				}
+			})
+		})
+		if found {
+			return e, 1, false
+		}
+		return e, 0, true
+	case *cil.BinOp:
+		a, na, oka := substVar(x.A, v, rep)
+		b, nb, okb := substVar(x.B, v, rep)
+		n := na + nb
+		if n == 0 {
+			return e, 0, true
+		}
+		ok := oka && okb
+		switch x.Op {
+		case cil.OpAdd, cil.OpSub, cil.OpAddPI, cil.OpSubPI:
+		case cil.OpMul:
+			// Monotone only when the other operand is a constant.
+			other := x.B
+			if nb > 0 {
+				other = x.A
+			}
+			if _, isConst := stripCasts(other).(*cil.Const); !isConst {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+		return &cil.BinOp{Op: x.Op, A: a, B: b, Ty: x.Ty}, n, ok
+	case *cil.UnOp:
+		sub, n, ok := substVar(x.X, v, rep)
+		if n == 0 {
+			return e, 0, true
+		}
+		if x.Op != cil.OpNeg {
+			ok = false
+		}
+		return &cil.UnOp{Op: x.Op, X: sub, Ty: x.Ty}, n, ok
+	case *cil.Cast:
+		sub, n, ok := substVar(x.X, v, rep)
+		if n == 0 {
+			return e, 0, true
+		}
+		c := *x
+		c.X = sub
+		return &c, n, ok
+	case *cil.AddrOf:
+		found := false
+		cil.WalkLvalue(x.LV, func(sub cil.Expr) {
+			cil.WalkExpr(sub, func(y cil.Expr) {
+				if isVarRead(y, v) {
+					found = true
+				}
+			})
+		})
+		if found {
+			return e, 1, false
+		}
+		return e, 0, true
+	default:
+		return e, 0, true
+	}
+}
+
+// negate returns !c, folding double negation and flipping integer
+// comparisons (exact for the IR's integer conditions).
+func negate(c cil.Expr) cil.Expr {
+	switch x := c.(type) {
+	case *cil.UnOp:
+		if x.Op == cil.OpNot {
+			return x.X
+		}
+	case *cil.BinOp:
+		var flip cil.Op
+		switch x.Op {
+		case cil.OpLt:
+			flip = cil.OpGe
+		case cil.OpGe:
+			flip = cil.OpLt
+		case cil.OpLe:
+			flip = cil.OpGt
+		case cil.OpGt:
+			flip = cil.OpLe
+		case cil.OpEq:
+			flip = cil.OpNe
+		case cil.OpNe:
+			flip = cil.OpEq
+		default:
+			return &cil.UnOp{Op: cil.OpNot, X: c, Ty: x.Ty}
+		}
+		return &cil.BinOp{Op: flip, A: x.A, B: x.B, Ty: x.Ty}
+	}
+	return &cil.UnOp{Op: cil.OpNot, X: c, Ty: c.Type()}
+}
+
+// removeMoved deletes the marked instruction statements from the tree.
+func removeMoved(b *cil.Block, del map[*cil.SInstr]bool) {
+	if len(del) == 0 {
+		return
+	}
+	var out []cil.Stmt
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *cil.SInstr:
+			if del[st] {
+				continue
+			}
+		case *cil.Block:
+			removeMoved(st, del)
+		case *cil.If:
+			removeMoved(st.Then, del)
+			if st.Else != nil {
+				removeMoved(st.Else, del)
+			}
+		case *cil.Loop:
+			removeMoved(st.Body, del)
+			if st.Post != nil {
+				removeMoved(st.Post, del)
+			}
+		case *cil.Switch:
+			for _, c := range st.Cases {
+				inner := &cil.Block{Stmts: c.Body}
+				removeMoved(inner, del)
+				c.Body = inner.Stmts
+			}
+		}
+		out = append(out, s)
+	}
+	b.Stmts = out
+}
+
+// ---- available-check elimination (CFG dataflow) ----
+
+type factTable struct {
+	ids  map[string]int
+	deps []factDeps
+}
+
+func (t *factTable) idOf(c *cil.Check) int {
+	k := factKey(c)
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id := len(t.deps)
+	t.ids[k] = id
+	t.deps = append(t.deps, depsOf(c))
+	return id
+}
+
+type factSet map[int]bool
+
+func (s factSet) clone() factSet {
+	out := make(factSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s factSet) equal(o factSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// eliminateAvailable runs the availability dataflow over g and deletes
+// every check whose fact already holds on all incoming paths.
+func eliminateAvailable(g *cil.CFG, f *cil.Func, fo *FuncOpt, record func(*cil.Check)) {
+	facts := &factTable{ids: make(map[string]int)}
+	// Intern every check up front so transfer functions are cheap.
+	for _, b := range g.Blocks {
+		for _, si := range b.Instrs {
+			if chk, ok := si.Ins.(*cil.Check); ok {
+				facts.idOf(chk)
+			}
+		}
+	}
+
+	killVar := func(s factSet, v *cil.Var) {
+		for id := range s {
+			if facts.deps[id].vars[v] {
+				delete(s, id)
+			}
+		}
+	}
+	killMem := func(s factSet) {
+		for id := range s {
+			d := facts.deps[id]
+			if d.memRead || d.addrVars {
+				delete(s, id)
+			}
+		}
+	}
+	killLV := func(s factSet, lv *cil.Lvalue) {
+		if lv == nil {
+			return
+		}
+		if lv.Var != nil && len(lv.Offset) == 0 {
+			killVar(s, lv.Var)
+			return
+		}
+		killMem(s)
+		if lv.Var != nil {
+			killVar(s, lv.Var)
+		}
+	}
+	// transfer simulates one block over s in place; when del is non-nil it
+	// collects the checks found redundant.
+	transfer := func(b *cil.BBlock, s factSet, del map[*cil.SInstr]bool) {
+		for _, si := range b.Instrs {
+			switch in := si.Ins.(type) {
+			case *cil.Check:
+				id := facts.idOf(in)
+				if s[id] {
+					if del != nil {
+						del[si] = true
+					}
+					continue
+				}
+				s[id] = true
+			case *cil.Set:
+				killLV(s, in.LV)
+			case *cil.Call:
+				killMem(s)
+				killLV(s, in.Result)
+			default:
+				// Unknown instruction kinds forget everything.
+				for id := range s {
+					delete(s, id)
+				}
+			}
+		}
+	}
+
+	rpo := g.ReversePostorder()
+	out := make([]factSet, len(g.Blocks)) // nil = not yet computed (⊤)
+	inOf := func(b *cil.BBlock) factSet {
+		if b == g.Entry {
+			return make(factSet)
+		}
+		var in factSet
+		for _, p := range b.Preds {
+			po := out[p.ID]
+			if po == nil {
+				continue // ⊤: drops out of the intersection
+			}
+			if in == nil {
+				in = po.clone()
+				continue
+			}
+			for id := range in {
+				if !po[id] {
+					delete(in, id)
+				}
+			}
+		}
+		if in == nil {
+			in = make(factSet)
+		}
+		return in
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			s := inOf(b)
+			transfer(b, s, nil)
+			if out[b.ID] == nil || !out[b.ID].equal(s) {
+				out[b.ID] = s
+				changed = true
+			}
+		}
+	}
+
+	// Final pass: re-simulate each reachable block from its fixed IN set,
+	// collecting the redundant checks, then filter the tree.
+	del := make(map[*cil.SInstr]bool)
+	for _, b := range rpo {
+		s := inOf(b)
+		transfer(b, s, del)
+	}
+	if len(del) == 0 {
+		return
+	}
+	for si := range del {
+		chk := si.Ins.(*cil.Check)
+		fo.Eliminated++
+		record(chk)
+	}
+	removeMoved(f.Body, del)
+}
+
+// ---- SEQ coalescing ----
+
+// seqStride returns the byte stride of one element step of a SEQ check's
+// pointer (0 when unknown).
+func seqStride(lay *Layout, ptr cil.Expr) int {
+	t := ptr.Type()
+	if t == nil || t.Elem == nil {
+		return 0
+	}
+	return lay.Sizeof(t.Elem)
+}
+
+// splitConstOffset decomposes a checked pointer into (base, constant
+// element offset): `p + 3` -> (p, 3), anything else -> (e, 0).
+func splitConstOffset(e cil.Expr) (cil.Expr, int64) {
+	if bo, ok := e.(*cil.BinOp); ok {
+		if c, isC := stripCasts(bo.B).(*cil.Const); isC {
+			switch bo.Op {
+			case cil.OpAddPI:
+				return bo.A, c.I
+			case cil.OpSubPI:
+				return bo.A, -c.I
+			}
+		}
+	}
+	return e, 0
+}
+
+// coalesceSeq merges runs of adjacent SEQ checks on the same base pointer
+// with constant offsets into the first check of the run, widened to cover
+// the whole range. Only immediately adjacent checks merge: any intervening
+// instruction (even another check) ends the group, so no trap can move
+// across an observable effect or a different check's trap site.
+func coalesceSeq(b *cil.Block, lay *Layout, fo *FuncOpt, record func(*cil.Check)) {
+	del := make(map[*cil.SInstr]bool)
+	var walk func(stmts []cil.Stmt)
+	walk = func(stmts []cil.Stmt) {
+		type member struct {
+			si  *cil.SInstr
+			chk *cil.Check
+			off int64
+		}
+		var group []member
+		var baseKey string
+		var stride int
+		flush := func() {
+			if len(group) > 1 {
+				first := group[0]
+				minOff, maxOff := first.off, first.off
+				ok := true
+				for _, m := range group[1:] {
+					if m.off < minOff {
+						// The group head must carry the minimum offset: the
+						// widened check starts at the head's pointer value,
+						// so a smaller later offset would escape it (and
+						// could turn a null trap into a bounds trap).
+						ok = false
+						break
+					}
+					if m.off > maxOff {
+						maxOff = m.off
+					}
+				}
+				if ok && stride > 0 && (maxOff-minOff)*int64(stride) < 1<<20 {
+					first.chk.Size += int(maxOff-minOff) * stride
+					for _, m := range group[1:] {
+						del[m.si] = true
+						fo.Coalesced++
+						record(m.chk)
+					}
+				}
+			}
+			group = group[:0]
+		}
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *cil.SInstr:
+				chk, isChk := st.Ins.(*cil.Check)
+				if !isChk || chk.Kind != cil.CheckSeq {
+					flush()
+					continue
+				}
+				base, off := splitConstOffset(chk.Ptr)
+				var kb strings.Builder
+				keyExpr(&kb, base)
+				fmt.Fprintf(&kb, "|%d", chk.Size)
+				k := kb.String()
+				str := seqStride(lay, chk.Ptr)
+				if len(group) > 0 && (k != baseKey || str != stride) {
+					flush()
+				}
+				if len(group) == 0 {
+					baseKey, stride = k, str
+				}
+				group = append(group, member{si: st, chk: chk, off: off})
+			case *cil.Block:
+				flush()
+				walk(st.Stmts)
+			case *cil.If:
+				flush()
+				walk(st.Then.Stmts)
+				if st.Else != nil {
+					walk(st.Else.Stmts)
+				}
+			case *cil.Loop:
+				flush()
+				walk(st.Body.Stmts)
+				if st.Post != nil {
+					walk(st.Post.Stmts)
+				}
+			case *cil.Switch:
+				flush()
+				for _, c := range st.Cases {
+					walk(c.Body)
+				}
+			default:
+				flush()
+			}
+		}
+		flush()
+	}
+	walk(b.Stmts)
+	removeMoved(b, del)
 }

@@ -2,7 +2,11 @@ package interp_test
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"gocured/internal/core"
@@ -10,16 +14,31 @@ import (
 	"gocured/internal/interp"
 )
 
-// Differential testing: generate random (UB-free) C programs and demand
-// that the raw and cured executions agree exactly. This is the strongest
-// form of the semantics-preservation property — any divergence between the
-// kind-aware fat layout and the plain C layout, or any over-eager check,
-// shows up as a mismatch or an unexpected trap.
+// Differential testing: generate random C programs exercising pointers
+// (SAFE and SEQ via arithmetic), structs with physical-subtyping casts,
+// address-of, and loops — including the shapes the check optimizer
+// rewrites (invariant checks, induction-variable bounds checks, adjacent
+// constant offsets) — and demand that three executions agree exactly:
+//
+//	raw         the uninstrumented program (skipped when the program is
+//	            built to trap: a trapping program is UB raw)
+//	cured -O0   every check the curer inserted
+//	cured -O    the CFG optimizer's output
+//
+// The -O0 vs -O comparison is the optimizer's soundness oracle: same
+// stdout, same exit code, same trap-or-not, same trap kind, same trap
+// line. A hoisted or widened check may fire earlier in *time*, but only on
+// executions that trap either way, so no observable difference is
+// tolerated. Most generated programs are trap-free; a fraction contain a
+// deliberate out-of-bounds access so the trap paths are exercised too.
 
 type progGen struct {
 	rng   uint64
 	b     strings.Builder
 	depth int
+	// oob records that the program contains a deliberate out-of-bounds
+	// access (raw execution is UB and is skipped).
+	oob bool
 }
 
 func (g *progGen) next() uint64 {
@@ -32,15 +51,23 @@ func (g *progGen) pick(n int) int { return int(g.next() % uint64(n)) }
 // expr emits an int-valued expression over the in-scope names.
 func (g *progGen) expr(depth int) string {
 	if depth <= 0 || g.pick(3) == 0 {
-		switch g.pick(4) {
+		switch g.pick(8) {
 		case 0:
 			return fmt.Sprintf("%d", g.pick(100))
 		case 1:
 			return fmt.Sprintf("v%d", g.pick(3))
 		case 2:
 			return fmt.Sprintf("arr[%d]", g.pick(8))
-		default:
+		case 3:
 			return fmt.Sprintf("g%d", g.pick(2))
+		case 4:
+			return "(*q)" // SAFE deref
+		case 5:
+			return fmt.Sprintf("p[%d]", g.pick(4)) // SEQ deref, base offset <= 3
+		case 6:
+			return "sp->tag" // through the upcast pointer
+		default:
+			return fmt.Sprintf("tt.data[%d]", g.pick(4))
 		}
 	}
 	a := g.expr(depth - 1)
@@ -65,7 +92,7 @@ func (g *progGen) expr(depth int) string {
 
 func (g *progGen) stmt(depth int) {
 	ind := strings.Repeat("    ", g.depth+1)
-	switch g.pick(6) {
+	switch g.pick(14) {
 	case 0:
 		fmt.Fprintf(&g.b, "%sv%d = %s;\n", ind, g.pick(3), g.expr(depth))
 	case 1:
@@ -79,23 +106,84 @@ func (g *progGen) stmt(depth int) {
 			g.depth++
 			g.stmt(depth - 1)
 			g.depth--
+			if g.pick(2) == 0 {
+				fmt.Fprintf(&g.b, "%s} else {\n", ind)
+				g.depth++
+				g.stmt(depth - 1)
+				g.depth--
+			}
 			fmt.Fprintf(&g.b, "%s}\n", ind)
 		} else {
 			fmt.Fprintf(&g.b, "%sv0 = v0 + 1;\n", ind)
 		}
 	case 4:
-		// Bounded loop over the array through a pointer.
-		fmt.Fprintf(&g.b, "%sfor (i = 0; i < 8; i++) { p = arr + i; acc += *p; }\n", ind)
-	default:
+		// Widenable loop: induction-variable bounds checks under a
+		// constant limit.
+		fmt.Fprintf(&g.b, "%sfor (i = 0; i < 8; i++) { acc += arr[i]; }\n", ind)
+	case 5:
+		// Hoistable loop: the checks on p and q are loop-invariant.
+		fmt.Fprintf(&g.b, "%sfor (i = 0; i < %d; i++) { acc += *q + p[0]; }\n", ind, 2+g.pick(5))
+	case 6:
+		// SEQ pointer re-aim + adjacent constant offsets (coalescing).
+		fmt.Fprintf(&g.b, "%sp = arr + %d; acc += p[0] + p[1] + p[2];\n", ind, g.pick(4))
+	case 7:
+		// SAFE pointer re-aim via address-of.
+		fmt.Fprintf(&g.b, "%sq = &v%d; *q = *q + %d;\n", ind, g.pick(3), g.pick(9))
+	case 8:
+		// Address of an array element: SEQ via &arr[k].
+		fmt.Fprintf(&g.b, "%sp = &arr[(%s) & 3]; acc += p[1];\n", ind, g.expr(1))
+	case 9:
+		// Physical-subtyping upcast and access through it.
+		fmt.Fprintf(&g.b, "%ssp = (struct S *)&tt; sp->tag = %s; acc += sp->data[%d];\n",
+			ind, g.expr(depth), g.pick(4))
+	case 10:
+		// Struct stores, direct and through the upcast view.
+		fmt.Fprintf(&g.b, "%stt.data[(%s) & 3] = %s; tt.extra = tt.extra + 1;\n",
+			ind, g.expr(1), g.expr(depth))
+	case 11:
+		// Call with pointer argument (kills memory facts at the call site).
 		fmt.Fprintf(&g.b, "%sacc += helper(v%d, arr);\n", ind, g.pick(3))
+	case 12:
+		fmt.Fprintf(&g.b, "%sacc += deref(q) + deref(&v%d);\n", ind, g.pick(3))
+	default:
+		// Nested loop writing through a moving SEQ pointer.
+		fmt.Fprintf(&g.b, "%sfor (i = 0; i < 4; i++) { p = arr + i; p[0] = p[0] + v%d; }\n",
+			ind, g.pick(3))
 	}
 }
 
-// generate produces one random program.
-func generate(seed uint64) string {
+// oobStmt injects one deliberately out-of-bounds access; the cured builds
+// must trap identically on it.
+func (g *progGen) oobStmt() {
+	g.oob = true
+	ind := strings.Repeat("    ", g.depth+1)
+	switch g.pick(4) {
+	case 0:
+		// Constant index one past the end.
+		fmt.Fprintf(&g.b, "%sacc += arr[8];\n", ind)
+	case 1:
+		// The classic off-by-one loop (widenable shape: the endpoint check
+		// must trap exactly like the per-iteration check).
+		fmt.Fprintf(&g.b, "%sfor (i = 0; i <= 8; i++) { acc += arr[i]; }\n", ind)
+	case 2:
+		// SEQ arithmetic past the end, then a read.
+		fmt.Fprintf(&g.b, "%sp = arr + 7; acc += p[2];\n", ind)
+	default:
+		// Coalescing shape where a later member is out of bounds.
+		fmt.Fprintf(&g.b, "%sp = arr + 6; acc += p[0] + p[1] + p[2];\n", ind)
+	}
+}
+
+// generate produces one random program. The fixed frame declares scalars,
+// two structs related by physical subtyping, a SEQ pointer into an array,
+// and a SAFE pointer to a scalar, so every statement the generator emits
+// has well-typed material to work with.
+func generate(seed uint64) (string, bool) {
 	g := &progGen{rng: seed*2654435761 + 1}
 	g.b.WriteString(`
 extern int printf(char *fmt, ...);
+struct S { int tag; int data[4]; };
+struct T { int tag; int data[4]; int extra; };
 int g0 = 3;
 int g1 = 7;
 
@@ -105,54 +193,189 @@ int helper(int x, int *a) {
     return t;
 }
 
+int deref(int *p) { return *p; }
+
 int main(void) {
     int v0 = 1, v1 = 2, v2 = 3;
     int arr[8];
+    struct T tt;
+    struct S *sp;
     int *p = arr;
+    int *q = &v0;
     int i, acc = 0;
     for (i = 0; i < 8; i++) arr[i] = i * 5;
+    tt.tag = 1; tt.extra = 2;
+    for (i = 0; i < 4; i++) tt.data[i] = i + 10;
+    sp = (struct S *)&tt;
 `)
 	n := 6 + g.pick(8)
+	oobAt := -1
+	if g.pick(5) == 0 { // ~20% of programs exercise a trap path
+		oobAt = g.pick(n)
+	}
 	for i := 0; i < n; i++ {
+		if i == oobAt {
+			g.oobStmt()
+			continue
+		}
 		g.stmt(2)
 	}
 	g.b.WriteString(`
-    acc += v0 + 2 * v1 + 3 * v2 + g0 + g1 + *p;
+    acc += v0 + 2 * v1 + 3 * v2 + g0 + g1 + *p + *q;
+    acc += sp->tag + tt.extra;
     for (i = 0; i < 8; i++) acc = acc * 31 + arr[i];
+    for (i = 0; i < 4; i++) acc = acc * 17 + tt.data[i];
     printf("%d\n", acc);
     return 0;
 }
 `)
-	return g.b.String()
+	return g.b.String(), g.oob
+}
+
+// trapLine reduces a rendered trap position to file:line — coalescing may
+// move a trap to a sibling column of the same source line, which is an
+// allowed difference.
+func trapLine(pos string) string {
+	parts := strings.Split(pos, ":")
+	if len(parts) >= 2 {
+		return parts[0] + ":" + parts[1]
+	}
+	return pos
+}
+
+// checkSeed builds and runs one generated program all three ways and
+// reports any disagreement.
+func checkSeed(seed uint64) error {
+	src, oob := generate(seed)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("seed %d: %s\nprogram:\n%s", seed, fmt.Sprintf(format, args...), src)
+	}
+
+	u0, err := core.Build("fuzz.c", src, infer.Options{NoOptimize: true})
+	if err != nil {
+		return fail("build -O0 failed: %v", err)
+	}
+	uo, err := core.Build("fuzz.c", src, infer.Options{})
+	if err != nil {
+		return fail("build -O failed: %v", err)
+	}
+
+	c0, err := u0.RunCured(interp.Config{})
+	if err != nil {
+		return fail("run cured -O0: %v", err)
+	}
+	co, err := uo.RunCured(interp.Config{})
+	if err != nil {
+		return fail("run cured -O: %v", err)
+	}
+
+	// The optimizer must be observably invisible: -O0 and -O agree on
+	// everything a user can see.
+	if c0.Stdout != co.Stdout {
+		return fail("stdout diverges:\n-O0: %q\n-O:  %q", c0.Stdout, co.Stdout)
+	}
+	if (c0.Trap == nil) != (co.Trap == nil) {
+		return fail("trap diverges: -O0 %v, -O %v", c0.Trap, co.Trap)
+	}
+	if c0.Trap != nil {
+		if c0.Trap.Kind != co.Trap.Kind {
+			return fail("trap kind diverges: -O0 %q, -O %q", c0.Trap.Kind, co.Trap.Kind)
+		}
+		if trapLine(c0.Trap.Pos) != trapLine(co.Trap.Pos) {
+			return fail("trap site diverges: -O0 %s, -O %s", c0.Trap.Pos, co.Trap.Pos)
+		}
+	} else if c0.ExitCode != co.ExitCode {
+		return fail("exit code diverges: -O0 %d, -O %d", c0.ExitCode, co.ExitCode)
+	}
+
+	// Programs without an injected OOB must be trap-free, and the raw
+	// execution must agree with the cured ones.
+	if !oob {
+		if c0.Trap != nil {
+			return fail("cured trap on a correct program: %v", c0.Trap)
+		}
+		raw, err := u0.RunRaw(interp.PolicyNone, interp.Config{})
+		if err != nil {
+			return fail("run raw: %v", err)
+		}
+		if raw.Trap != nil {
+			return fail("raw trap (generator emitted UB?): %v", raw.Trap)
+		}
+		if raw.Stdout != c0.Stdout {
+			return fail("raw/cured stdout diverges:\nraw:   %q\ncured: %q", raw.Stdout, c0.Stdout)
+		}
+		if raw.ExitCode != c0.ExitCode {
+			return fail("raw/cured exit code diverges: %d vs %d", raw.ExitCode, c0.ExitCode)
+		}
+	} else if c0.Trap == nil {
+		// Every injected OOB pattern is a genuine violation; the cured
+		// build must catch it.
+		return fail("injected out-of-bounds access did not trap")
+	}
+	return nil
+}
+
+// fuzzSeeds returns how many seeds to run: GOCURED_FUZZ_SEEDS overrides,
+// -short keeps the suite quick, the default meets the 5000-program budget
+// of the optimizer's acceptance bar.
+func fuzzSeeds(t *testing.T) uint64 {
+	if env := os.Getenv("GOCURED_FUZZ_SEEDS"); env != "" {
+		n, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("GOCURED_FUZZ_SEEDS: %v", err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 250
+	}
+	return 5000
 }
 
 func TestDifferentialRandomPrograms(t *testing.T) {
-	for seed := uint64(1); seed <= 40; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			src := generate(seed)
-			u, err := core.Build("fuzz.c", src, infer.Options{})
-			if err != nil {
-				t.Fatalf("build failed:\n%s\n%v", src, err)
-			}
-			raw, err := u.RunRaw(interp.PolicyNone, interp.Config{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if raw.Trap != nil {
-				t.Fatalf("raw trap (generator emitted UB?):\n%s\n%v", src, raw.Trap)
-			}
-			cured, err := u.RunCured(interp.Config{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if cured.Trap != nil {
-				t.Fatalf("cured trap on a correct program:\n%s\n%v", src, cured.Trap)
-			}
-			if raw.Stdout != cured.Stdout {
-				t.Fatalf("divergence on seed %d:\nraw:   %q\ncured: %q\nprogram:\n%s",
-					seed, raw.Stdout, cured.Stdout, src)
-			}
-		})
+	n := fuzzSeeds(t)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
 	}
+	seeds := make(chan uint64, workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				if err := checkSeed(seed); err != nil {
+					select {
+					case errs <- err:
+					default: // keep only the first few failures
+					}
+				}
+			}
+		}()
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		seeds <- seed
+	}
+	close(seeds)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// FuzzDifferential is the native-fuzzing entry to the same oracle: any
+// uint64 becomes a generated program that must behave identically raw,
+// cured -O0, and cured -O.
+func FuzzDifferential(f *testing.F) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := checkSeed(seed); err != nil {
+			t.Error(err)
+		}
+	})
 }

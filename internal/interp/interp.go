@@ -71,14 +71,19 @@ type SiteKey struct {
 type SiteCount struct {
 	Hits  uint64
 	Traps uint64
+	// Elided counts checks the optimizer removed statically at this site —
+	// pre-populated from the curing statistics so hot-site reporting stays
+	// truthful about what would have executed at -O0.
+	Elided uint64
 }
 
 // SiteStat is one check site with its counts, for top-N reporting.
 type SiteStat struct {
-	Pos   string
-	Kind  cil.CheckKind
-	Hits  uint64
-	Traps uint64
+	Pos    string
+	Kind   cil.CheckKind
+	Hits   uint64
+	Traps  uint64
+	Elided uint64
 }
 
 // Counters aggregates execution statistics.
@@ -105,7 +110,7 @@ type Counters struct {
 func (c *Counters) TopSites(n int) []SiteStat {
 	out := make([]SiteStat, 0, len(c.Sites))
 	for k, v := range c.Sites {
-		out = append(out, SiteStat{Pos: k.Pos, Kind: k.Kind, Hits: v.Hits, Traps: v.Traps})
+		out = append(out, SiteStat{Pos: k.Pos, Kind: k.Kind, Hits: v.Hits, Traps: v.Traps, Elided: v.Elided})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Hits != out[j].Hits {
@@ -267,6 +272,19 @@ func New(prog *cil.Program, cfg Config) *Machine {
 		m.prog = cfg.Cured.Prog
 		m.lay = cfg.Cured.Lay
 		m.hier = cfg.Cured.Res.Hier
+		if m.cured.Opt != nil {
+			// Seed site counters with the optimizer's deletions so a site
+			// whose checks were all removed still shows up, attributed.
+			for _, se := range m.cured.Opt.Sites {
+				k := SiteKey{Pos: se.Pos.String(), Kind: se.Kind}
+				sc, ok := m.cnt.Sites[k]
+				if !ok {
+					sc = &SiteCount{}
+					m.cnt.Sites[k] = sc
+				}
+				sc.Elided += uint64(se.N)
+			}
+		}
 	} else {
 		m.lay = instrument.RawLayout{}
 	}
