@@ -17,6 +17,7 @@ import (
 	"gocured/internal/core"
 	"gocured/internal/corpus"
 	"gocured/internal/experiments"
+	"gocured/internal/flight"
 	"gocured/internal/infer"
 	"gocured/internal/interp"
 	"gocured/internal/pipeline"
@@ -172,4 +173,37 @@ func BenchmarkRun(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkFlightRecorder quantifies the flight recorder's cost on a cured
+// run: "off" is the one-nil-check disabled path (the ≤2% contract), "on"
+// records every event into the ring, "profiled" adds step sampling.
+func BenchmarkFlightRecorder(b *testing.B) {
+	p := corpus.ByName("spec-compress")
+	u, err := core.Build(p.Name+".c", corpus.WithScale(p, 1),
+		infer.Options{TrustBadCasts: p.TrustBadCasts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cfg interp.Config) {
+		for i := 0; i < b.N; i++ {
+			out, err := u.RunCured(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Trap != nil {
+				b.Fatalf("trap: %v", out.Trap)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, interp.Config{}) })
+	b.Run("on", func(b *testing.B) {
+		run(b, interp.Config{Flight: flight.NewRing(flight.DefaultRingCap, "bench")})
+	})
+	b.Run("profiled", func(b *testing.B) {
+		run(b, interp.Config{
+			Flight:  flight.NewRing(flight.DefaultRingCap, "bench"),
+			Profile: flight.NewProfile(flight.DefaultSamplePeriod),
+		})
+	})
 }

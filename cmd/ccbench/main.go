@@ -3,31 +3,97 @@
 //
 // Usage:
 //
-//	ccbench [-scale N] [-j N] [-only E3]
+//	ccbench [-scale N] [-j N] [-only E3] [-trace-dir DIR]
+//
+// With -trace-dir, ccbench writes two Perfetto-loadable Chrome trace-event
+// files into DIR: pipeline.json (one track per pipeline worker showing job
+// compile/run phases and traps) and e9-ftpd-cured.json (the flight
+// recording of a cured ftpd exploit run, checks and all, ending in the
+// trap that stops the overflow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
+	"gocured"
+	"gocured/internal/corpus"
 	"gocured/internal/experiments"
+	"gocured/internal/flight"
 	"gocured/internal/pipeline"
 )
+
+// writeFtpdTrace compiles the corpus ftpd and replays the E9 exploit
+// session cured with the flight recorder on, writing the trace-event JSON.
+func writeFtpdTrace(path string) error {
+	p := corpus.ByName("ftpd")
+	prog, err := gocured.Compile(p.Name+".c", p.Source, gocured.Options{TrustBadCasts: p.TrustBadCasts})
+	if err != nil {
+		return fmt.Errorf("compile ftpd: %w", err)
+	}
+	res, err := prog.Run(gocured.ModeCured, gocured.RunOptions{
+		Stdin: []byte(corpus.FtpdExploitInput),
+		Trace: true,
+	})
+	if err != nil {
+		return fmt.Errorf("run ftpd: %w", err)
+	}
+	if !res.Trapped {
+		return fmt.Errorf("cured ftpd exploit did not trap")
+	}
+	return os.WriteFile(path, res.TraceJSON, 0o644)
+}
 
 func main() {
 	scale := flag.Int("scale", 0, "override the corpus SCALE constant (0 = source default)")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent curing/execution jobs")
 	only := flag.String("only", "", "run a single experiment by id (E1..E10)")
 	optJSON := flag.String("opt-json", "", "write the E10 -O0 vs -O comparison to this file as JSON (BENCH_opt.json)")
+	traceDir := flag.String("trace-dir", "", "write Perfetto trace-event files (pipeline.json, e9-ftpd-cured.json) into this directory")
 	flag.Parse()
 
+	var recorder *flight.Recorder
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		recorder = flight.NewRecorder(0)
+	}
 	cfg := experiments.Config{
 		Scale:  *scale,
 		Jobs:   *jobs,
-		Runner: pipeline.NewRunner(pipeline.RunnerOptions{Workers: *jobs}),
+		Runner: pipeline.NewRunner(pipeline.RunnerOptions{Workers: *jobs, Flight: recorder}),
 	}
+	// writeTraces renders the flight recordings once the requested
+	// experiments have run (on every exit path that executed jobs).
+	writeTraces := func() {
+		if *traceDir == "" {
+			return
+		}
+		pipePath := filepath.Join(*traceDir, "pipeline.json")
+		f, err := os.Create(pipePath)
+		if err == nil {
+			err = flight.WriteTrace(f, recorder.Rings())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", pipePath, err)
+			os.Exit(1)
+		}
+		ftpdPath := filepath.Join(*traceDir, "e9-ftpd-cured.json")
+		if err := writeFtpdTrace(ftpdPath); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", ftpdPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- traces: %s, %s (load in Perfetto)\n", pipePath, ftpdPath)
+	}
+
 	all := map[string]func(experiments.Config) *experiments.Table{
 		"E1":  experiments.CastClassification,
 		"E2":  experiments.Fig8Apache,
@@ -48,6 +114,7 @@ func main() {
 		}
 		fmt.Printf("wrote %s: dynamic checks %d (-O0) -> %d (-O), %.1f%% eliminated\n",
 			*optJSON, b.TotalChecksO0, b.TotalChecksO, b.DynReductionPct)
+		writeTraces()
 		return
 	}
 	if *only != "" {
@@ -57,11 +124,13 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(fn(cfg).Format())
+		writeTraces()
 		return
 	}
 	for _, t := range experiments.All(cfg) {
 		fmt.Println(t.Format())
 	}
+	writeTraces()
 	m := cfg.Runner.Metrics()
 	fmt.Printf("-- pipeline: %d jobs on %d workers, cache %d/%d hit/miss, compile mean %.1fms, run mean %.1fms\n",
 		m.JobsRun, m.Workers, m.Cache.Hits, m.Cache.Misses,

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	ccrun [-mode raw|cured|purify|valgrind] [-stdin file] [-trust] file.c
+//	ccrun [-mode raw|cured|purify|valgrind] [-stdin file] [-trust] [-trace out.json] [-prof N] file.c
+//
+// With -trace, the run's flight recording is written as Chrome trace-event
+// JSON (load it in Perfetto or chrome://tracing), and a trapped run prints
+// its black-box snapshot: the last recorded events, the call stack, and the
+// blame chain. With -prof N, every N interpreter steps the current source
+// line is sampled and a pprof-style top table is printed to stderr.
 package main
 
 import (
@@ -20,6 +26,9 @@ func main() {
 	stdinFile := flag.String("stdin", "", "file whose bytes feed getchar()")
 	trust := flag.Bool("trust", false, "trust remaining bad casts")
 	steps := flag.Uint64("steps", 0, "step limit (0 = default)")
+	traceOut := flag.String("trace", "", "write the flight recording as Chrome trace-event JSON to this file")
+	traceBuf := flag.Int("trace-buf", 0, "flight-recorder ring capacity in events (0 = 8192)")
+	profPeriod := flag.Int("prof", 0, "sample the current source line every N interpreter steps (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccrun [flags] file.c")
@@ -59,7 +68,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := prog.Run(m, gocured.RunOptions{Stdin: stdin, StepLimit: *steps})
+	res, err := prog.Run(m, gocured.RunOptions{
+		Stdin:         stdin,
+		StepLimit:     *steps,
+		Trace:         *traceOut != "",
+		TraceBuf:      *traceBuf,
+		ProfilePeriod: *profPeriod,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -70,6 +85,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[%s] steps=%d checks=%d mem=%d\n",
 		*mode, res.Steps, res.Checks, res.MemAccesses)
+	if *traceOut != "" && res.TraceJSON != nil {
+		if err := os.WriteFile(*traceOut, res.TraceJSON, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "flight recording written to %s (load in Perfetto)\n", *traceOut)
+	}
+	if len(res.Profile) > 0 {
+		fmt.Fprintf(os.Stderr, "step profile (period %d):\n", *profPeriod)
+		for i, l := range res.Profile {
+			if i >= 10 {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %6d  %5.1f%%  %s\n", l.Samples, l.Pct, l.Pos)
+		}
+	}
 	if res.Trapped {
 		at := ""
 		if res.TrapPos != "" {
@@ -81,6 +112,16 @@ func main() {
 		}
 		for _, l := range res.TrapBlame {
 			fmt.Fprintf(os.Stderr, "  | %s\n", l)
+		}
+		if bb := res.BlackBox; bb != nil {
+			fmt.Fprintf(os.Stderr, "black box (last %d events", len(bb.Events))
+			if bb.DroppedEvents > 0 {
+				fmt.Fprintf(os.Stderr, ", %d older dropped", bb.DroppedEvents)
+			}
+			fmt.Fprintln(os.Stderr, "):")
+			for _, e := range bb.Events {
+				fmt.Fprintf(os.Stderr, "  %s\n", e)
+			}
 		}
 		os.Exit(3)
 	}

@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	POST /cure                cure (and optionally run) a source; see CureRequest
+//	GET  /events              live job/trap events as Server-Sent Events
 //	GET  /metrics             pipeline metrics snapshot as JSON
 //	GET  /metrics/prometheus  the same counters in Prometheus text format
 //	GET  /corpus              list the built-in corpus programs
@@ -44,6 +45,7 @@ import (
 
 	"gocured"
 	"gocured/internal/corpus"
+	"gocured/internal/flight"
 	"gocured/internal/pipeline"
 	"gocured/internal/trace"
 )
@@ -59,6 +61,7 @@ type CureRequest struct {
 		NoPhysicalSubtyping bool `json:"no_physical_subtyping,omitempty"`
 		TrustBadCasts       bool `json:"trust_bad_casts,omitempty"`
 		ForceSplitAll       bool `json:"force_split_all,omitempty"`
+		NoOptimize          bool `json:"no_optimize,omitempty"`
 	} `json:"options,omitempty"`
 
 	// Run requests execution after curing; Mode defaults to "cured".
@@ -67,6 +70,12 @@ type CureRequest struct {
 	Stdin     string   `json:"stdin,omitempty"`
 	Args      []string `json:"args,omitempty"`
 	StepLimit uint64   `json:"step_limit,omitempty"`
+	// Trace enables the flight recorder for the run: the response carries
+	// the Chrome trace-event JSON and, on a trap, the black-box snapshot.
+	Trace bool `json:"trace,omitempty"`
+	// ProfilePeriod enables step-sampling profiling at the given period
+	// (interpreter steps per sample; 0 = off).
+	ProfilePeriod int `json:"profile_period,omitempty"`
 }
 
 // CureResponse is the POST /cure reply.
@@ -102,6 +111,16 @@ type RunResponse struct {
 	// HotSites are the hottest run-time check sites of the run.
 	HotSites    []gocured.CheckSiteCount `json:"hot_sites,omitempty"`
 	ToolReports []string                 `json:"tool_reports,omitempty"`
+	// Trace is the run's flight recording in Chrome trace-event format
+	// (request option "trace"); load it in Perfetto or chrome://tracing.
+	Trace json.RawMessage `json:"trace,omitempty"`
+	// Profile is the step-sampling profile (request option
+	// "profile_period"), hottest source line first.
+	Profile []gocured.ProfileLine `json:"profile,omitempty"`
+	// BlackBox is the crash snapshot: the events leading up to the trap,
+	// the cured call stack, and the blame chain (only for traced runs that
+	// trapped).
+	BlackBox *flight.BlackBox `json:"black_box,omitempty"`
 }
 
 // serverConfig bundles the serving options newServer needs.
@@ -130,6 +149,7 @@ func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
 	}
 	s := &server{runner: runner, maxBytes: cfg.MaxBytes, logger: cfg.Logger, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/cure", s.handleCure)
+	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics/prometheus", s.handlePrometheus)
 	s.mux.HandleFunc("/corpus", s.handleCorpusList)
@@ -156,6 +176,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so the SSE handler's flusher
+// check sees through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // ctxKey keys the per-request logger in the request context.
@@ -253,13 +281,16 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 			NoPhysicalSubtyping: req.Options.NoPhysicalSubtyping,
 			TrustBadCasts:       req.Options.TrustBadCasts,
 			ForceSplitAll:       req.Options.ForceSplitAll,
+			NoOptimize:          req.Options.NoOptimize,
 		},
 		Run:  req.Run,
 		Mode: mode,
 		RunOptions: gocured.RunOptions{
-			Stdin:     []byte(req.Stdin),
-			Args:      req.Args,
-			StepLimit: req.StepLimit,
+			Stdin:         []byte(req.Stdin),
+			Args:          req.Args,
+			StepLimit:     req.StepLimit,
+			Trace:         req.Trace,
+			ProfilePeriod: req.ProfilePeriod,
 		},
 	}
 	start := time.Now()
@@ -303,6 +334,9 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 			SimCycles:   res.Run.SimCycles,
 			HotSites:    res.Run.TopCheckSites(5),
 			ToolReports: res.Run.ToolReports,
+			Trace:       json.RawMessage(res.Run.TraceJSON),
+			Profile:     res.Run.Profile,
+			BlackBox:    res.Run.BlackBox,
 		}
 		logAttrs = append(logAttrs, "trapped", res.Run.Trapped)
 		if res.Run.Trapped {
@@ -311,6 +345,50 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reqLogger(r).Info("cure", logAttrs...)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEvents streams the pipeline's live job/trap events as Server-Sent
+// Events: one `event: <type>` / `data: <JobEvent JSON>` record per event,
+// until the client disconnects. A slow client misses events rather than
+// stalling the workers; the "seq" field exposes the gaps.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// Open the stream immediately so clients see headers before the first
+	// job event.
+	fmt.Fprint(w, ": gocured event stream\n\n")
+	flusher.Flush()
+
+	ch, cancel := s.runner.Events().Subscribe(64)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			flusher.Flush()
+		}
+	}
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"gocured"
+	"gocured/internal/flight"
 	"gocured/internal/pipeline"
 )
 
@@ -263,5 +268,107 @@ func TestPprofGatedByFlag(t *testing.T) {
 	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("pprof on: status = %d, want 200", rec.Code)
+	}
+}
+
+// TestCureTraceOption requests a traced, profiled run of a trapping
+// program and expects the trace, profile, and black box in the response.
+func TestCureTraceOption(t *testing.T) {
+	s := testServer()
+	body := `{"source":"int main(void){ int a[2]; int i,t=0; for(i=0;i<=2;i++) t+=a[i]; return t; }","run":true,"trace":true,"profile_period":2}`
+	rec, resp := post(t, s, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Run == nil || !resp.Run.Trapped {
+		t.Fatalf("run = %+v, want a trap", resp.Run)
+	}
+	if len(resp.Run.Trace) == 0 {
+		t.Fatal("no trace in response")
+	}
+	if _, err := flight.ValidateTrace(resp.Run.Trace); err != nil {
+		t.Fatalf("response trace invalid: %v", err)
+	}
+	if resp.Run.BlackBox == nil || len(resp.Run.BlackBox.Events) == 0 {
+		t.Error("no black box on a traced trapped run")
+	}
+	if len(resp.Run.Profile) == 0 {
+		t.Error("no profile despite profile_period")
+	}
+
+	// no_optimize is accepted and changes the cache key (no hit).
+	noOpt := `{"source":"int main(void){ int a[2]; int i,t=0; for(i=0;i<=2;i++) t+=a[i]; return t; }","run":true,"options":{"no_optimize":true}}`
+	if rec, resp := post(t, s, noOpt); rec.Code != http.StatusOK || resp.CacheHit {
+		t.Errorf("no_optimize request: status %d, cache_hit %v", rec.Code, resp.CacheHit)
+	}
+}
+
+// TestEventsSSE tails GET /events over a real connection while a trapping
+// job runs, and expects SSE-framed job_start/trap/job_done records.
+func TestEventsSSE(t *testing.T) {
+	s := testServer()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	go s.runner.Do(context.Background(), pipeline.Job{
+		Name:   "oob.c",
+		Source: "int main(void){ int a[2]; int i,t=0; for(i=0;i<=2;i++) t+=a[i]; return t; }",
+		Run:    true,
+		Mode:   gocured.ModeCured,
+	})
+
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	seen := map[string]bool{}
+	deadline := time.After(30 * time.Second)
+	for !seen["job_done"] {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("stream closed early; saw %v", seen)
+			}
+			if ev, found := strings.CutPrefix(line, "event: "); found {
+				seen[ev] = true
+			}
+			if data, found := strings.CutPrefix(line, "data: "); found {
+				var ev pipeline.JobEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatalf("bad SSE data %q: %v", data, err)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("timed out; saw %v", seen)
+		}
+	}
+	for _, want := range []string{"job_start", "trap", "job_done"} {
+		if !seen[want] {
+			t.Errorf("missing %q event; saw %v", want, seen)
+		}
+	}
+}
+
+// TestEventsSSEMethod rejects non-GET.
+func TestEventsSSEMethod(t *testing.T) {
+	s := testServer()
+	req := httptest.NewRequest(http.MethodPost, "/events", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", rec.Code)
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ccured [-dump] [-dump-raw] [-no-rtti] [-no-subtyping] [-trust] [-split-all] [-O level] file.c
+//	ccured [-dump] [-dump-raw] [-no-rtti] [-no-subtyping] [-trust] [-split-all] [-O level] [-trace out.json] file.c
 //
 // With -explain, ccured prints an annotated blame chain for every pointer
 // with a checked (non-SAFE) kind: the shortest constraint path from the
@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"gocured"
+	"gocured/internal/flight"
 )
 
 // writeExplain renders the -explain output: one annotated blame chain per
@@ -47,6 +48,7 @@ func main() {
 	listCasts := flag.Bool("list-casts", false, "list every pointer cast with its classification (review trusted/bad ones)")
 	explain := flag.Bool("explain", false, "print blame chains for WILD/SEQ/RTTI pointers (why each kind was inferred)")
 	site := flag.String("site", "", "with -explain: only explain casts at this source position prefix (e.g. file.c:12)")
+	traceOut := flag.String("trace", "", "write the compile phases as Chrome trace-event JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccured [flags] file.c")
@@ -108,5 +110,22 @@ func main() {
 	if *dump {
 		fmt.Println("---- cured program ----")
 		prog.DumpCured(os.Stdout)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ring := flight.RingFromSpans("compile", prog.Spans())
+		err = flight.WriteTrace(f, []*flight.Ring{ring})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "compile trace written to %s (load in Perfetto)\n", *traceOut)
 	}
 }

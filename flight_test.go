@@ -1,0 +1,86 @@
+package gocured_test
+
+import (
+	"strings"
+	"testing"
+
+	"gocured"
+	"gocured/internal/corpus"
+	"gocured/internal/flight"
+)
+
+// TestFlightRecorderFtpdExploit is the end-to-end flight-recorder check on
+// the paper's E9 scenario: the cured ftpd exploit run must produce a valid
+// Chrome trace-event file and a black-box snapshot whose window ends at the
+// trap, carries the blame chain, and holds a meaningful pre-trap history.
+func TestFlightRecorderFtpdExploit(t *testing.T) {
+	p := corpus.ByName("ftpd")
+	if p == nil {
+		t.Fatal("corpus program ftpd missing")
+	}
+	prog, err := gocured.Compile("ftpd.c", p.Source, gocured.Options{TrustBadCasts: p.TrustBadCasts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(gocured.ModeCured, gocured.RunOptions{
+		Stdin: []byte(corpus.FtpdExploitInput),
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trapped {
+		t.Fatal("cured ftpd exploit session did not trap")
+	}
+
+	// The trace must be well-formed: parseable, timestamps monotonic per
+	// track, every duration Begin matched by an End.
+	if len(res.TraceJSON) == 0 {
+		t.Fatal("no TraceJSON on a traced run")
+	}
+	n, err := flight.ValidateTrace(res.TraceJSON)
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if n < 10 {
+		t.Fatalf("trace has only %d events", n)
+	}
+
+	// The black box: last events up to and including the trap.
+	bb := res.BlackBox
+	if bb == nil {
+		t.Fatal("no black box on a traced trapped run")
+	}
+	if bb.TrapKind != res.TrapKind {
+		t.Errorf("black box trap kind %q, result %q", bb.TrapKind, res.TrapKind)
+	}
+	if len(bb.Events) < 33 {
+		t.Fatalf("black box has %d events, want the trap plus >= 32 preceding", len(bb.Events))
+	}
+	last := bb.Events[len(bb.Events)-1]
+	if !strings.Contains(last, "trap") {
+		t.Errorf("last black-box event %q is not the trap", last)
+	}
+	if len(bb.Blame) == 0 {
+		t.Error("black box is missing the blame chain")
+	}
+	if len(bb.Stack) == 0 {
+		t.Error("black box is missing the call stack")
+	}
+}
+
+// TestTraceDisabledByDefault pins the zero-cost contract: without
+// RunOptions.Trace the result carries no recording artifacts.
+func TestTraceDisabledByDefault(t *testing.T) {
+	prog, err := gocured.Compile("demo.c", apiDemo, gocured.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(gocured.ModeCured, gocured.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceJSON != nil || res.BlackBox != nil || res.Profile != nil {
+		t.Error("untraced run carries trace artifacts")
+	}
+}

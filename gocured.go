@@ -20,6 +20,7 @@
 package gocured
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"gocured/internal/cil"
 	"gocured/internal/core"
 	"gocured/internal/ctypes"
+	"gocured/internal/flight"
 	"gocured/internal/infer"
 	"gocured/internal/interp"
 	"gocured/internal/trace"
@@ -106,6 +108,22 @@ type RunOptions struct {
 	Stdin []byte
 	// Args are program arguments for main(int argc, char **argv).
 	Args []string
+	// Trace enables the flight recorder: every check, trap, allocation,
+	// fat-pointer conversion, wrapper call, and call/return is recorded into
+	// a fixed-size ring, rendered into Result.TraceJSON (Chrome trace-event
+	// format, loadable in Perfetto). On a trap, Result.BlackBox carries the
+	// final ring window. Disabled (the default) the recorder costs one nil
+	// comparison per event site.
+	Trace bool
+	// TraceBuf overrides the ring capacity in events (0 = 8192). The ring
+	// keeps the most recent TraceBuf events; older ones are dropped and
+	// counted.
+	TraceBuf int
+	// ProfilePeriod enables step-sampling profiling: every ProfilePeriod
+	// interpreter steps the current source line is sampled into
+	// Result.Profile. 0 disables; use flight.DefaultSamplePeriod (4096) for
+	// the standard rate.
+	ProfilePeriod int
 }
 
 // Result is the outcome of one execution.
@@ -133,6 +151,26 @@ type Result struct {
 	CheckSites []CheckSiteCount
 	// ToolReports carries Purify/Valgrind-style diagnostics.
 	ToolReports []string
+	// TraceJSON is the Chrome trace-event rendering of the run's flight
+	// recording (RunOptions.Trace); nil when tracing was off. The file has
+	// one track for the compile phases and one for the interpreter, and
+	// loads directly into Perfetto or chrome://tracing.
+	TraceJSON []byte
+	// Profile lists the hottest cured-source lines by sampled interpreter
+	// steps (RunOptions.ProfilePeriod), hottest first.
+	Profile []ProfileLine
+	// BlackBox is the crash snapshot: the last ring window up to the trap,
+	// with the call stack and blame chain. Nil unless tracing was on and the
+	// run trapped.
+	BlackBox *flight.BlackBox
+}
+
+// ProfileLine is one line of the step-sampling profile.
+type ProfileLine struct {
+	Pos      string  `json:"pos"`
+	Samples  uint64  `json:"samples"`
+	Pct      float64 `json:"pct"`
+	EstSteps uint64  `json:"est_steps"`
 }
 
 // CheckSiteCount is one check site's dynamic counters. Eliminated counts
@@ -232,6 +270,20 @@ func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {
 		Stdin:     opt.Stdin,
 		Args:      opt.Args,
 	}
+	var ring *flight.Ring
+	if opt.Trace {
+		capacity := opt.TraceBuf
+		if capacity <= 0 {
+			capacity = flight.DefaultRingCap
+		}
+		ring = flight.NewRing(capacity, "interp "+mode.String())
+		cfg.Flight = ring
+	}
+	var prof *flight.Profile
+	if opt.ProfilePeriod > 0 {
+		prof = flight.NewProfile(opt.ProfilePeriod)
+		cfg.Profile = prof
+	}
 	var out *interp.Outcome
 	var err error
 	switch mode {
@@ -273,6 +325,27 @@ func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {
 			Pos: s.Pos, Kind: s.Kind.String(), Hits: s.Hits, Traps: s.Traps,
 			Eliminated: s.Elided,
 		})
+	}
+	if ring != nil {
+		// Two tracks: the compile phases (wall ms rescaled to µs) give the
+		// trace a build prologue; the interpreter track runs in simulated
+		// cycles, so timestamps are deterministic across runs.
+		var buf bytes.Buffer
+		rings := []*flight.Ring{ring}
+		if len(p.unit.Spans) > 0 {
+			rings = append([]*flight.Ring{flight.RingFromSpans("compile", p.unit.Spans)}, rings...)
+		}
+		if werr := flight.WriteTrace(&buf, rings); werr == nil {
+			res.TraceJSON = buf.Bytes()
+		}
+		res.BlackBox = out.BlackBox
+	}
+	if prof != nil {
+		for _, l := range prof.Top(0) {
+			res.Profile = append(res.Profile, ProfileLine{
+				Pos: l.Pos, Samples: l.Samples, Pct: l.Pct, EstSteps: l.EstSteps,
+			})
+		}
 	}
 	return res, nil
 }

@@ -292,6 +292,12 @@ type Check struct {
 	RttiTarget *ctypes.Type
 	// DstLV is the destination lvalue for CheckStackEscape.
 	DstLV *Lvalue
+	// Site is the 1-based static-site ID assigned after curing and
+	// optimization (instrument.AssignSites): every check at the same
+	// position × kind shares one ID. 0 means unassigned. The flight
+	// recorder records events by site ID so the hot path never renders
+	// position strings.
+	Site int32
 }
 
 // ---- Statements ----

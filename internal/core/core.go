@@ -87,6 +87,9 @@ func Build(filename, src string, opts infer.Options) (*Unit, error) {
 	if !opts.NoOptimize {
 		spans.Do("optimize", func() { instrument.Optimize(u.Cured) })
 	}
+	// Site IDs are assigned over the final check set, after the optimizer
+	// has deleted/moved/widened checks, so IDs are dense and stable.
+	instrument.AssignSites(u.Cured)
 	u.Spans = spans.Spans
 	if u.Diags.HasErrors() {
 		return nil, u.Diags.Err()

@@ -29,6 +29,80 @@ func (p Pos) String() string {
 	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
 }
 
+// ComparePosStrings orders two rendered positions ("file.c:12:3") by file,
+// then numerically by line and column. Plain lexical comparison puts
+// "f.c:10:1" before "f.c:9:1"; every surface that tie-breaks on position
+// (TopSites, hot_sites, profile tables) uses this instead so orderings are
+// stable and human-sensible. Strings that do not parse as positions fall
+// back to lexical order after all parseable ones.
+func ComparePosStrings(a, b string) int {
+	pa, oka := parsePosString(a)
+	pb, okb := parsePosString(b)
+	switch {
+	case oka && !okb:
+		return -1
+	case !oka && okb:
+		return 1
+	case !oka && !okb:
+		return strings.Compare(a, b)
+	}
+	if c := strings.Compare(pa.File, pb.File); c != 0 {
+		return c
+	}
+	if pa.Line != pb.Line {
+		if pa.Line < pb.Line {
+			return -1
+		}
+		return 1
+	}
+	if pa.Col != pb.Col {
+		if pa.Col < pb.Col {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// parsePosString parses "file:line:col", "file:line", or "line:col" back
+// into a Pos. It accepts what Pos.String produces (plus the line-only form
+// profiles use).
+func parsePosString(s string) (Pos, bool) {
+	// Split from the right: the file name may contain no colons in this
+	// codebase, but parsing right-to-left is cheap insurance.
+	parts := strings.Split(s, ":")
+	atoi := func(x string) (int, bool) {
+		n := 0
+		if x == "" {
+			return 0, false
+		}
+		for _, r := range x {
+			if r < '0' || r > '9' {
+				return 0, false
+			}
+			n = n*10 + int(r-'0')
+		}
+		return n, true
+	}
+	switch len(parts) {
+	case 2:
+		// "file:line" (profile keys) or "line:col" (file-less positions).
+		if line, ok := atoi(parts[1]); ok {
+			if l0, ok0 := atoi(parts[0]); ok0 {
+				return Pos{Line: l0, Col: line}, true
+			}
+			return Pos{File: parts[0], Line: line}, true
+		}
+	case 3:
+		line, okL := atoi(parts[1])
+		col, okC := atoi(parts[2])
+		if okL && okC {
+			return Pos{File: parts[0], Line: line, Col: col}, true
+		}
+	}
+	return Pos{}, false
+}
+
 // Severity classifies a diagnostic.
 type Severity int
 

@@ -1,0 +1,227 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gocured/internal/trace"
+)
+
+// TraceEvent is one Chrome trace-event (the JSON object Perfetto and
+// chrome://tracing load). Ph is the phase: "B"/"E" duration begin/end,
+// "i" instant, "M" metadata.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object container format ({"traceEvents": [...]});
+// both Perfetto and chrome://tracing accept it.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders rings as Chrome trace-event JSON: one track (tid) per
+// ring, a thread_name metadata record naming it, B/E duration pairs for
+// frames and phases (nesting renders the interpreter call stack / pipeline
+// job timeline), and instants for checks, traps, allocations and pointer
+// conversions.
+//
+// The output is guaranteed well-formed even over a wrapped ring: timestamps
+// are clamped non-decreasing per track, E events whose B was overwritten
+// are dropped, and B events still open at the end of a ring get synthetic
+// closing E events — so B/E pairs always balance.
+func WriteTrace(w io.Writer, rings []*Ring) error {
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
+	for tid, r := range rings {
+		f.TraceEvents = append(f.TraceEvents, ringEvents(r, tid+1)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ringEvents converts one ring into trace events on track tid.
+func ringEvents(r *Ring, tid int) []TraceEvent {
+	out := []TraceEvent{{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]any{"name": r.Track()},
+	}}
+	depth := 0
+	lastTS := float64(0)
+	var openNames []string
+	emit := func(te TraceEvent) {
+		if te.TS < lastTS {
+			te.TS = lastTS // clamp: monotonic per track
+		}
+		lastTS = te.TS
+		out = append(out, te)
+	}
+	for _, e := range r.Events() {
+		ts := float64(e.TS)
+		switch e.Kind {
+		case EvCall, EvBegin:
+			emit(TraceEvent{Name: e.Name, Ph: "B", TS: ts, Pid: 1, Tid: tid, Cat: e.Kind.String()})
+			depth++
+			openNames = append(openNames, e.Name)
+		case EvRet, EvEnd:
+			if depth == 0 {
+				continue // matching B was overwritten by wraparound
+			}
+			depth--
+			openNames = openNames[:depth]
+			emit(TraceEvent{Name: e.Name, Ph: "E", TS: ts, Pid: 1, Tid: tid, Cat: e.Kind.String()})
+		case EvCheck:
+			te := TraceEvent{Name: "check", Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "check", S: "t"}
+			if s := r.site(e.Site); s != nil {
+				te.Name = "check " + s.Kind
+				te.Args = map[string]any{"pos": s.Pos}
+			}
+			emit(te)
+		case EvTrap:
+			te := TraceEvent{Name: "TRAP " + e.Name, Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "trap", S: "t"}
+			if e.Pos != "" {
+				te.Args = map[string]any{"pos": e.Pos}
+			}
+			emit(te)
+		case EvAlloc:
+			emit(TraceEvent{Name: e.Name, Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "alloc", S: "t",
+				Args: map[string]any{"bytes": e.Arg}})
+		case EvFree:
+			emit(TraceEvent{Name: "free", Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "alloc", S: "t",
+				Args: map[string]any{"addr": e.Arg}})
+		case EvPack, EvUnpack:
+			emit(TraceEvent{Name: e.Kind.String() + " " + e.Name, Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "fatptr", S: "t"})
+		case EvWrapper:
+			emit(TraceEvent{Name: e.Name, Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "wrapper", S: "t"})
+		case EvSample:
+			emit(TraceEvent{Name: "sample", Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "sample", S: "t",
+				Args: map[string]any{"pos": e.Pos}})
+		case EvMark:
+			emit(TraceEvent{Name: e.Name, Ph: "i", TS: ts, Pid: 1, Tid: tid, Cat: "mark", S: "t"})
+		}
+	}
+	// Close frames left open (a trap unwinds via panic, so EvRet events
+	// normally balance; an exhausted step limit or a wrapped ring can
+	// still leave B's dangling).
+	for i := depth - 1; i >= 0; i-- {
+		emit(TraceEvent{Name: openNames[i], Ph: "E", TS: lastTS, Pid: 1, Tid: tid, Cat: "call"})
+	}
+	return out
+}
+
+// RingFromSpans converts a phase-span snapshot (internal/trace) into a
+// ring of EvBegin/EvEnd pairs, so compile phases appear as their own track
+// in the exported trace. TS is microseconds (StartMS * 1000). Returns nil
+// when there are no spans.
+func RingFromSpans(track string, spans []trace.Span) *Ring {
+	if len(spans) == 0 {
+		return nil
+	}
+	type bound struct {
+		ts    float64
+		begin bool
+		depth int
+		name  string
+	}
+	var bounds []bound
+	for _, sp := range spans {
+		dur := sp.DurMS
+		if dur < 0 {
+			dur = 0 // span never ended: render as zero-duration
+		}
+		bounds = append(bounds,
+			bound{ts: sp.StartMS, begin: true, depth: sp.Depth, name: sp.Name},
+			bound{ts: sp.StartMS + dur, begin: false, depth: sp.Depth, name: sp.Name})
+	}
+	sort.SliceStable(bounds, func(i, j int) bool {
+		if bounds[i].ts != bounds[j].ts {
+			return bounds[i].ts < bounds[j].ts
+		}
+		// Same instant: close deeper spans first, then open shallow ones
+		// before deep ones, and ends before begins (adjacent phases).
+		if bounds[i].begin != bounds[j].begin {
+			return !bounds[i].begin
+		}
+		if bounds[i].begin {
+			return bounds[i].depth < bounds[j].depth
+		}
+		return bounds[i].depth > bounds[j].depth
+	})
+	r := NewRing(2*len(spans), track)
+	for _, b := range bounds {
+		k := EvBegin
+		if !b.begin {
+			k = EvEnd
+		}
+		r.Record(Event{TS: uint64(b.ts * 1000), Kind: k, Name: b.name})
+	}
+	return r
+}
+
+// ValidateTrace checks data against the trace-event contract the exporter
+// promises: a {"traceEvents": [...]} object whose events each carry a
+// name, a known phase, and pid/tid; per-track timestamps are monotonically
+// non-decreasing; and every track's B/E pairs balance (every E matches the
+// innermost open B by name, and nothing stays open at the end). It returns
+// the number of events on success.
+func ValidateTrace(data []byte) (int, error) {
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("trace has no traceEvents array")
+	}
+	type track struct{ pid, tid int }
+	lastTS := make(map[track]float64)
+	stacks := make(map[track][]string)
+	for i, te := range f.TraceEvents {
+		if te.Name == "" {
+			return 0, fmt.Errorf("event %d: empty name", i)
+		}
+		switch te.Ph {
+		case "B", "E", "i", "M", "X":
+		default:
+			return 0, fmt.Errorf("event %d (%q): unknown phase %q", i, te.Name, te.Ph)
+		}
+		if te.Ph == "M" {
+			continue
+		}
+		tr := track{te.Pid, te.Tid}
+		if prev, ok := lastTS[tr]; ok && te.TS < prev {
+			return 0, fmt.Errorf("event %d (%q): timestamp %v goes backwards (prev %v) on pid=%d tid=%d",
+				i, te.Name, te.TS, prev, te.Pid, te.Tid)
+		}
+		lastTS[tr] = te.TS
+		switch te.Ph {
+		case "B":
+			stacks[tr] = append(stacks[tr], te.Name)
+		case "E":
+			st := stacks[tr]
+			if len(st) == 0 {
+				return 0, fmt.Errorf("event %d (%q): E with no open B on pid=%d tid=%d", i, te.Name, te.Pid, te.Tid)
+			}
+			if top := st[len(st)-1]; top != te.Name {
+				return 0, fmt.Errorf("event %d: E %q does not match open B %q on pid=%d tid=%d",
+					i, te.Name, top, te.Pid, te.Tid)
+			}
+			stacks[tr] = st[:len(st)-1]
+		}
+	}
+	for tr, st := range stacks {
+		if len(st) > 0 {
+			return 0, fmt.Errorf("pid=%d tid=%d: %d B events never closed (innermost %q)",
+				tr.pid, tr.tid, len(st), st[len(st)-1])
+		}
+	}
+	return len(f.TraceEvents), nil
+}

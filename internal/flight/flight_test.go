@@ -1,0 +1,211 @@
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"gocured/internal/trace"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8, "t")
+	for i := 0; i < 20; i++ {
+		r.Record(Event{TS: uint64(i), Kind: EvMark, Name: fmt.Sprintf("e%d", i)})
+	}
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("len(Events) = %d, want 8", len(evs))
+	}
+	for i, e := range evs {
+		want := uint64(12 + i)
+		if e.TS != want {
+			t.Errorf("event %d: TS = %d, want %d (oldest-first order)", i, e.TS, want)
+		}
+	}
+}
+
+func TestRingNoWrap(t *testing.T) {
+	r := NewRing(8, "t")
+	r.Record(Event{TS: 1, Kind: EvMark, Name: "a"})
+	r.Record(Event{TS: 2, Kind: EvMark, Name: "b"})
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("Events = %+v", evs)
+	}
+}
+
+// A wrapped ring can retain an EvRet whose EvCall was overwritten, and an
+// EvCall whose EvRet never happened. The exporter must still emit balanced
+// B/E pairs that pass validation.
+func TestExportBalancedAfterWraparound(t *testing.T) {
+	r := NewRing(4, "interp")
+	r.Record(Event{TS: 1, Kind: EvCall, Name: "main"})
+	r.Record(Event{TS: 2, Kind: EvCall, Name: "f"})
+	r.Record(Event{TS: 3, Kind: EvRet, Name: "f"})
+	r.Record(Event{TS: 4, Kind: EvRet, Name: "main"})
+	// Wrap: push the two Call events out, keep orphan Rets in view.
+	r.Record(Event{TS: 5, Kind: EvCall, Name: "g"})
+	r.Record(Event{TS: 6, Kind: EvMark, Name: "x"})
+	// g never returns (simulates a step-limit kill mid-call).
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []*Ring{r}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v\n%s", err, buf.String())
+	}
+	if n == 0 {
+		t.Fatal("no events exported")
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"name":"g","ph":"B"`) {
+		t.Errorf("missing B for g: %s", out)
+	}
+	if !strings.Contains(out, `"name":"g","ph":"E"`) {
+		t.Errorf("missing synthetic E for g: %s", out)
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not json", `{`, "not valid JSON"},
+		{"no events", `{}`, "no traceEvents"},
+		{"backwards ts", `{"traceEvents":[
+			{"name":"a","ph":"i","ts":5,"pid":1,"tid":1,"s":"t"},
+			{"name":"b","ph":"i","ts":4,"pid":1,"tid":1,"s":"t"}]}`, "goes backwards"},
+		{"orphan E", `{"traceEvents":[{"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]}`, "no open B"},
+		{"unclosed B", `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]}`, "never closed"},
+		{"mismatched E", `{"traceEvents":[
+			{"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+			{"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]}`, "does not match"},
+		{"bad phase", `{"traceEvents":[{"name":"a","ph":"Z","ts":1,"pid":1,"tid":1}]}`, "unknown phase"},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateTrace([]byte(tc.data)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	ok := `{"traceEvents":[
+		{"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+		{"name":"a","ph":"E","ts":2,"pid":1,"tid":1},
+		{"name":"a","ph":"B","ts":1,"pid":1,"tid":2}],"displayTimeUnit":"ms"}`
+	// tid 2's unclosed B must be caught even though tid 1 balances.
+	if _, err := ValidateTrace([]byte(ok)); err == nil {
+		t.Error("per-track unclosed B not caught")
+	}
+}
+
+func TestSnapshotEndsAtTrap(t *testing.T) {
+	r := NewRing(128, "interp")
+	r.SetSites([]Site{{Pos: "t.c:9:1", Kind: "seq"}})
+	for i := 0; i < 40; i++ {
+		r.Record(Event{TS: uint64(i), Kind: EvCheck, Site: 1})
+	}
+	r.Record(Event{TS: 40, Kind: EvTrap, Name: "bounds", Pos: "t.c:9:1"})
+	// Unwinding noise after the trap must not enter the snapshot.
+	r.Record(Event{TS: 41, Kind: EvRet, Name: "main"})
+	bb := Snapshot(r, 36)
+	if bb.TrapKind != "bounds" || bb.TrapPos != "t.c:9:1" {
+		t.Fatalf("trap attribution = %q %q", bb.TrapKind, bb.TrapPos)
+	}
+	if len(bb.Events) != 36 {
+		t.Fatalf("snapshot has %d events, want 36", len(bb.Events))
+	}
+	last := bb.Events[len(bb.Events)-1]
+	if !strings.Contains(last, "trap bounds") {
+		t.Fatalf("last snapshot line is %q, want the trap event", last)
+	}
+	for _, l := range bb.Events[:len(bb.Events)-1] {
+		if !strings.Contains(l, "check seq at t.c:9:1") {
+			t.Fatalf("preceding line %q not resolved through the site table", l)
+		}
+	}
+}
+
+func TestProfileTopDeterministicOnTies(t *testing.T) {
+	p := NewProfile(64)
+	// Same sample counts; numeric line order must win (lexical order would
+	// put t.c:10 before t.c:9).
+	p.Sample("t.c:10")
+	p.Sample("t.c:9")
+	p.Sample("t.c:100")
+	top := p.Top(0)
+	got := []string{top[0].Pos, top[1].Pos, top[2].Pos}
+	want := []string{"t.c:9", "t.c:10", "t.c:100"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Top order = %v, want %v", got, want)
+		}
+	}
+	if top[0].EstSteps != 64 {
+		t.Errorf("EstSteps = %d, want 64 (samples x period)", top[0].EstSteps)
+	}
+}
+
+func TestRingFromSpansNesting(t *testing.T) {
+	spans := []trace.Span{
+		{Name: "build", StartMS: 0, DurMS: 10, Depth: 0},
+		{Name: "parse", StartMS: 0, DurMS: 4, Depth: 1},
+		{Name: "sema", StartMS: 4, DurMS: 6, Depth: 1},
+	}
+	r := RingFromSpans("compile", spans)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []*Ring{r}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("span trace does not validate: %v\n%s", err, buf.String())
+	}
+}
+
+func TestRecorderCheckoutRelease(t *testing.T) {
+	rec := NewRecorder(16)
+	a := rec.Checkout()
+	b := rec.Checkout()
+	if a == b {
+		t.Fatal("two concurrent checkouts share a ring")
+	}
+	rec.Release(a)
+	if c := rec.Checkout(); c != a {
+		t.Fatal("released ring not reused")
+	}
+	if n := len(rec.Rings()); n != 2 {
+		t.Fatalf("recorder registered %d rings, want 2", n)
+	}
+}
+
+// TestTraceFileValidates validates an externally generated trace file (CI
+// points GOCURED_TRACE_FILE at ccbench -trace-dir output); it is skipped
+// in normal test runs.
+func TestTraceFileValidates(t *testing.T) {
+	path := os.Getenv("GOCURED_TRACE_FILE")
+	if path == "" {
+		t.Skip("GOCURED_TRACE_FILE not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	t.Logf("%s: %d events, valid", path, n)
+}

@@ -1,0 +1,86 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gocured/internal/diag"
+)
+
+// DefaultSamplePeriod is the default step-sampling period: one sample
+// every N interpreter steps. 4096 keeps the enabled-mode overhead in the
+// noise while still resolving hot lines in runs of a few million steps.
+const DefaultSamplePeriod = 4096
+
+// Profile is a step-sampling profile of a cured run: every sampling period
+// the interpreter records the source line it is executing, so hot cured-
+// source lines surface as sample counts — the same shape as a pprof "top"
+// table, with interpreter steps standing in for CPU time.
+type Profile struct {
+	period  uint64
+	samples map[string]uint64
+	total   uint64
+}
+
+// NewProfile builds a profile with the given sampling period (<= 0 selects
+// DefaultSamplePeriod).
+func NewProfile(period int) *Profile {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	return &Profile{period: uint64(period), samples: make(map[string]uint64)}
+}
+
+// Period returns the sampling period in steps.
+func (p *Profile) Period() uint64 { return p.period }
+
+// Sample records one hit at the given source line ("file.c:123").
+func (p *Profile) Sample(pos string) {
+	p.samples[pos]++
+	p.total++
+}
+
+// Total returns the number of samples taken.
+func (p *Profile) Total() uint64 { return p.total }
+
+// Line is one row of the profile's top table.
+type Line struct {
+	Pos      string  `json:"pos"`
+	Samples  uint64  `json:"samples"`
+	Pct      float64 `json:"pct"`
+	EstSteps uint64  `json:"est_steps"`
+}
+
+// Top returns the n hottest source lines (0 = all), samples descending;
+// ties are ordered by position (file, then numeric line), so the table is
+// fully deterministic.
+func (p *Profile) Top(n int) []Line {
+	out := make([]Line, 0, len(p.samples))
+	for pos, c := range p.samples {
+		l := Line{Pos: pos, Samples: c, EstSteps: c * p.period}
+		if p.total > 0 {
+			l.Pct = 100 * float64(c) / float64(p.total)
+		}
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return diag.ComparePosStrings(out[i].Pos, out[j].Pos) < 0
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Render writes the top-n table in pprof "top" style.
+func (p *Profile) Render(w io.Writer, n int) {
+	fmt.Fprintf(w, "step profile: %d samples, period %d steps\n", p.total, p.period)
+	fmt.Fprintf(w, "%10s %7s  %s\n", "est.steps", "pct", "source line")
+	for _, l := range p.Top(n) {
+		fmt.Fprintf(w, "%10d %6.2f%%  %s\n", l.EstSteps, l.Pct, l.Pos)
+	}
+}

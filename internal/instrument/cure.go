@@ -20,6 +20,9 @@ type Cured struct {
 	ChecksEliminated int
 	// Opt holds the full optimizer statistics (nil when curing ran at -O0).
 	Opt *OptStats
+	// Sites is the static check-site table of the final program, built by
+	// AssignSites after optimization; cil.Check.Site indexes it 1-based.
+	Sites []SiteInfo
 }
 
 // RedirectWrappers rewrites calls to wrapped extern functions so they go

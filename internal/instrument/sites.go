@@ -1,0 +1,44 @@
+package instrument
+
+import (
+	"gocured/internal/cil"
+)
+
+// SiteInfo is one static check site of the final (optimized) cured
+// program: a rendered source position × check kind. Check.Site values
+// index this table 1-based.
+type SiteInfo struct {
+	Pos  string
+	Kind cil.CheckKind
+}
+
+// AssignSites walks the cured program after optimization and gives every
+// check instruction a stable small-integer site ID, deduplicated by
+// position × kind (the same identity interp.SiteKey uses for run-time
+// attribution). The table lets the flight recorder log one int32 per
+// executed check instead of a position string, and lets exporters resolve
+// IDs back to sources. core.Build calls this as the last curing stage.
+func AssignSites(c *Cured) {
+	type key struct {
+		pos  string
+		kind cil.CheckKind
+	}
+	idx := make(map[key]int32)
+	c.Sites = c.Sites[:0]
+	for _, f := range c.Prog.Funcs {
+		cil.WalkInstrs(f.Body.Stmts, func(i cil.Instr) {
+			chk, ok := i.(*cil.Check)
+			if !ok {
+				return
+			}
+			k := key{pos: chk.Pos.String(), kind: chk.Kind}
+			id, seen := idx[k]
+			if !seen {
+				c.Sites = append(c.Sites, SiteInfo{Pos: k.pos, Kind: k.kind})
+				id = int32(len(c.Sites))
+				idx[k] = id
+			}
+			chk.Site = id
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gocured/internal/flight"
 	"gocured/internal/mem"
 )
 
@@ -141,6 +142,7 @@ func bMalloc(m *Machine, args []Value) Value {
 	blk := m.mem.Alloc(n, mem.RegHeap, "malloc")
 	blk.Fresh = true
 	m.cnt.Allocs++
+	m.recEvent(flight.EvAlloc, "malloc", uint64(n))
 	return SeqVal(blk.Addr, blk.Addr, blk.End())
 }
 
@@ -149,6 +151,7 @@ func bCalloc(m *Machine, args []Value) Value {
 	blk := m.mem.Alloc(n, mem.RegHeap, "calloc")
 	blk.Fresh = true
 	m.cnt.Allocs++
+	m.recEvent(flight.EvAlloc, "calloc", uint64(n))
 	return SeqVal(blk.Addr, blk.Addr, blk.End())
 }
 
@@ -174,6 +177,7 @@ func bFree(m *Machine, args []Value) Value {
 	if v.P == 0 {
 		return Value{}
 	}
+	m.recEvent(flight.EvFree, "free", uint64(v.P))
 	m.check(m.mem.Free(v.P))
 	return Value{}
 }

@@ -3,6 +3,7 @@ package interp
 import (
 	"gocured/internal/cil"
 	"gocured/internal/ctypes"
+	"gocured/internal/flight"
 )
 
 // execCheck executes one CCured run-time check (Appendix A). The pointer
@@ -33,6 +34,9 @@ func (m *Machine) execCheck(fr *frame, c *cil.Check) {
 		sc.Hits++
 	}
 	m.addCost(checkCost[c.Kind])
+	if m.rec != nil {
+		m.rec.Record(flight.Event{TS: m.cnt.Cost, Kind: flight.EvCheck, Site: c.Site, Arg: uint64(c.Size)})
+	}
 	// Track the in-flight check so a trap raised anywhere below (including
 	// inside mem) is attributed to this site; restore on normal exit and on
 	// unwind alike.

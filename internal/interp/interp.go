@@ -14,6 +14,7 @@ import (
 	"gocured/internal/cil"
 	"gocured/internal/ctypes"
 	"gocured/internal/diag"
+	"gocured/internal/flight"
 	"gocured/internal/instrument"
 	"gocured/internal/mem"
 	"gocured/internal/qual"
@@ -58,6 +59,17 @@ type Config struct {
 	// main(int argc, char **argv) they are materialized in memory with
 	// argv[0] set to the program name.
 	Args []string
+	// Flight, when non-nil, is the flight-recorder ring this run logs
+	// into: checks, traps, allocations, fat-pointer conversions, wrapper
+	// calls, and call frames. Nil keeps the recorder off; the only cost
+	// on every hot path is a single nil comparison.
+	Flight *flight.Ring
+	// Profile, when non-nil, receives a source-line sample every
+	// SamplePeriod interpreter steps.
+	Profile *flight.Profile
+	// SamplePeriod is the step-sampling period (0 = the profile's own
+	// period, or flight.DefaultSamplePeriod).
+	SamplePeriod uint64
 }
 
 // SiteKey identifies one static check site: rendered source position ×
@@ -116,8 +128,11 @@ func (c *Counters) TopSites(n int) []SiteStat {
 		if out[i].Hits != out[j].Hits {
 			return out[i].Hits > out[j].Hits
 		}
-		if out[i].Pos != out[j].Pos {
-			return out[i].Pos < out[j].Pos
+		// Count ties break on source position — numerically, so line 9
+		// sorts before line 10 (lexical order would reverse them) — and
+		// then on check kind. The order is pinned by TestTopSitesTieOrder.
+		if c := diag.ComparePosStrings(out[i].Pos, out[j].Pos); c != 0 {
+			return c < 0
 		}
 		return out[i].Kind < out[j].Kind
 	})
@@ -145,6 +160,11 @@ type Outcome struct {
 	Trap *mem.Trap
 	// TrapProv explains the trap (nil when the run did not trap).
 	TrapProv *TrapProvenance
+	// Flight is the run's flight-recorder ring (nil unless Config.Flight
+	// was set) and BlackBox the trap-time snapshot cut from it (nil when
+	// the run did not trap or the recorder was off).
+	Flight   *flight.Ring
+	BlackBox *flight.BlackBox
 	Counters Counters
 	// MemLoads/MemStores are raw memory accesses.
 	MemLoads, MemStores uint64
@@ -192,6 +212,14 @@ type Machine struct {
 	stepLimit uint64
 	rngState  uint64
 	timeTick  int64
+
+	// rec/prof are the flight recorder hooks; both nil when tracing is
+	// off, so the hot paths pay one branch each. sampleIn counts down
+	// steps to the next profile sample.
+	rec          *flight.Ring
+	prof         *flight.Profile
+	samplePeriod uint64
+	sampleIn     uint64
 
 	// frames mirrors the call stack for trap attribution; curPos tracks the
 	// source position of the statement being executed and curCheck the check
@@ -291,6 +319,24 @@ func New(prog *cil.Program, cfg Config) *Machine {
 	if cfg.Policy == PolicyPurify || cfg.Policy == PolicyValgrind {
 		m.policyShadow = newShadowMem(cfg.Policy)
 	}
+	if cfg.Flight != nil {
+		m.rec = cfg.Flight
+		if m.cured != nil {
+			sites := make([]flight.Site, len(m.cured.Sites))
+			for i, s := range m.cured.Sites {
+				sites[i] = flight.Site{Pos: s.Pos, Kind: s.Kind.String()}
+			}
+			m.rec.SetSites(sites)
+		}
+	}
+	if cfg.Profile != nil {
+		m.prof = cfg.Profile
+		m.samplePeriod = cfg.SamplePeriod
+		if m.samplePeriod == 0 {
+			m.samplePeriod = cfg.Profile.Period()
+		}
+		m.sampleIn = m.samplePeriod
+	}
 	m.builtins = builtinTable()
 
 	m.layoutGlobals()
@@ -332,6 +378,16 @@ func (m *Machine) Run() (out *Outcome, err error) {
 		out.Counters.Cost += m.mem.Loads + m.mem.Stores
 		if m.policyShadow != nil {
 			out.ToolReports = m.policyShadow.reports
+		}
+		out.Flight = m.rec
+		if m.rec != nil && out.Trap != nil {
+			// The black box: the last events up to and including the trap,
+			// with the trap's own attribution attached.
+			out.BlackBox = flight.Snapshot(m.rec, 128)
+			out.BlackBox.Stack = out.Trap.Stack
+			if out.TrapProv != nil {
+				out.BlackBox.Blame = out.TrapProv.Blame
+			}
 		}
 		err = nil
 	}()
@@ -403,6 +459,13 @@ func (m *Machine) decorateTrap(t *mem.Trap) {
 		if sc := m.siteCount(m.curCheck); sc != nil {
 			sc.Traps++
 		}
+	}
+	if m.rec != nil {
+		site := int32(0)
+		if m.curCheck != nil {
+			site = m.curCheck.Site
+		}
+		m.rec.Record(flight.Event{TS: m.cnt.Cost, Kind: flight.EvTrap, Site: site, Name: t.Kind, Pos: t.Pos})
 	}
 	if m.trapProv == nil {
 		tp := &TrapProvenance{Pos: t.Pos, Stack: t.Stack}
@@ -597,8 +660,16 @@ func (m *Machine) call(fn *cil.Func, args []Value) Value {
 			m.store(fr.slot(p, m), p.Type, args[i])
 		}
 	}
+	if m.rec != nil {
+		m.rec.Record(flight.Event{TS: m.cnt.Cost, Kind: flight.EvCall, Name: fn.Name})
+	}
 	m.frames = append(m.frames, fr)
 	defer func() {
+		// Runs on trap unwinding too, so B/E frame pairs stay balanced in
+		// the exported trace (the trap instant lands between them).
+		if m.rec != nil {
+			m.rec.Record(flight.Event{TS: m.cnt.Cost, Kind: flight.EvRet, Name: fn.Name})
+		}
 		m.frames = m.frames[:len(m.frames)-1]
 		m.mem.PopFrame()
 	}()
@@ -625,6 +696,7 @@ func (m *Machine) callPtr(addr uint32, args []Value, argTypes []*ctypes.Type) Va
 	}
 	if name, ok := m.bltnByAddr[addr]; ok {
 		if bf, ok := m.builtins[name]; ok {
+			m.recEvent(flight.EvWrapper, name, 0)
 			return bf(m, args)
 		}
 		m.trapf("link", "call to unimplemented external function %q", name)
@@ -652,6 +724,38 @@ func (m *Machine) step() {
 	if m.cnt.Steps > m.stepLimit {
 		m.trapf("timeout", "step limit (%d) exceeded", m.stepLimit)
 	}
+	if m.prof != nil {
+		m.sampleStep()
+	}
+}
+
+// sampleStep decrements the sampling countdown and, when it hits zero,
+// records the current source line in the step profile (and an EvSample
+// instant in the ring so samples are visible on the timeline too).
+func (m *Machine) sampleStep() {
+	m.sampleIn--
+	if m.sampleIn > 0 {
+		return
+	}
+	m.sampleIn = m.samplePeriod
+	pos := "<generated>"
+	if m.curPos.IsValid() {
+		pos = fmt.Sprintf("%s:%d", m.curPos.File, m.curPos.Line)
+	}
+	m.prof.Sample(pos)
+	if m.rec != nil {
+		m.rec.Record(flight.Event{TS: m.cnt.Cost, Kind: flight.EvSample, Pos: pos})
+	}
+}
+
+// recEvent records one flight event stamped with the simulated-cycle
+// clock. Callers on hot paths guard with `if m.rec != nil` themselves;
+// recEvent re-checks so cold paths can call it unconditionally.
+func (m *Machine) recEvent(kind flight.EvKind, name string, arg uint64) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Record(flight.Event{TS: m.cnt.Cost, Kind: kind, Name: name, Arg: arg})
 }
 
 // backEdge counts a loop back-edge against the step limit without charging
@@ -809,6 +913,7 @@ func (m *Machine) execCall(fr *frame, in *cil.Call) {
 			}
 			ret = m.call(fn, conv)
 		} else if bf, ok := m.builtins[fc.Name]; ok {
+			m.recEvent(flight.EvWrapper, fc.Name, 0)
 			ret = bf(m, args)
 		} else {
 			m.trapf("link", "call to undefined function %q", fc.Name)

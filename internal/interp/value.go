@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gocured/internal/ctypes"
+	"gocured/internal/flight"
 	"gocured/internal/qual"
 	"gocured/internal/rtti"
 )
@@ -305,11 +306,13 @@ func (m *Machine) convertChecked(v Value, from, to *ctypes.Type, trusted bool) V
 			// SAFE -> SEQ: the object is exactly one element.
 			out.B = out.P
 			out.E = out.P + uint32(m.lay.Sizeof(from.Elem))
+			m.recEvent(flight.EvPack, "safe->seq", uint64(out.P))
 		}
 		if kt == qual.Wild && out.B == 0 && out.P != 0 {
 			if blk := m.mem.BlockAt(out.P); blk != nil {
 				blk.MakeWild()
 				out.B = blk.Addr
+				m.recEvent(flight.EvPack, "->wild", uint64(out.P))
 			}
 		}
 		if kt == qual.Rtti && out.RT == nil && kf != qual.Rtti {
@@ -338,6 +341,7 @@ func (m *Machine) convertChecked(v Value, from, to *ctypes.Type, trusted bool) V
 // non-null values must carry a base and point at a whole object of the
 // destination's pointee size.
 func (m *Machine) narrowCheck(v Value, to *ctypes.Type) {
+	m.recEvent(flight.EvUnpack, "seq->safe", uint64(v.P))
 	if v.B == 0 {
 		m.trapf("int-deref", "conversion of a disguised integer to a %s", to)
 	}

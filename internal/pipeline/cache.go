@@ -63,13 +63,13 @@ type Cache struct {
 	max      int
 	ll       *list.List // front = most recently used; values are *Compiled
 	entries  map[Key]*list.Element
-	inflight map[Key]*flight
+	inflight map[Key]*compileFlight
 
 	hits, misses, evictions uint64
 }
 
-// flight is one in-progress compile other goroutines can wait on.
-type flight struct {
+// compileFlight is one in-progress compile other goroutines can wait on.
+type compileFlight struct {
 	done chan struct{}
 	res  *Compiled
 	err  error
@@ -85,7 +85,7 @@ func NewCache(max int) *Cache {
 		max:      max,
 		ll:       list.New(),
 		entries:  make(map[Key]*list.Element),
-		inflight: make(map[Key]*flight),
+		inflight: make(map[Key]*compileFlight),
 	}
 }
 
@@ -113,7 +113,7 @@ func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Co
 		return f.res, true, f.err
 	}
 	c.misses++
-	f := &flight{done: make(chan struct{})}
+	f := &compileFlight{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
 
@@ -131,7 +131,7 @@ func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Co
 
 // compileSource builds the artifact outside the lock. A panic in the
 // compiler is converted into an error so that goroutines waiting on this
-// flight are released (the Runner additionally isolates panics per job).
+// compileFlight are released (the Runner additionally isolates panics per job).
 func compileSource(key Key, filename, source string, opts gocured.Options) (res *Compiled, err error) {
 	defer func() {
 		if p := recover(); p != nil {

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"gocured"
+	"gocured/internal/flight"
+)
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(8)
+	defer cancel()
+	b.Publish(JobEvent{Type: "job_start", Name: "a.c"})
+	b.Publish(JobEvent{Type: "job_done", Name: "a.c"})
+	ev1 := <-ch
+	ev2 := <-ch
+	if ev1.Type != "job_start" || ev2.Type != "job_done" {
+		t.Fatalf("got %s, %s", ev1.Type, ev2.Type)
+	}
+	if ev1.Seq == 0 || ev2.Seq != ev1.Seq+1 {
+		t.Errorf("seq = %d, %d; want consecutive from 1", ev1.Seq, ev2.Seq)
+	}
+	if ev1.Time.IsZero() {
+		t.Error("event not timestamped")
+	}
+}
+
+func TestBusSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ { // must never block, even with a full buffer
+			b.Publish(JobEvent{Type: "job_start"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	ev := <-ch
+	if ev.Seq != 1 {
+		t.Errorf("first buffered event has seq %d, want 1", ev.Seq)
+	}
+	// The next event (if any) shows the gap where events were dropped.
+	select {
+	case ev2 := <-ch:
+		if ev2.Seq <= ev.Seq {
+			t.Errorf("seq went backwards: %d after %d", ev2.Seq, ev.Seq)
+		}
+	default:
+	}
+}
+
+func TestBusUnsubscribeClosesChannel(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(1)
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Error("channel still open after unsubscribe")
+	}
+	if n := b.Subscribers(); n != 0 {
+		t.Errorf("subscribers = %d after unsubscribe", n)
+	}
+	b.Publish(JobEvent{Type: "job_start"}) // must not panic
+}
+
+// TestRunnerPublishesJobEvents tails the Runner's bus through a trapping
+// cured run and expects start, trap, and done events in order.
+func TestRunnerPublishesJobEvents(t *testing.T) {
+	r := NewRunner(RunnerOptions{Workers: 1})
+	ch, cancel := r.Events().Subscribe(16)
+	defer cancel()
+	res := r.Do(context.Background(), Job{
+		Name: "oob.c", Source: tinyOOB, Run: true, Mode: gocured.ModeCured,
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Run == nil || !res.Run.Trapped {
+		t.Fatal("cured out-of-bounds program did not trap")
+	}
+	var types []string
+	for len(types) < 3 {
+		select {
+		case ev := <-ch:
+			types = append(types, ev.Type)
+			if ev.Type == "trap" && (ev.TrapKind == "" || ev.TrapPos == "") {
+				t.Errorf("trap event missing attribution: %+v", ev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("saw only %v before timeout", types)
+		}
+	}
+	want := []string{"job_start", "trap", "job_done"}
+	for i, w := range want {
+		if types[i] != w {
+			t.Fatalf("event order %v, want %v", types, want)
+		}
+	}
+}
+
+// TestRunnerFlightRecording runs jobs with a Recorder attached and demands
+// a valid per-worker Perfetto trace out the other end.
+func TestRunnerFlightRecording(t *testing.T) {
+	rec := flight.NewRecorder(0)
+	r := NewRunner(RunnerOptions{Workers: 2, Flight: rec})
+	jobs := []Job{
+		{Name: "ok.c", Source: tinyOK, Run: true, Mode: gocured.ModeCured},
+		{Name: "oob.c", Source: tinyOOB, Run: true, Mode: gocured.ModeCured},
+		{Name: "ok2.c", Source: tinyOK, Run: true, Mode: gocured.ModeRaw},
+	}
+	for _, res := range r.DoAll(context.Background(), jobs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	rings := rec.Rings()
+	if len(rings) == 0 {
+		t.Fatal("no worker rings recorded")
+	}
+	var buf bytes.Buffer
+	if err := flight.WriteTrace(&buf, rings); err != nil {
+		t.Fatal(err)
+	}
+	n, err := flight.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("pipeline trace invalid: %v", err)
+	}
+	// 3 jobs x (job + compile + run) begin/end pairs at minimum.
+	if n < 18 {
+		t.Errorf("trace has %d events, want >= 18", n)
+	}
+}
+
+func TestMetricsBuildInfo(t *testing.T) {
+	r := NewRunner(RunnerOptions{Workers: 1})
+	m := r.Metrics()
+	if m.Build.Version != gocured.Version {
+		t.Errorf("build version %q, want %q", m.Build.Version, gocured.Version)
+	}
+	if m.Build.GoVersion == "" || m.Build.Optimizer != "on" {
+		t.Errorf("build info incomplete: %+v", m.Build)
+	}
+	var buf bytes.Buffer
+	WritePrometheus(&buf, m)
+	if !bytes.Contains(buf.Bytes(), []byte(`gocured_build_info{version="`+gocured.Version+`"`)) {
+		t.Errorf("prometheus output missing gocured_build_info:\n%s", buf.String()[:200])
+	}
+}

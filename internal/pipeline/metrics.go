@@ -71,9 +71,21 @@ func (h *histogram) snapshot() Histogram {
 	return out
 }
 
+// BuildInfo identifies the running build: the gocured analysis revision,
+// the Go toolchain, and whether the check optimizer is on by default. It
+// feeds the gocured_build_info Prometheus gauge, the standard pattern for
+// joining metrics against deployment metadata.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Optimizer string `json:"optimizer"` // "on" or "off"
+}
+
 // Metrics is a point-in-time snapshot of a Runner's counters. It marshals
 // directly to JSON (ccserve's GET /metrics and the expvar export).
 type Metrics struct {
+	Build BuildInfo `json:"build"`
+
 	Workers      int   `json:"workers"`
 	JobsInFlight int64 `json:"jobs_in_flight"`
 

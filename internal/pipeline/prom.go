@@ -19,6 +19,11 @@ func WritePrometheus(w io.Writer, m Metrics) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 
+	fmt.Fprintf(w, "# HELP gocured_build_info Build metadata (constant 1; labels carry the values).\n"+
+		"# TYPE gocured_build_info gauge\n"+
+		"gocured_build_info{version=%q,go_version=%q,optimizer=%q} 1\n",
+		m.Build.Version, m.Build.GoVersion, m.Build.Optimizer)
+
 	gauge("gocured_workers", "Size of the job worker pool.", float64(m.Workers))
 	gauge("gocured_jobs_in_flight", "Jobs currently executing.", float64(m.JobsInFlight))
 	counter("gocured_jobs_run_total", "Jobs completed (including failures).", m.JobsRun)

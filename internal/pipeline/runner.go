@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gocured"
+	"gocured/internal/flight"
 	"gocured/internal/trace"
 )
 
@@ -29,6 +30,12 @@ type RunnerOptions struct {
 	// the hard backstop), so pathological jobs exert backpressure instead
 	// of accumulating unbounded goroutines.
 	JobTimeout time.Duration
+	// Flight, when non-nil, records every job's compile/run phases into
+	// per-worker flight-recorder rings (wall-clock µs timestamps). Export
+	// them with flight.WriteTrace(w, Flight.Rings()) for a Perfetto view
+	// of pipeline concurrency (one track per worker slot). Nil disables
+	// recording at the cost of one nil comparison per job.
+	Flight *flight.Recorder
 }
 
 // Job is one unit of pipeline work: cure a source file and, optionally,
@@ -90,6 +97,7 @@ type Runner struct {
 	sem   chan struct{}
 	cache *Cache
 	m     *metrics
+	bus   *Bus
 }
 
 // NewRunner builds a Runner.
@@ -101,6 +109,7 @@ func NewRunner(opts RunnerOptions) *Runner {
 		opts: opts,
 		sem:  make(chan struct{}, opts.Workers),
 		m:    newMetrics(),
+		bus:  NewBus(),
 	}
 	if opts.CacheEntries >= 0 {
 		r.cache = NewCache(opts.CacheEntries)
@@ -111,13 +120,23 @@ func NewRunner(opts RunnerOptions) *Runner {
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int { return r.opts.Workers }
 
+// Events returns the Runner's live event bus. Subscribe to tail job
+// start/done/trap events (ccserve's GET /events streams them as SSE).
+func (r *Runner) Events() *Bus { return r.bus }
+
 // Metrics snapshots the Runner's counters.
 func (r *Runner) Metrics() Metrics {
 	var cs CacheStats
 	if r.cache != nil {
 		cs = r.cache.Stats()
 	}
-	return r.m.snapshot(r.opts.Workers, cs)
+	m := r.m.snapshot(r.opts.Workers, cs)
+	m.Build = BuildInfo{
+		Version:   gocured.Version,
+		GoVersion: runtime.Version(),
+		Optimizer: "on", // optimizer is per-job (Options.NoOptimize); the build default is on
+	}
+	return m
 }
 
 // Do executes one job, blocking until a worker slot is free (or ctx is
@@ -198,9 +217,41 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 		panic("injected test panic")
 	}
 
+	// Flight recording: one ring per worker slot, checked out for the
+	// job's duration so concurrent jobs land on separate Perfetto tracks.
+	var ring *flight.Ring
+	rec := r.opts.Flight
+	if rec != nil {
+		ring = rec.Checkout()
+		defer rec.Release(ring)
+		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvBegin, Name: "job " + job.Name})
+		defer func() {
+			if res.Run != nil && res.Run.Trapped {
+				ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvTrap,
+					Name: res.Run.TrapKind, Pos: res.Run.TrapPos})
+			}
+			ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvEnd, Name: "job " + job.Name})
+		}()
+	}
+	r.bus.Publish(JobEvent{Type: "job_start", Name: job.Name, Mode: job.Mode.String()})
 	start := time.Now()
+	defer func() {
+		ev := JobEvent{Type: "job_done", Name: job.Name, Mode: job.Mode.String(),
+			CacheHit: res.CacheHit, DurMS: float64(time.Since(start)) / float64(time.Millisecond)}
+		if res.Err != nil {
+			ev.Err = res.Err.Error()
+		}
+		r.bus.Publish(ev)
+	}()
+
+	if ring != nil {
+		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvBegin, Name: "compile"})
+	}
 	compiled, hit, err := r.compile(job)
 	res.CompileTime = time.Since(start)
+	if ring != nil {
+		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvEnd, Name: "compile"})
+	}
 	if err != nil {
 		res.Err = fmt.Errorf("compile %s: %w", job.Name, err)
 		return res
@@ -220,14 +271,24 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 		ro.StepLimit = r.opts.DefaultStepLimit
 	}
 	runStart := time.Now()
+	if ring != nil {
+		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvBegin, Name: "run " + job.Mode.String()})
+	}
 	out, err := compiled.Program.Run(job.Mode, ro)
 	res.RunTime = time.Since(runStart)
+	if ring != nil {
+		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvEnd, Name: "run " + job.Mode.String()})
+	}
 	res.Phases = append(res.Phases, trace.Span{Name: "run", DurMS: float64(res.RunTime) / float64(time.Millisecond)})
 	if err != nil {
 		res.Err = fmt.Errorf("run %s (%s): %w", job.Name, job.Mode, err)
 		return res
 	}
 	res.Run = out
+	if out.Trapped {
+		r.bus.Publish(JobEvent{Type: "trap", Name: job.Name, Mode: job.Mode.String(),
+			TrapKind: out.TrapKind, TrapPos: out.TrapPos})
+	}
 	return res
 }
 
