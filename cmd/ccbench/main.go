@@ -50,8 +50,9 @@ func writeFtpdTrace(path string) error {
 func main() {
 	scale := flag.Int("scale", 0, "override the corpus SCALE constant (0 = source default)")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent curing/execution jobs")
-	only := flag.String("only", "", "run a single experiment by id (E1..E10)")
+	only := flag.String("only", "", "run a single experiment by id (E1..E11)")
 	optJSON := flag.String("opt-json", "", "write the E10 -O0 vs -O comparison to this file as JSON (BENCH_opt.json)")
+	interpJSON := flag.String("interp-json", "", "write the E11 tree vs vm backend comparison to this file as JSON (BENCH_interp.json)")
 	traceDir := flag.String("trace-dir", "", "write Perfetto trace-event files (pipeline.json, e9-ftpd-cured.json) into this directory")
 	flag.Parse()
 
@@ -105,6 +106,18 @@ func main() {
 		"E8":  experiments.SplitStats,
 		"E9":  experiments.Exploits,
 		"E10": experiments.OptOverhead,
+		"E11": experiments.InterpSpeed,
+	}
+	if *interpJSON != "" {
+		b, err := experiments.WriteInterpBench(cfg, *interpJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: bytecode vm is %.2fx the tree walker (geomean over %d programs)\n",
+			*interpJSON, b.GeomeanSpeedup, len(b.Rows))
+		writeTraces()
+		return
 	}
 	if *optJSON != "" {
 		b, err := experiments.WriteOptBench(cfg, *optJSON)
@@ -120,7 +133,7 @@ func main() {
 	if *only != "" {
 		fn, ok := all[*only]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E10)\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E11)\n", *only)
 			os.Exit(2)
 		}
 		fmt.Println(fn(cfg).Format())

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ccrun [-mode raw|cured|purify|valgrind] [-stdin file] [-trust] [-trace out.json] [-prof N] file.c
+//	ccrun [-mode raw|cured|purify|valgrind] [-backend vm|tree] [-stdin file] [-trust] [-trace out.json] [-prof N] file.c
 //
 // With -trace, the run's flight recording is written as Chrome trace-event
 // JSON (load it in Perfetto or chrome://tracing), and a trapped run prints
@@ -29,6 +29,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write the flight recording as Chrome trace-event JSON to this file")
 	traceBuf := flag.Int("trace-buf", 0, "flight-recorder ring capacity in events (0 = 8192)")
 	profPeriod := flag.Int("prof", 0, "sample the current source line every N interpreter steps (0 = off)")
+	backend := flag.String("backend", "vm", "interpreter backend: vm (bytecode) or tree (reference walker)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccrun [flags] file.c")
@@ -74,6 +75,7 @@ func main() {
 		Trace:         *traceOut != "",
 		TraceBuf:      *traceBuf,
 		ProfilePeriod: *profPeriod,
+		Backend:       *backend,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -124,6 +124,11 @@ type RunOptions struct {
 	// Result.Profile. 0 disables; use flight.DefaultSamplePeriod (4096) for
 	// the standard rate.
 	ProfilePeriod int
+	// Backend selects the interpreter backend: "vm" (the default; flat
+	// bytecode compiled once per Program and shared by every run) or
+	// "tree" (the reference tree walker). Both produce bit-identical
+	// results; "tree" exists as the oracle and escape hatch.
+	Backend string
 }
 
 // Result is the outcome of one execution.
@@ -263,12 +268,17 @@ func Compile(filename, src string, opts Options) (*Program, error) {
 
 // Run executes the program in the given mode.
 func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {
+	backend, err := interp.ParseBackend(opt.Backend)
+	if err != nil {
+		return nil, err
+	}
 	cfg := interp.Config{
 		StepLimit: opt.StepLimit,
 		StackSize: opt.StackSize,
 		Seed:      opt.Seed,
 		Stdin:     opt.Stdin,
 		Args:      opt.Args,
+		Backend:   backend,
 	}
 	var ring *flight.Ring
 	if opt.Trace {
@@ -285,7 +295,6 @@ func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {
 		cfg.Profile = prof
 	}
 	var out *interp.Outcome
-	var err error
 	switch mode {
 	case ModeRaw:
 		out, err = p.unit.RunRaw(interp.PolicyNone, cfg)

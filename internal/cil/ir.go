@@ -272,6 +272,11 @@ const (
 	CheckIndex
 )
 
+// NumCheckKinds is the number of check kinds; dense per-kind counter
+// arrays (interp.KindCounts, the check cost table) are indexed by CheckKind
+// and sized by this.
+const NumCheckKinds = int(CheckIndex) + 1
+
 var checkNames = [...]string{"null", "seq", "seq-arith", "wild", "wild-read",
 	"wild-write", "rtti", "stack-escape", "seq2safe", "not-stack", "verify-nul",
 	"index"}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"gocured/internal/cil"
 	"gocured/internal/cparse"
@@ -16,6 +17,7 @@ import (
 	"gocured/internal/interp"
 	"gocured/internal/sema"
 	"gocured/internal/trace"
+	"gocured/internal/vm"
 )
 
 // Unit is one fully processed program.
@@ -36,6 +38,27 @@ type Unit struct {
 	// Spans records per-phase wall time of the build (parse/sema/lower of
 	// the cure pass, plus frontend-raw, infer, instrument).
 	Spans []trace.Span
+
+	// Compiled bytecode modules, one per program, built on first use and
+	// shared by every subsequent run of this Unit (a Unit's programs are
+	// frozen after Build, so a module compiled once is valid forever; the
+	// pipeline cache runs the same Unit many times).
+	rawOnce, curedOnce sync.Once
+	rawCode, curedCode *vm.Module
+}
+
+// rawModule returns the bytecode module for the raw program, compiling it
+// on first use.
+func (u *Unit) rawModule() *vm.Module {
+	u.rawOnce.Do(func() { u.rawCode = vm.Compile(u.Raw, instrument.RawLayout{}) })
+	return u.rawCode
+}
+
+// curedModule returns the bytecode module for the cured program, compiling
+// it on first use.
+func (u *Unit) curedModule() *vm.Module {
+	u.curedOnce.Do(func() { u.curedCode = vm.Compile(u.Cured.Prog, u.Cured.Lay) })
+	return u.curedCode
 }
 
 // frontend runs parse/check/lower once, timing each phase into spans (which
@@ -101,6 +124,9 @@ func Build(filename, src string, opts infer.Options) (*Unit, error) {
 // (PolicyNone, PolicyPurify, or PolicyValgrind).
 func (u *Unit) RunRaw(policy interp.Policy, cfg interp.Config) (*interp.Outcome, error) {
 	cfg.Policy = policy
+	if cfg.Backend == interp.BackendVM && cfg.Code == nil {
+		cfg.Code = u.rawModule()
+	}
 	m := interp.New(u.Raw, cfg)
 	return m.Run()
 }
@@ -109,6 +135,9 @@ func (u *Unit) RunRaw(policy interp.Policy, cfg interp.Config) (*interp.Outcome,
 func (u *Unit) RunCured(cfg interp.Config) (*interp.Outcome, error) {
 	cfg.Policy = interp.PolicyCured
 	cfg.Cured = u.Cured
+	if cfg.Backend == interp.BackendVM && cfg.Code == nil {
+		cfg.Code = u.curedModule()
+	}
 	m := interp.New(u.Cured.Prog, cfg)
 	return m.Run()
 }

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"gocured"
+	"gocured/internal/corpus"
+)
+
+// E11: interpreter-backend throughput. Every corpus program is compiled
+// once and executed in cured mode on both backends — the reference tree
+// walker and the bytecode VM — and the rows report steps/second for each
+// plus the per-program speedup. The two backends must agree exactly on
+// observable behaviour (stdout, exit code, trap, every counter), so the
+// measurement doubles as a corpus-wide differential run; any divergence
+// panics. The headline number is the geometric mean speedup, tracked in
+// BENCH_interp.json and gated by CI.
+
+// InterpBenchRow is one program's tree vs vm measurement.
+type InterpBenchRow struct {
+	Name string `json:"name"`
+	// Steps is the run's interpreter step count (identical on both
+	// backends by construction).
+	Steps uint64 `json:"steps"`
+
+	// Best-of-N wall times per run, milliseconds.
+	TreeMS float64 `json:"tree_ms"`
+	VMMS   float64 `json:"vm_ms"`
+
+	// Throughput in interpreter steps per second.
+	TreeStepsPerSec float64 `json:"tree_steps_per_sec"`
+	VMStepsPerSec   float64 `json:"vm_steps_per_sec"`
+
+	// Speedup is vm throughput over tree throughput.
+	Speedup float64 `json:"speedup"`
+
+	// Trapped programs (the exploit demos) are still measured: both
+	// backends must trap identically.
+	Trapped bool `json:"trapped,omitempty"`
+}
+
+// InterpBench is the full tree vs vm comparison, serialized to
+// BENCH_interp.json.
+type InterpBench struct {
+	Scale int              `json:"scale"`
+	Reps  int              `json:"reps"`
+	Rows  []InterpBenchRow `json:"rows"`
+	// GeomeanSpeedup is the geometric mean of the per-program speedups —
+	// the repository's headline vm/tree number.
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+}
+
+// MeasureInterp compiles every corpus program once and times cured-mode
+// execution on both backends, best of cfg-derived reps after one warmup
+// run each. It bypasses the pipeline Runner: the point is wall time of
+// the interpreter itself, not of cached artifacts.
+func MeasureInterp(cfg Config) *InterpBench {
+	progs := corpus.All()
+	reps := 3
+	bench := &InterpBench{Scale: cfg.Scale, Reps: reps, Rows: make([]InterpBenchRow, len(progs))}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, p := range progs {
+		wg.Add(1)
+		go func(i int, p *corpus.Program) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bench.Rows[i] = measureBackends(p, cfg.Scale, reps)
+		}(i, p)
+	}
+	wg.Wait()
+	logSum := 0.0
+	for _, r := range bench.Rows {
+		logSum += math.Log(r.Speedup)
+	}
+	bench.GeomeanSpeedup = math.Exp(logSum / float64(len(bench.Rows)))
+	return bench
+}
+
+func measureBackends(p *corpus.Program, scale, reps int) InterpBenchRow {
+	src := p.Source
+	if scale > 0 {
+		src = corpus.WithScale(p, scale)
+	}
+	prog, err := gocured.Compile(p.Name+".c", src, gocured.Options{TrustBadCasts: p.TrustBadCasts})
+	if err != nil {
+		panic(fmt.Sprintf("interpbench: build %s: %v", p.Name, err))
+	}
+	time1 := func(backend string) (*gocured.Result, float64) {
+		opts := gocured.RunOptions{Backend: backend}
+		// Warmup: the first vm run compiles the bytecode module (cached on
+		// the Program thereafter); the first tree run warms layout caches.
+		out, err := prog.Run(gocured.ModeCured, opts)
+		if err != nil {
+			panic(fmt.Sprintf("interpbench: run %s (%s): %v", p.Name, backend, err))
+		}
+		best := math.MaxFloat64
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, err := prog.Run(gocured.ModeCured, opts); err != nil {
+				panic(fmt.Sprintf("interpbench: run %s (%s): %v", p.Name, backend, err))
+			}
+			if ms := float64(time.Since(t0).Nanoseconds()) / 1e6; ms < best {
+				best = ms
+			}
+		}
+		return out, best
+	}
+	treeOut, treeMS := time1("tree")
+	vmOut, vmMS := time1("vm")
+	// The backends must be observably identical — counters included.
+	if treeOut.Stdout != vmOut.Stdout || treeOut.ExitCode != vmOut.ExitCode ||
+		treeOut.Trapped != vmOut.Trapped || treeOut.TrapKind != vmOut.TrapKind ||
+		treeOut.TrapPos != vmOut.TrapPos || treeOut.TrapMessage != vmOut.TrapMessage ||
+		treeOut.Steps != vmOut.Steps || treeOut.Checks != vmOut.Checks ||
+		treeOut.SimCycles != vmOut.SimCycles || treeOut.MemAccesses != vmOut.MemAccesses {
+		panic(fmt.Sprintf("interpbench: %s diverges between tree and vm: steps %d/%d checks %d/%d trapped %v/%v",
+			p.Name, treeOut.Steps, vmOut.Steps, treeOut.Checks, vmOut.Checks,
+			treeOut.Trapped, vmOut.Trapped))
+	}
+	stepsPerSec := func(steps uint64, ms float64) float64 {
+		if ms <= 0 {
+			return 0
+		}
+		return float64(steps) / (ms / 1000)
+	}
+	return InterpBenchRow{
+		Name:            p.Name,
+		Steps:           treeOut.Steps,
+		TreeMS:          treeMS,
+		VMMS:            vmMS,
+		TreeStepsPerSec: stepsPerSec(treeOut.Steps, treeMS),
+		VMStepsPerSec:   stepsPerSec(vmOut.Steps, vmMS),
+		Speedup:         treeMS / vmMS,
+		Trapped:         vmOut.Trapped,
+	}
+}
+
+// InterpSpeed renders E11 as a table.
+func InterpSpeed(cfg Config) *Table {
+	b := MeasureInterp(cfg)
+	t := &Table{
+		ID:    "E11",
+		Title: "interpreter backends: tree walker vs bytecode vm (cured mode)",
+		Note: "best-of-" + fmt.Sprint(b.Reps) + " wall times; both backends are verified\n" +
+			"bit-identical on stdout, traps, and every counter before timing counts",
+		Header: []string{"program", "steps", "tree ms", "vm ms",
+			"tree steps/s", "vm steps/s", "speedup"},
+	}
+	for _, r := range b.Rows {
+		name := r.Name
+		if r.Trapped {
+			name += "*"
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(r.Steps),
+			fmt.Sprintf("%.2f", r.TreeMS), fmt.Sprintf("%.2f", r.VMMS),
+			fmt.Sprintf("%.0f", r.TreeStepsPerSec), fmt.Sprintf("%.0f", r.VMStepsPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"GEOMEAN", "", "", "", "", "", fmt.Sprintf("%.2fx", b.GeomeanSpeedup),
+	})
+	return t
+}
+
+// WriteInterpBench runs MeasureInterp and writes the result as indented
+// JSON — the BENCH_interp.json artifact tracked in the repository and
+// gated by CI.
+func WriteInterpBench(cfg Config, path string) (*InterpBench, error) {
+	b := MeasureInterp(cfg)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return b, os.WriteFile(path, append(data, '\n'), 0o644)
+}

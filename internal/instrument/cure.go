@@ -23,6 +23,10 @@ type Cured struct {
 	// Sites is the static check-site table of the final program, built by
 	// AssignSites after optimization; cil.Check.Site indexes it 1-based.
 	Sites []SiteInfo
+	// SiteIndex maps a site back to its 1-based ID (the inverse of Sites);
+	// the interpreter uses it to resolve the optimizer's per-site
+	// elimination counts onto dense site-ID-indexed counters.
+	SiteIndex map[SiteInfo]int32
 }
 
 // RedirectWrappers rewrites calls to wrapped extern functions so they go

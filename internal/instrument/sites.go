@@ -19,11 +19,7 @@ type SiteInfo struct {
 // executed check instead of a position string, and lets exporters resolve
 // IDs back to sources. core.Build calls this as the last curing stage.
 func AssignSites(c *Cured) {
-	type key struct {
-		pos  string
-		kind cil.CheckKind
-	}
-	idx := make(map[key]int32)
+	idx := make(map[SiteInfo]int32)
 	c.Sites = c.Sites[:0]
 	for _, f := range c.Prog.Funcs {
 		cil.WalkInstrs(f.Body.Stmts, func(i cil.Instr) {
@@ -31,14 +27,15 @@ func AssignSites(c *Cured) {
 			if !ok {
 				return
 			}
-			k := key{pos: chk.Pos.String(), kind: chk.Kind}
+			k := SiteInfo{Pos: chk.Pos.String(), Kind: chk.Kind}
 			id, seen := idx[k]
 			if !seen {
-				c.Sites = append(c.Sites, SiteInfo{Pos: k.pos, Kind: k.kind})
+				c.Sites = append(c.Sites, k)
 				id = int32(len(c.Sites))
 				idx[k] = id
 			}
 			chk.Site = id
 		})
 	}
+	c.SiteIndex = idx
 }

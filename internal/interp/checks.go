@@ -6,13 +6,11 @@ import (
 	"gocured/internal/flight"
 )
 
-// execCheck executes one CCured run-time check (Appendix A). The pointer
-// operand is re-evaluated; IR expressions are pure, so this mirrors the
-// repeated metadata reads of the generated code.
 // checkCost weighs each check kind in simulated cycles: SAFE null checks
 // are one compare; SEQ bounds are two; WILD pays the header read, the area
-// lookup and tag work; RTTI walks the subtype relation.
-var checkCost = map[cil.CheckKind]uint64{
+// lookup and tag work; RTTI walks the subtype relation. Indexed by
+// cil.CheckKind (an array: the cost lookup is on the per-check hot path).
+var checkCost = [cil.NumCheckKinds]uint64{
 	cil.CheckNull:        1,
 	cil.CheckSeq:         2,
 	cil.CheckSeqArith:    0,
@@ -27,31 +25,67 @@ var checkCost = map[cil.CheckKind]uint64{
 	cil.CheckIndex:       1,
 }
 
-func (m *Machine) execCheck(fr *frame, c *cil.Check) {
+// checkEnter performs the accounting half of a check — counters, per-site
+// attribution, simulated cost, the flight event — and marks c as the check
+// in flight so a trap raised anywhere below (including inside mem, or
+// while evaluating the pointer operand) is attributed to this site. Both
+// backends run it before evaluating the operand.
+func (m *Machine) checkEnter(c *cil.Check) {
 	m.cnt.Checks++
 	m.cnt.ChecksByKind[c.Kind]++
-	if sc := m.siteCount(c); sc != nil {
+	if sc := m.siteFor(c); sc != nil {
 		sc.Hits++
 	}
 	m.addCost(checkCost[c.Kind])
 	if m.rec != nil {
 		m.rec.Record(flight.Event{TS: m.cnt.Cost, Kind: flight.EvCheck, Site: c.Site, Arg: uint64(c.Size)})
 	}
-	// Track the in-flight check so a trap raised anywhere below (including
-	// inside mem) is attributed to this site; restore on normal exit and on
-	// unwind alike.
-	prev := m.curCheck
 	m.curCheck = c
+}
+
+// execCheck executes one CCured run-time check (Appendix A) on the tree
+// backend. The pointer operand is re-evaluated; IR expressions are pure,
+// so this mirrors the repeated metadata reads of the generated code.
+func (m *Machine) execCheck(fr *frame, c *cil.Check) {
+	prev := m.curCheck
+	m.checkEnter(c)
 	defer func() { m.curCheck = prev }()
+	v := m.evalExpr(fr, c.Ptr)
+	if c.Kind == cil.CheckStackEscape {
+		// The destination lvalue is evaluated lazily: only a live stack
+		// pointer needs the store destination examined.
+		if v.K != VPtr || v.P == 0 || !m.mem.InStack(v.P) {
+			return
+		}
+		dst, _, _ := m.evalLval(fr, c.DstLV)
+		m.stackEscapeVerify(v, dst)
+		return
+	}
+	m.checkVerdict(c, v)
+}
+
+// stackEscapeVerify is the second half of CheckStackEscape, shared by both
+// backends: v is a live stack pointer, dst the store destination.
+func (m *Machine) stackEscapeVerify(v Value, dst uint32) {
+	if !m.mem.InStack(dst) {
+		m.trapf("stack-escape", "storing a stack pointer (0x%x) into non-stack memory (0x%x)",
+			v.P, dst)
+	}
+}
+
+// checkVerdict decides one check given its evaluated operand. It is the
+// shared second half of a check (after checkEnter): the tree backend calls
+// it from execCheck, the bytecode backend from OpCheck.
+// CheckStackEscape never reaches here (its lazy destination evaluation
+// needs backend-specific sequencing).
+func (m *Machine) checkVerdict(c *cil.Check, v Value) {
 	switch c.Kind {
 	case cil.CheckNull:
-		v := m.evalExpr(fr, c.Ptr)
 		if v.P == 0 {
 			m.trapf("null", "null pointer dereference")
 		}
 
 	case cil.CheckSeq:
-		v := m.evalExpr(fr, c.Ptr)
 		if v.P == 0 {
 			m.trapf("null", "null SEQ pointer dereference")
 		}
@@ -64,7 +98,6 @@ func (m *Machine) execCheck(fr *frame, c *cil.Check) {
 		}
 
 	case cil.CheckSeqToSafe:
-		v := m.evalExpr(fr, c.Ptr)
 		if v.P == 0 {
 			return // null converts freely
 		}
@@ -77,7 +110,6 @@ func (m *Machine) execCheck(fr *frame, c *cil.Check) {
 		}
 
 	case cil.CheckWild:
-		v := m.evalExpr(fr, c.Ptr)
 		if v.P == 0 {
 			m.trapf("null", "null WILD pointer dereference")
 		}
@@ -106,7 +138,6 @@ func (m *Machine) execCheck(fr *frame, c *cil.Check) {
 	case cil.CheckWildRead:
 		// Reading a pointer out of a dynamically-typed area: the tags must
 		// say a valid base/pointer pair lives here.
-		v := m.evalExpr(fr, c.Ptr)
 		blk := m.mem.BlockAt(v.B)
 		if blk == nil || !blk.Wild {
 			m.trapf("tag", "WILD pointer read from untagged area")
@@ -118,13 +149,11 @@ func (m *Machine) execCheck(fr *frame, c *cil.Check) {
 	case cil.CheckWildWrite:
 		// Tag updates happen in storePtr; the check instruction exists to
 		// account for the write-barrier cost and to verify the area.
-		v := m.evalExpr(fr, c.Ptr)
 		if blk := m.mem.BlockAt(v.B); blk != nil {
 			blk.MakeWild()
 		}
 
 	case cil.CheckRtti:
-		v := m.evalExpr(fr, c.Ptr)
 		if v.P == 0 {
 			return // null downcasts freely
 		}
@@ -156,25 +185,13 @@ func (m *Machine) execCheck(fr *frame, c *cil.Check) {
 			m.trapf("rtti", "checked downcast failed: %s is not a subtype of %s", v.RT, target)
 		}
 
-	case cil.CheckStackEscape:
-		v := m.evalExpr(fr, c.Ptr)
-		if v.K != VPtr || v.P == 0 || !m.mem.InStack(v.P) {
-			return
-		}
-		dst, _, _ := m.evalLval(fr, c.DstLV)
-		if !m.mem.InStack(dst) {
-			m.trapf("stack-escape", "storing a stack pointer (0x%x) into non-stack memory (0x%x)",
-				v.P, dst)
-		}
-
 	case cil.CheckIndex:
-		idx := m.evalExpr(fr, c.Ptr).AsInt()
+		idx := v.AsInt()
 		if idx < 0 || (c.Size >= 0 && idx >= int64(c.Size)) {
 			m.trapf("bounds", "array index %d out of range [0, %d)", idx, c.Size)
 		}
 
 	case cil.CheckVerifyNul:
-		v := m.evalExpr(fr, c.Ptr)
 		m.verifyNul(v)
 
 	default:

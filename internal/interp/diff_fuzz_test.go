@@ -3,6 +3,7 @@ package interp_test
 import (
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
@@ -18,12 +19,13 @@ import (
 // (SAFE and SEQ via arithmetic), structs with physical-subtyping casts,
 // address-of, and loops — including the shapes the check optimizer
 // rewrites (invariant checks, induction-variable bounds checks, adjacent
-// constant offsets) — and demand that three executions agree exactly:
+// constant offsets) — and demand that four executions agree:
 //
-//	raw         the uninstrumented program (skipped when the program is
-//	            built to trap: a trapping program is UB raw)
-//	cured -O0   every check the curer inserted
-//	cured -O    the CFG optimizer's output
+//	raw          the uninstrumented program (skipped when the program is
+//	             built to trap: a trapping program is UB raw)
+//	tree -O0     every check the curer inserted, on the tree walker
+//	tree -O      the CFG optimizer's output, on the tree walker
+//	vm   -O0/-O  the same two builds on the bytecode VM
 //
 // The -O0 vs -O comparison is the optimizer's soundness oracle: same
 // stdout, same exit code, same trap-or-not, same trap kind, same trap
@@ -31,6 +33,13 @@ import (
 // executions that trap either way, so no observable difference is
 // tolerated. Most generated programs are trap-free; a fraction contain a
 // deliberate out-of-bounds access so the trap paths are exercised too.
+//
+// The tree vs vm comparison is the bytecode backend's soundness oracle and
+// is stricter: the two backends execute the *same* instrumented program,
+// so they must agree bit-for-bit on everything — stdout, exit code, the
+// trap's kind/message/position/stack, every counter (steps, checks,
+// per-kind tallies, simulated cycles), raw memory traffic, and the entire
+// per-site attribution table.
 
 type progGen struct {
 	rng   uint64
@@ -243,7 +252,40 @@ func trapLine(pos string) string {
 	return pos
 }
 
-// checkSeed builds and runs one generated program all three ways and
+// identicalBackends demands bit-exact agreement between a tree-walker and
+// a VM execution of the same instrumented program.
+func identicalBackends(label string, tree, vmo *interp.Outcome) error {
+	if tree.Stdout != vmo.Stdout {
+		return fmt.Errorf("%s stdout diverges between backends:\ntree: %q\nvm:   %q", label, tree.Stdout, vmo.Stdout)
+	}
+	if tree.ExitCode != vmo.ExitCode {
+		return fmt.Errorf("%s exit code diverges between backends: tree %d, vm %d", label, tree.ExitCode, vmo.ExitCode)
+	}
+	if (tree.Trap == nil) != (vmo.Trap == nil) {
+		return fmt.Errorf("%s trap diverges between backends: tree %v, vm %v", label, tree.Trap, vmo.Trap)
+	}
+	if tree.Trap != nil {
+		if tree.Trap.Kind != vmo.Trap.Kind || tree.Trap.Msg != vmo.Trap.Msg ||
+			tree.Trap.Pos != vmo.Trap.Pos || !reflect.DeepEqual(tree.Trap.Stack, vmo.Trap.Stack) {
+			return fmt.Errorf("%s trap detail diverges between backends:\ntree: %+v\nvm:   %+v", label, tree.Trap, vmo.Trap)
+		}
+	}
+	tc, vc := &tree.Counters, &vmo.Counters
+	if tc.Steps != vc.Steps || tc.Checks != vc.Checks || tc.Cost != vc.Cost || tc.ChecksByKind != vc.ChecksByKind {
+		return fmt.Errorf("%s counters diverge between backends:\ntree: steps %d checks %d cost %d %v\nvm:   steps %d checks %d cost %d %v",
+			label, tc.Steps, tc.Checks, tc.Cost, tc.ChecksByKind, vc.Steps, vc.Checks, vc.Cost, vc.ChecksByKind)
+	}
+	if tree.MemLoads != vmo.MemLoads || tree.MemStores != vmo.MemStores {
+		return fmt.Errorf("%s memory traffic diverges between backends: tree %d/%d, vm %d/%d",
+			label, tree.MemLoads, tree.MemStores, vmo.MemLoads, vmo.MemStores)
+	}
+	if !reflect.DeepEqual(tc.Sites, vc.Sites) {
+		return fmt.Errorf("%s per-site check attribution diverges between backends", label)
+	}
+	return nil
+}
+
+// checkSeed builds and runs one generated program all four ways and
 // reports any disagreement.
 func checkSeed(seed uint64) error {
 	src, oob := generate(seed)
@@ -260,6 +302,7 @@ func checkSeed(seed uint64) error {
 		return fail("build -O failed: %v", err)
 	}
 
+	// The default backend is the VM, so c0/co are the bytecode legs.
 	c0, err := u0.RunCured(interp.Config{})
 	if err != nil {
 		return fail("run cured -O0: %v", err)
@@ -267,6 +310,20 @@ func checkSeed(seed uint64) error {
 	co, err := uo.RunCured(interp.Config{})
 	if err != nil {
 		return fail("run cured -O: %v", err)
+	}
+	t0, err := u0.RunCured(interp.Config{Backend: interp.BackendTree})
+	if err != nil {
+		return fail("run cured -O0 (tree): %v", err)
+	}
+	to, err := uo.RunCured(interp.Config{Backend: interp.BackendTree})
+	if err != nil {
+		return fail("run cured -O (tree): %v", err)
+	}
+	if err := identicalBackends("-O0", t0, c0); err != nil {
+		return fail("%v", err)
+	}
+	if err := identicalBackends("-O", to, co); err != nil {
+		return fail("%v", err)
 	}
 
 	// The optimizer must be observably invisible: -O0 and -O agree on
@@ -368,7 +425,7 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 
 // FuzzDifferential is the native-fuzzing entry to the same oracle: any
 // uint64 becomes a generated program that must behave identically raw,
-// cured -O0, and cured -O.
+// cured -O0, and cured -O, on both the tree walker and the bytecode VM.
 func FuzzDifferential(f *testing.F) {
 	for seed := uint64(1); seed <= 16; seed++ {
 		f.Add(seed)

@@ -19,6 +19,7 @@ import (
 	"gocured/internal/mem"
 	"gocured/internal/qual"
 	"gocured/internal/rtti"
+	"gocured/internal/vm"
 )
 
 // Policy selects the execution/checking regime.
@@ -41,6 +42,31 @@ const (
 var policyNames = [...]string{"none", "cured", "purify", "valgrind"}
 
 func (p Policy) String() string { return policyNames[p] }
+
+// Backend selects the execution engine.
+type Backend int
+
+// Backends. The bytecode VM is the default (zero value); the tree walker
+// remains as the semantic reference and escape hatch (-backend=tree).
+const (
+	BackendVM Backend = iota
+	BackendTree
+)
+
+var backendNames = [...]string{"vm", "tree"}
+
+func (b Backend) String() string { return backendNames[b] }
+
+// ParseBackend parses a backend name ("vm" or "tree").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "vm":
+		return BackendVM, nil
+	case "tree":
+		return BackendTree, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want vm or tree)", s)
+}
 
 // Config configures a Machine.
 type Config struct {
@@ -70,6 +96,16 @@ type Config struct {
 	// SamplePeriod is the step-sampling period (0 = the profile's own
 	// period, or flight.DefaultSamplePeriod).
 	SamplePeriod uint64
+	// Backend selects the execution engine: the bytecode VM (default) or
+	// the tree walker. Both produce bit-identical observable results; the
+	// differential fuzzer and the backend golden tests enforce it.
+	Backend Backend
+	// Code is an optional precompiled bytecode module for the program this
+	// machine runs (it must have been compiled from the same *cil.Program
+	// under the same layout). Nil makes New compile one when Backend is
+	// BackendVM; callers that run the same program repeatedly (the
+	// pipeline cache, benchmarks) pass a cached module to skip that.
+	Code *vm.Module
 }
 
 // SiteKey identifies one static check site: rendered source position ×
@@ -102,8 +138,10 @@ type SiteStat struct {
 type Counters struct {
 	Steps  uint64
 	Checks uint64
-	// ChecksByKind tallies executed checks per kind.
-	ChecksByKind map[cil.CheckKind]uint64
+	// ChecksByKind tallies executed checks per kind. It is a fixed array
+	// indexed by cil.CheckKind (a map here would hash on every dynamic
+	// check); KindCounts.MarshalJSON keeps the external map-of-names shape.
+	ChecksByKind KindCounts
 	// Sites tallies per-site check executions and traps (file:line:col ×
 	// check kind), the run-time attribution that lets the optimizer be
 	// evaluated against real hit counts.
@@ -201,6 +239,24 @@ type Machine struct {
 
 	funcLayouts map[*cil.Func]*funcLayout
 
+	// code is the bytecode module (nil on the tree backend); vmGlobals
+	// resolves its global-index table to addresses once, at construction.
+	code      *vm.Module
+	vmGlobals []uint32
+
+	// siteCounts is the dense per-site counter table, indexed by the
+	// 1-based static site ID every check carries — the hit path touches no
+	// map and renders no position string. extraSites holds the cold
+	// leftovers: checks with no assigned ID and optimizer-elided sites
+	// whose ID is unknown. finishSites folds both into Counters.Sites.
+	siteCounts []SiteCount
+	extraSites map[SiteKey]*SiteCount
+
+	// framePool recycles activation records (and their register files)
+	// across calls; deep call chains would otherwise allocate one frame
+	// per call.
+	framePool []*frame
+
 	shadowMeta   map[uint32]metaEntry
 	policyShadow *shadowMem
 
@@ -239,11 +295,13 @@ type funcLayout struct {
 	offsets map[*cil.Var]uint32
 }
 
-// frame is one activation record.
+// frame is one activation record. regs is the bytecode register file
+// (empty under the tree backend). Frames are pooled on the Machine.
 type frame struct {
 	fn   *cil.Func
 	base uint32
 	lay  *funcLayout
+	regs []Value
 }
 
 func (f *frame) slot(v *cil.Var, m *Machine) uint32 {
@@ -252,6 +310,38 @@ func (f *frame) slot(v *cil.Var, m *Machine) uint32 {
 		m.trapf("internal", "variable %q has no slot in %q", v.Name, f.fn.Name)
 	}
 	return f.base + off
+}
+
+// getFrame takes a pooled activation record (or allocates one) with room
+// for nregs registers.
+func (m *Machine) getFrame(fn *cil.Func, base uint32, lay *funcLayout, nregs int) *frame {
+	var fr *frame
+	if n := len(m.framePool); n > 0 {
+		fr = m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+	} else {
+		fr = &frame{}
+	}
+	fr.fn, fr.base, fr.lay = fn, base, lay
+	if nregs > 0 {
+		if cap(fr.regs) < nregs {
+			fr.regs = make([]Value, nregs)
+		} else {
+			fr.regs = fr.regs[:nregs]
+		}
+	} else {
+		fr.regs = fr.regs[:0]
+	}
+	return fr
+}
+
+// putFrame returns an activation record to the pool. Registers may hold
+// pointers into the RTTI hierarchy; clearing them is unnecessary (the
+// next call overwrites written registers before reading them) and the
+// hierarchy is program-lifetime anyway.
+func (m *Machine) putFrame(fr *frame) {
+	fr.fn, fr.lay = nil, nil
+	m.framePool = append(m.framePool, fr)
 }
 
 // control-flow signals.
@@ -290,25 +380,31 @@ func New(prog *cil.Program, cfg Config) *Machine {
 		rngState:    cfg.Seed*6364136223846793005 + 1442695040888963407,
 		libcState:   &libcState{},
 	}
-	m.cnt.ChecksByKind = make(map[cil.CheckKind]uint64)
-	m.cnt.Sites = make(map[SiteKey]*SiteCount)
 	if m.stepLimit == 0 {
 		m.stepLimit = 1_000_000_000
 	}
+	m.extraSites = make(map[SiteKey]*SiteCount)
 	if cfg.Policy == PolicyCured {
 		m.cured = cfg.Cured
 		m.prog = cfg.Cured.Prog
 		m.lay = cfg.Cured.Lay
 		m.hier = cfg.Cured.Res.Hier
+		m.siteCounts = make([]SiteCount, len(m.cured.Sites)+1)
 		if m.cured.Opt != nil {
 			// Seed site counters with the optimizer's deletions so a site
 			// whose checks were all removed still shows up, attributed.
+			// Sites that survived keep their dense slot; fully-elided ones
+			// (no surviving check, hence no ID) go to the cold side table.
 			for _, se := range m.cured.Opt.Sites {
 				k := SiteKey{Pos: se.Pos.String(), Kind: se.Kind}
-				sc, ok := m.cnt.Sites[k]
+				if id, ok := m.cured.SiteIndex[instrument.SiteInfo{Pos: k.Pos, Kind: k.Kind}]; ok {
+					m.siteCounts[id].Elided += uint64(se.N)
+					continue
+				}
+				sc, ok := m.extraSites[k]
 				if !ok {
 					sc = &SiteCount{}
-					m.cnt.Sites[k] = sc
+					m.extraSites[k] = sc
 				}
 				sc.Elided += uint64(se.N)
 			}
@@ -339,7 +435,22 @@ func New(prog *cil.Program, cfg Config) *Machine {
 	}
 	m.builtins = builtinTable()
 
+	if cfg.Backend == BackendVM {
+		if cfg.Code != nil {
+			m.code = cfg.Code
+		} else {
+			m.code = vm.Compile(m.prog, vmLayout(m.lay))
+		}
+	}
 	m.layoutGlobals()
+	if m.code != nil {
+		// Bind the module's global-index table to this machine's layout
+		// once; OpAddrGlobal is then a slice index.
+		m.vmGlobals = make([]uint32, len(m.code.Globals))
+		for i, v := range m.code.Globals {
+			m.vmGlobals[i] = m.globals[v]
+		}
+	}
 	stack := cfg.StackSize
 	if stack == 0 {
 		stack = 1 << 20
@@ -347,6 +458,9 @@ func New(prog *cil.Program, cfg Config) *Machine {
 	m.mem.InitStack(stack)
 	return m
 }
+
+// vmLayout narrows the machine's layout oracle to the compiler's view.
+func vmLayout(lay layoutOracle) vm.Layout { return lay }
 
 // Stdout returns the output produced so far.
 func (m *Machine) Stdout() string { return m.stdout.String() }
@@ -372,6 +486,7 @@ func (m *Machine) Run() (out *Outcome, err error) {
 			}
 		}
 		out.Stdout = m.stdout.String()
+		m.finishSites()
 		out.Counters = m.cnt
 		out.MemLoads = m.mem.Loads
 		out.MemStores = m.mem.Stores
@@ -456,7 +571,7 @@ func (m *Machine) decorateTrap(t *mem.Trap) {
 		t.Stack = m.stackTrace()
 	}
 	if m.curCheck != nil {
-		if sc := m.siteCount(m.curCheck); sc != nil {
+		if sc := m.siteFor(m.curCheck); sc != nil {
 			sc.Traps++
 		}
 	}
@@ -490,18 +605,52 @@ func (m *Machine) stackTrace() []string {
 	return out
 }
 
-// siteCount returns (creating on first use) the per-site counter of c.
-func (m *Machine) siteCount(c *cil.Check) *SiteCount {
-	if m.cnt.Sites == nil {
+// siteFor returns the per-site counter of c. The hot path — every check
+// carries the 1-based site ID AssignSites stamped on it — is a single
+// slice index with no allocation; checks without an ID (hand-built
+// programs in tests) fall back to a cold keyed map.
+func (m *Machine) siteFor(c *cil.Check) *SiteCount {
+	if id := int(c.Site); id > 0 && id < len(m.siteCounts) {
+		return &m.siteCounts[id]
+	}
+	if m.extraSites == nil {
 		return nil
 	}
 	k := SiteKey{Pos: c.Pos.String(), Kind: c.Kind}
-	sc, ok := m.cnt.Sites[k]
+	sc, ok := m.extraSites[k]
 	if !ok {
 		sc = &SiteCount{}
-		m.cnt.Sites[k] = sc
+		m.extraSites[k] = sc
 	}
 	return sc
+}
+
+// finishSites folds the dense site-counter table and the cold side table
+// into the public Counters.Sites map (the shape TopSites and the Result
+// API expose). It runs once, when the run ends.
+func (m *Machine) finishSites() {
+	m.cnt.Sites = make(map[SiteKey]*SiteCount, len(m.extraSites)+8)
+	for id := 1; id < len(m.siteCounts); id++ {
+		sc := m.siteCounts[id]
+		if sc == (SiteCount{}) {
+			continue // never hit, never trapped, nothing elided: not a row
+		}
+		info := m.cured.Sites[id-1]
+		cp := sc
+		m.cnt.Sites[SiteKey{Pos: info.Pos, Kind: info.Kind}] = &cp
+	}
+	for k, sc := range m.extraSites {
+		if *sc == (SiteCount{}) {
+			continue
+		}
+		if have, ok := m.cnt.Sites[k]; ok {
+			have.Hits += sc.Hits
+			have.Traps += sc.Traps
+			have.Elided += sc.Elided
+			continue
+		}
+		m.cnt.Sites[k] = sc
+	}
 }
 
 // ---- Globals and layout ----
@@ -618,43 +767,32 @@ func (m *Machine) layoutOf(fn *cil.Func) *funcLayout {
 	if fl, ok := m.funcLayouts[fn]; ok {
 		return fl
 	}
-	fl := &funcLayout{offsets: make(map[*cil.Var]uint32)}
-	off := uint32(0)
-	place := func(v *cil.Var) {
-		a := uint32(m.lay.Alignof(v.Type))
-		if a == 0 {
-			a = 1
-		}
-		off = (off + a - 1) / a * a
-		fl.offsets[v] = off
-		sz := uint32(m.lay.Sizeof(v.Type))
-		if sz == 0 {
-			sz = 4
-		}
-		off += sz
-	}
-	for _, p := range fn.Params {
-		place(p)
-	}
-	for _, l := range fn.Locals {
-		place(l)
-	}
-	fl.size = (off + 7) &^ 7
-	if fl.size == 0 {
-		fl.size = 8
-	}
+	// vm.FrameLayout is the single source of truth for frame layout: the
+	// bytecode compiler resolves slots through it at compile time, so both
+	// backends give a variable the same simulated address.
+	size, offsets := vm.FrameLayout(fn, vmLayout(m.lay))
+	fl := &funcLayout{size: size, offsets: offsets}
 	m.funcLayouts[fn] = fl
 	return fl
 }
 
 // ---- Calls ----
 
-// call invokes a defined function with already-converted argument values.
+// call invokes a defined function with already-converted argument values,
+// dispatching to the bytecode when the function compiled (direct bytecode
+// call sites skip this and jump to vmCall with a linked *FuncCode; this
+// path serves the tree backend, indirect calls, builtin callbacks, and
+// the per-function fallback for code the vm compiler skipped).
 func (m *Machine) call(fn *cil.Func, args []Value) Value {
+	if m.code != nil {
+		if fc := m.code.ByFunc[fn]; fc != nil {
+			return m.vmCall(fc, args)
+		}
+	}
 	fl := m.layoutOf(fn)
 	blk, err := m.mem.PushFrame(fl.size, fn.Name)
 	m.check(err)
-	fr := &frame{fn: fn, base: blk.Addr, lay: fl}
+	fr := m.getFrame(fn, blk.Addr, fl, 0)
 	for i, p := range fn.Params {
 		if i < len(args) {
 			m.store(fr.slot(p, m), p.Type, args[i])
@@ -672,6 +810,7 @@ func (m *Machine) call(fn *cil.Func, args []Value) Value {
 		}
 		m.frames = m.frames[:len(m.frames)-1]
 		m.mem.PopFrame()
+		m.putFrame(fr)
 	}()
 	sig, ret := m.execBlock(fr, fn.Body)
 	if sig == sigReturn {

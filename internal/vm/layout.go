@@ -1,0 +1,47 @@
+package vm
+
+import (
+	"gocured/internal/cil"
+	"gocured/internal/ctypes"
+)
+
+// FrameLayout places a function's parameters and locals into one stack
+// frame and returns the frame size and per-variable offsets. It is the
+// single source of truth for activation-record layout: the tree backend's
+// layoutOf delegates here and the bytecode compiler resolves OpAddrLocal
+// offsets from it, so a local variable has the same simulated address
+// under both backends (frame addresses are observable through pointer
+// arithmetic and trap messages).
+func FrameLayout(fn *cil.Func, lay Layout) (size uint32, offsets map[*cil.Var]uint32) {
+	offsets = make(map[*cil.Var]uint32, len(fn.Params)+len(fn.Locals))
+	off := uint32(0)
+	place := func(v *cil.Var) {
+		a := uint32(lay.Alignof(v.Type))
+		if a == 0 {
+			a = 1
+		}
+		off = (off + a - 1) / a * a
+		offsets[v] = off
+		sz := uint32(lay.Sizeof(v.Type))
+		if sz == 0 {
+			sz = 4
+		}
+		off += sz
+	}
+	for _, p := range fn.Params {
+		place(p)
+	}
+	for _, l := range fn.Locals {
+		place(l)
+	}
+	size = (off + 7) &^ 7
+	if size == 0 {
+		size = 8
+	}
+	return size, offsets
+}
+
+// scalarSize is Sizeof clamped to uint32 for operand encoding.
+func scalarSize(lay Layout, t *ctypes.Type) int32 {
+	return int32(lay.Sizeof(t))
+}
