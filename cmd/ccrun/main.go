@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"gocured"
+	"gocured/internal/pipeline"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	traceBuf := flag.Int("trace-buf", 0, "flight-recorder ring capacity in events (0 = 8192)")
 	profPeriod := flag.Int("prof", 0, "sample the current source line every N interpreter steps (0 = off)")
 	backend := flag.String("backend", "vm", "interpreter backend: vm (bytecode) or tree (reference walker)")
+	storeDir := flag.String("store-dir", "", "persistent artifact store directory; recompiles of unchanged functions are replayed from it (empty = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccrun [flags] file.c")
@@ -64,7 +66,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	prog, err := gocured.Compile(file, string(src), gocured.Options{TrustBadCasts: *trust})
+	opts := gocured.Options{TrustBadCasts: *trust}
+	var sums gocured.SummarySource
+	if arts, err := pipeline.OpenStore(*storeDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if arts != nil {
+		sums = arts.ForOptions(opts)
+	}
+	prog, err := gocured.CompileStored(file, string(src), opts, sums)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -463,13 +463,19 @@ func main() {
 	jobTimeout := flag.Duration("timeout", 60*time.Second, "wall-clock bound per job (0 = none)")
 	maxBytes := flag.Int64("max-request-bytes", 1<<20, "maximum POST /cure body size")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+	storeDir := flag.String("store-dir", "", "persistent artifact store directory; compiles survive restarts (empty = memory cache only)")
 	flag.Parse()
 
+	arts, err := pipeline.OpenStore(*storeDir)
+	if err != nil {
+		log.Fatalf("ccserve: %v", err)
+	}
 	runner := pipeline.NewRunner(pipeline.RunnerOptions{
 		Workers:          *jobs,
 		CacheEntries:     *cacheEntries,
 		DefaultStepLimit: *stepLimit,
 		JobTimeout:       *jobTimeout,
+		Store:            arts,
 	})
 	expvar.Publish("gocured_pipeline", runner.ExpvarVar())
 
@@ -487,6 +493,10 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("ccserve listening on %s (%d workers, %s version %s)",
 		*addr, runner.Workers(), "gocured", gocured.Version)
+	if arts != nil {
+		st := arts.Store().Stats()
+		log.Printf("ccserve: artifact store %s (%d chunks, %d bytes)", *storeDir, st.Chunks, st.Bytes)
+	}
 
 	select {
 	case err := <-errCh:

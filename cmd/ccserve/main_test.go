@@ -218,11 +218,78 @@ func TestPrometheusEndpoint(t *testing.T) {
 			}
 		}
 	}
-	for _, want := range []string{"gocured_jobs_run_total 1", "gocured_runs_executed_total 1", "gocured_compile_wall_ms_bucket"} {
+	for _, want := range []string{"gocured_jobs_run_total 1", "gocured_runs_executed_total 1", "gocured_compile_wall_ms_bucket",
+		// The store families are always declared, zero-valued without a
+		// configured store, so scrapers and the CI smoke can rely on them.
+		"gocured_store_hits_total 0", "gocured_store_misses_total 0",
+		"gocured_store_bytes 0", "gocured_store_chunks 0"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("missing %q in:\n%s", want, body)
 		}
 	}
+}
+
+// TestPrometheusStoreMetrics boots two servers against one artifact-store
+// directory: the first compile populates the store (misses + writes), a
+// fresh server — fresh memory cache — then serves the same source from
+// disk chunks, and both facts must be visible on /metrics/prometheus.
+func TestPrometheusStoreMetrics(t *testing.T) {
+	dir := t.TempDir()
+	serve := func() *server {
+		arts, err := pipeline.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1, Store: arts}),
+			serverConfig{MaxBytes: 1 << 20})
+	}
+	prom := func(s *server) string {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/prometheus", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		return rec.Body.String()
+	}
+	body := `{"name":"hello.c","source":"int main(void){ int i; int a[3]; int t = 0; for (i = 0; i < 3; i++) t += a[i]; return 0; }","run":true}`
+
+	cold := serve()
+	if rec, _ := post(t, cold, body); rec.Code != http.StatusOK {
+		t.Fatalf("cold cure status = %d: %s", rec.Code, rec.Body.String())
+	}
+	got := prom(cold)
+	for _, want := range []string{"gocured_store_misses_total", "gocured_store_writes_total"} {
+		if !promSamplePositive(got, want) {
+			t.Errorf("cold server: %s not positive in:\n%s", want, got)
+		}
+	}
+
+	warm := serve()
+	if rec, resp := post(t, warm, body); rec.Code != http.StatusOK || resp.CacheHit {
+		t.Fatalf("warm cure: status = %d, cache_hit = %v (memory cache is fresh)", rec.Code, resp.CacheHit)
+	}
+	got = prom(warm)
+	for _, want := range []string{"gocured_store_hits_total", "gocured_store_chunks",
+		"gocured_store_bytes", "gocured_funcs_loaded_total"} {
+		if !promSamplePositive(got, want) {
+			t.Errorf("warm server: %s not positive in:\n%s", want, got)
+		}
+	}
+	if promSamplePositive(got, "gocured_funcs_recured_total") {
+		t.Errorf("warm server re-cured functions:\n%s", got)
+	}
+}
+
+// promSamplePositive reports whether the exposition contains a sample line
+// `name value` with value > 0.
+func promSamplePositive(body, name string) bool {
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name && fields[1] != "0" {
+			return true
+		}
+	}
+	return false
 }
 
 // TestCureTrapProvenance checks that a trapping run reports where it

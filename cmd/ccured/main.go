@@ -22,6 +22,7 @@ import (
 
 	"gocured"
 	"gocured/internal/flight"
+	"gocured/internal/pipeline"
 )
 
 // writeExplain renders the -explain output: one annotated blame chain per
@@ -49,6 +50,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print blame chains for WILD/SEQ/RTTI pointers (why each kind was inferred)")
 	site := flag.String("site", "", "with -explain: only explain casts at this source position prefix (e.g. file.c:12)")
 	traceOut := flag.String("trace", "", "write the compile phases as Chrome trace-event JSON to this file")
+	storeDir := flag.String("store-dir", "", "persistent artifact store directory; recompiles of unchanged functions are replayed from it (empty = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccured [flags] file.c")
@@ -61,16 +63,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	prog, err := gocured.Compile(file, string(src), gocured.Options{
+	opts := gocured.Options{
 		NoRTTI:              *noRTTI,
 		NoPhysicalSubtyping: *noSub,
 		TrustBadCasts:       *trust,
 		ForceSplitAll:       *splitAll,
 		NoOptimize:          *optLevel == 0,
-	})
+	}
+	var sums gocured.SummarySource
+	if arts, err := pipeline.OpenStore(*storeDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if arts != nil {
+		sums = arts.ForOptions(opts)
+	}
+	prog, err := gocured.CompileStored(file, string(src), opts, sums)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *storeDir != "" {
+		in := prog.IncrStats()
+		fmt.Fprintf(os.Stderr, "store: %d functions, %d replayed from %s, %d re-cured\n",
+			in.Funcs, in.Loaded, *storeDir, in.Recured)
 	}
 	for _, d := range prog.Diagnostics() {
 		fmt.Fprintln(os.Stderr, d)

@@ -253,18 +253,38 @@ type Program struct {
 // Compile parses, type checks, infers pointer kinds for, and instruments a
 // C source file. The returned Program can run in any Mode.
 func Compile(filename, src string, opts Options) (*Program, error) {
-	u, err := core.Build(filename, src, infer.Options{
+	return CompileStored(filename, src, opts, nil)
+}
+
+// SummarySource supplies persisted per-function inference summaries to
+// CompileStored (see internal/store for the on-disk implementation).
+type SummarySource = infer.SummarySource
+
+// IncrStats reports how an incremental compilation composed its inference
+// result: functions replayed from stored summaries vs. re-collected.
+type IncrStats = infer.IncrStats
+
+// CompileStored is Compile backed by a persistent artifact store: functions
+// whose stored constraint summaries still match the current source are
+// replayed instead of re-inferred, producing a bit-identical Program. A nil
+// sums degrades to Compile.
+func CompileStored(filename, src string, opts Options, sums SummarySource) (*Program, error) {
+	u, err := core.BuildStored(filename, src, infer.Options{
 		NoRTTI:              opts.NoRTTI,
 		NoPhysicalSubtyping: opts.NoPhysicalSubtyping,
 		TrustBadCasts:       opts.TrustBadCasts,
 		SplitAll:            opts.ForceSplitAll,
 		NoOptimize:          opts.NoOptimize,
-	})
+	}, sums)
 	if err != nil {
 		return nil, err
 	}
 	return &Program{unit: u, opts: opts}, nil
 }
+
+// IncrStats reports how this Program's inference was composed (all-recured
+// for a plain Compile).
+func (p *Program) IncrStats() IncrStats { return p.unit.Incr }
 
 // Run executes the program in the given mode.
 func (p *Program) Run(mode Mode, opt RunOptions) (*Result, error) {

@@ -22,6 +22,15 @@ func Print(w io.Writer, p *Program) {
 	}
 }
 
+// FprintFunc writes the readable rendering of a single function to w. The
+// infer package fingerprints function bodies with it: the rendering is a
+// pure function of the lowered body, so two parses of the same source
+// produce byte-identical output.
+func FprintFunc(w io.Writer, f *Func) {
+	pr := &printer{w: w}
+	pr.printFunc(f)
+}
+
 type printer struct {
 	w      io.Writer
 	indent int

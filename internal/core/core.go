@@ -35,6 +35,11 @@ type Unit struct {
 	// Diags collects warnings and notes from all phases.
 	Diags *diag.List
 
+	// Incr reports how inference composed this unit: functions re-collected
+	// vs. replayed from a persistent summary store. A plain Build counts
+	// every function as recured.
+	Incr infer.IncrStats
+
 	// Spans records per-phase wall time of the build (parse/sema/lower of
 	// the cure pass, plus frontend-raw, infer, instrument).
 	Spans []trace.Span
@@ -84,6 +89,15 @@ func frontend(filename, src string, diags *diag.List, spans *trace.SpanSet) (*ci
 
 // Build compiles and cures a source file.
 func Build(filename, src string, opts infer.Options) (*Unit, error) {
+	return BuildStored(filename, src, opts, nil)
+}
+
+// BuildStored is Build with a persistent summary source: pointer-kind
+// inference replays per-function constraint summaries whose fingerprints
+// still match instead of re-collecting them, then runs the global solve as
+// usual. The resulting Unit is bit-identical to a plain Build; Unit.Incr
+// reports the replay/recure split. A nil sums degrades to Build.
+func BuildStored(filename, src string, opts infer.Options, sums infer.SummarySource) (*Unit, error) {
 	u := &Unit{Filename: filename, Source: src, Diags: &diag.List{}}
 	spans := &trace.SpanSet{}
 	var raw *cil.Program
@@ -105,7 +119,7 @@ func Build(filename, src string, opts infer.Options) (*Unit, error) {
 	// Wrapper redirection must precede inference so wrapper constraints
 	// reach every call site (§4.1).
 	instrument.RedirectWrappers(prog2, u.Diags)
-	spans.Do("infer", func() { u.Res = infer.Infer(prog2, opts, u.Diags) })
+	spans.Do("infer", func() { u.Res, u.Incr = infer.InferIncremental(prog2, opts, u.Diags, sums) })
 	spans.Do("instrument", func() { u.Cured = instrument.Cure(prog2, u.Res, u.Diags) })
 	if !opts.NoOptimize {
 		spans.Do("optimize", func() { instrument.Optimize(u.Cured) })

@@ -114,6 +114,7 @@ func All(cfg Config) []*Table {
 		BindCasts(cfg),
 		SplitStats(cfg),
 		Exploits(cfg),
+		StoreWarmth(cfg),
 	}
 }
 

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"gocured"
+	"gocured/internal/corpus"
+	"gocured/internal/pipeline"
+	"gocured/internal/store"
+)
+
+// E12: artifact-store warmth. Every corpus program is compiled three times
+// against one persistent chunk store:
+//
+//	cold   an empty (or pre-warmed — see the CI gate) store: per-function
+//	       summaries are recorded and written as chunks
+//	warm   the same source again: every storable function's constraints
+//	       replay from disk instead of being re-collected
+//	edit   a one-line edit to one function body: only that function (plus
+//	       any unstorable ones) re-cures; the rest replay
+//
+// The warm and edit builds are verified bit-identical to the cold one
+// (same Stats) — the store changes compile time, never results. Running
+// ccbench -store-json twice against the same directory is the CI
+// warm-restart gate: the second run's "cold" phase is served entirely from
+// the first run's chunks, so its cold_recured must equal unstorable (zero
+// recompiles of storable functions across a process restart).
+
+// StoreBenchRow is one program's cold/warm/edit measurement.
+type StoreBenchRow struct {
+	Name  string `json:"name"`
+	Funcs int    `json:"funcs"`
+
+	ColdMS      float64 `json:"cold_ms"`
+	ColdRecured int     `json:"cold_recured"`
+	WarmMS      float64 `json:"warm_ms"`
+	WarmLoaded  int     `json:"warm_loaded"`
+	WarmRecured int     `json:"warm_recured"`
+	// Unstorable functions re-cure on every compile (an operand occurrence
+	// had no symbolic name); zero across today's corpus.
+	Unstorable int `json:"unstorable,omitempty"`
+	// WarmSpeedup is cold_ms/warm_ms (indicative wall time; the recure
+	// counts are the deterministic signal).
+	WarmSpeedup float64 `json:"warm_speedup"`
+
+	// Edit phase, for programs the one-line edit applies to.
+	Edited      bool    `json:"edited,omitempty"`
+	EditMS      float64 `json:"edit_ms,omitempty"`
+	EditRecured int     `json:"edit_recured,omitempty"`
+	// EditPct is the fraction of functions re-cured by the edit (the
+	// incremental-re-curing acceptance bar is < 10% for programs with at
+	// least 10 functions).
+	EditPct float64 `json:"edit_pct,omitempty"`
+}
+
+// StoreBench is the full artifact-store measurement, serialized to
+// BENCH_store.json.
+type StoreBench struct {
+	Scale int             `json:"scale"`
+	Rows  []StoreBenchRow `json:"rows"`
+
+	TotalFuncs  int `json:"total_funcs"`
+	ColdRecured int `json:"cold_recured"`
+	WarmLoaded  int `json:"warm_loaded"`
+	WarmRecured int `json:"warm_recured"`
+	Unstorable  int `json:"unstorable"`
+
+	EditedFuncs int     `json:"edited_funcs"`
+	EditRecured int     `json:"edit_recured"`
+	EditPct     float64 `json:"edit_pct"`
+
+	GeomeanWarmSpeedup float64 `json:"geomean_warm_speedup"`
+
+	// Store snapshots the chunk store after the measurement.
+	Store store.Stats `json:"store"`
+}
+
+// editSource applies the canonical one-line edit: a dead statement spliced
+// into one function body on an existing line, so no other function's
+// fingerprint (which includes positions) shifts. Returns ok=false when the
+// program has no splice point.
+func editSource(src string) (string, bool) {
+	if !strings.Contains(src, "int i;") {
+		return "", false
+	}
+	return strings.Replace(src, "int i;", "int i; if (0) { i = 1; }", 1), true
+}
+
+// MeasureStore compiles every corpus program cold/warm/edited against the
+// chunk store rooted at dir (created if needed; pass an existing directory
+// to measure a pre-warmed store).
+func MeasureStore(cfg Config, dir string) (*StoreBench, error) {
+	arts, err := pipeline.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	progs := corpus.All()
+	bench := &StoreBench{Scale: cfg.Scale, Rows: make([]StoreBenchRow, len(progs))}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, p := range progs {
+		wg.Add(1)
+		go func(i int, p *corpus.Program) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bench.Rows[i] = measureStoreOne(arts, p, cfg.Scale)
+		}(i, p)
+	}
+	wg.Wait()
+
+	logSpeedups := 0.0
+	for _, r := range bench.Rows {
+		bench.TotalFuncs += r.Funcs
+		bench.ColdRecured += r.ColdRecured
+		bench.WarmLoaded += r.WarmLoaded
+		bench.WarmRecured += r.WarmRecured
+		bench.Unstorable += r.Unstorable
+		if r.Edited {
+			bench.EditedFuncs += r.Funcs
+			bench.EditRecured += r.EditRecured
+		}
+		logSpeedups += math.Log(r.WarmSpeedup)
+	}
+	if n := len(bench.Rows); n > 0 {
+		bench.GeomeanWarmSpeedup = math.Exp(logSpeedups / float64(n))
+	}
+	if bench.EditedFuncs > 0 {
+		bench.EditPct = 100 * float64(bench.EditRecured) / float64(bench.EditedFuncs)
+	}
+	bench.Store = arts.Store().Stats()
+	return bench, nil
+}
+
+func measureStoreOne(arts *store.Artifacts, p *corpus.Program, scale int) StoreBenchRow {
+	src := p.Source
+	if scale > 0 {
+		src = corpus.WithScale(p, scale)
+	}
+	opts := defaultOpts(p)
+	sums := arts.ForOptions(opts)
+	build := func(source string) (*gocured.Program, gocured.IncrStats, float64) {
+		t0 := time.Now()
+		prog, err := gocured.CompileStored(p.Name+".c", source, opts, sums)
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			panic(fmt.Sprintf("storebench: build %s: %v", p.Name, err))
+		}
+		return prog, prog.IncrStats(), ms
+	}
+	cold, coldIncr, coldMS := build(src)
+	warm, warmIncr, warmMS := build(src)
+	if warm.Stats() != cold.Stats() {
+		panic(fmt.Sprintf("storebench: %s warm build diverges from cold", p.Name))
+	}
+	row := StoreBenchRow{
+		Name:        p.Name,
+		Funcs:       coldIncr.Funcs,
+		ColdMS:      coldMS,
+		ColdRecured: coldIncr.Recured,
+		WarmMS:      warmMS,
+		WarmLoaded:  warmIncr.Loaded,
+		WarmRecured: warmIncr.Recured,
+		Unstorable:  warmIncr.Unstorable,
+		WarmSpeedup: coldMS / math.Max(warmMS, 0.001),
+	}
+	if edited, ok := editSource(src); ok {
+		t0 := time.Now()
+		prog, err := gocured.CompileStored(p.Name+".c", edited, opts, sums)
+		row.EditMS = float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			panic(fmt.Sprintf("storebench: build edited %s: %v", p.Name, err))
+		}
+		row.Edited = true
+		row.EditRecured = prog.IncrStats().Recured
+		if row.Funcs > 0 {
+			row.EditPct = 100 * float64(row.EditRecured) / float64(row.Funcs)
+		}
+	}
+	return row
+}
+
+// StoreWarmth renders E12 as a table, measuring against a throwaway store.
+func StoreWarmth(cfg Config) *Table {
+	dir, err := os.MkdirTemp("", "gocured-storebench-")
+	if err != nil {
+		panic(fmt.Sprintf("storebench: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	b, err := MeasureStore(cfg, dir)
+	if err != nil {
+		panic(fmt.Sprintf("storebench: %v", err))
+	}
+	t := &Table{
+		ID:    "E12",
+		Title: "artifact store: cold vs warm vs one-line-edit compiles",
+		Note: "warm replays per-function summaries from the chunk store;\n" +
+			"edit re-cures only the edited function (- = program has no edit point)",
+		Header: []string{"program", "funcs", "cold ms", "warm ms", "warm recured",
+			"edit ms", "edit recured", "edit %"},
+	}
+	for _, r := range b.Rows {
+		editMS, editN, editPct := "-", "-", "-"
+		if r.Edited {
+			editMS = fmt.Sprintf("%.1f", r.EditMS)
+			editN = fmt.Sprint(r.EditRecured)
+			editPct = fmt.Sprintf("%.0f", r.EditPct)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name, fmt.Sprint(r.Funcs),
+			fmt.Sprintf("%.1f", r.ColdMS), fmt.Sprintf("%.1f", r.WarmMS),
+			fmt.Sprint(r.WarmRecured), editMS, editN, editPct,
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"TOTAL", fmt.Sprint(b.TotalFuncs), "", "",
+		fmt.Sprint(b.WarmRecured), "", fmt.Sprint(b.EditRecured),
+		fmt.Sprintf("%.0f", b.EditPct),
+	})
+	return t
+}
+
+// WriteStoreBench runs MeasureStore against dir and writes the result as
+// indented JSON — the BENCH_store.json artifact tracked in the repository
+// and uploaded by CI.
+func WriteStoreBench(cfg Config, dir, path string) (*StoreBench, error) {
+	b, err := MeasureStore(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return b, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,44 +7,17 @@ import (
 	"gocured/internal/qual"
 )
 
-// collect walks the whole program, registering qualifier nodes for every
-// pointer occurrence and generating constraints.
-func (in *inferrer) collect() {
-	// Register all type occurrences reachable from declarations.
-	for _, g := range in.prog.Globals {
-		in.regType(g.Var.Type)
-		in.regType(g.Var.AddrType)
-		if g.Init != nil {
-			in.collectInit(g.Init, g.Var.Type)
-		}
-	}
-	for _, v := range in.prog.Externs {
-		in.regType(v.Type)
-		in.regType(v.AddrType)
-	}
-	for _, f := range in.prog.Funcs {
-		in.regType(f.Type)
-		for _, p := range f.Params {
-			in.regType(p.Type)
-			in.regType(p.AddrType)
-		}
-		for _, l := range f.Locals {
-			in.regType(l.Type)
-			in.regType(l.AddrType)
-		}
-	}
-	// Walk every function body.
-	for _, f := range in.prog.Funcs {
-		in.collectFunc(f)
-	}
-}
-
 // regType registers qualifier nodes for every pointer/array occurrence in
 // t's reachable type graph, records base-containment edges for WILD
 // spreading, and registers pointer base types in the RTTI hierarchy.
 func (in *inferrer) regType(t *ctypes.Type) {
 	if t == nil {
 		return
+	}
+	if in.rec != nil && hasQualOcc(t) {
+		// Pure-scalar registrations are graph no-ops and are not recorded,
+		// so summaries never reference (possibly shared) scalar types.
+		in.rec.reg(t)
 	}
 	ctypes.Walk(t, func(u *ctypes.Type) {
 		if u.Kind != ctypes.Ptr && u.Kind != ctypes.Array {
@@ -64,6 +37,18 @@ func (in *inferrer) regType(t *ctypes.Type) {
 			in.g.AddBase(n, in.g.NodeFor(b))
 		}
 	})
+}
+
+// hasQualOcc reports whether t's reachable type graph contains any
+// pointer/array occurrence (i.e. whether regType on it does anything).
+func hasQualOcc(t *ctypes.Type) bool {
+	found := false
+	ctypes.Walk(t, func(u *ctypes.Type) {
+		if u.Kind == ctypes.Ptr || u.Kind == ctypes.Array {
+			found = true
+		}
+	})
+	return found
 }
 
 // repPointers returns the pointer/array occurrences contained in the
@@ -208,17 +193,25 @@ func (in *inferrer) collectExprShallow(x cil.Expr) {
 		switch v.Op {
 		case cil.OpAddPI, cil.OpSubPI:
 			in.regType(v.A.Type())
-			if n := in.g.Lookup(v.A.Type()); n != nil {
-				n.MarkArith()
-			}
+			in.markArithOcc(v.A.Type(), diag.Pos{})
 		case cil.OpSubPP:
 			for _, side := range []cil.Expr{v.A, v.B} {
 				in.regType(side.Type())
-				if n := in.g.Lookup(side.Type()); n != nil {
-					n.MarkArith()
-				}
+				in.markArithOcc(side.Type(), diag.Pos{})
 			}
 		}
+	}
+}
+
+// markArithOcc marks pointer arithmetic on the occurrence t, recording the
+// mark by occurrence (the lookup repeats at replay, at the same sequence
+// point, so it resolves to the same node).
+func (in *inferrer) markArithOcc(t *ctypes.Type, pos diag.Pos) {
+	if in.rec != nil {
+		in.rec.mark(opArith, nil, t, pos, "")
+	}
+	if n := in.g.Lookup(t); n != nil {
+		n.MarkArithAt(pos)
 	}
 }
 
@@ -256,9 +249,7 @@ func (in *inferrer) collectLvalueShallow(lv *cil.Lvalue) {
 		if cur.Kind == ctypes.Array {
 			if !isConstInRange(o.Index, cur.Len) {
 				in.regType(cur)
-				if n := in.g.Lookup(cur); n != nil {
-					n.MarkArith()
-				}
+				in.markArithOcc(cur, diag.Pos{})
 			}
 			cur = cur.Elem
 		} else if cur.Kind == ctypes.Ptr {
@@ -284,6 +275,10 @@ func (in *inferrer) flow(src, dst *ctypes.Type, rule string, pos diag.Pos) {
 		in.regType(src)
 		in.regType(dst)
 		ns, nd := in.g.Lookup(src), in.g.Lookup(dst)
+		if in.rec != nil {
+			in.rec.flow(nil, nil, src, dst, rule, pos)
+			in.rec.edge(nil, nil, src, dst, edgeAssign, nil)
+		}
 		in.g.FlowR(ns, nd, rule, pos)
 		in.edges = append(in.edges, &edge{src: ns, dst: nd, class: edgeAssign})
 		if ok, pairs := ctypes.PhysEqual(src.Elem, dst.Elem); ok {
@@ -298,6 +293,10 @@ func (in *inferrer) flow(src, dst *ctypes.Type, rule string, pos diag.Pos) {
 		// Decayed array flow.
 		in.regType(src)
 		in.regType(dst)
+		if in.rec != nil {
+			in.rec.flow(nil, nil, src, dst, "array-decay", pos)
+			in.rec.edge(nil, nil, src, dst, edgeAssign, nil)
+		}
 		in.g.FlowR(in.g.Lookup(src), in.g.Lookup(dst), "array-decay", pos)
 		in.edges = append(in.edges, &edge{src: in.g.Lookup(src), dst: in.g.Lookup(dst), class: edgeAssign})
 	}
@@ -308,6 +307,9 @@ func (in *inferrer) unifyPairs(pairs [][2]*ctypes.Type, rule string, pos diag.Po
 	for _, p := range pairs {
 		in.regType(p[0])
 		in.regType(p[1])
+		if in.rec != nil {
+			in.rec.unify(p[0], p[1], rule, pos)
+		}
 		a, b := in.g.Lookup(p[0]), in.g.Lookup(p[1])
 		if a != nil && b != nil {
 			in.g.UnionR(a, b, rule, pos)
@@ -335,6 +337,12 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 	site := &CastSite{Pos: c.Pos, From: from, To: to, Trusted: c.Trusted}
 	in.casts = append(in.casts, site)
 	in.castOf[c] = site
+	if in.rec != nil {
+		in.rec.cast(c, site, from, to)
+		// The classification below settles site.Class (and TileOK/Trusted)
+		// on whatever branch returns; patch the recorded op on the way out.
+		defer in.rec.patchCast(site)
+	}
 
 	switch {
 	case !from.IsPointer() && !to.IsPointer():
@@ -349,6 +357,9 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 		site.Class = CastIntToPtr
 		// A disguised integer can only live in a SEQ or WILD pointer
 		// (its base field is null; it can never be dereferenced).
+		if in.rec != nil {
+			in.rec.mark(opIntCast, nil, to, c.Pos, "")
+		}
 		in.g.Lookup(to).MarkIntCastAt(c.Pos)
 		return
 	case from.IsPointer() && !to.IsPointer():
@@ -357,10 +368,17 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 		return
 	}
 
-	// Pointer-to-pointer.
+	// Pointer-to-pointer. nf/nt are cached representatives: the unifyPairs
+	// calls below may merge classes, so later uses of nf/nt can name nodes
+	// a fresh Lookup would no longer return. The recording binds them to
+	// virtual registers here, at the lookup point, for exactly that reason.
 	in.regType(from)
 	in.regType(to)
 	nf, nt := in.g.Lookup(from), in.g.Lookup(to)
+	if in.rec != nil {
+		in.rec.bind(nf, from)
+		in.rec.bind(nt, to)
+	}
 
 	if c.Trusted {
 		site.Class = CastFromPtrTrusted
@@ -372,16 +390,14 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 		// constraint, but the data flow remains (the allocator's result
 		// node must carry bounds when its uses need them).
 		site.Class = CastAlloc
-		in.g.FlowR(nf, nt, "alloc-adopt", c.Pos)
-		in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeAssign, site: site})
+		in.flowEdge(nf, nt, from, to, "alloc-adopt", c.Pos, edgeAssign, site)
 		return
 	}
 
 	if ok, pairs := ctypes.PhysEqual(from.Elem, to.Elem); ok {
 		site.Class = CastIdentity
 		in.unifyPairs(pairs, "cast-identity", c.Pos)
-		in.g.FlowR(nf, nt, "cast-identity", c.Pos)
-		in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeAssign, site: site})
+		in.flowEdge(nf, nt, from, to, "cast-identity", c.Pos, edgeAssign, site)
 		return
 	}
 
@@ -396,8 +412,7 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 				site.TileOK = true
 			}
 			in.unifyPairs(pairs, "upcast", c.Pos)
-			in.g.FlowR(nf, nt, "upcast", c.Pos)
-			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeUpcast, site: site})
+			in.flowEdge(nf, nt, from, to, "upcast", c.Pos, edgeUpcast, site)
 			return
 		}
 		if ok, pairs := ctypes.Prefix(to.Elem, from.Elem); ok {
@@ -409,24 +424,29 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 					return
 				}
 				site.Class = CastBad
-				in.markBadCast(nf, nt, c.Pos)
+				in.markBadCast(nf, nt, from, to, c.Pos)
 				return
 			}
 			site.Class = CastDowncast
 			in.unifyPairs(pairs, "downcast", c.Pos)
+			if in.rec != nil {
+				in.rec.mark(opRtti, nf, from, c.Pos, "")
+			}
 			nf.MarkRttiAt(c.Pos)
-			in.g.FlowR(nf, nt, "downcast", c.Pos)
-			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeDowncast, site: site})
+			in.flowEdge(nf, nt, from, to, "downcast", c.Pos, edgeDowncast, site)
 			return
 		}
 		if ok, pairs := ctypes.Tile(from.Elem, to.Elem); ok {
 			// Same tiling: valid between SEQ pointers (§3.1).
 			site.Class = CastSeqTile
 			in.unifyPairs(pairs, "seq-tile", c.Pos)
+			if in.rec != nil {
+				in.rec.mark(opArith, nf, from, c.Pos, "")
+				in.rec.mark(opArith, nt, to, c.Pos, "")
+			}
 			nf.MarkArithAt(c.Pos)
 			nt.MarkArithAt(c.Pos)
-			in.g.FlowR(nf, nt, "seq-tile", c.Pos)
-			in.edges = append(in.edges, &edge{src: nf, dst: nt, class: edgeTile, site: site})
+			in.flowEdge(nf, nt, from, to, "seq-tile", c.Pos, edgeTile, site)
 			return
 		}
 	}
@@ -439,13 +459,32 @@ func (in *inferrer) collectCast(c *cil.Cast) {
 		return
 	}
 	site.Class = CastBad
-	in.markBadCast(nf, nt, c.Pos)
+	in.markBadCast(nf, nt, from, to, c.Pos)
 }
 
-func (in *inferrer) markBadCast(a, b *qual.Node, pos diag.Pos) {
+// flowEdge records a flow constraint plus its classified edge between two
+// cached cast-end representatives.
+func (in *inferrer) flowEdge(nf, nt *qual.Node, from, to *ctypes.Type, rule string, pos diag.Pos, class edgeClass, site *CastSite) {
+	if in.rec != nil {
+		in.rec.flow(nf, nt, from, to, rule, pos)
+		in.rec.edge(nf, nt, from, to, class, site)
+	}
+	in.g.FlowR(nf, nt, rule, pos)
+	in.edges = append(in.edges, &edge{src: nf, dst: nt, class: class, site: site})
+}
+
+func (in *inferrer) markBadCast(a, b *qual.Node, ta, tb *ctypes.Type, pos diag.Pos) {
+	if in.rec != nil {
+		in.rec.mark(opBad, a, ta, pos, "bad cast")
+		in.rec.mark(opBad, b, tb, pos, "bad cast")
+	}
 	a.MarkBad(pos, "bad cast")
 	b.MarkBad(pos, "bad cast")
 	// Bad casts tie the two pointers into the untyped universe together.
+	if in.rec != nil {
+		in.rec.flow(a, b, ta, tb, "bad-cast", pos)
+		in.rec.edge(a, b, ta, tb, edgeAssign, nil)
+	}
 	in.g.FlowR(a, b, "bad-cast", pos)
 	in.edges = append(in.edges, &edge{src: a, dst: b, class: edgeAssign})
 }

@@ -1,0 +1,134 @@
+package infer
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"gocured/internal/cil"
+	"gocured/internal/ctypes"
+	"gocured/internal/diag"
+)
+
+// FingerprintFunc content-hashes one function for summary keying: the
+// printed body (pure structure), every statement and cast position (summary
+// ops carry positions into provenance, so a moved-but-identical body must
+// not reuse a stale summary), and a deep structural fingerprint of every
+// type occurrence in the function's scope (the printer does not render
+// kind/split annotations, but they seed the solver).
+func FingerprintFunc(f *cil.Func) [sha256.Size]byte {
+	h := sha256.New()
+	cil.FprintFunc(h, f)
+	cil.WalkStmts(f.Body.Stmts, func(s cil.Stmt) {
+		switch st := s.(type) {
+		case *cil.SInstr:
+			writePos(h, st.Ins.Position())
+		case *cil.Return:
+			writePos(h, st.Pos)
+		}
+	})
+	cil.WalkFuncExprs(f, func(e cil.Expr) {
+		if c, ok := e.(*cil.Cast); ok {
+			writePos(h, c.Pos)
+		}
+	})
+	forEachFuncType(f, func(t *ctypes.Type) {
+		typeFP(h, t, make(map[*ctypes.StructInfo]bool), 0)
+	})
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// FingerprintDecls content-hashes everything a function collection can see
+// outside function bodies: struct layouts, globals (with initializers),
+// externs, function signatures, and wrapper pragmas. Any change here
+// invalidates every stored summary of the translation unit (the hash is
+// part of each chunk key), which also keeps the occurrence table's
+// declaration-owned naming stable for every summary that is reused.
+func FingerprintDecls(prog *cil.Program) [sha256.Size]byte {
+	h := sha256.New()
+	for i, su := range prog.Structs {
+		fmt.Fprintf(h, "su%d:%s:%v:%v;", i, su.Name, su.Union, su.Complete)
+		for _, f := range su.Fields {
+			fmt.Fprintf(h, "%s:", f.Name)
+			typeFP(h, f.Type, make(map[*ctypes.StructInfo]bool), 0)
+		}
+	}
+	for _, g := range prog.Globals {
+		fmt.Fprintf(h, "g:%s:", g.Var.Name)
+		typeFP(h, g.Var.Type, make(map[*ctypes.StructInfo]bool), 0)
+		typeFP(h, g.Var.AddrType, make(map[*ctypes.StructInfo]bool), 0)
+		initFP(h, g.Init)
+	}
+	for _, v := range prog.Externs {
+		fmt.Fprintf(h, "x:%s:", v.Name)
+		typeFP(h, v.Type, make(map[*ctypes.StructInfo]bool), 0)
+		typeFP(h, v.AddrType, make(map[*ctypes.StructInfo]bool), 0)
+	}
+	for _, f := range prog.Funcs {
+		fmt.Fprintf(h, "fs:%s:", f.Name)
+		typeFP(h, f.Type, make(map[*ctypes.StructInfo]bool), 0)
+	}
+	for _, w := range prog.Wrappers {
+		fmt.Fprintf(h, "w:%s:%s;", w.Wrapper, w.Wrapped)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func writePos(w io.Writer, p diag.Pos) {
+	fmt.Fprintf(w, "@%s:%d:%d;", p.File, p.Line, p.Col)
+}
+
+// typeFP writes a deep structural fingerprint of t: kind, size, sign,
+// length, user annotations, decay identity, and the pointee/field/signature
+// structure. Struct recursion is cut by name+field-count once visited.
+func typeFP(w io.Writer, t *ctypes.Type, seen map[*ctypes.StructInfo]bool, depth int) {
+	if t == nil || depth > 64 {
+		io.WriteString(w, "~")
+		return
+	}
+	fmt.Fprintf(w, "(%d:%d:%v:%d:%d:%d:%v", t.Kind, t.Size, t.Signed, t.Len, t.Ann, t.SplitAnnot, t.DecayOf != nil)
+	switch t.Kind {
+	case ctypes.Ptr, ctypes.Array:
+		typeFP(w, t.Elem, seen, depth+1)
+	case ctypes.Struct:
+		fmt.Fprintf(w, "%s:%v:%v:%d", t.SU.Name, t.SU.Union, t.SU.Complete, len(t.SU.Fields))
+		if !seen[t.SU] {
+			seen[t.SU] = true
+			for _, f := range t.SU.Fields {
+				fmt.Fprintf(w, "%s:", f.Name)
+				typeFP(w, f.Type, seen, depth+1)
+			}
+		}
+	case ctypes.Func:
+		typeFP(w, t.Fn.Ret, seen, depth+1)
+		fmt.Fprintf(w, "%v:%d", t.Fn.Variadic, len(t.Fn.Params))
+		for _, p := range t.Fn.Params {
+			typeFP(w, p, seen, depth+1)
+		}
+	}
+	io.WriteString(w, ")")
+}
+
+func initFP(w io.Writer, in *cil.Init) {
+	switch {
+	case in == nil || in.Zero:
+		io.WriteString(w, "z")
+	case in.IsList:
+		io.WriteString(w, "{")
+		for _, e := range in.List {
+			initFP(w, e)
+		}
+		io.WriteString(w, "}")
+	default:
+		io.WriteString(w, cil.ExprString(in.Expr))
+		cil.WalkExpr(in.Expr, func(e cil.Expr) {
+			if c, ok := e.(*cil.Cast); ok {
+				typeFP(w, c.To, make(map[*ctypes.StructInfo]bool), 0)
+			}
+		})
+	}
+}

@@ -150,11 +150,13 @@ type inferrer struct {
 	// allocRets holds the return-type occurrences of the known allocator
 	// externs; casts from them are CastAlloc.
 	allocRets map[*ctypes.Type]bool
+	// rec, when non-nil, captures the current function's collection pass
+	// as a replayable summary (see summary.go). Plain Infer never sets it.
+	rec *recorder
 }
 
-// Infer runs pointer-kind inference over prog.
-func Infer(prog *cil.Program, opts Options, diags *diag.List) *Result {
-	in := &inferrer{
+func newInferrer(prog *cil.Program, opts Options, diags *diag.List) *inferrer {
+	return &inferrer{
 		prog:      prog,
 		diags:     diags,
 		opts:      opts,
@@ -163,7 +165,15 @@ func Infer(prog *cil.Program, opts Options, diags *diag.List) *Result {
 		castOf:    make(map[*cil.Cast]*CastSite),
 		allocRets: make(map[*ctypes.Type]bool),
 	}
-	for _, v := range prog.Externs {
+}
+
+// prologue runs everything that precedes per-function constraint
+// collection: allocator/wrapper extern marks, registration of every
+// declaration-reachable occurrence, and global initializer constraints.
+// The incremental path always runs it fresh — it is cheap and
+// whole-program, the per-function summaries replay on top of it.
+func (in *inferrer) prologue() {
+	for _, v := range in.prog.Externs {
 		if v.Type.Kind != ctypes.Func {
 			continue
 		}
@@ -187,20 +197,57 @@ func Infer(prog *cil.Program, opts Options, diags *diag.List) *Result {
 			}
 		}
 	}
-	in.collect()
+	// Register all type occurrences reachable from declarations.
+	for _, g := range in.prog.Globals {
+		in.regType(g.Var.Type)
+		in.regType(g.Var.AddrType)
+		if g.Init != nil {
+			in.collectInit(g.Init, g.Var.Type)
+		}
+	}
+	for _, v := range in.prog.Externs {
+		in.regType(v.Type)
+		in.regType(v.AddrType)
+	}
+	for _, f := range in.prog.Funcs {
+		in.regType(f.Type)
+		for _, p := range f.Params {
+			in.regType(p.Type)
+			in.regType(p.AddrType)
+		}
+		for _, l := range f.Locals {
+			in.regType(l.Type)
+			in.regType(l.AddrType)
+		}
+	}
+}
+
+// result runs the global solve/split phases over the collected (or
+// replayed) constraints and freezes the graph.
+func (in *inferrer) result() *Result {
 	in.solve()
 	res := &Result{
 		Graph:  in.g,
 		Hier:   in.hier,
 		Casts:  in.casts,
 		CastOf: in.castOf,
-		Opts:   opts,
+		Opts:   in.opts,
 		Prov:   in.g.Prov,
 	}
-	res.Split = inferSplit(prog, in.g, opts.SplitAll, diags)
+	res.Split = inferSplit(in.prog, in.g, in.opts.SplitAll, in.diags)
 	// Freeze the qualifier graph: collapse every union-find chain so the
 	// layout oracle's KindOf queries never write shared state. A compiled
 	// unit can then be executed from many goroutines concurrently.
 	in.g.Compress()
 	return res
+}
+
+// Infer runs pointer-kind inference over prog.
+func Infer(prog *cil.Program, opts Options, diags *diag.List) *Result {
+	in := newInferrer(prog, opts, diags)
+	in.prologue()
+	for _, f := range prog.Funcs {
+		in.collectFunc(f)
+	}
+	return in.result()
 }

@@ -13,6 +13,7 @@ import (
 	"gocured/internal/core"
 	"gocured/internal/infer"
 	"gocured/internal/interp"
+	"gocured/internal/store"
 )
 
 // Differential testing: generate random C programs exercising pointers
@@ -285,6 +286,20 @@ func identicalBackends(label string, tree, vmo *interp.Outcome) error {
 	return nil
 }
 
+// fuzzStore lazily opens one on-disk artifact store shared by every fuzz
+// seed's store leg (each seed addresses disjoint chunks by content).
+var fuzzStore = sync.OnceValue(func() *store.Artifacts {
+	dir, err := os.MkdirTemp("", "gocured-fuzz-store-")
+	if err != nil {
+		panic(err)
+	}
+	s, err := store.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	return store.NewArtifacts(s, "fuzz", "go-fuzz")
+})
+
 // checkSeed builds and runs one generated program all four ways and
 // reports any disagreement.
 func checkSeed(seed uint64) error {
@@ -343,6 +358,36 @@ func checkSeed(seed uint64) error {
 		}
 	} else if c0.ExitCode != co.ExitCode {
 		return fail("exit code diverges: -O0 %d, -O %d", c0.ExitCode, co.ExitCode)
+	}
+
+	// Store leg (every 8th seed): the same program built through the
+	// persistent artifact store — cold (recording summaries) and warm
+	// (replaying them) — must be indistinguishable from the fresh -O
+	// build: identical static stats and a bit-identical execution.
+	if seed%8 == 0 {
+		sums := fuzzStore().ForOptions(infer.Options{})
+		ucold, err := core.BuildStored("fuzz.c", src, infer.Options{}, sums)
+		if err != nil {
+			return fail("build stored (cold) failed: %v", err)
+		}
+		uwarm, err := core.BuildStored("fuzz.c", src, infer.Options{}, sums)
+		if err != nil {
+			return fail("build stored (warm) failed: %v", err)
+		}
+		if uwarm.Incr.Loaded != uwarm.Incr.Funcs-uwarm.Incr.Unstorable {
+			return fail("warm stored build did not replay: %+v", uwarm.Incr)
+		}
+		if ucold.Stats() != uo.Stats() || uwarm.Stats() != uo.Stats() {
+			return fail("stored build stats diverge from fresh build:\nfresh: %+v\ncold:  %+v\nwarm:  %+v",
+				uo.Stats(), ucold.Stats(), uwarm.Stats())
+		}
+		cs, err := uwarm.RunCured(interp.Config{})
+		if err != nil {
+			return fail("run cured (stored): %v", err)
+		}
+		if err := identicalBackends("-O stored", co, cs); err != nil {
+			return fail("%v", err)
+		}
 	}
 
 	// Programs without an injected OOB must be trap-free, and the raw

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"gocured"
+	"gocured/internal/store"
 )
 
 // Key is the content address of one compile job: the SHA-256 of the
@@ -40,6 +41,9 @@ type Compiled struct {
 	Program     *gocured.Program
 	Stats       gocured.Stats
 	Diagnostics []string
+	// Incr reports how inference composed the program: functions replayed
+	// from the artifact store vs. re-collected (all recured without one).
+	Incr gocured.IncrStats
 	// SourceBytes is the size of the source text, retained for the cache
 	// size accounting after the source itself is dropped.
 	SourceBytes int
@@ -64,6 +68,10 @@ type Cache struct {
 	ll       *list.List // front = most recently used; values are *Compiled
 	entries  map[Key]*list.Element
 	inflight map[Key]*compileFlight
+	// arts, when non-nil, is the second cache tier: a memory miss consults
+	// the persistent artifact store for per-function summaries before
+	// falling back to a full compile.
+	arts *store.Artifacts
 
 	hits, misses, evictions uint64
 }
@@ -92,6 +100,10 @@ func NewCache(max int) *Cache {
 // DefaultCacheEntries bounds the cache when no explicit size is given.
 const DefaultCacheEntries = 256
 
+// SetStore attaches a persistent artifact store as the cache's second tier
+// (memory LRU → disk chunks → compile). Set before use; not synchronized.
+func (c *Cache) SetStore(a *store.Artifacts) { c.arts = a }
+
 // GetOrCompile returns the Compiled artifact for (filename, source, opts),
 // compiling at most once per content address. The second return reports
 // whether the result came from the cache (including waiting on another
@@ -117,7 +129,7 @@ func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Co
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	f.res, f.err = compileSource(key, filename, source, opts)
+	f.res, f.err = compileSource(key, filename, source, opts, c.arts)
 	close(f.done)
 
 	c.mu.Lock()
@@ -132,13 +144,17 @@ func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Co
 // compileSource builds the artifact outside the lock. A panic in the
 // compiler is converted into an error so that goroutines waiting on this
 // compileFlight are released (the Runner additionally isolates panics per job).
-func compileSource(key Key, filename, source string, opts gocured.Options) (res *Compiled, err error) {
+func compileSource(key Key, filename, source string, opts gocured.Options, arts *store.Artifacts) (res *Compiled, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("compile %s: panic: %v", filename, p)
 		}
 	}()
-	prog, err := gocured.Compile(filename, source, opts)
+	var sums gocured.SummarySource
+	if arts != nil {
+		sums = arts.ForOptions(opts)
+	}
+	prog, err := gocured.CompileStored(filename, source, opts, sums)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +164,7 @@ func compileSource(key Key, filename, source string, opts gocured.Options) (res 
 		Program:     prog,
 		Stats:       prog.Stats(),
 		Diagnostics: prog.Diagnostics(),
+		Incr:        prog.IncrStats(),
 		SourceBytes: len(source),
 	}, nil
 }

@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"sync"
 	"time"
+
+	"gocured/internal/store"
 )
 
 // histBoundsMS are the upper bounds (milliseconds, inclusive) of the wall
@@ -100,6 +102,14 @@ type Metrics struct {
 
 	Cache CacheStats `json:"cache"`
 
+	// Store snapshots the persistent artifact store (nil when the Runner
+	// has none); FuncsRecured/FuncsLoaded count per-function inference work
+	// across non-cache-hit compiles — loaded functions were replayed from
+	// stored summaries instead of re-collected.
+	Store        *store.Stats `json:"store,omitempty"`
+	FuncsRecured uint64       `json:"funcs_recured"`
+	FuncsLoaded  uint64       `json:"funcs_loaded"`
+
 	CompileWall Histogram `json:"compile_wall"`
 	RunWall     Histogram `json:"run_wall"`
 }
@@ -117,6 +127,8 @@ type metrics struct {
 	runsExecuted uint64
 	traps        uint64
 	trapsByKind  map[string]uint64
+	funcsRecured uint64
+	funcsLoaded  uint64
 	compileWall  histogram
 	runWall      histogram
 }
@@ -142,6 +154,8 @@ func (m *metrics) jobFinished(res *JobResult) {
 	}
 	if !res.CacheHit {
 		m.compileWall.observe(res.CompileTime)
+		m.funcsRecured += uint64(res.Incr.Recured)
+		m.funcsLoaded += uint64(res.Incr.Loaded)
 	}
 	if res.Run != nil {
 		m.runsExecuted++
@@ -178,6 +192,8 @@ func (m *metrics) snapshot(workers int, cache CacheStats) Metrics {
 		RunsExecuted: m.runsExecuted,
 		Traps:        m.traps,
 		Cache:        cache,
+		FuncsRecured: m.funcsRecured,
+		FuncsLoaded:  m.funcsLoaded,
 		CompileWall:  m.compileWall.snapshot(),
 		RunWall:      m.runWall.snapshot(),
 	}

@@ -23,9 +23,27 @@
 package pipeline
 
 import (
+	"runtime"
+
 	"gocured"
 	"gocured/internal/corpus"
+	"gocured/internal/store"
 )
+
+// OpenStore opens the persistent artifact store rooted at dir, keyed by
+// this build's gocured and Go toolchain versions (the schema every command
+// shares, so stores are interchangeable between ccserve, ccbench, ccrun,
+// and ccured). An empty dir returns (nil, nil): the store is disabled.
+func OpenStore(dir string) (*store.Artifacts, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return store.NewArtifacts(s, gocured.Version, runtime.Version()), nil
+}
 
 // CorpusJobs builds one job per (corpus program, mode) pair, curing each
 // program with its documented options (bind's trusted casts, etc.) at the

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+
+	"gocured/internal/store"
 )
 
 // WritePrometheus renders a Metrics snapshot in the Prometheus text
@@ -50,6 +52,21 @@ func WritePrometheus(w io.Writer, m Metrics) {
 	counter("gocured_cache_hits_total", "Compile-cache hits.", m.Cache.Hits)
 	counter("gocured_cache_misses_total", "Compile-cache misses.", m.Cache.Misses)
 	counter("gocured_cache_evictions_total", "Compile-cache LRU evictions.", m.Cache.Evictions)
+
+	// Artifact-store families are always exposed (zero without a store) so
+	// dashboards and smoke checks can rely on their presence.
+	var st store.Stats
+	if m.Store != nil {
+		st = *m.Store
+	}
+	counter("gocured_store_hits_total", "Artifact-store chunk hits.", uint64(st.Hits))
+	counter("gocured_store_misses_total", "Artifact-store chunk misses.", uint64(st.Misses))
+	counter("gocured_store_writes_total", "Artifact-store chunks written.", uint64(st.Writes))
+	counter("gocured_store_corrupt_dropped_total", "Corrupt chunks detected and dropped on read.", uint64(st.CorruptDropped))
+	gauge("gocured_store_chunks", "Chunks resident in the artifact store.", float64(st.Chunks))
+	gauge("gocured_store_bytes", "Bytes resident in the artifact store.", float64(st.Bytes))
+	counter("gocured_funcs_recured_total", "Functions whose constraints were re-collected.", m.FuncsRecured)
+	counter("gocured_funcs_loaded_total", "Functions replayed from stored summaries.", m.FuncsLoaded)
 
 	writeHistogram(w, "gocured_compile_wall_ms", "Compile wall time in milliseconds.", m.CompileWall)
 	writeHistogram(w, "gocured_run_wall_ms", "Run wall time in milliseconds.", m.RunWall)

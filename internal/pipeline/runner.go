@@ -10,6 +10,7 @@ import (
 
 	"gocured"
 	"gocured/internal/flight"
+	"gocured/internal/store"
 	"gocured/internal/trace"
 )
 
@@ -36,6 +37,10 @@ type RunnerOptions struct {
 	// of pipeline concurrency (one track per worker slot). Nil disables
 	// recording at the cost of one nil comparison per job.
 	Flight *flight.Recorder
+	// Store, when non-nil, is the persistent artifact store used as the
+	// cache's second tier: compiles replay per-function inference summaries
+	// from it, so a restarted process serves warm compiles from disk.
+	Store *store.Artifacts
 }
 
 // Job is one unit of pipeline work: cure a source file and, optionally,
@@ -69,8 +74,12 @@ type JobResult struct {
 	Program     *gocured.Program
 	Stats       gocured.Stats
 	Diagnostics []string
-	// CacheHit reports that compilation was served from the cache.
+	// CacheHit reports that compilation was served from the memory cache.
 	CacheHit bool
+	// Incr reports the inference composition of the compile: functions
+	// replayed from the artifact store vs. re-collected. On a CacheHit it
+	// describes the original compilation.
+	Incr gocured.IncrStats
 
 	// Run is the execution result for run jobs.
 	Run *gocured.Result
@@ -113,6 +122,7 @@ func NewRunner(opts RunnerOptions) *Runner {
 	}
 	if opts.CacheEntries >= 0 {
 		r.cache = NewCache(opts.CacheEntries)
+		r.cache.SetStore(opts.Store)
 	}
 	return r
 }
@@ -131,6 +141,10 @@ func (r *Runner) Metrics() Metrics {
 		cs = r.cache.Stats()
 	}
 	m := r.m.snapshot(r.opts.Workers, cs)
+	if r.opts.Store != nil {
+		st := r.opts.Store.Store().Stats()
+		m.Store = &st
+	}
 	m.Build = BuildInfo{
 		Version:   gocured.Version,
 		GoVersion: runtime.Version(),
@@ -260,6 +274,7 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 	res.Program = compiled.Program
 	res.Stats = compiled.Stats
 	res.Diagnostics = compiled.Diagnostics
+	res.Incr = compiled.Incr
 	res.CacheHit = hit
 	res.Phases = append(res.Phases, compiled.Program.Spans()...)
 
@@ -296,6 +311,6 @@ func (r *Runner) compile(job Job) (*Compiled, bool, error) {
 	if r.cache != nil {
 		return r.cache.GetOrCompile(job.Name, job.Source, job.Options)
 	}
-	compiled, err := compileSource(CacheKey(job.Name, job.Source, job.Options), job.Name, job.Source, job.Options)
+	compiled, err := compileSource(CacheKey(job.Name, job.Source, job.Options), job.Name, job.Source, job.Options, r.opts.Store)
 	return compiled, false, err
 }

@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"gocured"
+	"gocured/internal/store"
+)
+
+func openArtifacts(t *testing.T, dir string) *store.Artifacts {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.NewArtifacts(s, gocured.Version, "go-test")
+}
+
+// TestRunnerWarmRestart is the tentpole's pipeline-level guarantee: two
+// Runner lifetimes (two "server processes") sharing one store directory,
+// where the second serves the full corpus compile workload without
+// re-collecting a single storable function.
+func TestRunnerWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	jobs := CorpusCompileJobs(0)
+
+	r1 := NewRunner(RunnerOptions{Workers: 4, Store: openArtifacts(t, dir)})
+	for _, res := range r1.DoAll(context.Background(), jobs) {
+		if res.Err != nil {
+			t.Fatalf("cold %s: %v", res.Name, res.Err)
+		}
+		if res.Incr.Loaded != 0 {
+			t.Fatalf("cold %s loaded %d functions from an empty store", res.Name, res.Incr.Loaded)
+		}
+	}
+
+	// A fresh Runner: the memory cache is gone, only the disk tier remains.
+	r2 := NewRunner(RunnerOptions{Workers: 4, Store: openArtifacts(t, dir)})
+	var recured, loaded, unstorable int
+	for _, res := range r2.DoAll(context.Background(), jobs) {
+		if res.Err != nil {
+			t.Fatalf("warm %s: %v", res.Name, res.Err)
+		}
+		if res.CacheHit {
+			t.Fatalf("warm %s unexpectedly hit the fresh memory cache", res.Name)
+		}
+		recured += res.Incr.Recured
+		loaded += res.Incr.Loaded
+		unstorable += res.Incr.Unstorable
+	}
+	if recured != unstorable {
+		t.Errorf("warm restart re-collected %d functions beyond the %d unstorable ones", recured-unstorable, unstorable)
+	}
+	if loaded == 0 {
+		t.Error("warm restart loaded nothing from the store")
+	}
+
+	m := r2.Metrics()
+	if m.Store == nil {
+		t.Fatal("Metrics.Store nil with a store configured")
+	}
+	if m.Store.Hits == 0 || m.Store.Chunks == 0 || m.Store.Bytes == 0 {
+		t.Errorf("store metrics not populated: %+v", *m.Store)
+	}
+	if int(m.FuncsLoaded) != loaded || int(m.FuncsRecured) != recured {
+		t.Errorf("metrics funcs loaded/recured = %d/%d, want %d/%d", m.FuncsLoaded, m.FuncsRecured, loaded, recured)
+	}
+}
+
+// TestStoredCompileIdentical asserts the store changes performance, never
+// results: cold (writing), warm (replaying), and store-less compiles of the
+// same job agree on stats, diagnostics, and execution behaviour.
+func TestStoredCompileIdentical(t *testing.T) {
+	dir := t.TempDir()
+	jobs := CorpusJobs([]gocured.Mode{gocured.ModeCured}, 0)
+	ro := gocured.RunOptions{StepLimit: 2_000_000}
+	for i := range jobs {
+		jobs[i].RunOptions = ro
+	}
+
+	plain := NewRunner(RunnerOptions{Workers: 4, CacheEntries: -1})
+	cold := NewRunner(RunnerOptions{Workers: 4, CacheEntries: -1, Store: openArtifacts(t, dir)})
+	warm := NewRunner(RunnerOptions{Workers: 4, CacheEntries: -1, Store: openArtifacts(t, dir)})
+
+	base := plain.DoAll(context.Background(), jobs)
+	for pass, r := range map[string]*Runner{"cold": cold, "warm": warm} {
+		for i, res := range r.DoAll(context.Background(), jobs) {
+			want := base[i]
+			if (res.Err != nil) != (want.Err != nil) {
+				t.Fatalf("%s %s: err %v vs %v", pass, res.Name, res.Err, want.Err)
+			}
+			if res.Err != nil {
+				continue
+			}
+			if res.Stats != want.Stats {
+				t.Errorf("%s %s: stats diverged from store-less compile", pass, res.Name)
+			}
+			if res.Run.Trapped != want.Run.Trapped || res.Run.ExitCode != want.Run.ExitCode ||
+				res.Run.Stdout != want.Run.Stdout || res.Run.Checks != want.Run.Checks {
+				t.Errorf("%s %s: execution diverged from store-less compile", pass, res.Name)
+			}
+		}
+	}
+}

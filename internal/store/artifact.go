@@ -1,0 +1,83 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+
+	"gocured/internal/infer"
+)
+
+// Artifacts addresses compile artifacts inside a chunk store. Every key
+// folds in the gocured version and the Go toolchain version, so upgrading
+// either invalidates the whole store wholesale (old chunks simply stop
+// being addressed; they are never misread).
+type Artifacts struct {
+	store     *Store
+	version   string
+	goVersion string
+}
+
+// NewArtifacts wraps a chunk store with the key schema for this compiler
+// revision. version is gocured.Version; goVersion is runtime.Version().
+func NewArtifacts(s *Store, version, goVersion string) *Artifacts {
+	return &Artifacts{store: s, version: version, goVersion: goVersion}
+}
+
+// Store returns the underlying chunk store.
+func (a *Artifacts) Store() *Store { return a.store }
+
+// ForOptions returns the per-function summary source for one inference
+// configuration; opts may be any options value with a stable "%+v"
+// rendering (infer.Options, gocured.Options). Chunk keys are
+//
+//	SHA-256(version, Go version, options, function name,
+//	        body fingerprint, declaration fingerprint)
+//
+// so two configurations never share chunks and a source never needs
+// invalidation logic beyond "the key changed".
+func (a *Artifacts) ForOptions(opts any) infer.SummarySource {
+	return &summarySource{a: a, opts: fmt.Sprintf("%+v", opts)}
+}
+
+type summarySource struct {
+	a    *Artifacts
+	opts string
+}
+
+func (s *summarySource) key(fn string, body, decls [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	for _, part := range []string{"gocured-func-summary", s.a.version, s.a.goVersion, s.opts, fn} {
+		fmt.Fprintf(h, "%d:%s", len(part), part)
+	}
+	h.Write(body[:])
+	h.Write(decls[:])
+	return [sha256.Size]byte(h.Sum(nil))
+}
+
+func (s *summarySource) Load(fn string, body, decls [sha256.Size]byte) (*infer.FuncSummary, bool) {
+	key := s.key(fn, body, decls)
+	data, ok := s.a.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var sum infer.FuncSummary
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&sum); err != nil {
+		// The payload hash verified but the encoding is not one we can
+		// read (e.g. a schema skew the version key failed to capture).
+		// Useless chunk: drop it and recompile.
+		s.a.store.drop(s.a.store.path(key), int64(headerSize+len(data)))
+		return nil, false
+	}
+	return &sum, true
+}
+
+func (s *summarySource) Save(sum *infer.FuncSummary, fn string, body, decls [sha256.Size]byte) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sum); err != nil {
+		return
+	}
+	// Best-effort: a full disk or unwritable store degrades to recompiling.
+	_ = s.a.store.Put(s.key(fn, body, decls), buf.Bytes())
+}

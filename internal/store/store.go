@@ -1,0 +1,166 @@
+// Package store implements gocured's persistent content-addressed artifact
+// store: a dolt/noms-style on-disk chunk store in which per-function
+// inference summaries (and any other compile artifacts) persist across
+// processes, keyed by content hash.
+//
+// Layout is one file per chunk under <dir>/objects/<aa>/<hex>, where <hex>
+// is the full key and <aa> its first byte (a fan-out directory, like git's
+// loose objects). Each chunk file is
+//
+//	magic "GCSTCH1\n" (8 bytes) | SHA-256 of payload (32 bytes) | payload
+//
+// so every read re-verifies the payload hash: a truncated or bit-flipped
+// chunk is detected, dropped from disk, counted, and reported as a miss —
+// the caller recompiles and rewrites. Writes go through a temp file and an
+// atomic rename, so concurrent writers (the pipeline compiles units on a
+// worker pool) and crashed processes can never leave a partial chunk
+// visible under its final name.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+var magic = [8]byte{'G', 'C', 'S', 'T', 'C', 'H', '1', '\n'}
+
+const headerSize = len(magic) + sha256.Size
+
+// Store is an on-disk chunk store. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	writes  atomic.Int64
+	corrupt atomic.Int64
+	chunks  atomic.Int64
+	bytes   atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a Store's counters. Hits, Misses,
+// Writes, and CorruptDropped count this process's operations; Chunks and
+// Bytes describe the on-disk store (including chunks written by earlier
+// processes, scanned at Open).
+type Stats struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Writes         int64 `json:"writes"`
+	CorruptDropped int64 `json:"corrupt_dropped"`
+	Chunks         int64 `json:"chunks"`
+	Bytes          int64 `json:"bytes"`
+}
+
+// Open opens (creating if necessary) the chunk store rooted at dir and
+// scans existing chunks so Stats reports the store's real size.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	if err := os.MkdirAll(s.objectsDir(), 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	err := filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if info, err := d.Info(); err == nil {
+			s.chunks.Add(1)
+			s.bytes.Add(info.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+
+func (s *Store) path(key [sha256.Size]byte) string {
+	h := hex.EncodeToString(key[:])
+	return filepath.Join(s.objectsDir(), h[:2], h)
+}
+
+// Get returns the payload stored under key, or (nil, false) on a miss. A
+// chunk that fails verification — wrong magic, short header, or a payload
+// whose hash does not match the stored digest — is removed from disk,
+// counted in CorruptDropped, and reported as a miss; Get never fails.
+func (s *Store) Get(key [sha256.Size]byte) ([]byte, bool) {
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if len(data) < headerSize || [8]byte(data[:8]) != magic ||
+		sha256.Sum256(data[headerSize:]) != [sha256.Size]byte(data[8:headerSize]) {
+		s.drop(path, int64(len(data)))
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return data[headerSize:], true
+}
+
+// drop removes a corrupt chunk file and adjusts the counters.
+func (s *Store) drop(path string, size int64) {
+	if os.Remove(path) == nil {
+		s.chunks.Add(-1)
+		s.bytes.Add(-size)
+	}
+	s.corrupt.Add(1)
+}
+
+// Put stores payload under key. Chunks are immutable and content-addressed:
+// if the key already exists the write is skipped. The chunk becomes visible
+// atomically (temp file + rename).
+func (s *Store) Put(key [sha256.Size]byte, payload []byte) error {
+	path := s.path(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.objectsDir(), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	_, err = tmp.Write(append(append(append(make([]byte, 0, headerSize+len(payload)),
+		magic[:]...), sum[:]...), payload...))
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	s.chunks.Add(1)
+	s.bytes.Add(int64(headerSize + len(payload)))
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Writes:         s.writes.Load(),
+		CorruptDropped: s.corrupt.Load(),
+		Chunks:         s.chunks.Load(),
+		Bytes:          s.bytes.Load(),
+	}
+}
