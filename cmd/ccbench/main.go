@@ -175,7 +175,8 @@ func main() {
 	}
 	writeTraces()
 	m := cfg.Runner.Metrics()
-	fmt.Printf("-- pipeline: %d jobs on %d workers, cache %d/%d hit/miss, compile mean %.1fms, run mean %.1fms\n",
+	fmt.Printf("-- pipeline: %d jobs on %d workers, cache %d/%d hit/miss, compile mean %.1fms p99 %.1fms, run mean %.1fms, e2e p50/p99 %.1f/%.1fms\n",
 		m.JobsRun, m.Workers, m.Cache.Hits, m.Cache.Misses,
-		m.CompileWall.MeanMS(), m.RunWall.MeanMS())
+		m.CompileWall.MeanMS(), m.CompileWall.Quantile(0.99), m.RunWall.MeanMS(),
+		m.E2EWall.Quantile(0.50), m.E2EWall.Quantile(0.99))
 }

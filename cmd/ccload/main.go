@@ -1,0 +1,311 @@
+// ccload is a load harness for ccserve: it drives a weighted mix of
+// cure / cache-hit / run / edit-recure traffic at the server, sweeps
+// concurrency levels to chart a saturation curve, and reports latency
+// quantiles (p50/p99/p999) per level and per traffic class.
+//
+// Beyond raw latency it verifies the observability plumbing end to end:
+//
+//   - it samples the slowest cache-miss request of the sweep and fetches
+//     GET /traces/{id}, requiring a ValidateTrace-clean Chrome trace whose
+//     spans cover queue wait, the cache tier, and every compile phase,
+//     all stamped with the matching trace ID;
+//   - it tails GET /events for the whole run and counts sequence gaps
+//     (each gap = dropped events for a keeping-up consumer);
+//   - it reads GET /metrics afterwards and extracts the trace-buffer
+//     drop counter.
+//
+// With -gate the process exits non-zero if the p99 SLO is violated at the
+// gated level, the trace check fails, any request errored, or any
+// dropped-span / seq-gap errors occurred — making it suitable as a CI
+// smoke gate. The report is written as JSON (BENCH_serve.json by
+// convention).
+//
+// Example:
+//
+//	ccload -url http://127.0.0.1:8080 -levels 1,2,4,8 -duration 5s \
+//	       -slo-p99 250ms -gate -out BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gocured/internal/loadgen"
+)
+
+type sloReport struct {
+	P99MS         float64 `json:"p99_ms"`
+	Concurrency   int     `json:"concurrency"`
+	ObservedP99MS float64 `json:"observed_p99_ms"`
+	Pass          bool    `json:"pass"`
+}
+
+type report struct {
+	GeneratedBy string         `json:"generated_by"`
+	Generated   string         `json:"generated"`
+	BaseURL     string         `json:"base_url"`
+	DurationS   float64        `json:"duration_s_per_level"`
+	Mix         map[string]int `json:"mix"`
+
+	// Saturation is the closed-loop sweep, one entry per concurrency
+	// level, in ascending order.
+	Saturation []loadgen.Result `json:"saturation"`
+	// OpenLoop is the optional fixed-arrival-rate run (-rate).
+	OpenLoop *loadgen.Result `json:"open_loop,omitempty"`
+
+	TraceCheck    loadgen.TraceCheck `json:"trace_check"`
+	Events        loadgen.EventStats `json:"events"`
+	TracesDropped uint64             `json:"traces_dropped"`
+
+	SLO        *sloReport `json:"slo,omitempty"`
+	Violations []string   `json:"violations,omitempty"`
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no concurrency levels")
+	}
+	return out, nil
+}
+
+func parseMix(s string) (map[string]int, error) {
+	if s == "" {
+		return loadgen.DefaultMix(), nil
+	}
+	mix := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want class=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		mix[strings.TrimSpace(name)] = w
+	}
+	return mix, nil
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "ccserve base URL")
+		levels    = flag.String("levels", "1,2,4,8", "comma-separated closed-loop concurrency sweep")
+		duration  = flag.Duration("duration", 5*time.Second, "duration per sweep level")
+		rate      = flag.Float64("rate", 0, "additional open-loop run at this arrival rate (req/s; 0 = skip)")
+		mixFlag   = flag.String("mix", "", "traffic mix as class=weight,... (classes: hit,run,cure,edit)")
+		seed      = flag.Int64("seed", 1, "random seed for the class sequence")
+		waitReady = flag.Duration("wait-ready", 30*time.Second, "how long to poll /readyz before starting")
+		out       = flag.String("out", "BENCH_serve.json", "report path (- = stdout)")
+		sloP99    = flag.Duration("slo-p99", 0, "p99 latency SLO at the gated level (0 = no SLO)")
+		sloLevel  = flag.Int("slo-level", 0, "concurrency level the SLO applies to (0 = lowest swept level)")
+		gate      = flag.Bool("gate", false, "exit non-zero on SLO violation, trace-check failure, errors, or seq gaps")
+	)
+	flag.Parse()
+
+	lvls, err := parseLevels(*levels)
+	if err != nil {
+		fatal(err)
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	if err := loadgen.WaitReady(ctx, nil, *url, *waitReady); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ccload: %s ready; sweeping concurrency %v, %v per level\n", *url, lvls, *duration)
+
+	watcher := loadgen.WatchEvents(ctx, nil, *url)
+
+	rep := report{
+		GeneratedBy: "ccload",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		BaseURL:     *url,
+		DurationS:   duration.Seconds(),
+		Mix:         mix,
+	}
+
+	// The trace check samples a high-latency cache miss. The server's trace
+	// buffer is bounded, so a trace from early in the sweep may be evicted
+	// by later traffic — check right after each run while its traces are
+	// still live, preferring the level's slowest miss and falling back to
+	// its most recent one. The slowest passing check across the sweep wins.
+	var traceCheck *loadgen.TraceCheck
+	traceCheckMS := 0.0
+	checkRun := func(res loadgen.Result) {
+		candidates := []struct {
+			id string
+			ms float64
+		}{
+			{res.SlowestMissTraceID, res.SlowestMissMS},
+			{res.LastMissTraceID, res.LastMissMS},
+		}
+		for _, cand := range candidates {
+			if cand.id == "" {
+				continue
+			}
+			tc := loadgen.CheckTrace(ctx, nil, *url, cand.id, loadgen.RequiredCompileSpans)
+			if tc.OK {
+				if traceCheck == nil || !traceCheck.OK || cand.ms >= traceCheckMS {
+					traceCheck, traceCheckMS = &tc, cand.ms
+				}
+				return
+			}
+			if traceCheck == nil || !traceCheck.OK {
+				traceCheck = &tc
+			}
+		}
+	}
+
+	for _, c := range lvls {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:     *url,
+			Duration:    *duration,
+			Concurrency: c,
+			Mix:         mix,
+			Seed:        *seed + int64(c),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccload: c=%-3d %6.1f req/s  p50=%.2fms p99=%.2fms p999=%.2fms errs=%d\n",
+			c, res.ThroughputRPS, res.P50MS, res.P99MS, res.P999MS, res.Errors)
+		rep.Saturation = append(rep.Saturation, res)
+		checkRun(res)
+	}
+
+	if *rate > 0 {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:    *url,
+			Duration:   *duration,
+			RatePerSec: *rate,
+			Mix:        mix,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccload: open loop %.0f req/s  p50=%.2fms p99=%.2fms p999=%.2fms errs=%d\n",
+			*rate, res.P50MS, res.P99MS, res.P999MS, res.Errors)
+		rep.OpenLoop = &res
+		checkRun(res)
+	}
+
+	rep.Events = watcher.Stop()
+	if traceCheck != nil {
+		rep.TraceCheck = *traceCheck
+	} else {
+		rep.TraceCheck.Err = "no cache-miss trace sampled in any run"
+	}
+	if m, err := loadgen.FetchMetrics(ctx, nil, *url); err != nil {
+		rep.Violations = append(rep.Violations, "metrics: "+err.Error())
+	} else if m.Traces != nil {
+		rep.TracesDropped = m.Traces.Dropped
+	}
+
+	// Gate evaluation. Violations are always reported; -gate decides
+	// whether they are fatal.
+	if *sloP99 > 0 {
+		gated := rep.Saturation[0]
+		if *sloLevel > 0 {
+			found := false
+			for _, r := range rep.Saturation {
+				if r.Concurrency == *sloLevel {
+					gated, found = r, true
+					break
+				}
+			}
+			if !found {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("slo-level %d not in sweep %v", *sloLevel, lvls))
+			}
+		}
+		slo := &sloReport{
+			P99MS:         float64(*sloP99) / float64(time.Millisecond),
+			Concurrency:   gated.Concurrency,
+			ObservedP99MS: gated.P99MS,
+		}
+		slo.Pass = slo.ObservedP99MS <= slo.P99MS
+		rep.SLO = slo
+		if !slo.Pass {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("p99 SLO: %.2fms > %.2fms at concurrency %d",
+					slo.ObservedP99MS, slo.P99MS, slo.Concurrency))
+		}
+	}
+	if !rep.TraceCheck.OK {
+		rep.Violations = append(rep.Violations, "trace check: "+rep.TraceCheck.Err)
+	}
+	if rep.Events.SeqGaps > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("event stream: %d seq gaps (%d events dropped)", rep.Events.SeqGaps, rep.Events.Dropped))
+	}
+	if rep.Events.Err != "" {
+		rep.Violations = append(rep.Violations, "event stream: "+rep.Events.Err)
+	}
+	if rep.TracesDropped > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("trace buffer dropped %d traces", rep.TracesDropped))
+	}
+	for _, r := range rep.Saturation {
+		if r.Errors > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%d request errors at concurrency %d", r.Errors, r.Concurrency))
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccload: report written to %s\n", *out)
+	}
+
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "ccload: VIOLATION: %s\n", v)
+		}
+		if *gate {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "ccload: all gates passed")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccload:", err)
+	os.Exit(2)
+}

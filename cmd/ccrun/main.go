@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ccrun [-mode raw|cured|purify|valgrind] [-backend vm|tree] [-stdin file] [-trust] [-trace out.json] [-prof N] file.c
+//	ccrun [-mode raw|cured|purify|valgrind] [-backend vm|tree] [-stdin file] [-trust] [-phases] [-trace out.json] [-prof N] file.c
 //
 // With -trace, the run's flight recording is written as Chrome trace-event
 // JSON (load it in Perfetto or chrome://tracing), and a trapped run prints
@@ -31,6 +31,7 @@ func main() {
 	traceBuf := flag.Int("trace-buf", 0, "flight-recorder ring capacity in events (0 = 8192)")
 	profPeriod := flag.Int("prof", 0, "sample the current source line every N interpreter steps (0 = off)")
 	backend := flag.String("backend", "vm", "interpreter backend: vm (bytecode) or tree (reference walker)")
+	phases := flag.Bool("phases", false, "print per-phase compile durations to stderr before running")
 	storeDir := flag.String("store-dir", "", "persistent artifact store directory; recompiles of unchanged functions are replayed from it (empty = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,6 +79,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *phases {
+		total := 0.0
+		for _, sp := range prog.Spans() {
+			fmt.Fprintf(os.Stderr, "phase %-12s %8.3fms\n", sp.Name, sp.DurMS)
+			total += sp.DurMS
+		}
+		fmt.Fprintf(os.Stderr, "phase %-12s %8.3fms\n", "total", total)
 	}
 	res, err := prog.Run(m, gocured.RunOptions{
 		Stdin:         stdin,

@@ -9,7 +9,11 @@
 //	POST /cure                cure (and optionally run) a source; see CureRequest
 //	GET  /events              live job/trap events as Server-Sent Events
 //	GET  /metrics             pipeline metrics snapshot as JSON
-//	GET  /metrics/prometheus  the same counters in Prometheus text format
+//	GET  /metrics/prometheus  the same counters in Prometheus text format (with exemplars)
+//	GET  /traces              recent request traces (summaries, newest first)
+//	GET  /traces/{id}         one request trace as Chrome trace-event JSON
+//	GET  /healthz             liveness (process is up)
+//	GET  /readyz              readiness (corpus loaded, store opened, pool started)
 //	GET  /corpus              list the built-in corpus programs
 //	GET  /corpus/{name}       fetch one corpus program (source and metadata)
 //	GET  /debug/vars          expvar, including the pipeline metrics
@@ -17,7 +21,10 @@
 //
 // Every request is logged as one structured (slog JSON) line with a request
 // ID, method, path, status, and duration; /cure lines additionally carry
-// mode, cache hit/miss, and a trap summary.
+// the trace ID, mode, cache tier, and a trap summary. Every /cure response
+// carries its trace ID (body field and X-Trace-Id header); clients may
+// supply their own W3C-shaped 16-hex ID via either to correlate traces
+// across systems.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // are drained before exit.
@@ -38,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -56,6 +64,11 @@ type CureRequest struct {
 	// Name labels the translation unit in diagnostics (default "input.c").
 	Name   string `json:"name,omitempty"`
 	Source string `json:"source"`
+
+	// TraceID, when set, must be a 16-hex-digit trace ID; the job's spans,
+	// events, and log lines carry it (default: the server assigns one). The
+	// X-Trace-Id request header is an equivalent, lower-priority channel.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Options struct {
 		NoRTTI              bool `json:"no_rtti,omitempty"`
@@ -84,13 +97,19 @@ type CureRequest struct {
 
 // CureResponse is the POST /cure reply.
 type CureResponse struct {
-	Name        string        `json:"name"`
-	Key         string        `json:"key"`
-	CacheHit    bool          `json:"cache_hit"`
+	Name string `json:"name"`
+	Key  string `json:"key"`
+	// TraceID identifies this request's trace; GET /traces/{id} returns the
+	// full span timeline while it remains in the bounded trace buffer.
+	TraceID  string `json:"trace_id"`
+	CacheHit bool   `json:"cache_hit"`
+	// Tier is the cache tier that served the compile: "memory", "inflight",
+	// "disk", or "compile".
+	Tier        string        `json:"tier,omitempty"`
 	Stats       gocured.Stats `json:"stats"`
 	Diagnostics []string      `json:"diagnostics,omitempty"`
-	// Phases are the per-phase wall times of the job (parse, sema, lower,
-	// infer, instrument, and "run" for run jobs).
+	// Phases is the request's span timeline (pre-order, depth-annotated):
+	// queue wait, cache tier, compile phases, store I/O, and run.
 	Phases []trace.Span `json:"phases,omitempty"`
 	Run    *RunResponse `json:"run,omitempty"`
 }
@@ -132,6 +151,9 @@ type serverConfig struct {
 	MaxBytes int64
 	Logger   *slog.Logger
 	Pprof    bool
+	// StoreConfigured tells /readyz a persistent artifact store was
+	// requested (so its absence from metrics means a failed open).
+	StoreConfigured bool
 }
 
 // server bundles the Runner with the HTTP handlers so tests can drive the
@@ -142,6 +164,12 @@ type server struct {
 	logger   *slog.Logger
 	mux      *http.ServeMux
 	reqSeq   atomic.Uint64
+	// ready flips once startup finished (runner built, store opened); it
+	// gates /readyz so load balancers hold traffic during boot.
+	ready atomic.Bool
+	// storeConfigured records whether a persistent store was requested, so
+	// /readyz can distinguish "no store" from "store failed to open".
+	storeConfigured bool
 }
 
 func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
@@ -151,11 +179,17 @@ func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := &server{runner: runner, maxBytes: cfg.MaxBytes, logger: cfg.Logger, mux: http.NewServeMux()}
+	s := &server{runner: runner, maxBytes: cfg.MaxBytes, logger: cfg.Logger, mux: http.NewServeMux(),
+		storeConfigured: cfg.StoreConfigured}
+	s.ready.Store(true) // newServer returns fully wired; main may clear/reset
 	s.mux.HandleFunc("/cure", s.handleCure)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics/prometheus", s.handlePrometheus)
+	s.mux.HandleFunc("/traces", s.handleTracesList)
+	s.mux.HandleFunc("/traces/", s.handleTraceGet)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/corpus", s.handleCorpusList)
 	s.mux.HandleFunc("/corpus/", s.handleCorpusGet)
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -171,23 +205,48 @@ func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
 	return s
 }
 
-// statusWriter captures the response status for the request log.
+// statusWriter captures the response status for the request log. Handlers
+// that never call WriteHeader explicitly — net/http sends an implicit 200
+// on the first Write, and the SSE path's first visible act can be a Flush —
+// must still log 200, so Write and Flush latch the implicit status and
+// Status() defaults to 200 for anything unset.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if w.status == 0 {
+		w.status = code
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK // implicit 200 from first Write
+	}
+	return w.ResponseWriter.Write(p)
+}
+
 // Flush forwards to the underlying writer so the SSE handler's flusher
-// check sees through the wrapper.
+// check sees through the wrapper. Flushing headers-only also implies 200.
 func (w *statusWriter) Flush() {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+// Status returns the response status for logging (200 when the handler
+// finished without ever writing anything).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // ctxKey keys the per-request logger in the request context.
@@ -207,14 +266,21 @@ func (s *server) reqLogger(r *http.Request) *slog.Logger {
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := s.reqSeq.Add(1)
 	lg := s.logger.With("req_id", id)
-	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ctxKey{}, lg)))
-	lg.Info("request",
+	attrs := []any{
 		"method", r.Method,
 		"path", r.URL.Path,
-		"status", sw.status,
-		"dur_ms", float64(time.Since(start))/float64(time.Millisecond))
+		"status", sw.Status(),
+		"dur_ms", float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	// Handlers that resolve a trace ID echo it as a response header; lift
+	// it into the access log so a log line links straight to /traces/{id}.
+	if tid := sw.Header().Get("X-Trace-Id"); tid != "" {
+		attrs = append(attrs, "trace_id", tid)
+	}
+	lg.Info("request", attrs...)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -280,10 +346,19 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	traceID := req.TraceID
+	if traceID == "" {
+		traceID = r.Header.Get("X-Trace-Id")
+	}
+	if traceID != "" && !trace.ValidID(traceID) {
+		writeError(w, http.StatusBadRequest, "trace_id must be 16 lowercase hex digits, got %q", traceID)
+		return
+	}
 
 	job := pipeline.Job{
-		Name:   name,
-		Source: req.Source,
+		Name:    name,
+		TraceID: traceID,
+		Source:  req.Source,
 		Options: gocured.Options{
 			NoRTTI:              req.Options.NoRTTI,
 			NoPhysicalSubtyping: req.Options.NoPhysicalSubtyping,
@@ -304,27 +379,33 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	res := s.runner.Do(r.Context(), job)
+	w.Header().Set("X-Trace-Id", res.TraceID)
 	if res.Err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
 			status = http.StatusServiceUnavailable
 		}
-		s.reqLogger(r).Warn("cure failed", "name", name, "mode", mode.String(), "err", res.Err.Error())
+		s.reqLogger(r).Warn("cure failed", "name", name, "trace_id", res.TraceID,
+			"mode", mode.String(), "err", res.Err.Error())
 		writeError(w, status, "%v", res.Err)
 		return
 	}
 	resp := CureResponse{
 		Name:        res.Name,
 		Key:         res.Key.String(),
+		TraceID:     res.TraceID,
 		CacheHit:    res.CacheHit,
+		Tier:        res.Tier,
 		Stats:       res.Stats,
 		Diagnostics: res.Diagnostics,
 		Phases:      res.Phases,
 	}
 	logAttrs := []any{
 		"name", name,
+		"trace_id", res.TraceID,
 		"mode", mode.String(),
 		"cache_hit", res.CacheHit,
+		"tier", res.Tier,
 		"dur_ms", float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if res.Run != nil {
@@ -411,6 +492,116 @@ func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	pipeline.WritePrometheus(w, s.runner.Metrics())
 }
 
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyCheck is one named readiness condition in the /readyz reply.
+type readyCheck struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	Info string `json:"info,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 200 only when the corpus is loaded,
+// the artifact store (when configured) opened, and the worker pool started.
+// Each condition is reported individually so a failing probe says why.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	m := s.runner.Metrics()
+	checks := []readyCheck{
+		{Name: "started", OK: s.ready.Load()},
+		{Name: "corpus_loaded", OK: len(corpus.All()) > 0,
+			Info: fmt.Sprintf("%d programs", len(corpus.All()))},
+		{Name: "pool_started", OK: s.runner.Workers() > 0,
+			Info: fmt.Sprintf("%d workers", s.runner.Workers())},
+	}
+	storeOK := !s.storeConfigured || m.Store != nil
+	info := "not configured"
+	if s.storeConfigured {
+		info = "open"
+		if m.Store == nil {
+			info = "configured but not open"
+		}
+	}
+	checks = append(checks, readyCheck{Name: "store_opened", OK: storeOK, Info: info})
+
+	status := http.StatusOK
+	ready := true
+	for _, c := range checks {
+		if !c.OK {
+			ready = false
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, struct {
+		Ready  bool         `json:"ready"`
+		Checks []readyCheck `json:"checks"`
+	}{ready, checks})
+}
+
+// traceSummary is one row of GET /traces.
+type traceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	DurMS   float64   `json:"dur_ms"`
+	Err     string    `json:"err,omitempty"`
+	Spans   int       `json:"spans"`
+}
+
+// handleTracesList lists recent request traces, newest first (?n= bounds
+// the count, default 50).
+func (s *server) handleTracesList(w http.ResponseWriter, r *http.Request) {
+	buf := s.runner.Traces()
+	if buf == nil {
+		writeError(w, http.StatusNotFound, "request tracing is disabled")
+		return
+	}
+	n := 50
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	out := []traceSummary{}
+	for _, t := range buf.Recent(n) {
+		out = append(out, traceSummary{TraceID: t.ID, Name: t.Name, Start: t.Start,
+			DurMS: t.DurMS, Err: t.Err, Spans: len(t.Spans)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraceGet renders one request trace as Chrome trace-event JSON
+// (load it in Perfetto or chrome://tracing). The trace ID rides in the
+// root span's args.
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	buf := s.runner.Traces()
+	if buf == nil {
+		writeError(w, http.StatusNotFound, "request tracing is disabled")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	if !trace.ValidID(id) {
+		writeError(w, http.StatusBadRequest, "trace ID must be 16 lowercase hex digits, got %q", id)
+		return
+	}
+	t, ok := buf.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace %q (buffer holds the most recent %d requests)",
+			id, buf.Stats().Cap)
+		return
+	}
+	args := map[string]any{"trace_id": t.ID, "name": t.Name, "start": t.Start.Format(time.RFC3339Nano)}
+	if t.Err != "" {
+		args["err"] = t.Err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := flight.WriteSpanTrace(w, "req "+t.Name, t.Spans, args); err != nil {
+		s.reqLogger(r).Warn("trace export failed", "trace_id", id, "err", err.Error())
+	}
+}
+
 // corpusEntry is one row of GET /corpus.
 type corpusEntry struct {
 	Name          string `json:"name"`
@@ -464,6 +655,7 @@ func main() {
 	maxBytes := flag.Int64("max-request-bytes", 1<<20, "maximum POST /cure body size")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
 	storeDir := flag.String("store-dir", "", "persistent artifact store directory; compiles survive restarts (empty = memory cache only)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferEntries, "request traces kept for GET /traces/{id} (negative disables)")
 	flag.Parse()
 
 	arts, err := pipeline.OpenStore(*storeDir)
@@ -471,18 +663,20 @@ func main() {
 		log.Fatalf("ccserve: %v", err)
 	}
 	runner := pipeline.NewRunner(pipeline.RunnerOptions{
-		Workers:          *jobs,
-		CacheEntries:     *cacheEntries,
-		DefaultStepLimit: *stepLimit,
-		JobTimeout:       *jobTimeout,
-		Store:            arts,
+		Workers:            *jobs,
+		CacheEntries:       *cacheEntries,
+		DefaultStepLimit:   *stepLimit,
+		JobTimeout:         *jobTimeout,
+		Store:              arts,
+		TraceBufferEntries: *traceBuffer,
 	})
 	expvar.Publish("gocured_pipeline", runner.ExpvarVar())
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(runner, serverConfig{MaxBytes: *maxBytes, Logger: logger, Pprof: *pprofFlag}),
+		Addr: *addr,
+		Handler: newServer(runner, serverConfig{MaxBytes: *maxBytes, Logger: logger,
+			Pprof: *pprofFlag, StoreConfigured: *storeDir != ""}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -13,6 +13,7 @@ import (
 	"gocured"
 	"gocured/internal/flight"
 	"gocured/internal/pipeline"
+	"gocured/internal/trace"
 )
 
 func testServer() *server {
@@ -437,5 +438,239 @@ func TestEventsSSEMethod(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("status = %d, want 405", rec.Code)
+	}
+}
+
+// TestHealthReadyEndpoints checks the liveness and readiness probes.
+func TestHealthReadyEndpoints(t *testing.T) {
+	s := testServer()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz status = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	var rz struct {
+		Ready  bool `json:"ready"`
+		Checks []struct {
+			Name string `json:"name"`
+			OK   bool   `json:"ok"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rz); err != nil || !rz.Ready {
+		t.Fatalf("readyz body: err=%v ready=%v %s", err, rz.Ready, rec.Body.String())
+	}
+	names := map[string]bool{}
+	for _, c := range rz.Checks {
+		names[c.Name] = c.OK
+	}
+	for _, want := range []string{"started", "corpus_loaded", "pool_started", "store_opened"} {
+		if !names[want] {
+			t.Errorf("readyz check %q missing or failing: %s", want, rec.Body.String())
+		}
+	}
+
+	// Not yet started -> 503.
+	s.ready.Store(false)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("unstarted /readyz status = %d, want 503", rec.Code)
+	}
+	s.ready.Store(true)
+
+	// A configured-but-unopened store fails readiness.
+	broken := newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1}),
+		serverConfig{StoreConfigured: true})
+	rec = httptest.NewRecorder()
+	broken.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("broken-store /readyz status = %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatusWriterDefaults pins the status accounting: implicit 200 on
+// first Write or Flush (the SSE path never calls WriteHeader), explicit
+// codes win, and a handler that writes nothing still logs 200 — never 0.
+func TestStatusWriterDefaults(t *testing.T) {
+	newSW := func() *statusWriter { return &statusWriter{ResponseWriter: httptest.NewRecorder()} }
+
+	sw := newSW()
+	if sw.Status() != http.StatusOK {
+		t.Errorf("untouched writer Status = %d, want 200", sw.Status())
+	}
+
+	sw = newSW()
+	sw.Write([]byte("x"))
+	if sw.Status() != http.StatusOK {
+		t.Errorf("after implicit Write, Status = %d, want 200", sw.Status())
+	}
+
+	sw = newSW()
+	sw.Flush() // SSE path: headers flushed before any Write
+	if sw.Status() != http.StatusOK {
+		t.Errorf("after Flush, Status = %d, want 200", sw.Status())
+	}
+
+	sw = newSW()
+	sw.WriteHeader(http.StatusNotFound)
+	sw.Write([]byte("x"))
+	if sw.Status() != http.StatusNotFound {
+		t.Errorf("explicit WriteHeader, Status = %d, want 404", sw.Status())
+	}
+}
+
+// TestCureTraceIDPropagation checks trace IDs flow end to end: assigned
+// when absent, honored from the request body or X-Trace-Id header, echoed
+// in the response body and header, rejected when malformed.
+func TestCureTraceIDPropagation(t *testing.T) {
+	s := testServer()
+	rec, resp := post(t, s, `{"source":"int main(void){return 0;}"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !trace.ValidID(resp.TraceID) {
+		t.Fatalf("assigned trace ID %q is not 16-hex", resp.TraceID)
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != resp.TraceID {
+		t.Errorf("X-Trace-Id header = %q, body trace_id = %q", got, resp.TraceID)
+	}
+
+	// Client-supplied ID in the body is honored.
+	rec, resp = post(t, s, `{"source":"int main(void){return 1;}","trace_id":"00000000deadbeef"}`)
+	if rec.Code != http.StatusOK || resp.TraceID != "00000000deadbeef" {
+		t.Errorf("body trace_id: status=%d trace_id=%q", rec.Code, resp.TraceID)
+	}
+
+	// ... and via the X-Trace-Id header.
+	req := httptest.NewRequest(http.MethodPost, "/cure", strings.NewReader(`{"source":"int main(void){return 2;}"}`))
+	req.Header.Set("X-Trace-Id", "00000000cafef00d")
+	hrec := httptest.NewRecorder()
+	s.ServeHTTP(hrec, req)
+	if hrec.Code != http.StatusOK || hrec.Header().Get("X-Trace-Id") != "00000000cafef00d" {
+		t.Errorf("header trace_id: status=%d X-Trace-Id=%q", hrec.Code, hrec.Header().Get("X-Trace-Id"))
+	}
+
+	// Malformed IDs are rejected up front.
+	rec, _ = post(t, s, `{"source":"int main(void){return 0;}","trace_id":"NOT-HEX"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed trace_id status = %d, want 400", rec.Code)
+	}
+}
+
+// TestTracesEndpoint exercises GET /traces and GET /traces/{id}: the
+// Chrome trace for a compiled request must validate and cover queue wait,
+// the cache tier, and every compile phase, with the trace ID in the root
+// span's args.
+func TestTracesEndpoint(t *testing.T) {
+	s := testServer()
+	rec, resp := post(t, s, `{"name":"traced.c","source":"int main(void){ int a[3]; int i,t=0; for(i=0;i<3;i++) t+=a[i]; return 0; }","run":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cure status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Tier != "compile" {
+		t.Errorf("first request tier = %q, want compile", resp.Tier)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/"+resp.TraceID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/traces/{id} status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if _, err := flight.ValidateTrace(rec.Body.Bytes()); err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, rec.Body.String())
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var rootTraceID string
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "B" {
+			seen[ev.Name] = true
+			if ev.Name == "request" && ev.Args != nil {
+				rootTraceID, _ = ev.Args["trace_id"].(string)
+			}
+		}
+	}
+	for _, want := range []string{"request", "queue-wait", "compile", "cache-compile",
+		"parse", "sema", "lower", "infer", "instrument", "run"} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q; have %v", want, seen)
+		}
+	}
+	if rootTraceID != resp.TraceID {
+		t.Errorf("root span trace_id = %q, want %q", rootTraceID, resp.TraceID)
+	}
+
+	// The summary list includes the trace, newest first.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces?n=5", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/traces status = %d", rec.Code)
+	}
+	var list []struct {
+		TraceID string `json:"trace_id"`
+		Name    string `json:"name"`
+		Spans   int    `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list) == 0 {
+		t.Fatalf("/traces list: err=%v body=%s", err, rec.Body.String())
+	}
+	if list[0].TraceID != resp.TraceID || list[0].Spans == 0 {
+		t.Errorf("latest trace = %+v, want %s", list[0], resp.TraceID)
+	}
+
+	// Malformed and unknown IDs.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/not-an-id", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/ffffffffffffffff", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id status = %d, want 404", rec.Code)
+	}
+}
+
+// TestCacheHitTrace checks a second identical request reports the memory
+// tier and its trace shows the cache span instead of compile phases.
+func TestCacheHitTrace(t *testing.T) {
+	s := testServer()
+	body := `{"name":"hit.c","source":"int main(void){return 7;}"}`
+	if rec, _ := post(t, s, body); rec.Code != http.StatusOK {
+		t.Fatalf("first cure: %d", rec.Code)
+	}
+	rec, resp := post(t, s, body)
+	if rec.Code != http.StatusOK || !resp.CacheHit || resp.Tier != "memory" {
+		t.Fatalf("second cure: status=%d hit=%v tier=%q, want memory hit", rec.Code, resp.CacheHit, resp.Tier)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/traces/"+resp.TraceID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/traces/{id} status = %d", rec.Code)
+	}
+	if _, err := flight.ValidateTrace(rec.Body.Bytes()); err != nil {
+		t.Fatalf("hit trace invalid: %v", err)
+	}
+	bodyStr := rec.Body.String()
+	if !strings.Contains(bodyStr, `"cache-memory"`) {
+		t.Errorf("hit trace missing cache-memory span:\n%s", bodyStr)
+	}
+	if strings.Contains(bodyStr, `"parse"`) {
+		t.Errorf("hit trace embeds stale compile phases:\n%s", bodyStr)
 	}
 }

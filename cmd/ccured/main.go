@@ -132,8 +132,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		ring := flight.RingFromSpans("compile", prog.Spans())
-		err = flight.WriteTrace(f, []*flight.Ring{ring})
+		// WriteSpanTrace (rather than RingFromSpans) tolerates overlapping
+		// sibling spans: it rebuilds the tree and clamps, so the output is
+		// ValidateTrace-clean whatever the front end recorded.
+		err = flight.WriteSpanTrace(f, "compile "+file, prog.Spans(), map[string]any{"file": file})
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"gocured/internal/trace"
@@ -165,6 +166,112 @@ func RingFromSpans(track string, spans []trace.Span) *Ring {
 		r.Record(Event{TS: uint64(b.ts * 1000), Kind: k, Name: b.name})
 	}
 	return r
+}
+
+// spanNode is one node of the reconstructed span tree WriteSpanTrace
+// sanitizes before emission. Times are milliseconds.
+type spanNode struct {
+	name       string
+	start, end float64
+	children   []*spanNode
+}
+
+// buildSpanTree reconstructs the tree from a pre-order, depth-annotated
+// span list: each span becomes a child of the nearest preceding span with a
+// smaller depth (spans with no such ancestor are roots).
+func buildSpanTree(spans []trace.Span) []*spanNode {
+	var roots []*spanNode
+	type entry struct {
+		n     *spanNode
+		depth int
+	}
+	var stack []entry
+	for _, sp := range spans {
+		dur := sp.DurMS
+		if dur < 0 {
+			dur = 0 // span never ended: render as zero-duration
+		}
+		n := &spanNode{name: sp.Name, start: sp.StartMS, end: sp.StartMS + dur}
+		for len(stack) > 0 && stack[len(stack)-1].depth >= sp.Depth {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			roots = append(roots, n)
+		} else {
+			p := stack[len(stack)-1].n
+			p.children = append(p.children, n)
+		}
+		stack = append(stack, entry{n, sp.Depth})
+	}
+	return roots
+}
+
+// sanitizeSpan clamps n into [*cursor, maxEnd] and its children into n,
+// ordering siblings by start and squeezing out overlaps, so the recursive
+// B/E emission below always satisfies ValidateTrace. Aggregate spans (store
+// I/O) and float rounding can produce windows that slightly overrun their
+// parent or neighbors; the clamp trades sub-bucket duration accuracy on
+// those edges for a structurally valid trace.
+func sanitizeSpan(n *spanNode, cursor *float64, maxEnd float64) {
+	if n.start < *cursor {
+		n.start = *cursor
+	}
+	if n.start > maxEnd {
+		n.start = maxEnd
+	}
+	if n.end > maxEnd {
+		n.end = maxEnd
+	}
+	if n.end < n.start {
+		n.end = n.start
+	}
+	sort.SliceStable(n.children, func(i, j int) bool { return n.children[i].start < n.children[j].start })
+	childCursor := n.start
+	for _, c := range n.children {
+		sanitizeSpan(c, &childCursor, n.end)
+	}
+	*cursor = n.end
+}
+
+// appendSpanEvents emits one sanitized node as a B/E pair around its
+// children, on pid 1 / tid 1. TS is microseconds (span times are ms).
+func appendSpanEvents(out []TraceEvent, n *spanNode, args map[string]any) []TraceEvent {
+	out = append(out, TraceEvent{Name: n.name, Ph: "B", TS: n.start * 1000, Pid: 1, Tid: 1, Cat: "span", Args: args})
+	for _, c := range n.children {
+		out = appendSpanEvents(out, c, nil)
+	}
+	return append(out, TraceEvent{Name: n.name, Ph: "E", TS: n.end * 1000, Pid: 1, Tid: 1, Cat: "span"})
+}
+
+// WriteSpanTrace renders a pre-order, depth-annotated span timeline (a
+// request trace from the pipeline's trace buffer) as Chrome trace-event
+// JSON on a single track. rootArgs, when non-nil, is attached to the first
+// root span's B event (the place to carry the trace ID). Unlike
+// RingFromSpans — which renders spans as a flat event stream and relies on
+// them being well-nested — this exporter reconstructs the span tree and
+// sanitizes it (children clamped into parents, siblings ordered and
+// non-overlapping), so the output passes ValidateTrace for any input list.
+func WriteSpanTrace(w io.Writer, track string, spans []trace.Span, rootArgs map[string]any) error {
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
+	if len(spans) > 0 {
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]any{"name": track},
+		})
+		roots := buildSpanTree(spans)
+		cursor := roots[0].start
+		for _, rt := range roots {
+			sanitizeSpan(rt, &cursor, math.Inf(1))
+		}
+		for i, rt := range roots {
+			var args map[string]any
+			if i == 0 {
+				args = rootArgs
+			}
+			f.TraceEvents = appendSpanEvents(f.TraceEvents, rt, args)
+		}
+	}
+	return json.NewEncoder(w).Encode(f)
 }
 
 // ValidateTrace checks data against the trace-event contract the exporter

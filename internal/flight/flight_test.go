@@ -209,3 +209,60 @@ func TestTraceFileValidates(t *testing.T) {
 	}
 	t.Logf("%s: %d events, valid", path, n)
 }
+
+// TestWriteSpanTraceSanitizes feeds the span exporter a deliberately nasty
+// timeline — overlapping siblings, a child overrunning its parent, an
+// unfinished span, out-of-order siblings — and checks the output still
+// passes ValidateTrace with the trace ID on the root event.
+func TestWriteSpanTraceSanitizes(t *testing.T) {
+	spans := []trace.Span{
+		{Name: "request", StartMS: 0, DurMS: 10},
+		{Name: "queue-wait", StartMS: 0, DurMS: 1, Depth: 1},
+		{Name: "compile", StartMS: 1, DurMS: 8, Depth: 1},
+		{Name: "cache-compile", StartMS: 1, DurMS: 0, Depth: 2},
+		{Name: "parse", StartMS: 1, DurMS: 3, Depth: 2},
+		{Name: "infer", StartMS: 3.5, DurMS: 6, Depth: 2},    // overlaps parse, overruns compile
+		{Name: "store-read", StartMS: 2, DurMS: 1, Depth: 2}, // out of order
+		{Name: "run", StartMS: 9, DurMS: -1, Depth: 1},       // never finished
+	}
+	var b bytes.Buffer
+	if err := WriteSpanTrace(&b, "req abc", spans, map[string]any{"trace_id": "0123456789abcdef"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(b.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, b.String())
+	}
+	// 1 metadata + 8 spans * B/E.
+	if n != 17 {
+		t.Errorf("event count = %d, want 17", n)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"trace_id":"0123456789abcdef"`) {
+		t.Errorf("root args missing trace_id:\n%s", out)
+	}
+	for _, name := range []string{"request", "queue-wait", "compile", "parse", "infer", "store-read", "run"} {
+		if !strings.Contains(out, `"name":"`+name+`"`) {
+			t.Errorf("span %q missing from output", name)
+		}
+	}
+}
+
+// TestWriteSpanTraceEmpty checks the degenerate cases stay valid.
+func TestWriteSpanTraceEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteSpanTrace(&b, "empty", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateTrace(b.Bytes()); err != nil || n != 0 {
+		t.Fatalf("empty trace: n=%d err=%v", n, err)
+	}
+	// A lone deep span (no root) still renders as its own tree.
+	b.Reset()
+	if err := WriteSpanTrace(&b, "deep", []trace.Span{{Name: "orphan", Depth: 3, DurMS: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// EventStats summarises a tail of GET /events taken during a load run.
+// SeqGaps counts discontinuities in the event sequence numbers — each gap
+// means the bus dropped events for this subscriber (it fell behind), which
+// the CI gate asserts never happens for a keeping-up consumer.
+type EventStats struct {
+	Seen    int    `json:"seen"`
+	SeqGaps int    `json:"seq_gaps"`
+	Dropped uint64 `json:"dropped_events"`
+	Err     string `json:"error,omitempty"`
+}
+
+// EventWatcher tails the server's SSE event stream on a goroutine and
+// verifies sequence continuity. Start it before driving load, Stop it
+// after; Stats is valid once Stop returns.
+type EventWatcher struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu    sync.Mutex
+	stats EventStats
+}
+
+// WatchEvents connects to baseURL/events and starts consuming. The
+// returned watcher must be stopped with Stop.
+func WatchEvents(ctx context.Context, client *http.Client, baseURL string) *EventWatcher {
+	if client == nil {
+		// No overall timeout: the stream stays open until Stop cancels it.
+		client = &http.Client{}
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	w := &EventWatcher{cancel: cancel, done: make(chan struct{})}
+	go w.run(wctx, client, baseURL)
+	return w
+}
+
+func (w *EventWatcher) run(ctx context.Context, client *http.Client, baseURL string) {
+	defer close(w.done)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/events", nil)
+	if err != nil {
+		w.fail(err.Error())
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		w.fail(err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.fail("GET /events: status " + resp.Status)
+		return
+	}
+
+	var lastSeq uint64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		w.mu.Lock()
+		w.stats.Seen++
+		if lastSeq != 0 && ev.Seq > lastSeq+1 {
+			w.stats.SeqGaps++
+			w.stats.Dropped += ev.Seq - lastSeq - 1
+		}
+		w.mu.Unlock()
+		lastSeq = ev.Seq
+	}
+	// A scan error after cancellation is just the stream closing.
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		w.fail(err.Error())
+	}
+}
+
+func (w *EventWatcher) fail(msg string) {
+	w.mu.Lock()
+	w.stats.Err = msg
+	w.mu.Unlock()
+}
+
+// Stop tears down the stream and returns the accumulated stats.
+func (w *EventWatcher) Stop() EventStats {
+	w.cancel()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}

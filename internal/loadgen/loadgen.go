@@ -1,0 +1,393 @@
+// Package loadgen drives synthetic cure/run traffic against a ccserve
+// instance and reports latency distributions. It supports closed-loop
+// generation (a fixed number of workers, each issuing its next request as
+// soon as the previous completes — concurrency is the control variable)
+// and open-loop generation (requests dispatched on a fixed arrival
+// schedule regardless of completions — the harsher model, since queueing
+// delay compounds instead of throttling the generator).
+//
+// Traffic is a weighted mix of request classes chosen to exercise the
+// server's distinct cost paths:
+//
+//	hit   the same source every time: memory-cache hits
+//	run   a fixed source with run:true: cache hit + interpreter execution
+//	cure  a wholly fresh source every request: full compiles
+//	edit  one function's body changes per request while the rest of the
+//	      unit stays stable: incremental re-cure (store summary replay)
+//
+// Latencies aggregate into the same log-bucketed histograms the pipeline
+// uses (internal/pipeline.LogHist), so quantiles here and server-side
+// quantiles are directly comparable bucket-for-bucket.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gocured/internal/pipeline"
+)
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL is the ccserve root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Duration bounds the run.
+	Duration time.Duration
+	// Concurrency is the closed-loop worker count (ignored when
+	// RatePerSec > 0 selects open-loop mode).
+	Concurrency int
+	// RatePerSec, when positive, switches to open-loop generation at this
+	// arrival rate.
+	RatePerSec float64
+	// Mix maps class name -> weight. Nil means DefaultMix.
+	Mix map[string]int
+	// Seed makes the class sequence reproducible.
+	Seed int64
+	// Client is the HTTP client (nil = a default with sane timeouts).
+	Client *http.Client
+}
+
+// DefaultMix approximates a warm service: mostly cache hits and runs, a
+// steady trickle of fresh compiles and incremental edits.
+func DefaultMix() map[string]int {
+	return map[string]int{"hit": 45, "run": 25, "edit": 20, "cure": 10}
+}
+
+// ClassResult is the per-class slice of a Result.
+type ClassResult struct {
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	CacheHits int     `json:"cache_hits"`
+	MeanMS    float64 `json:"mean_ms"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+// Result is the outcome of one load run at one operating point.
+type Result struct {
+	Concurrency   int     `json:"concurrency"`
+	RatePerSec    float64 `json:"rate_per_sec,omitempty"`
+	DurationS     float64 `json:"duration_s"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+
+	Classes map[string]ClassResult `json:"classes"`
+
+	// SlowestMiss identifies the slowest non-cache-hit request of the run:
+	// its trace covers every compile phase, which makes it the natural
+	// candidate for the post-run trace check.
+	SlowestMissTraceID string  `json:"slowest_miss_trace_id,omitempty"`
+	SlowestMissMS      float64 `json:"slowest_miss_ms,omitempty"`
+	SlowestMissClass   string  `json:"slowest_miss_class,omitempty"`
+
+	// LastMiss is the most recently completed cache miss — a fallback
+	// candidate for the trace check when the slowest miss has already been
+	// evicted from the server's bounded trace buffer by later traffic.
+	LastMissTraceID string  `json:"last_miss_trace_id,omitempty"`
+	LastMissMS      float64 `json:"last_miss_ms,omitempty"`
+}
+
+// cureReply is the slice of ccserve's CureResponse the generator needs.
+type cureReply struct {
+	TraceID  string `json:"trace_id"`
+	CacheHit bool   `json:"cache_hit"`
+	Tier     string `json:"tier"`
+}
+
+// collector aggregates results across workers. One mutex for the counters;
+// the histograms carry their own locks.
+type collector struct {
+	overall pipeline.LogHist
+	classes map[string]*classCollector
+
+	mu           sync.Mutex
+	errors       int
+	slowestMS    float64
+	slowestID    string
+	slowestClass string
+	lastMissMS   float64
+	lastMissID   string
+}
+
+type classCollector struct {
+	hist             pipeline.LogHist
+	requests, errors atomic.Int64
+	hits             atomic.Int64
+}
+
+func (c *collector) record(class string, ms float64, reply *cureReply, err error) {
+	cc := c.classes[class]
+	cc.requests.Add(1)
+	if err != nil {
+		cc.errors.Add(1)
+		c.mu.Lock()
+		c.errors++
+		c.mu.Unlock()
+		return
+	}
+	traceID := ""
+	if reply != nil {
+		traceID = reply.TraceID
+		if reply.CacheHit {
+			cc.hits.Add(1)
+		}
+	}
+	c.overall.Observe(time.Duration(ms*float64(time.Millisecond)), traceID)
+	cc.hist.Observe(time.Duration(ms*float64(time.Millisecond)), traceID)
+	if reply != nil && !reply.CacheHit && traceID != "" {
+		c.mu.Lock()
+		if ms > c.slowestMS {
+			c.slowestMS, c.slowestID, c.slowestClass = ms, traceID, class
+		}
+		c.lastMissMS, c.lastMissID = ms, traceID
+		c.mu.Unlock()
+	}
+}
+
+// gen holds the shared request-generation state.
+type gen struct {
+	cfg     Config
+	client  *http.Client
+	classes []string // expanded by weight for O(1) picks
+	cureSeq atomic.Uint64
+	editSeq atomic.Uint64
+}
+
+// baseProg is the body template. stable_sum and main never change; the
+// edit class varies only edited()'s constants, the cure class varies all
+// three slots (a wholly new unit every request).
+const baseProg = `extern int printf(char *fmt, ...);
+
+int stable_sum(int n) {
+  int i, t = 0;
+  int a[8];
+  for (i = 0; i < 8; i++) a[i] = i + %d;
+  for (i = 0; i < n && i < 8; i++) t += a[i];
+  return t;
+}
+
+int edited(int x) { return x * %d + %d; }
+
+int main(void) {
+  int r = stable_sum(6) + edited(%d);
+  return r & 255;
+}
+`
+
+func progSource(stableK, mulK, addK, argK int) string {
+	return fmt.Sprintf(baseProg, stableK, mulK, addK, argK)
+}
+
+// body builds the POST /cure payload for one request of a class.
+func (g *gen) body(class string) []byte {
+	type reqBody struct {
+		Name   string `json:"name"`
+		Source string `json:"source"`
+		Run    bool   `json:"run,omitempty"`
+		Mode   string `json:"mode,omitempty"`
+	}
+	var b reqBody
+	switch class {
+	case "hit":
+		b = reqBody{Name: "load-hit.c", Source: progSource(1, 3, 1, 2)}
+	case "run":
+		b = reqBody{Name: "load-run.c", Source: progSource(1, 3, 1, 2), Run: true, Mode: "cured"}
+	case "cure":
+		n := int(g.cureSeq.Add(1))
+		b = reqBody{Name: "load-cure.c", Source: progSource(n%251, n%127+1, n%89, n%7)}
+	case "edit":
+		// Only edited()'s constants move: stable_sum and main keep their
+		// fingerprints, so a store-backed server replays them (tier "disk").
+		n := int(g.editSeq.Add(1))
+		b = reqBody{Name: "load-edit.c", Source: progSource(1, n%127+1, n%89, 2)}
+	default:
+		panic("loadgen: unknown class " + class)
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// issue sends one request and returns (latency ms, parsed reply, error).
+func (g *gen) issue(ctx context.Context, class string) (float64, *cureReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.BaseURL+"/cure",
+		bytes.NewReader(g.body(class)))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return ms, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+	if err != nil {
+		return ms, nil, err
+	}
+	ms = float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		return ms, nil, fmt.Errorf("%s: status %d: %.200s", class, resp.StatusCode, data)
+	}
+	var reply cureReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return ms, nil, fmt.Errorf("%s: bad reply: %w", class, err)
+	}
+	if reply.TraceID == "" {
+		reply.TraceID = resp.Header.Get("X-Trace-Id")
+	}
+	return ms, &reply, nil
+}
+
+// Run executes one load run and aggregates the results. Closed-loop when
+// cfg.RatePerSec <= 0, open-loop otherwise.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.BaseURL == "" {
+		return Result{}, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	mix := cfg.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+
+	g := &gen{cfg: cfg, client: client}
+	// Expand weights into a pick table with a stable class order.
+	names := make([]string, 0, len(mix))
+	for name := range mix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for i := 0; i < mix[name]; i++ {
+			g.classes = append(g.classes, name)
+		}
+	}
+	if len(g.classes) == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty mix")
+	}
+
+	col := &collector{classes: make(map[string]*classCollector, len(names))}
+	for _, name := range names {
+		col.classes[name] = &classCollector{}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	oneRequest := func(rng *rand.Rand) {
+		class := g.classes[rng.Intn(len(g.classes))]
+		ms, reply, err := g.issue(ctx, class) // ctx, not runCtx: in-flight requests finish
+		col.record(class, ms, reply, err)
+	}
+
+	if cfg.RatePerSec > 0 {
+		// Open loop: arrivals on a fixed schedule, one goroutine each.
+		interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+	arrivals:
+		for {
+			select {
+			case <-runCtx.Done():
+				break arrivals
+			case <-ticker.C:
+				wg.Add(1)
+				class := g.classes[rng.Intn(len(g.classes))]
+				go func() {
+					defer wg.Done()
+					ms, reply, err := g.issue(ctx, class)
+					col.record(class, ms, reply, err)
+				}()
+			}
+		}
+	} else {
+		// Closed loop: each worker issues back-to-back requests.
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+				for runCtx.Err() == nil {
+					oneRequest(rng)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := col.overall.Snapshot()
+	res := Result{
+		Concurrency:   cfg.Concurrency,
+		RatePerSec:    cfg.RatePerSec,
+		DurationS:     float64(elapsed) / float64(time.Second),
+		Requests:      int(snap.Count) + col.errors,
+		Errors:        col.errors,
+		ThroughputRPS: float64(snap.Count) / (float64(elapsed) / float64(time.Second)),
+		MeanMS:        snap.MeanMS(),
+		P50MS:         snap.Quantile(0.50),
+		P90MS:         snap.Quantile(0.90),
+		P99MS:         snap.Quantile(0.99),
+		P999MS:        snap.Quantile(0.999),
+		MaxMS:         snap.MaxMS,
+		Classes:       make(map[string]ClassResult, len(names)),
+
+		SlowestMissTraceID: col.slowestID,
+		SlowestMissMS:      col.slowestMS,
+		SlowestMissClass:   col.slowestClass,
+		LastMissTraceID:    col.lastMissID,
+		LastMissMS:         col.lastMissMS,
+	}
+	for _, name := range names {
+		cc := col.classes[name]
+		cs := cc.hist.Snapshot()
+		res.Classes[name] = ClassResult{
+			Requests:  int(cc.requests.Load()),
+			Errors:    int(cc.errors.Load()),
+			CacheHits: int(cc.hits.Load()),
+			MeanMS:    cs.MeanMS(),
+			P50MS:     cs.Quantile(0.50),
+			P99MS:     cs.Quantile(0.99),
+			MaxMS:     cs.MaxMS,
+		}
+	}
+	return res, nil
+}

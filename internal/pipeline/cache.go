@@ -6,8 +6,11 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gocured"
+	"gocured/internal/infer"
 	"gocured/internal/store"
 )
 
@@ -44,9 +47,39 @@ type Compiled struct {
 	// Incr reports how inference composed the program: functions replayed
 	// from the artifact store vs. re-collected (all recured without one).
 	Incr gocured.IncrStats
+	// StoreReadMS/StoreWriteMS aggregate the wall time this compile spent
+	// in artifact-store I/O (summary loads and saves); StoreReads and
+	// StoreWrites count the operations. On a cache hit they describe the
+	// original compile (store I/O is interleaved with inference, so these
+	// are aggregates, not a per-chunk span list).
+	StoreReadMS  float64
+	StoreWriteMS float64
+	StoreReads   int
+	StoreWrites  int
 	// SourceBytes is the size of the source text, retained for the cache
 	// size accounting after the source itself is dropped.
 	SourceBytes int
+}
+
+// Lookup reports how one GetOrCompile call was served: the cache tier and
+// whether the caller paid for a compile.
+type Lookup struct {
+	// Tier is "memory" (LRU hit), "inflight" (coalesced onto another
+	// goroutine's in-progress compile of the same key), "disk" (compiled,
+	// but with at least one function replayed from the artifact store), or
+	// "compile" (compiled from scratch).
+	Tier string
+	// Hit reports that no compile ran on this call (memory or inflight).
+	Hit bool
+}
+
+// lookupFor classifies a freshly-compiled (non-hit) result by whether the
+// artifact store contributed.
+func lookupFor(c *Compiled) Lookup {
+	if c != nil && c.Incr.Loaded > 0 {
+		return Lookup{Tier: "disk"}
+	}
+	return Lookup{Tier: "compile"}
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.
@@ -105,24 +138,25 @@ const DefaultCacheEntries = 256
 func (c *Cache) SetStore(a *store.Artifacts) { c.arts = a }
 
 // GetOrCompile returns the Compiled artifact for (filename, source, opts),
-// compiling at most once per content address. The second return reports
-// whether the result came from the cache (including waiting on another
-// goroutine's in-flight compile of the same key). Compile errors are
-// returned, not cached: the next identical request retries.
-func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Compiled, bool, error) {
+// compiling at most once per content address. The Lookup return reports
+// which tier served the result (memory LRU, coalescing onto another
+// goroutine's in-flight compile of the same key, the on-disk artifact
+// store, or a from-scratch compile). Compile errors are returned, not
+// cached: the next identical request retries.
+func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Compiled, Lookup, error) {
 	key := CacheKey(filename, source, opts)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		c.mu.Unlock()
-		return el.Value.(*Compiled), true, nil
+		return el.Value.(*Compiled), Lookup{Tier: "memory", Hit: true}, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		<-f.done
-		return f.res, true, f.err
+		return f.res, Lookup{Tier: "inflight", Hit: true}, f.err
 	}
 	c.misses++
 	f := &compileFlight{done: make(chan struct{})}
@@ -138,7 +172,7 @@ func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Co
 		c.insertLocked(key, f.res)
 	}
 	c.mu.Unlock()
-	return f.res, false, f.err
+	return f.res, lookupFor(f.res), f.err
 }
 
 // compileSource builds the artifact outside the lock. A panic in the
@@ -151,14 +185,16 @@ func compileSource(key Key, filename, source string, opts gocured.Options, arts 
 		}
 	}()
 	var sums gocured.SummarySource
+	var timed *timedSums
 	if arts != nil {
-		sums = arts.ForOptions(opts)
+		timed = &timedSums{src: arts.ForOptions(opts)}
+		sums = timed
 	}
 	prog, err := gocured.CompileStored(filename, source, opts, sums)
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{
+	res = &Compiled{
 		Key:         key,
 		Filename:    filename,
 		Program:     prog,
@@ -166,7 +202,39 @@ func compileSource(key Key, filename, source string, opts gocured.Options, arts 
 		Diagnostics: prog.Diagnostics(),
 		Incr:        prog.IncrStats(),
 		SourceBytes: len(source),
-	}, nil
+	}
+	if timed != nil {
+		res.StoreReadMS = float64(timed.loadNS.Load()) / 1e6
+		res.StoreWriteMS = float64(timed.saveNS.Load()) / 1e6
+		res.StoreReads = int(timed.loadOps.Load())
+		res.StoreWrites = int(timed.saveOps.Load())
+	}
+	return res, nil
+}
+
+// timedSums decorates a SummarySource with wall-time and op-count
+// accounting, the source of a compile's store-read/store-write spans and
+// phase histograms. Counters are atomics: nothing guarantees inference
+// keeps the source on one goroutine forever.
+type timedSums struct {
+	src             gocured.SummarySource
+	loadNS, loadOps atomic.Int64
+	saveNS, saveOps atomic.Int64
+}
+
+func (t *timedSums) Load(fn string, body, decls [sha256.Size]byte) (*infer.FuncSummary, bool) {
+	start := time.Now()
+	sum, ok := t.src.Load(fn, body, decls)
+	t.loadNS.Add(int64(time.Since(start)))
+	t.loadOps.Add(1)
+	return sum, ok
+}
+
+func (t *timedSums) Save(sum *infer.FuncSummary, fn string, body, decls [sha256.Size]byte) {
+	start := time.Now()
+	t.src.Save(sum, fn, body, decls)
+	t.saveNS.Add(int64(time.Since(start)))
+	t.saveOps.Add(1)
 }
 
 func (c *Cache) insertLocked(key Key, res *Compiled) {

@@ -18,6 +18,8 @@ type JobEvent struct {
 	Type string `json:"type"`
 	Name string `json:"name"`
 	Mode string `json:"mode,omitempty"`
+	// TraceID links the event to its request trace (GET /traces/{id}).
+	TraceID string `json:"trace_id,omitempty"`
 	// CacheHit and DurMS are set on job_done.
 	CacheHit bool    `json:"cache_hit,omitempty"`
 	DurMS    float64 `json:"dur_ms,omitempty"`

@@ -2,76 +2,13 @@ package pipeline
 
 import (
 	"expvar"
+	"sort"
 	"sync"
 	"time"
 
 	"gocured/internal/store"
+	"gocured/internal/trace"
 )
-
-// histBoundsMS are the upper bounds (milliseconds, inclusive) of the wall
-// time histogram buckets; a final overflow bucket catches the rest.
-var histBoundsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
-
-// HistBucket is one cumulative-free histogram bucket.
-type HistBucket struct {
-	LeMS  float64 `json:"le_ms"` // upper bound; 0 marks the overflow bucket
-	Count uint64  `json:"count"`
-}
-
-// Histogram is a snapshot of a wall-time distribution.
-type Histogram struct {
-	Count   uint64       `json:"count"`
-	SumMS   float64      `json:"sum_ms"`
-	MaxMS   float64      `json:"max_ms"`
-	Buckets []HistBucket `json:"buckets,omitempty"`
-}
-
-// MeanMS returns the mean observation in milliseconds.
-func (h Histogram) MeanMS() float64 {
-	if h.Count == 0 {
-		return 0
-	}
-	return h.SumMS / float64(h.Count)
-}
-
-// histogram is the mutable accumulator behind a Histogram snapshot.
-type histogram struct {
-	count   uint64
-	sumMS   float64
-	maxMS   float64
-	buckets [len(histBoundsMS) + 1]uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	h.count++
-	h.sumMS += ms
-	if ms > h.maxMS {
-		h.maxMS = ms
-	}
-	for i, le := range histBoundsMS {
-		if ms <= le {
-			h.buckets[i]++
-			return
-		}
-	}
-	h.buckets[len(histBoundsMS)]++
-}
-
-func (h *histogram) snapshot() Histogram {
-	out := Histogram{Count: h.count, SumMS: h.sumMS, MaxMS: h.maxMS}
-	for i, n := range h.buckets {
-		if n == 0 {
-			continue
-		}
-		b := HistBucket{Count: n}
-		if i < len(histBoundsMS) {
-			b.LeMS = histBoundsMS[i]
-		}
-		out.Buckets = append(out.Buckets, b)
-	}
-	return out
-}
 
 // BuildInfo identifies the running build: the gocured analysis revision,
 // the Go toolchain, and whether the check optimizer is on by default. It
@@ -83,6 +20,12 @@ type BuildInfo struct {
 	Optimizer string `json:"optimizer"` // "on" or "off"
 }
 
+// PhaseHist is one named phase-duration histogram in a snapshot.
+type PhaseHist struct {
+	Phase string    `json:"phase"`
+	Hist  Histogram `json:"hist"`
+}
+
 // Metrics is a point-in-time snapshot of a Runner's counters. It marshals
 // directly to JSON (ccserve's GET /metrics and the expvar export).
 type Metrics struct {
@@ -90,6 +33,9 @@ type Metrics struct {
 
 	Workers      int   `json:"workers"`
 	JobsInFlight int64 `json:"jobs_in_flight"`
+	// QueueDepthNow is the number of jobs currently waiting for a worker
+	// slot (admitted to Do but not yet executing).
+	QueueDepthNow int64 `json:"queue_depth_now"`
 
 	JobsRun      uint64 `json:"jobs_run"`
 	JobsFailed   uint64 `json:"jobs_failed"`
@@ -110,16 +56,45 @@ type Metrics struct {
 	FuncsRecured uint64       `json:"funcs_recured"`
 	FuncsLoaded  uint64       `json:"funcs_loaded"`
 
+	// Traces snapshots the request-trace buffer behind GET /traces/{id}
+	// (nil when tracing is disabled).
+	Traces *trace.BufferStats `json:"traces,omitempty"`
+
+	// Latency distributions, all log-bucketed with per-bucket exemplars
+	// linking to request traces. E2EWall is the full request latency as a
+	// job experienced it (queue wait + compile/cache + run); QueueWait the
+	// time spent waiting for a worker slot; QueueDepth the waiting-job
+	// count observed at each enqueue (dimensionless, same bucket scale).
+	E2EWall     Histogram `json:"e2e_wall"`
+	QueueWait   Histogram `json:"queue_wait"`
+	QueueDepth  Histogram `json:"queue_depth"`
 	CompileWall Histogram `json:"compile_wall"`
 	RunWall     Histogram `json:"run_wall"`
+	// Phases are per-compile-phase duration histograms (parse, sema,
+	// lower, infer, instrument, optimize, frontend-raw, store-read,
+	// store-write), sorted by phase name.
+	Phases []PhaseHist `json:"phases,omitempty"`
 }
 
-// metrics is the Runner's internal accumulator. One mutex guards all of it:
-// updates are a few counter bumps per job, far off the interpreter's hot
-// path, so contention is negligible next to compile/run work.
+// PhaseHistogram returns the named phase histogram (zero if absent).
+func (m Metrics) PhaseHistogram(phase string) Histogram {
+	for _, p := range m.Phases {
+		if p.Phase == phase {
+			return p.Hist
+		}
+	}
+	return Histogram{}
+}
+
+// metrics is the Runner's internal accumulator. One mutex guards the
+// counters; the histograms carry their own locks (they are also observed
+// from queue admission, outside jobFinished). Updates are a few counter
+// bumps per job, far off the interpreter's hot path, so contention is
+// negligible next to compile/run work.
 type metrics struct {
 	mu           sync.Mutex
 	jobsInFlight int64
+	queueDepth   int64
 	jobsRun      uint64
 	jobsFailed   uint64
 	jobsPanicked uint64
@@ -129,12 +104,44 @@ type metrics struct {
 	trapsByKind  map[string]uint64
 	funcsRecured uint64
 	funcsLoaded  uint64
-	compileWall  histogram
-	runWall      histogram
+
+	e2eWall     LogHist
+	queueWait   LogHist
+	queueDepthH LogHist
+	compileWall LogHist
+	runWall     LogHist
+
+	phaseMu sync.Mutex
+	phases  map[string]*LogHist
 }
 
 func newMetrics() *metrics {
-	return &metrics{trapsByKind: make(map[string]uint64)}
+	return &metrics{
+		trapsByKind: make(map[string]uint64),
+		phases:      make(map[string]*LogHist),
+	}
+}
+
+// queueEnter registers a job waiting for a worker slot and returns the
+// queue depth including it.
+func (m *metrics) queueEnter() int64 {
+	m.mu.Lock()
+	m.queueDepth++
+	d := m.queueDepth
+	m.mu.Unlock()
+	return d
+}
+
+// queueLeave reverses queueEnter (on slot acquisition or cancellation);
+// an acquired job additionally records its wait and the depth it saw.
+func (m *metrics) queueLeave(depth int64, wait time.Duration, traceID string, acquired bool) {
+	m.mu.Lock()
+	m.queueDepth--
+	m.mu.Unlock()
+	if acquired {
+		m.queueWait.Observe(wait, traceID)
+		m.queueDepthH.ObserveMS(float64(depth), traceID)
+	}
 }
 
 func (m *metrics) jobStarted() {
@@ -143,28 +150,63 @@ func (m *metrics) jobStarted() {
 	m.mu.Unlock()
 }
 
+// phaseHist returns the accumulator for one named phase.
+func (m *metrics) phaseHist(name string) *LogHist {
+	m.phaseMu.Lock()
+	h := m.phases[name]
+	if h == nil {
+		h = &LogHist{}
+		m.phases[name] = h
+	}
+	m.phaseMu.Unlock()
+	return h
+}
+
 func (m *metrics) jobFinished(res *JobResult) {
+	m.e2eWall.Observe(res.E2E, res.TraceID)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.jobsInFlight--
 	m.jobsRun++
 	if res.Err != nil {
 		m.jobsFailed++
+		m.mu.Unlock()
 		return
 	}
 	if !res.CacheHit {
-		m.compileWall.observe(res.CompileTime)
 		m.funcsRecured += uint64(res.Incr.Recured)
 		m.funcsLoaded += uint64(res.Incr.Loaded)
 	}
+	trapped := res.Run != nil && res.Run.Trapped
 	if res.Run != nil {
 		m.runsExecuted++
-		m.runWall.observe(res.RunTime)
-		if res.Run.Trapped {
+		if trapped {
 			m.traps++
 			m.trapsByKind[res.Run.TrapKind]++
 		}
 	}
+	m.mu.Unlock()
+
+	if !res.CacheHit {
+		m.compileWall.Observe(res.CompileTime, res.TraceID)
+		// Per-phase durations of the compile this job performed.
+		for _, sp := range res.Phases {
+			if sp.Depth == 2 && phaseNames[sp.Name] {
+				m.phaseHist(sp.Name).ObserveMS(sp.DurMS, res.TraceID)
+			}
+		}
+	}
+	if res.Run != nil {
+		m.runWall.Observe(res.RunTime, res.TraceID)
+	}
+}
+
+// phaseNames are the span names observed into per-phase histograms: the
+// compile phases (children of the request timeline's "compile" span) plus
+// the aggregated artifact-store I/O spans.
+var phaseNames = map[string]bool{
+	"parse": true, "sema": true, "lower": true, "infer": true,
+	"instrument": true, "optimize": true, "frontend-raw": true,
+	"store-read": true, "store-write": true,
 }
 
 func (m *metrics) jobPanicked() {
@@ -181,27 +223,47 @@ func (m *metrics) jobTimedOut() {
 
 func (m *metrics) snapshot(workers int, cache CacheStats) Metrics {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := Metrics{
-		Workers:      workers,
-		JobsInFlight: m.jobsInFlight,
-		JobsRun:      m.jobsRun,
-		JobsFailed:   m.jobsFailed,
-		JobsPanicked: m.jobsPanicked,
-		JobsTimedOut: m.jobsTimedOut,
-		RunsExecuted: m.runsExecuted,
-		Traps:        m.traps,
-		Cache:        cache,
-		FuncsRecured: m.funcsRecured,
-		FuncsLoaded:  m.funcsLoaded,
-		CompileWall:  m.compileWall.snapshot(),
-		RunWall:      m.runWall.snapshot(),
+		Workers:       workers,
+		JobsInFlight:  m.jobsInFlight,
+		QueueDepthNow: m.queueDepth,
+		JobsRun:       m.jobsRun,
+		JobsFailed:    m.jobsFailed,
+		JobsPanicked:  m.jobsPanicked,
+		JobsTimedOut:  m.jobsTimedOut,
+		RunsExecuted:  m.runsExecuted,
+		Traps:         m.traps,
+		Cache:         cache,
+		FuncsRecured:  m.funcsRecured,
+		FuncsLoaded:   m.funcsLoaded,
 	}
 	if len(m.trapsByKind) > 0 {
 		out.TrapsByKind = make(map[string]uint64, len(m.trapsByKind))
 		for k, v := range m.trapsByKind {
 			out.TrapsByKind[k] = v
 		}
+	}
+	m.mu.Unlock()
+
+	out.E2EWall = m.e2eWall.Snapshot()
+	out.QueueWait = m.queueWait.Snapshot()
+	out.QueueDepth = m.queueDepthH.Snapshot()
+	out.CompileWall = m.compileWall.Snapshot()
+	out.RunWall = m.runWall.Snapshot()
+
+	m.phaseMu.Lock()
+	names := make([]string, 0, len(m.phases))
+	for name := range m.phases {
+		names = append(names, name)
+	}
+	hists := make([]*LogHist, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		hists[i] = m.phases[name]
+	}
+	m.phaseMu.Unlock()
+	for i, name := range names {
+		out.Phases = append(out.Phases, PhaseHist{Phase: name, Hist: hists[i].Snapshot()})
 	}
 	return out
 }

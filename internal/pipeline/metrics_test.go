@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -17,28 +20,200 @@ func TestHistogramMeanMSZeroCount(t *testing.T) {
 	}
 }
 
-func TestHistogramObserveAndSnapshot(t *testing.T) {
-	var h histogram
-	h.observe(500 * time.Microsecond) // le=1 bucket
-	h.observe(3 * time.Millisecond)   // le=5 bucket
-	h.observe(10 * time.Second)       // overflow bucket
-	s := h.snapshot()
-	if s.Count != 3 || s.MaxMS != 10000 {
+// TestLogBucketBoundaries is the golden test for the bucket scheme: bounds
+// grow by 2^(1/4) from 1µs, upper bounds are inclusive, and values above
+// the last bound land in the overflow bucket.
+func TestLogBucketBoundaries(t *testing.T) {
+	if logBoundsMS[0] != 0.001 {
+		t.Fatalf("first bound = %v, want 0.001", logBoundsMS[0])
+	}
+	// Four sub-buckets per octave: bound[i+4] = 2*bound[i], exactly (the
+	// bounds are computed, not accumulated, so no drift).
+	for i := 0; i+4 < logBucketCount; i += 4 {
+		if got, want := logBoundsMS[i+4], 2*logBoundsMS[i]; math.Abs(got-want) > want*1e-12 {
+			t.Fatalf("bound[%d] = %v, want 2*bound[%d] = %v", i+4, got, i, want)
+		}
+	}
+	// Whole-octave bounds are exact: bound[4k] = 0.001 * 2^k.
+	if got := logBoundsMS[40]; got != 0.001*math.Exp2(10) {
+		t.Errorf("bound[40] = %v, want 1.024", got)
+	}
+	// The table covers sub-µs to over a minute.
+	if last := logBoundsMS[logBucketCount-1]; last < 60_000 {
+		t.Errorf("last bound = %vms, want > 60s", last)
+	}
+
+	for _, tc := range []struct {
+		ms   float64
+		want int
+	}{
+		{0, 0},
+		{-1, 0}, // clamped by ObserveMS before lookup, but be defensive
+		{0.0005, 0},
+		{0.001, 0}, // inclusive: exactly on a bound lands in that bucket
+		{0.0010001, 1},
+		{logBoundsMS[17], 17},
+		{logBoundsMS[17] * 1.0001, 18},
+		{logBoundsMS[logBucketCount-1], logBucketCount - 1},
+		{logBoundsMS[logBucketCount-1] + 1, logBucketCount}, // overflow
+		{1e12, logBucketCount},
+	} {
+		if got := logBucketFor(tc.ms); got != tc.want {
+			t.Errorf("logBucketFor(%v) = %d, want %d", tc.ms, got, tc.want)
+		}
+	}
+	// Exhaustive boundary sweep: every bound maps to its own bucket, and
+	// nudging above it maps to the next.
+	for i, b := range logBoundsMS {
+		if got := logBucketFor(b); got != i {
+			t.Fatalf("logBucketFor(bound[%d]=%v) = %d", i, b, got)
+		}
+		above := b * (1 + 1e-9)
+		if got := logBucketFor(above); got != i+1 {
+			t.Fatalf("logBucketFor(just above bound[%d]) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestLogHistObserveAndSnapshot(t *testing.T) {
+	var h LogHist
+	h.Observe(500*time.Microsecond, "aaaaaaaaaaaaaaa1") // 0.5ms
+	h.Observe(3*time.Millisecond, "")
+	h.Observe(100*time.Second, "aaaaaaaaaaaaaaa2") // past the ~67s last bound
+	s := h.Snapshot()
+	if s.Count != 3 || s.MaxMS != 100000 {
 		t.Fatalf("snapshot = %+v", s)
 	}
-	// Empty buckets are dropped; the overflow bucket has LeMS 0.
 	if len(s.Buckets) != 3 {
 		t.Fatalf("buckets = %+v, want 3 non-empty", s.Buckets)
 	}
-	if s.Buckets[0].LeMS != 1 || s.Buckets[1].LeMS != 5 || s.Buckets[2].LeMS != 0 {
-		t.Errorf("bucket bounds = %+v", s.Buckets)
+	if s.Buckets[2].LeMS != 0 {
+		t.Errorf("overflow bucket LeMS = %v, want 0", s.Buckets[2].LeMS)
+	}
+	if s.Buckets[0].Exemplar == nil || s.Buckets[0].Exemplar.TraceID != "aaaaaaaaaaaaaaa1" {
+		t.Errorf("bucket 0 exemplar = %+v", s.Buckets[0].Exemplar)
+	}
+	if s.Buckets[1].Exemplar != nil {
+		t.Errorf("no-trace-ID observation grew an exemplar: %+v", s.Buckets[1].Exemplar)
+	}
+	if s.Buckets[2].Exemplar == nil || s.Buckets[2].Exemplar.ValueMS != 100000 {
+		t.Errorf("overflow exemplar = %+v", s.Buckets[2].Exemplar)
+	}
+}
+
+// TestLogHistExemplarRetention pins the last-per-bucket policy: a newer
+// observation with a trace ID replaces the bucket's exemplar; one without
+// a trace ID leaves it alone.
+func TestLogHistExemplarRetention(t *testing.T) {
+	var h LogHist
+	h.ObserveMS(1.0, "aaaaaaaaaaaaaaa1")
+	h.ObserveMS(1.0, "aaaaaaaaaaaaaaa2")
+	h.ObserveMS(1.0, "") // must not clear the exemplar
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Count != 3 {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	ex := s.Buckets[0].Exemplar
+	if ex == nil || ex.TraceID != "aaaaaaaaaaaaaaa2" || ex.ValueMS != 1.0 {
+		t.Errorf("exemplar = %+v, want last trace-carrying observation", ex)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h LogHist
+	for i := 0; i < 90; i++ {
+		h.ObserveMS(1.0, "")
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveMS(100.0, "")
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 > 1.01 {
+		t.Errorf("p50 = %v, want <= ~1ms", p50)
+	}
+	// p99 falls in the bucket holding 100ms: within one bucket's relative
+	// width (2^1/4 ≈ 1.19) of the true value.
+	if p99 := s.Quantile(0.99); p99 < 100/1.19 || p99 > 100 {
+		t.Errorf("p99 = %v, want within one bucket of 100ms", p99)
+	}
+	if p100 := s.Quantile(1); p100 != s.MaxMS {
+		t.Errorf("p100 = %v, want MaxMS %v", p100, s.MaxMS)
+	}
+	if got := (Histogram{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b LogHist
+	a.ObserveMS(1.0, "aaaaaaaaaaaaaaa1")
+	a.ObserveMS(50000.0*10, "") // overflow
+	b.ObserveMS(1.0, "aaaaaaaaaaaaaaa2")
+	b.ObserveMS(8.0, "")
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 4 || sa.MaxMS != 500000 {
+		t.Fatalf("merged = %+v", sa)
+	}
+	// Bound order restored, overflow last.
+	var prev float64
+	for i, bk := range sa.Buckets {
+		if bk.LeMS == 0 && i != len(sa.Buckets)-1 {
+			t.Fatalf("overflow bucket not last: %+v", sa.Buckets)
+		}
+		if bk.LeMS != 0 && bk.LeMS < prev {
+			t.Fatalf("buckets out of order: %+v", sa.Buckets)
+		}
+		prev = bk.LeMS
+	}
+	// The shared 1ms bucket summed counts and kept the newer (o's) exemplar.
+	if bk := sa.Buckets[0]; bk.Count != 2 || bk.Exemplar == nil || bk.Exemplar.TraceID != "aaaaaaaaaaaaaaa2" {
+		t.Errorf("merged shared bucket = %+v (exemplar %+v)", bk, bk.Exemplar)
+	}
+}
+
+// TestLogHistConcurrentMerge hammers one LogHist from many goroutines while
+// snapshots are taken and merged concurrently; run under -race it checks
+// the locking discipline, and the final tally checks no observation or
+// count is lost.
+func TestLogHistConcurrentMerge(t *testing.T) {
+	var h LogHist
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveMS(float64(i%100)+0.5, fmt.Sprintf("%08d%08d", g, i))
+				if i%50 == 0 {
+					var acc Histogram
+					acc.Merge(h.Snapshot())
+					_ = acc.Quantile(0.99)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b.Count
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum = %d, want %d", sum, s.Count)
 	}
 }
 
 // TestWritePrometheusFormat unit-tests the text renderer on a hand-built
-// snapshot: cumulative buckets rebuilt over the canonical bounds, sorted
-// trap-kind labels, and counter/gauge samples.
+// snapshot: cumulative buckets over the canonical log bounds, exemplar
+// suffixes, per-phase labels, sorted trap-kind labels, and counter/gauge
+// samples.
 func TestWritePrometheusFormat(t *testing.T) {
+	lo, hi := logBoundsMS[8], logBoundsMS[60]
 	m := Metrics{
 		Workers:      4,
 		JobsRun:      7,
@@ -47,9 +222,17 @@ func TestWritePrometheusFormat(t *testing.T) {
 		TrapsByKind:  map[string]uint64{"null": 1, "bounds": 1},
 		Cache:        CacheStats{Entries: 3, Hits: 2, Misses: 5},
 		CompileWall: Histogram{
-			Count: 3, SumMS: 12.5, MaxMS: 9,
-			Buckets: []HistBucket{{LeMS: 2, Count: 1}, {LeMS: 10, Count: 2}},
+			Count: 4, SumMS: 12.5, MaxMS: 9,
+			Buckets: []HistBucket{
+				{LeMS: lo, Count: 1, Exemplar: &Exemplar{TraceID: "aaaaaaaaaaaaaaa1", ValueMS: 0.003}},
+				{LeMS: hi, Count: 2},
+				{Count: 1, Exemplar: &Exemplar{TraceID: "aaaaaaaaaaaaaaa2", ValueMS: 99000}},
+			},
 		},
+		Phases: []PhaseHist{{Phase: "parse", Hist: Histogram{
+			Count: 1, SumMS: 2, MaxMS: 2,
+			Buckets: []HistBucket{{LeMS: hi, Count: 1}},
+		}}},
 	}
 	var b strings.Builder
 	WritePrometheus(&b, m)
@@ -62,19 +245,28 @@ func TestWritePrometheusFormat(t *testing.T) {
 		// Label values sort: bounds before null.
 		"gocured_traps_by_kind_total{kind=\"bounds\"} 1\ngocured_traps_by_kind_total{kind=\"null\"} 1\n",
 		"gocured_cache_hits_total 2\n",
-		// Sparse buckets {2:1, 10:2} become cumulative over all bounds:
-		// le=1 -> 0, le=2 -> 1, le=5 -> 1, le=10 -> 3, ... le=5000 -> 3.
-		"gocured_compile_wall_ms_bucket{le=\"1\"} 0\n",
-		"gocured_compile_wall_ms_bucket{le=\"2\"} 1\n",
-		"gocured_compile_wall_ms_bucket{le=\"5\"} 1\n",
-		"gocured_compile_wall_ms_bucket{le=\"10\"} 3\n",
-		"gocured_compile_wall_ms_bucket{le=\"5000\"} 3\n",
-		"gocured_compile_wall_ms_bucket{le=\"+Inf\"} 3\n",
+		"gocured_traces_dropped_total 0\n",
+		// First bound always renders (cumulative 0 here), populated buckets
+		// render with running cumulative counts, exemplars ride the bucket
+		// line, and the overflow exemplar rides +Inf.
+		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 0\n", fmtFloat(logBoundsMS[0])),
+		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 1 # {trace_id=\"aaaaaaaaaaaaaaa1\"} 0.003\n", fmtFloat(lo)),
+		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 3\n", fmtFloat(hi)),
+		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 3\n", fmtFloat(logBoundsMS[logBucketCount-1])),
+		"gocured_compile_wall_ms_bucket{le=\"+Inf\"} 4 # {trace_id=\"aaaaaaaaaaaaaaa2\"} 99000\n",
 		"gocured_compile_wall_ms_sum 12.5\n",
-		"gocured_compile_wall_ms_count 3\n",
-		// The empty run histogram still renders a complete family.
+		"gocured_compile_wall_ms_count 4\n",
+		// The empty families still render completely.
 		"gocured_run_wall_ms_bucket{le=\"+Inf\"} 0\n",
 		"gocured_run_wall_ms_count 0\n",
+		"gocured_e2e_wall_ms_count 0\n",
+		"gocured_queue_wait_ms_count 0\n",
+		"# TYPE gocured_queue_depth gauge\ngocured_queue_depth 0\n",
+		// Phase-labelled histogram blocks are complete per label.
+		fmt.Sprintf("gocured_phase_ms_bucket{phase=\"parse\",le=%q} 1\n", fmtFloat(hi)),
+		"gocured_phase_ms_bucket{phase=\"parse\",le=\"+Inf\"} 1\n",
+		"gocured_phase_ms_sum{phase=\"parse\"} 2\n",
+		"gocured_phase_ms_count{phase=\"parse\"} 1\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)

@@ -197,8 +197,8 @@ func TestCacheEviction(t *testing.T) {
 	c := NewCache(2)
 	for i := 0; i < 4; i++ {
 		src := fmt.Sprintf("int main(void) { return %d; }", i)
-		if _, hit, err := c.GetOrCompile("v.c", src, gocured.Options{}); err != nil || hit {
-			t.Fatalf("compile %d: hit=%v err=%v", i, hit, err)
+		if _, lk, err := c.GetOrCompile("v.c", src, gocured.Options{}); err != nil || lk.Hit {
+			t.Fatalf("compile %d: lookup=%+v err=%v", i, lk, err)
 		}
 	}
 	s := c.Stats()
@@ -206,10 +206,10 @@ func TestCacheEviction(t *testing.T) {
 		t.Errorf("stats = %+v, want 2 entries and 2 evictions", s)
 	}
 	// Oldest entries are gone; newest are hits.
-	if _, hit, _ := c.GetOrCompile("v.c", "int main(void) { return 3; }", gocured.Options{}); !hit {
+	if _, lk, _ := c.GetOrCompile("v.c", "int main(void) { return 3; }", gocured.Options{}); !lk.Hit || lk.Tier != "memory" {
 		t.Error("most recent entry was evicted")
 	}
-	if _, hit, _ := c.GetOrCompile("v.c", "int main(void) { return 0; }", gocured.Options{}); hit {
+	if _, lk, _ := c.GetOrCompile("v.c", "int main(void) { return 0; }", gocured.Options{}); lk.Hit {
 		t.Error("oldest entry should have been evicted")
 	}
 }

@@ -12,7 +12,10 @@ import (
 // WritePrometheus renders a Metrics snapshot in the Prometheus text
 // exposition format (version 0.0.4): one # HELP / # TYPE pair per family,
 // counters and gauges as single samples, histograms as cumulative
-// le-labelled buckets plus _sum and _count.
+// le-labelled buckets plus _sum and _count. Histogram bucket lines carry
+// OpenMetrics-style exemplars (`# {trace_id="..."} value`) linking the
+// bucket to the trace of its most recent observation, so a p999 bucket on
+// a dashboard is one click from GET /traces/{id}.
 func WritePrometheus(w io.Writer, m Metrics) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
@@ -28,6 +31,7 @@ func WritePrometheus(w io.Writer, m Metrics) {
 
 	gauge("gocured_workers", "Size of the job worker pool.", float64(m.Workers))
 	gauge("gocured_jobs_in_flight", "Jobs currently executing.", float64(m.JobsInFlight))
+	gauge("gocured_queue_depth", "Jobs currently waiting for a worker slot.", float64(m.QueueDepthNow))
 	counter("gocured_jobs_run_total", "Jobs completed (including failures).", m.JobsRun)
 	counter("gocured_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed)
 	counter("gocured_jobs_panicked_total", "Jobs isolated after a panic.", m.JobsPanicked)
@@ -68,29 +72,87 @@ func WritePrometheus(w io.Writer, m Metrics) {
 	counter("gocured_funcs_recured_total", "Functions whose constraints were re-collected.", m.FuncsRecured)
 	counter("gocured_funcs_loaded_total", "Functions replayed from stored summaries.", m.FuncsLoaded)
 
-	writeHistogram(w, "gocured_compile_wall_ms", "Compile wall time in milliseconds.", m.CompileWall)
-	writeHistogram(w, "gocured_run_wall_ms", "Run wall time in milliseconds.", m.RunWall)
+	// Request-trace buffer families (zero without a buffer); Dropped is the
+	// one the load-harness gate watches.
+	var added, evicted, dropped uint64
+	var live int
+	if m.Traces != nil {
+		added, evicted, dropped, live = m.Traces.Added, m.Traces.Evicted, m.Traces.Dropped, m.Traces.Live
+	}
+	counter("gocured_traces_added_total", "Request traces recorded into the trace buffer.", added)
+	counter("gocured_traces_evicted_total", "Request traces evicted from the bounded trace buffer.", evicted)
+	counter("gocured_traces_dropped_total", "Malformed request traces refused by the trace buffer (expected 0).", dropped)
+	gauge("gocured_traces_live", "Request traces currently queryable via /traces/{id}.", float64(live))
+
+	writeHistogram(w, "gocured_e2e_wall_ms", "End-to-end job latency (queue wait + compile/cache + run) in milliseconds.", "", m.E2EWall)
+	writeHistogram(w, "gocured_queue_wait_ms", "Time jobs waited for a worker slot in milliseconds.", "", m.QueueWait)
+	writeHistogram(w, "gocured_queue_depth_hist", "Waiting-job count observed at each enqueue (dimensionless log buckets).", "", m.QueueDepth)
+	writeHistogram(w, "gocured_compile_wall_ms", "Compile wall time in milliseconds.", "", m.CompileWall)
+	writeHistogram(w, "gocured_run_wall_ms", "Run wall time in milliseconds.", "", m.RunWall)
+
+	if len(m.Phases) > 0 {
+		name := "gocured_phase_ms"
+		fmt.Fprintf(w, "# HELP %s Per-phase compile durations in milliseconds.\n# TYPE %s histogram\n", name, name)
+		for _, p := range m.Phases {
+			writeHistogramSamples(w, name, fmt.Sprintf("phase=%q,", p.Phase), p.Hist)
+		}
+	}
 }
 
-// writeHistogram renders one Histogram snapshot as cumulative buckets over
-// the canonical bounds. Snapshots drop empty buckets, so counts are summed
-// back up while walking the full bound list.
-func writeHistogram(w io.Writer, name, help string, h Histogram) {
+// writeHistogram renders one histogram family: HELP/TYPE then the samples.
+func writeHistogram(w io.Writer, name, help, labels string, h Histogram) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	byLe := make(map[float64]uint64, len(h.Buckets))
+	writeHistogramSamples(w, name, labels, h)
+}
+
+// writeHistogramSamples renders one labelled histogram's cumulative bucket
+// lines over the canonical log-bucket bounds (sparse snapshots are summed
+// back up while walking the bound list), then _sum and _count. labels is
+// either empty or a `k="v",` prefix spliced before the le label. Bucket
+// lines whose bucket has an exemplar get the OpenMetrics exemplar suffix.
+func writeHistogramSamples(w io.Writer, name, labels string, h Histogram) {
+	type bk struct {
+		count    uint64
+		exemplar *Exemplar
+	}
+	byLe := make(map[float64]bk, len(h.Buckets))
+	var overflow bk
 	for _, b := range h.Buckets {
 		if b.LeMS > 0 {
-			byLe[b.LeMS] = b.Count
+			byLe[b.LeMS] = bk{b.Count, b.Exemplar}
+		} else {
+			overflow = bk{b.Count, b.Exemplar}
 		}
 	}
 	var cum uint64
-	for _, le := range histBoundsMS {
-		cum += byLe[le]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(le), cum)
+	for _, le := range logBoundsMS {
+		b := byLe[le]
+		cum += b.count
+		// Keep the exposition compact: only bound lines that close a
+		// non-empty bucket (or the first/last bound) are emitted. Partial
+		// bucket lists are legal in the text format, and cumulative counts
+		// stay exact because skipped buckets are empty by construction.
+		if b.count == 0 && le != logBoundsMS[0] && le != logBoundsMS[logBucketCount-1] {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d", name, labels, fmtFloat(le), cum)
+		if b.exemplar != nil {
+			fmt.Fprintf(w, " # {trace_id=%q} %s", b.exemplar.TraceID, fmtFloat(b.exemplar.ValueMS))
+		}
+		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.SumMS))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d", name, labels, h.Count)
+	if overflow.exemplar != nil {
+		fmt.Fprintf(w, " # {trace_id=%q} %s", overflow.exemplar.TraceID, fmtFloat(overflow.exemplar.ValueMS))
+	}
+	fmt.Fprintln(w)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.SumMS))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels[:len(labels)-1], fmtFloat(h.SumMS))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels[:len(labels)-1], h.Count)
+	}
 }
 
 func fmtFloat(v float64) string {

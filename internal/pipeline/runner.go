@@ -41,6 +41,11 @@ type RunnerOptions struct {
 	// cache's second tier: compiles replay per-function inference summaries
 	// from it, so a restarted process serves warm compiles from disk.
 	Store *store.Artifacts
+	// TraceBufferEntries bounds the request-trace buffer behind Traces()
+	// and GET /traces/{id} (0 = trace.DefaultBufferEntries; negative
+	// disables request-trace retention — jobs still get trace IDs and span
+	// timelines, they just are not kept for later query).
+	TraceBufferEntries int
 }
 
 // Job is one unit of pipeline work: cure a source file and, optionally,
@@ -51,6 +56,12 @@ type Job struct {
 	Name    string
 	Source  string
 	Options gocured.Options
+
+	// TraceID is the request-scoped trace ID propagated through the job's
+	// spans, bus events, error text, and the trace buffer. Empty means the
+	// Runner assigns a fresh one (callers with an inbound ID — ccserve
+	// honoring a client-supplied X-Trace-Id — set it).
+	TraceID string
 
 	// Run requests execution after curing; Mode and RunOptions configure it.
 	Run        bool
@@ -70,12 +81,20 @@ type JobResult struct {
 	Name string
 	Key  Key
 
+	// TraceID identifies this request's trace: pass it to Runner.Traces()
+	// (or GET /traces/{id}) for the full span timeline.
+	TraceID string
+
 	// Program, Stats and Diagnostics are set when compilation succeeded.
 	Program     *gocured.Program
 	Stats       gocured.Stats
 	Diagnostics []string
-	// CacheHit reports that compilation was served from the memory cache.
+	// CacheHit reports that compilation was served without compiling
+	// (memory or in-flight coalescing); Tier names the exact cache tier
+	// that served it: "memory", "inflight", "disk" (compiled with stored
+	// summaries replayed), or "compile" (from scratch).
 	CacheHit bool
+	Tier     string
 	// Incr reports the inference composition of the compile: functions
 	// replayed from the artifact store vs. re-collected. On a CacheHit it
 	// describes the original compilation.
@@ -84,11 +103,19 @@ type JobResult struct {
 	// Run is the execution result for run jobs.
 	Run *gocured.Result
 
-	// Phases records the per-phase wall times of the job: the compile
-	// phases (parse/sema/lower/infer/instrument — from the original
-	// compilation when served from cache) plus a "run" span for run jobs.
+	// Phases is the request's span timeline in pre-order with Depth
+	// nesting: a root "request" span (depth 0); "queue-wait", "compile"
+	// and "run" children (depth 1); and under "compile" the cache-tier
+	// lookup, the compile phases (parse/sema/lower/infer/instrument/...,
+	// on non-hits), and aggregated store-read/store-write spans (depth 2).
+	// Offsets are milliseconds from the moment Do admitted the job.
 	Phases []trace.Span
 
+	// QueueWait is the time the job waited for a worker slot; E2E the
+	// end-to-end latency as the caller experienced it (queue wait +
+	// compile/cache + run).
+	QueueWait   time.Duration
+	E2E         time.Duration
 	CompileTime time.Duration
 	RunTime     time.Duration
 
@@ -102,11 +129,12 @@ type JobResult struct {
 // content-addressed cache. One Runner is intended to live for the whole
 // process (ccserve) or batch (ccbench); it is safe for concurrent use.
 type Runner struct {
-	opts  RunnerOptions
-	sem   chan struct{}
-	cache *Cache
-	m     *metrics
-	bus   *Bus
+	opts   RunnerOptions
+	sem    chan struct{}
+	cache  *Cache
+	m      *metrics
+	bus    *Bus
+	traces *trace.Buffer
 }
 
 // NewRunner builds a Runner.
@@ -124,6 +152,9 @@ func NewRunner(opts RunnerOptions) *Runner {
 		r.cache = NewCache(opts.CacheEntries)
 		r.cache.SetStore(opts.Store)
 	}
+	if opts.TraceBufferEntries >= 0 {
+		r.traces = trace.NewBuffer(opts.TraceBufferEntries)
+	}
 	return r
 }
 
@@ -133,6 +164,10 @@ func (r *Runner) Workers() int { return r.opts.Workers }
 // Events returns the Runner's live event bus. Subscribe to tail job
 // start/done/trap events (ccserve's GET /events streams them as SSE).
 func (r *Runner) Events() *Bus { return r.bus }
+
+// Traces returns the Runner's bounded request-trace buffer (nil when
+// disabled via RunnerOptions.TraceBufferEntries < 0).
+func (r *Runner) Traces() *trace.Buffer { return r.traces }
 
 // Metrics snapshots the Runner's counters.
 func (r *Runner) Metrics() Metrics {
@@ -144,6 +179,10 @@ func (r *Runner) Metrics() Metrics {
 	if r.opts.Store != nil {
 		st := r.opts.Store.Store().Stats()
 		m.Store = &st
+	}
+	if r.traces != nil {
+		ts := r.traces.Stats()
+		m.Traces = &ts
 	}
 	m.Build = BuildInfo{
 		Version:   gocured.Version,
@@ -157,17 +196,25 @@ func (r *Runner) Metrics() Metrics {
 // cancelled) and then until the job completes, times out, or panics. It
 // always returns a non-nil result; inspect Err.
 func (r *Runner) Do(ctx context.Context, job Job) *JobResult {
+	if job.TraceID == "" {
+		job.TraceID = trace.NewID()
+	}
+	enq := time.Now()
+	depth := r.m.queueEnter()
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
-		return &JobResult{Name: job.Name, Err: ctx.Err()}
+		r.m.queueLeave(depth, 0, "", false)
+		return &JobResult{Name: job.Name, TraceID: job.TraceID, Err: ctx.Err()}
 	}
+	wait := time.Since(enq)
+	r.m.queueLeave(depth, wait, job.TraceID, true)
 	r.m.jobStarted()
 
 	resCh := make(chan *JobResult, 1)
 	go func() {
 		defer func() { <-r.sem }()
-		res := r.execute(job)
+		res := r.execute(job, enq, wait)
 		r.m.jobFinished(res)
 		resCh <- res
 	}()
@@ -186,10 +233,11 @@ func (r *Runner) Do(ctx context.Context, job Job) *JobResult {
 	case res := <-resCh:
 		return res
 	case <-ctx.Done():
-		return &JobResult{Name: job.Name, Err: ctx.Err()}
+		return &JobResult{Name: job.Name, TraceID: job.TraceID, Err: ctx.Err()}
 	case <-timeoutCh:
 		r.m.jobTimedOut()
-		return &JobResult{Name: job.Name, Err: fmt.Errorf("job %q timed out after %v", job.Name, timeout)}
+		return &JobResult{Name: job.Name, TraceID: job.TraceID,
+			Err: fmt.Errorf("job %q (trace %s) timed out after %v", job.Name, job.TraceID, timeout)}
 	}
 }
 
@@ -216,15 +264,92 @@ func (r *Runner) Compile(ctx context.Context, name, source string, opts gocured.
 	return r.Do(ctx, Job{Name: name, Source: source, Options: opts})
 }
 
+// timeline collects the raw timing facts execute gathers so the request's
+// span tree can be assembled once, at the end, whatever path (success,
+// compile error, panic) the job took.
+type timeline struct {
+	compStart time.Time
+	compDur   time.Duration
+	tier      string
+	// progSpans are the compile's own phase spans (offsets relative to the
+	// compile start); nil when the compile was served from cache.
+	progSpans []trace.Span
+	// Aggregated artifact-store I/O performed by this compile.
+	storeReadMS  float64
+	storeWriteMS float64
+	storeReads   int
+	storeWrites  int
+	runStart     time.Time
+	runDur       time.Duration
+}
+
+// spans assembles the pre-order, depth-annotated request timeline. All
+// offsets are milliseconds from enq (the moment Do admitted the job).
+func (tl *timeline) spans(enq time.Time, wait, e2e time.Duration) []trace.Span {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := []trace.Span{
+		{Name: "request", DurMS: ms(e2e)},
+		{Name: "queue-wait", DurMS: ms(wait), Depth: 1},
+	}
+	if !tl.compStart.IsZero() {
+		cs := ms(tl.compStart.Sub(enq))
+		cd := ms(tl.compDur)
+		out = append(out, trace.Span{Name: "compile", StartMS: cs, DurMS: cd, Depth: 1})
+		// The cache-tier span covers the lookup: on a memory/inflight hit
+		// that is the whole compile window; on a miss it is the (tiny)
+		// address computation before compiling.
+		tierDur := cd
+		if tl.progSpans != nil {
+			tierDur = 0
+		}
+		out = append(out, trace.Span{Name: "cache-" + tl.tier, StartMS: cs, DurMS: tierDur, Depth: 2})
+		for _, sp := range tl.progSpans {
+			sp.StartMS += cs
+			sp.Depth += 2
+			out = append(out, sp)
+		}
+		// Store I/O is interleaved with inference; surface it as aggregate
+		// spans at the end of the compile window (the exporter clamps).
+		if tl.storeReads > 0 {
+			out = append(out, trace.Span{Name: "store-read",
+				StartMS: cs + cd - tl.storeReadMS - tl.storeWriteMS, DurMS: tl.storeReadMS, Depth: 2})
+		}
+		if tl.storeWrites > 0 {
+			out = append(out, trace.Span{Name: "store-write",
+				StartMS: cs + cd - tl.storeWriteMS, DurMS: tl.storeWriteMS, Depth: 2})
+		}
+	}
+	if !tl.runStart.IsZero() {
+		out = append(out, trace.Span{Name: "run", StartMS: ms(tl.runStart.Sub(enq)), DurMS: ms(tl.runDur), Depth: 1})
+	}
+	return out
+}
+
 // execute runs one job on the calling goroutine. Panics anywhere in the
 // compile/run path are isolated into Err so one pathological source cannot
-// take down a batch.
-func (r *Runner) execute(job Job) (res *JobResult) {
-	res = &JobResult{Name: job.Name}
+// take down a batch. enq/wait carry the queue timing measured by Do.
+func (r *Runner) execute(job Job, enq time.Time, wait time.Duration) (res *JobResult) {
+	res = &JobResult{Name: job.Name, TraceID: job.TraceID, QueueWait: wait}
+	tl := &timeline{}
+	// Registered first so it runs last (after the recover defer below has
+	// isolated any panic into res.Err): every exit path — success, compile
+	// error, panic — leaves a complete timeline and a queryable trace.
+	defer func() {
+		res.E2E = time.Since(enq)
+		res.Phases = tl.spans(enq, wait, res.E2E)
+		if r.traces != nil {
+			rt := trace.ReqTrace{ID: res.TraceID, Name: job.Name, Start: enq,
+				DurMS: float64(res.E2E) / float64(time.Millisecond), Spans: res.Phases}
+			if res.Err != nil {
+				rt.Err = res.Err.Error()
+			}
+			r.traces.Add(rt)
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			r.m.jobPanicked()
-			res.Err = fmt.Errorf("job %q panicked: %v\n%s", job.Name, p, debug.Stack())
+			res.Err = fmt.Errorf("job %q (trace %s) panicked: %v\n%s", job.Name, job.TraceID, p, debug.Stack())
 		}
 	}()
 	if job.testPanic {
@@ -247,10 +372,10 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 			ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvEnd, Name: "job " + job.Name})
 		}()
 	}
-	r.bus.Publish(JobEvent{Type: "job_start", Name: job.Name, Mode: job.Mode.String()})
+	r.bus.Publish(JobEvent{Type: "job_start", Name: job.Name, Mode: job.Mode.String(), TraceID: job.TraceID})
 	start := time.Now()
 	defer func() {
-		ev := JobEvent{Type: "job_done", Name: job.Name, Mode: job.Mode.String(),
+		ev := JobEvent{Type: "job_done", Name: job.Name, Mode: job.Mode.String(), TraceID: job.TraceID,
 			CacheHit: res.CacheHit, DurMS: float64(time.Since(start)) / float64(time.Millisecond)}
 		if res.Err != nil {
 			ev.Err = res.Err.Error()
@@ -261,13 +386,16 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 	if ring != nil {
 		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvBegin, Name: "compile"})
 	}
-	compiled, hit, err := r.compile(job)
+	tl.compStart = start
+	compiled, lk, err := r.compile(job)
 	res.CompileTime = time.Since(start)
+	tl.compDur = res.CompileTime
+	tl.tier = lk.Tier
 	if ring != nil {
 		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvEnd, Name: "compile"})
 	}
 	if err != nil {
-		res.Err = fmt.Errorf("compile %s: %w", job.Name, err)
+		res.Err = fmt.Errorf("compile %s (trace %s): %w", job.Name, job.TraceID, err)
 		return res
 	}
 	res.Key = compiled.Key
@@ -275,8 +403,15 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 	res.Stats = compiled.Stats
 	res.Diagnostics = compiled.Diagnostics
 	res.Incr = compiled.Incr
-	res.CacheHit = hit
-	res.Phases = append(res.Phases, compiled.Program.Spans()...)
+	res.CacheHit = lk.Hit
+	res.Tier = lk.Tier
+	if !lk.Hit {
+		tl.progSpans = compiled.Program.Spans()
+		tl.storeReadMS = compiled.StoreReadMS
+		tl.storeWriteMS = compiled.StoreWriteMS
+		tl.storeReads = compiled.StoreReads
+		tl.storeWrites = compiled.StoreWrites
+	}
 
 	if !job.Run {
 		return res
@@ -286,31 +421,32 @@ func (r *Runner) execute(job Job) (res *JobResult) {
 		ro.StepLimit = r.opts.DefaultStepLimit
 	}
 	runStart := time.Now()
+	tl.runStart = runStart
 	if ring != nil {
 		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvBegin, Name: "run " + job.Mode.String()})
 	}
 	out, err := compiled.Program.Run(job.Mode, ro)
 	res.RunTime = time.Since(runStart)
+	tl.runDur = res.RunTime
 	if ring != nil {
 		ring.Record(flight.Event{TS: rec.NowMicros(), Kind: flight.EvEnd, Name: "run " + job.Mode.String()})
 	}
-	res.Phases = append(res.Phases, trace.Span{Name: "run", DurMS: float64(res.RunTime) / float64(time.Millisecond)})
 	if err != nil {
-		res.Err = fmt.Errorf("run %s (%s): %w", job.Name, job.Mode, err)
+		res.Err = fmt.Errorf("run %s (%s, trace %s): %w", job.Name, job.Mode, job.TraceID, err)
 		return res
 	}
 	res.Run = out
 	if out.Trapped {
-		r.bus.Publish(JobEvent{Type: "trap", Name: job.Name, Mode: job.Mode.String(),
+		r.bus.Publish(JobEvent{Type: "trap", Name: job.Name, Mode: job.Mode.String(), TraceID: job.TraceID,
 			TrapKind: out.TrapKind, TrapPos: out.TrapPos})
 	}
 	return res
 }
 
-func (r *Runner) compile(job Job) (*Compiled, bool, error) {
+func (r *Runner) compile(job Job) (*Compiled, Lookup, error) {
 	if r.cache != nil {
 		return r.cache.GetOrCompile(job.Name, job.Source, job.Options)
 	}
 	compiled, err := compileSource(CacheKey(job.Name, job.Source, job.Options), job.Name, job.Source, job.Options, r.opts.Store)
-	return compiled, false, err
+	return compiled, lookupFor(compiled), err
 }

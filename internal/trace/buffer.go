@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// ReqTrace is the finished span timeline of one request (one pipeline
+// job): its trace ID, identity, wall-clock epoch, and the pre-order,
+// depth-annotated span list assembled by the runner (queue wait, cache
+// tier, compile phases, store I/O, run). It is the unit the trace buffer
+// stores and GET /traces/{id} renders as a Chrome trace.
+type ReqTrace struct {
+	ID    string    `json:"trace_id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurMS float64   `json:"dur_ms"`
+	// Err is the job's error text ("" on success; traps are not errors).
+	Err string `json:"err,omitempty"`
+	// Spans is the request timeline in pre-order with Depth nesting
+	// (Spans[0] is the root "request" span).
+	Spans []Span `json:"spans"`
+}
+
+// BufferStats counts a Buffer's traffic. Evicted is normal operation (the
+// buffer is a bounded ring over a busy service); Dropped counts traces the
+// buffer refused — malformed entries that could never be queried (no ID,
+// no spans) — and is expected to stay zero: the load-harness CI gate
+// asserts it.
+type BufferStats struct {
+	Added   uint64 `json:"added"`
+	Evicted uint64 `json:"evicted"`
+	Dropped uint64 `json:"dropped"`
+	Live    int    `json:"live"`
+	Cap     int    `json:"cap"`
+}
+
+// DefaultBufferEntries bounds the trace buffer when no size is given.
+// Traces are a few hundred bytes to a few KB each, so the default holds
+// the last ~1024 requests in a couple of MB.
+const DefaultBufferEntries = 1024
+
+// Buffer is a bounded in-memory ring of finished request traces,
+// queryable by trace ID. When full, adding evicts the oldest trace. It is
+// safe for concurrent use.
+type Buffer struct {
+	mu      sync.Mutex
+	cap     int
+	ring    []ReqTrace // ring[head] is the oldest live entry
+	head    int
+	byID    map[string]int // trace ID -> ring index
+	added   uint64
+	evicted uint64
+	dropped uint64
+}
+
+// NewBuffer returns a buffer bounded to capacity traces (<= 0 means
+// DefaultBufferEntries).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultBufferEntries
+	}
+	return &Buffer{cap: capacity, byID: make(map[string]int, capacity)}
+}
+
+// Add stores a finished trace, evicting the oldest when full. A trace
+// with no ID or no spans is counted as dropped — it could never be
+// queried, so storing it would only mask the bug that produced it. A
+// duplicate ID replaces the previous trace in place (a client retrying
+// with its own trace ID sees the latest attempt).
+func (b *Buffer) Add(t ReqTrace) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.ID == "" || len(t.Spans) == 0 {
+		b.dropped++
+		return
+	}
+	if i, ok := b.byID[t.ID]; ok {
+		b.ring[i] = t
+		b.added++
+		return
+	}
+	if len(b.ring) < b.cap {
+		b.byID[t.ID] = len(b.ring)
+		b.ring = append(b.ring, t)
+		b.added++
+		return
+	}
+	// Full: overwrite the oldest slot.
+	old := b.ring[b.head]
+	delete(b.byID, old.ID)
+	b.ring[b.head] = t
+	b.byID[t.ID] = b.head
+	b.head = (b.head + 1) % b.cap
+	b.added++
+	b.evicted++
+}
+
+// Get returns the trace with the given ID.
+func (b *Buffer) Get(id string) (ReqTrace, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i, ok := b.byID[id]; ok {
+		return b.ring[i], true
+	}
+	return ReqTrace{}, false
+}
+
+// Recent returns up to n live traces, newest first (n <= 0 means all).
+func (b *Buffer) Recent(n int) []ReqTrace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	live := len(b.ring)
+	if n <= 0 || n > live {
+		n = live
+	}
+	out := make([]ReqTrace, 0, n)
+	// Newest entry is the one just before head once the ring has wrapped;
+	// before wrapping it is the last appended element.
+	for i := 0; i < n; i++ {
+		var idx int
+		if live < b.cap {
+			idx = live - 1 - i
+		} else {
+			idx = ((b.head-1-i)%b.cap + b.cap) % b.cap
+		}
+		out = append(out, b.ring[idx])
+	}
+	return out
+}
+
+// Stats snapshots the buffer counters.
+func (b *Buffer) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BufferStats{
+		Added: b.added, Evicted: b.evicted, Dropped: b.dropped,
+		Live: len(b.ring), Cap: b.cap,
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func rt(id string) ReqTrace {
+	return ReqTrace{ID: id, Name: id + ".c", Spans: []Span{{Name: "request"}}}
+}
+
+func TestNewIDShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if !ValidID(id) {
+			t.Fatalf("NewID() = %q, not a 16-hex ID", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+	for _, bad := range []string{"", "short", "0123456789abcdeF", "0123456789abcdefg", "xxxxxxxxxxxxxxxx"} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true", bad)
+		}
+	}
+}
+
+func TestBufferAddGetEvict(t *testing.T) {
+	b := NewBuffer(3)
+	for _, id := range []string{"aaaaaaaaaaaaaaa1", "aaaaaaaaaaaaaaa2", "aaaaaaaaaaaaaaa3"} {
+		b.Add(rt(id))
+	}
+	if _, ok := b.Get("aaaaaaaaaaaaaaa1"); !ok {
+		t.Fatal("trace 1 missing before eviction")
+	}
+	b.Add(rt("aaaaaaaaaaaaaaa4")) // evicts 1
+	if _, ok := b.Get("aaaaaaaaaaaaaaa1"); ok {
+		t.Error("oldest trace survived eviction")
+	}
+	for _, id := range []string{"aaaaaaaaaaaaaaa2", "aaaaaaaaaaaaaaa3", "aaaaaaaaaaaaaaa4"} {
+		if got, ok := b.Get(id); !ok || got.ID != id {
+			t.Errorf("Get(%s) = %+v, %v", id, got, ok)
+		}
+	}
+	st := b.Stats()
+	if st.Added != 4 || st.Evicted != 1 || st.Dropped != 0 || st.Live != 3 || st.Cap != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBufferRecentNewestFirst(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 1; i <= 5; i++ { // 1,2 evicted; live = 3,4,5
+		b.Add(rt(fmt.Sprintf("%016d", i)))
+	}
+	got := b.Recent(0)
+	if len(got) != 3 || got[0].ID != fmt.Sprintf("%016d", 5) ||
+		got[1].ID != fmt.Sprintf("%016d", 4) || got[2].ID != fmt.Sprintf("%016d", 3) {
+		t.Errorf("Recent = %v", got)
+	}
+	if got := b.Recent(1); len(got) != 1 || got[0].ID != fmt.Sprintf("%016d", 5) {
+		t.Errorf("Recent(1) = %v", got)
+	}
+}
+
+func TestBufferDropsUnqueryable(t *testing.T) {
+	b := NewBuffer(2)
+	b.Add(ReqTrace{Name: "no-id.c", Spans: []Span{{Name: "request"}}})
+	b.Add(ReqTrace{ID: "aaaaaaaaaaaaaaaa"}) // no spans
+	if st := b.Stats(); st.Dropped != 2 || st.Added != 0 || st.Live != 0 {
+		t.Errorf("stats = %+v, want 2 dropped", st)
+	}
+}
+
+func TestBufferDuplicateIDReplaces(t *testing.T) {
+	b := NewBuffer(2)
+	b.Add(rt("aaaaaaaaaaaaaaa1"))
+	upd := rt("aaaaaaaaaaaaaaa1")
+	upd.DurMS = 42
+	b.Add(upd)
+	got, ok := b.Get("aaaaaaaaaaaaaaa1")
+	if !ok || got.DurMS != 42 {
+		t.Errorf("Get = %+v, %v; want replaced trace", got, ok)
+	}
+	if st := b.Stats(); st.Live != 1 || st.Evicted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBufferConcurrent(t *testing.T) {
+	b := NewBuffer(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("%08d%08d", g, i)
+				b.Add(rt(id))
+				b.Get(id)
+				b.Recent(4)
+				b.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := b.Stats(); st.Added != 1600 || st.Live != 16 {
+		t.Errorf("stats = %+v", st)
+	}
+}

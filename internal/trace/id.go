@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// idSeq disambiguates IDs if the entropy source ever fails: the fallback
+// path folds a process-local counter into the ID so two failing reads in
+// the same process still produce distinct IDs.
+var idSeq atomic.Uint64
+
+// NewID returns a new request trace ID: 16 lowercase hex characters (64
+// random bits), the W3C trace-context span-id shape. IDs label one request
+// end to end — pipeline spans, flight events, log lines, Prometheus
+// exemplars, and the /traces/{id} query all carry the same value.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable on the platforms we
+		// run on; degrade to a counter rather than panicking mid-request.
+		return fmt.Sprintf("%016x", idSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidID reports whether s looks like a NewID-shaped trace ID. Inputs
+// from the network (client-supplied IDs, /traces/{id} paths) are validated
+// so arbitrary strings never become map keys or log fields.
+func ValidID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
