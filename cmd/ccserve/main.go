@@ -9,7 +9,9 @@
 //	POST /cure                cure (and optionally run) a source; see CureRequest
 //	GET  /events              live job/trap events as Server-Sent Events
 //	GET  /metrics             pipeline metrics snapshot as JSON
-//	GET  /metrics/prometheus  the same counters in Prometheus text format (with exemplars)
+//	GET  /metrics/prometheus  the same counters in Prometheus text format
+//	                          (OpenMetrics with exemplars when the Accept
+//	                          header asks for application/openmetrics-text)
 //	GET  /traces              recent request traces (summaries, newest first)
 //	GET  /traces/{id}         one request trace as Chrome trace-event JSON
 //	GET  /healthz             liveness (process is up)
@@ -164,8 +166,9 @@ type server struct {
 	logger   *slog.Logger
 	mux      *http.ServeMux
 	reqSeq   atomic.Uint64
-	// ready flips once startup finished (runner built, store opened); it
-	// gates /readyz so load balancers hold traffic during boot.
+	// ready flips once markReady declares startup finished (runner built,
+	// store opened, listener launched); it gates /readyz so load balancers
+	// hold traffic during boot.
 	ready atomic.Bool
 	// storeConfigured records whether a persistent store was requested, so
 	// /readyz can distinguish "no store" from "store failed to open".
@@ -179,9 +182,10 @@ func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	// ready stays false until the caller (main, or a test) declares startup
+	// finished via markReady; /readyz answers 503 until then.
 	s := &server{runner: runner, maxBytes: cfg.MaxBytes, logger: cfg.Logger, mux: http.NewServeMux(),
 		storeConfigured: cfg.StoreConfigured}
-	s.ready.Store(true) // newServer returns fully wired; main may clear/reset
 	s.mux.HandleFunc("/cure", s.handleCure)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -204,6 +208,11 @@ func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
 	}
 	return s
 }
+
+// markReady declares startup finished: /readyz's "started" check passes
+// from here on. main calls it once the store, runner, and listener are all
+// wired; tests call it to probe the ready state directly.
+func (s *server) markReady() { s.ready.Store(true) }
 
 // statusWriter captures the response status for the request log. Handlers
 // that never call WriteHeader explicitly — net/http sends an implicit 200
@@ -486,8 +495,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePrometheus serves the pipeline metrics in the Prometheus text
-// exposition format.
+// exposition format. Scrapers that negotiate OpenMetrics via the Accept
+// header get the OpenMetrics dialect with trace-ID exemplars on histogram
+// buckets; everyone else gets classic 0.0.4 text, which must stay
+// exemplar-free because its parser rejects anything after a sample value.
 func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		pipeline.WriteOpenMetrics(w, s.runner.Metrics())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	pipeline.WritePrometheus(w, s.runner.Metrics())
 }
@@ -673,10 +690,11 @@ func main() {
 	expvar.Publish("gocured_pipeline", runner.ExpvarVar())
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	app := newServer(runner, serverConfig{MaxBytes: *maxBytes, Logger: logger,
+		Pprof: *pprofFlag, StoreConfigured: *storeDir != ""})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: newServer(runner, serverConfig{MaxBytes: *maxBytes, Logger: logger,
-			Pprof: *pprofFlag, StoreConfigured: *storeDir != ""}),
+		Addr:              *addr,
+		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -685,6 +703,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	// Store, runner, and listener are wired; let /readyz admit traffic.
+	app.markReady()
 	log.Printf("ccserve listening on %s (%d workers, %s version %s)",
 		*addr, runner.Workers(), "gocured", gocured.Version)
 	if arts != nil {

@@ -17,7 +17,9 @@ import (
 )
 
 func testServer() *server {
-	return newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 2}), serverConfig{MaxBytes: 1 << 20})
+	s := newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 2}), serverConfig{MaxBytes: 1 << 20})
+	s.markReady() // main does this once the listener is up
+	return s
 }
 
 func post(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, CureResponse) {
@@ -227,6 +229,42 @@ func TestPrometheusEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("missing %q in:\n%s", want, body)
 		}
+	}
+	// The classic 0.0.4 parser rejects anything after a sample value, so
+	// the default exposition must never carry exemplar syntax even though
+	// the job above recorded one for every histogram.
+	if strings.Contains(body, "# {") {
+		t.Errorf("0.0.4 exposition carries exemplar syntax:\n%s", body)
+	}
+}
+
+// TestPrometheusOpenMetricsNegotiation checks the Accept-header switch: a
+// scraper asking for application/openmetrics-text gets the OpenMetrics
+// dialect with trace-ID exemplars and a terminating # EOF.
+func TestPrometheusOpenMetricsNegotiation(t *testing.T) {
+	s := testServer()
+	post(t, s, `{"source":"int main(void){return 0;}","run":true}`)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics/prometheus", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q, want application/openmetrics-text", ct)
+	}
+	body := rec.Body.String()
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition does not end with # EOF")
+	}
+	if !strings.Contains(body, `# {trace_id="`) {
+		t.Errorf("OpenMetrics exposition has no exemplars:\n%s", body)
+	}
+	// Counter families are declared without the _total sample suffix.
+	if !strings.Contains(body, "# TYPE gocured_jobs_run counter") {
+		t.Errorf("OpenMetrics TYPE line kept _total:\n%s", body)
 	}
 }
 

@@ -20,6 +20,10 @@ const (
 	logBucketMinMS      = 0.001
 )
 
+// logBucketStep is the ratio between adjacent bucket bounds; bound i-1 is
+// bound i divided by this factor.
+var logBucketStep = math.Exp2(1.0 / logBucketsPerOctave)
+
 // logBoundsMS are the inclusive upper bounds, in milliseconds.
 var logBoundsMS = func() [logBucketCount]float64 {
 	var b [logBucketCount]float64
@@ -111,12 +115,20 @@ func (h Histogram) Quantile(q float64) float64 {
 		target = 1
 	}
 	var cum uint64
-	lower := 0.0
 	for _, b := range h.Buckets {
 		if b.LeMS == 0 { // overflow
 			return h.MaxMS
 		}
 		if float64(cum+b.Count) >= target {
+			// Interpolate from the bucket's own canonical lower bound, not
+			// the previous non-empty snapshot bucket: sparse snapshots elide
+			// empty buckets, and interpolating across an elided run would
+			// drag the estimate far below the bucket that actually holds the
+			// target rank (bimodal latency understating p99).
+			lower := 0.0
+			if b.LeMS > logBoundsMS[0] {
+				lower = b.LeMS / logBucketStep
+			}
 			frac := (target - float64(cum)) / float64(b.Count)
 			v := lower + frac*(b.LeMS-lower)
 			if v > h.MaxMS && h.MaxMS > 0 {
@@ -125,7 +137,6 @@ func (h Histogram) Quantile(q float64) float64 {
 			return v
 		}
 		cum += b.Count
-		lower = b.LeMS
 	}
 	return h.MaxMS
 }

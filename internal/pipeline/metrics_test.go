@@ -144,6 +144,28 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileBimodal pins interpolation against sparse
+// snapshots: with counts only at 1ms and 1000ms, a quantile landing in the
+// 1000ms bucket must interpolate from that bucket's own lower bound
+// (~1000/2^0.25 ≈ 841ms), not from the previous non-empty bucket way down
+// at 1ms — the latter understates tail latency by 4x and would let an SLO
+// gate pass on a blown p99.
+func TestHistogramQuantileBimodal(t *testing.T) {
+	var h LogHist
+	for i := 0; i < 50; i++ {
+		h.ObserveMS(1.0, "")
+	}
+	for i := 0; i < 50; i++ {
+		h.ObserveMS(1000.0, "")
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.60, 0.99} {
+		if v := s.Quantile(q); v < 1000/1.19 || v > 1000 {
+			t.Errorf("p%v = %v, want within one bucket of 1000ms", q*100, v)
+		}
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	var a, b LogHist
 	a.ObserveMS(1.0, "aaaaaaaaaaaaaaa1")
@@ -209,31 +231,13 @@ func TestLogHistConcurrentMerge(t *testing.T) {
 }
 
 // TestWritePrometheusFormat unit-tests the text renderer on a hand-built
-// snapshot: cumulative buckets over the canonical log bounds, exemplar
-// suffixes, per-phase labels, sorted trap-kind labels, and counter/gauge
-// samples.
+// snapshot: cumulative buckets over the canonical log bounds, per-phase
+// labels, sorted trap-kind labels, and counter/gauge samples. The classic
+// 0.0.4 dialect must stay exemplar-free (its parser rejects anything after
+// a sample value); exemplars are covered by TestWriteOpenMetricsFormat.
 func TestWritePrometheusFormat(t *testing.T) {
 	lo, hi := logBoundsMS[8], logBoundsMS[60]
-	m := Metrics{
-		Workers:      4,
-		JobsRun:      7,
-		RunsExecuted: 5,
-		Traps:        2,
-		TrapsByKind:  map[string]uint64{"null": 1, "bounds": 1},
-		Cache:        CacheStats{Entries: 3, Hits: 2, Misses: 5},
-		CompileWall: Histogram{
-			Count: 4, SumMS: 12.5, MaxMS: 9,
-			Buckets: []HistBucket{
-				{LeMS: lo, Count: 1, Exemplar: &Exemplar{TraceID: "aaaaaaaaaaaaaaa1", ValueMS: 0.003}},
-				{LeMS: hi, Count: 2},
-				{Count: 1, Exemplar: &Exemplar{TraceID: "aaaaaaaaaaaaaaa2", ValueMS: 99000}},
-			},
-		},
-		Phases: []PhaseHist{{Phase: "parse", Hist: Histogram{
-			Count: 1, SumMS: 2, MaxMS: 2,
-			Buckets: []HistBucket{{LeMS: hi, Count: 1}},
-		}}},
-	}
+	m := promTestMetrics()
 	var b strings.Builder
 	WritePrometheus(&b, m)
 	out := b.String()
@@ -247,13 +251,13 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"gocured_cache_hits_total 2\n",
 		"gocured_traces_dropped_total 0\n",
 		// First bound always renders (cumulative 0 here), populated buckets
-		// render with running cumulative counts, exemplars ride the bucket
-		// line, and the overflow exemplar rides +Inf.
+		// render with running cumulative counts; no exemplar suffixes in the
+		// 0.0.4 dialect even though the snapshot carries them.
 		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 0\n", fmtFloat(logBoundsMS[0])),
-		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 1 # {trace_id=\"aaaaaaaaaaaaaaa1\"} 0.003\n", fmtFloat(lo)),
+		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 1\n", fmtFloat(lo)),
 		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 3\n", fmtFloat(hi)),
 		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 3\n", fmtFloat(logBoundsMS[logBucketCount-1])),
-		"gocured_compile_wall_ms_bucket{le=\"+Inf\"} 4 # {trace_id=\"aaaaaaaaaaaaaaa2\"} 99000\n",
+		"gocured_compile_wall_ms_bucket{le=\"+Inf\"} 4\n",
 		"gocured_compile_wall_ms_sum 12.5\n",
 		"gocured_compile_wall_ms_count 4\n",
 		// The empty families still render completely.
@@ -273,6 +277,12 @@ func TestWritePrometheusFormat(t *testing.T) {
 		}
 	}
 
+	// The classic parser accepts only an optional timestamp after a sample
+	// value, so the 0.0.4 dialect must never carry exemplar syntax.
+	if strings.Contains(out, "# {") {
+		t.Errorf("0.0.4 output carries exemplar syntax:\n%s", out)
+	}
+
 	// Every # TYPE is preceded by its # HELP line.
 	lines := strings.Split(out, "\n")
 	for i, l := range lines {
@@ -281,5 +291,65 @@ func TestWritePrometheusFormat(t *testing.T) {
 				t.Errorf("TYPE line without preceding HELP: %q", l)
 			}
 		}
+	}
+}
+
+// promTestMetrics builds the hand-made snapshot both exposition-format
+// tests render: counters, sorted trap kinds, and a compile-wall histogram
+// whose buckets (including the +Inf overflow) carry exemplars.
+func promTestMetrics() Metrics {
+	lo, hi := logBoundsMS[8], logBoundsMS[60]
+	return Metrics{
+		Workers:      4,
+		JobsRun:      7,
+		RunsExecuted: 5,
+		Traps:        2,
+		TrapsByKind:  map[string]uint64{"null": 1, "bounds": 1},
+		Cache:        CacheStats{Entries: 3, Hits: 2, Misses: 5},
+		CompileWall: Histogram{
+			Count: 4, SumMS: 12.5, MaxMS: 9,
+			Buckets: []HistBucket{
+				{LeMS: lo, Count: 1, Exemplar: &Exemplar{TraceID: "aaaaaaaaaaaaaaa1", ValueMS: 0.003}},
+				{LeMS: hi, Count: 2},
+				{Count: 1, Exemplar: &Exemplar{TraceID: "aaaaaaaaaaaaaaa2", ValueMS: 99000}},
+			},
+		},
+		Phases: []PhaseHist{{Phase: "parse", Hist: Histogram{
+			Count: 1, SumMS: 2, MaxMS: 2,
+			Buckets: []HistBucket{{LeMS: hi, Count: 1}},
+		}}},
+	}
+}
+
+// TestWriteOpenMetricsFormat pins the OpenMetrics dialect: counter
+// families declared without the _total sample suffix, exemplars riding
+// histogram bucket lines (the overflow exemplar on +Inf), and a
+// terminating # EOF line.
+func TestWriteOpenMetricsFormat(t *testing.T) {
+	lo := logBoundsMS[8]
+	var b strings.Builder
+	WriteOpenMetrics(&b, promTestMetrics())
+	out := b.String()
+
+	for _, want := range []string{
+		// Counter families drop _total in HELP/TYPE; samples keep it.
+		"# TYPE gocured_jobs_run counter\ngocured_jobs_run_total 7\n",
+		"# TYPE gocured_traps_by_kind counter\n",
+		"gocured_traps_by_kind_total{kind=\"bounds\"} 1\n",
+		// Gauges keep their names.
+		"# TYPE gocured_workers gauge\ngocured_workers 4\n",
+		// Bucket exemplars, including the overflow exemplar on +Inf.
+		fmt.Sprintf("gocured_compile_wall_ms_bucket{le=%q} 1 # {trace_id=\"aaaaaaaaaaaaaaa1\"} 0.003\n", fmtFloat(lo)),
+		"gocured_compile_wall_ms_bucket{le=\"+Inf\"} 4 # {trace_id=\"aaaaaaaaaaaaaaa2\"} 99000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output does not end with # EOF:\n...%s", out[max(0, len(out)-80):])
+	}
+	if strings.Contains(out, "# TYPE gocured_jobs_run_total ") {
+		t.Errorf("OpenMetrics TYPE line kept the _total suffix:\n%s", out)
 	}
 }

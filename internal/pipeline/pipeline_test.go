@@ -330,3 +330,37 @@ func TestMetricsObservability(t *testing.T) {
 		t.Errorf("expvar output missing jobs_run: %s", s)
 	}
 }
+
+// TestTimelineStoreSpanClamp pins the synthetic store-span geometry: the
+// aggregated store I/O wall time sums across concurrent inference
+// goroutines and can exceed the compile window, but the spans in the raw
+// Phases list must stay inside [compile start, compile end] — never a
+// negative start overlapping queue-wait.
+func TestTimelineStoreSpanClamp(t *testing.T) {
+	enq := time.Now()
+	tl := &timeline{
+		compStart:    enq.Add(2 * time.Millisecond),
+		compDur:      10 * time.Millisecond,
+		tier:         "disk",
+		storeReads:   4,
+		storeWrites:  2,
+		storeReadMS:  25, // 25 + 9 = 34ms of summed I/O in a 10ms window
+		storeWriteMS: 9,
+	}
+	spans := tl.spans(enq, 2*time.Millisecond, 12*time.Millisecond)
+	cs, ce := 2.0, 12.0
+	found := 0
+	for _, sp := range spans {
+		if sp.Name != "store-read" && sp.Name != "store-write" {
+			continue
+		}
+		found++
+		if sp.StartMS < cs || sp.StartMS+sp.DurMS > ce+1e-9 || sp.DurMS < 0 {
+			t.Errorf("%s span [%v, %v+%v] escapes compile window [%v, %v]",
+				sp.Name, sp.StartMS, sp.StartMS, sp.DurMS, cs, ce)
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d store spans, want 2", found)
+	}
+}

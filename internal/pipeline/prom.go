@@ -5,23 +5,49 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"gocured/internal/store"
 )
 
-// WritePrometheus renders a Metrics snapshot in the Prometheus text
-// exposition format (version 0.0.4): one # HELP / # TYPE pair per family,
-// counters and gauges as single samples, histograms as cumulative
-// le-labelled buckets plus _sum and _count. Histogram bucket lines carry
-// OpenMetrics-style exemplars (`# {trace_id="..."} value`) linking the
-// bucket to the trace of its most recent observation, so a p999 bucket on
-// a dashboard is one click from GET /traces/{id}.
+// WritePrometheus renders a Metrics snapshot in the classic Prometheus
+// text exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// family, counters and gauges as single samples, histograms as cumulative
+// le-labelled buckets plus _sum and _count. The 0.0.4 parser accepts only
+// an optional timestamp after a sample value, so this dialect carries no
+// exemplars; scrapers that negotiate OpenMetrics get them via
+// WriteOpenMetrics.
 func WritePrometheus(w io.Writer, m Metrics) {
+	writeExposition(w, m, false)
+}
+
+// WriteOpenMetrics renders the same snapshot in the OpenMetrics text
+// format (version 1.0.0): counter families are declared without their
+// _total suffix, the exposition ends with `# EOF`, and histogram bucket
+// lines carry exemplars (`# {trace_id="..."} value`) linking the bucket to
+// the trace of its most recent observation, so a p999 bucket on a
+// dashboard is one click from GET /traces/{id}.
+func WriteOpenMetrics(w io.Writer, m Metrics) {
+	writeExposition(w, m, true)
+	fmt.Fprintln(w, "# EOF")
+}
+
+func writeExposition(w io.Writer, m Metrics, om bool) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
 	}
+	// counterFamily declares a counter family: OpenMetrics names the family
+	// without the _total sample suffix, the classic format repeats it.
+	counterFamily := func(name, help string) {
+		fam := name
+		if om {
+			fam = strings.TrimSuffix(name, "_total")
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", fam, help, fam)
+	}
 	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		counterFamily(name, help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
 	}
 
 	fmt.Fprintf(w, "# HELP gocured_build_info Build metadata (constant 1; labels carry the values).\n"+
@@ -41,7 +67,7 @@ func WritePrometheus(w io.Writer, m Metrics) {
 	counter("gocured_traps_total", "Executions stopped by a memory-safety trap.", m.Traps)
 	if len(m.TrapsByKind) > 0 {
 		name := "gocured_traps_by_kind_total"
-		fmt.Fprintf(w, "# HELP %s Traps by check kind.\n# TYPE %s counter\n", name, name)
+		counterFamily(name, "Traps by check kind.")
 		kinds := make([]string, 0, len(m.TrapsByKind))
 		for k := range m.TrapsByKind {
 			kinds = append(kinds, k)
@@ -84,33 +110,35 @@ func WritePrometheus(w io.Writer, m Metrics) {
 	counter("gocured_traces_dropped_total", "Malformed request traces refused by the trace buffer (expected 0).", dropped)
 	gauge("gocured_traces_live", "Request traces currently queryable via /traces/{id}.", float64(live))
 
-	writeHistogram(w, "gocured_e2e_wall_ms", "End-to-end job latency (queue wait + compile/cache + run) in milliseconds.", "", m.E2EWall)
-	writeHistogram(w, "gocured_queue_wait_ms", "Time jobs waited for a worker slot in milliseconds.", "", m.QueueWait)
-	writeHistogram(w, "gocured_queue_depth_hist", "Waiting-job count observed at each enqueue (dimensionless log buckets).", "", m.QueueDepth)
-	writeHistogram(w, "gocured_compile_wall_ms", "Compile wall time in milliseconds.", "", m.CompileWall)
-	writeHistogram(w, "gocured_run_wall_ms", "Run wall time in milliseconds.", "", m.RunWall)
+	writeHistogram(w, "gocured_e2e_wall_ms", "End-to-end job latency (queue wait + compile/cache + run) in milliseconds.", "", m.E2EWall, om)
+	writeHistogram(w, "gocured_queue_wait_ms", "Time jobs waited for a worker slot in milliseconds.", "", m.QueueWait, om)
+	writeHistogram(w, "gocured_queue_depth_hist", "Waiting-job count observed at each enqueue (dimensionless log buckets).", "", m.QueueDepth, om)
+	writeHistogram(w, "gocured_compile_wall_ms", "Compile wall time in milliseconds.", "", m.CompileWall, om)
+	writeHistogram(w, "gocured_run_wall_ms", "Run wall time in milliseconds.", "", m.RunWall, om)
 
 	if len(m.Phases) > 0 {
 		name := "gocured_phase_ms"
 		fmt.Fprintf(w, "# HELP %s Per-phase compile durations in milliseconds.\n# TYPE %s histogram\n", name, name)
 		for _, p := range m.Phases {
-			writeHistogramSamples(w, name, fmt.Sprintf("phase=%q,", p.Phase), p.Hist)
+			writeHistogramSamples(w, name, fmt.Sprintf("phase=%q,", p.Phase), p.Hist, om)
 		}
 	}
 }
 
 // writeHistogram renders one histogram family: HELP/TYPE then the samples.
-func writeHistogram(w io.Writer, name, help, labels string, h Histogram) {
+func writeHistogram(w io.Writer, name, help, labels string, h Histogram, om bool) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	writeHistogramSamples(w, name, labels, h)
+	writeHistogramSamples(w, name, labels, h, om)
 }
 
 // writeHistogramSamples renders one labelled histogram's cumulative bucket
 // lines over the canonical log-bucket bounds (sparse snapshots are summed
 // back up while walking the bound list), then _sum and _count. labels is
-// either empty or a `k="v",` prefix spliced before the le label. Bucket
-// lines whose bucket has an exemplar get the OpenMetrics exemplar suffix.
-func writeHistogramSamples(w io.Writer, name, labels string, h Histogram) {
+// either empty or a `k="v",` prefix spliced before the le label. In the
+// OpenMetrics dialect (om), bucket lines whose bucket has an exemplar get
+// the exemplar suffix; the classic 0.0.4 parser rejects anything after the
+// value, so exemplars are suppressed there.
+func writeHistogramSamples(w io.Writer, name, labels string, h Histogram, om bool) {
 	type bk struct {
 		count    uint64
 		exemplar *Exemplar
@@ -136,13 +164,13 @@ func writeHistogramSamples(w io.Writer, name, labels string, h Histogram) {
 			continue
 		}
 		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d", name, labels, fmtFloat(le), cum)
-		if b.exemplar != nil {
+		if om && b.exemplar != nil {
 			fmt.Fprintf(w, " # {trace_id=%q} %s", b.exemplar.TraceID, fmtFloat(b.exemplar.ValueMS))
 		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d", name, labels, h.Count)
-	if overflow.exemplar != nil {
+	if om && overflow.exemplar != nil {
 		fmt.Fprintf(w, " # {trace_id=%q} %s", overflow.exemplar.TraceID, fmtFloat(overflow.exemplar.ValueMS))
 	}
 	fmt.Fprintln(w)

@@ -309,14 +309,31 @@ func (tl *timeline) spans(enq time.Time, wait, e2e time.Duration) []trace.Span {
 			out = append(out, sp)
 		}
 		// Store I/O is interleaved with inference; surface it as aggregate
-		// spans at the end of the compile window (the exporter clamps).
+		// spans at the end of the compile window. The aggregates sum wall
+		// time across concurrent inference goroutines, so they can exceed
+		// the compile duration — clamp each span into the compile window so
+		// the raw Phases list in the /cure response is well-formed (never a
+		// negative start or an overlap into queue-wait), not just the
+		// sanitized GET /traces/{id} export.
+		clamp := func(start, dur float64) (float64, float64) {
+			if start < cs {
+				start = cs
+			}
+			if end := cs + cd; start+dur > end {
+				dur = end - start
+			}
+			if dur < 0 {
+				dur = 0
+			}
+			return start, dur
+		}
 		if tl.storeReads > 0 {
-			out = append(out, trace.Span{Name: "store-read",
-				StartMS: cs + cd - tl.storeReadMS - tl.storeWriteMS, DurMS: tl.storeReadMS, Depth: 2})
+			start, dur := clamp(cs+cd-tl.storeReadMS-tl.storeWriteMS, tl.storeReadMS)
+			out = append(out, trace.Span{Name: "store-read", StartMS: start, DurMS: dur, Depth: 2})
 		}
 		if tl.storeWrites > 0 {
-			out = append(out, trace.Span{Name: "store-write",
-				StartMS: cs + cd - tl.storeWriteMS, DurMS: tl.storeWriteMS, Depth: 2})
+			start, dur := clamp(cs+cd-tl.storeWriteMS, tl.storeWriteMS)
+			out = append(out, trace.Span{Name: "store-write", StartMS: start, DurMS: dur, Depth: 2})
 		}
 	}
 	if !tl.runStart.IsZero() {
