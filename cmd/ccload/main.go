@@ -20,10 +20,20 @@
 // smoke gate. The report is written as JSON (BENCH_serve.json by
 // convention).
 //
+// -overload FACTOR adds an overload scenario after the sweep: an open-loop
+// run at FACTOR × the peak throughput the sweep measured (2 = the classic
+// 2×-saturation probe). Its gates assert the server degrades by policy,
+// not by collapse: zero 5xx, zero errors on admitted requests, every shed
+// request a 429 with a Retry-After header, the shed fraction within
+// -overload-shed-min/max, and admitted-request p99 still within
+// -overload-slo-p99 (default: the -slo-p99 target). Admitted latency is
+// measured open loop — from each request's scheduled arrival time — so it
+// includes the queueing delay a real client would see under the burst.
+//
 // Example:
 //
 //	ccload -url http://127.0.0.1:8080 -levels 1,2,4,8 -duration 5s \
-//	       -slo-p99 250ms -gate -out BENCH_serve.json
+//	       -slo-p99 250ms -overload 2 -gate -out BENCH_serve.json
 package main
 
 import (
@@ -46,6 +56,21 @@ type sloReport struct {
 	Pass          bool    `json:"pass"`
 }
 
+// overloadReport records the overload scenario's operating point and gate
+// outcome: the server must shed excess load cleanly (429 + Retry-After, no
+// 5xx, no admitted-request errors) while admitted requests keep the SLO.
+type overloadReport struct {
+	Factor        float64 `json:"factor"`
+	SaturationRPS float64 `json:"saturation_rps"`
+	TargetRPS     float64 `json:"target_rps"`
+	ShedFraction  float64 `json:"shed_fraction"`
+	ShedMin       float64 `json:"shed_min"`
+	ShedMax       float64 `json:"shed_max"`
+	AdmittedP99MS float64 `json:"admitted_p99_ms"`
+	SLOP99MS      float64 `json:"slo_p99_ms,omitempty"`
+	Pass          bool    `json:"pass"`
+}
+
 type report struct {
 	GeneratedBy string         `json:"generated_by"`
 	Generated   string         `json:"generated"`
@@ -58,6 +83,10 @@ type report struct {
 	Saturation []loadgen.Result `json:"saturation"`
 	// OpenLoop is the optional fixed-arrival-rate run (-rate).
 	OpenLoop *loadgen.Result `json:"open_loop,omitempty"`
+	// Overload is the optional above-saturation open-loop run (-overload),
+	// and OverloadGate its gate evaluation.
+	Overload     *loadgen.Result `json:"overload,omitempty"`
+	OverloadGate *overloadReport `json:"overload_gate,omitempty"`
 
 	TraceCheck    loadgen.TraceCheck `json:"trace_check"`
 	Events        loadgen.EventStats `json:"events"`
@@ -115,7 +144,11 @@ func main() {
 		levels    = flag.String("levels", "1,2,4,8", "comma-separated closed-loop concurrency sweep")
 		duration  = flag.Duration("duration", 5*time.Second, "duration per sweep level")
 		rate      = flag.Float64("rate", 0, "additional open-loop run at this arrival rate (req/s; 0 = skip)")
-		mixFlag   = flag.String("mix", "", "traffic mix as class=weight,... (classes: hit,run,cure,edit)")
+		overload  = flag.Float64("overload", 0, "overload run at this multiple of the sweep's peak throughput (0 = skip)")
+		shedMin   = flag.Float64("overload-shed-min", 0, "minimum acceptable shed fraction in the overload run")
+		shedMax   = flag.Float64("overload-shed-max", 0.95, "maximum acceptable shed fraction in the overload run")
+		ovlSLO    = flag.Duration("overload-slo-p99", 0, "admitted-request p99 SLO for the overload run (0 = use -slo-p99)")
+		mixFlag   = flag.String("mix", "", "traffic mix as class=weight,... (classes: hit,run,cure,edit,heavy)")
 		seed      = flag.Int64("seed", 1, "random seed for the class sequence")
 		waitReady = flag.Duration("wait-ready", 30*time.Second, "how long to poll /readyz before starting")
 		out       = flag.String("out", "BENCH_serve.json", "report path (- = stdout)")
@@ -216,7 +249,86 @@ func main() {
 		checkRun(res)
 	}
 
+	// Stop the event-stream gate before the overload run: the bus drops
+	// events for slow consumers by design, and deliberately driving the
+	// server past saturation overwhelms it. Sequence gaps there are the
+	// policy working, not an observability regression; the gap gate covers
+	// the in-SLO sweep and open-loop runs above.
 	rep.Events = watcher.Stop()
+
+	if *overload > 0 {
+		satRPS := 0.0
+		for _, r := range rep.Saturation {
+			if r.ThroughputRPS > satRPS {
+				satRPS = r.ThroughputRPS
+			}
+		}
+		if satRPS <= 0 {
+			rep.Violations = append(rep.Violations, "overload: sweep measured zero throughput")
+		} else {
+			target := *overload * satRPS
+			fmt.Fprintf(os.Stderr, "ccload: overload %.1fx saturation (%.1f req/s open loop)\n", *overload, target)
+			res, err := loadgen.Run(ctx, loadgen.Config{
+				BaseURL:    *url,
+				Duration:   *duration,
+				RatePerSec: target,
+				Mix:        mix,
+				Seed:       *seed + 104729,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			admitted := res.Requests - res.Shed - res.Errors
+			frac := 0.0
+			if res.Requests > 0 {
+				frac = float64(res.Shed) / float64(res.Requests)
+			}
+			fmt.Fprintf(os.Stderr, "ccload: overload %6.1f req/s admitted  p50=%.2fms p99=%.2fms  shed=%d/%d (%.1f%%) errs=%d 5xx=%d\n",
+				res.ThroughputRPS, res.P50MS, res.P99MS, res.Shed, res.Requests, frac*100, res.Errors, res.Status5xx)
+			rep.Overload = &res
+			og := &overloadReport{
+				Factor:        *overload,
+				SaturationRPS: satRPS,
+				TargetRPS:     target,
+				ShedFraction:  frac,
+				ShedMin:       *shedMin,
+				ShedMax:       *shedMax,
+				AdmittedP99MS: res.P99MS,
+			}
+			// The overload run is open loop, so admitted latency includes
+			// queueing-delay correction (time from scheduled arrival, not
+			// send) — a separate, looser SLO than the in-capacity sweep's.
+			slo := *ovlSLO
+			if slo == 0 {
+				slo = *sloP99
+			}
+			if slo > 0 {
+				og.SLOP99MS = float64(slo) / float64(time.Millisecond)
+			}
+			og.Pass = true
+			fail := func(format string, args ...any) {
+				og.Pass = false
+				rep.Violations = append(rep.Violations, "overload: "+fmt.Sprintf(format, args...))
+			}
+			if res.Status5xx > 0 {
+				fail("%d 5xx responses (server must shed with 429, not fail)", res.Status5xx)
+			}
+			if res.Errors > 0 {
+				fail("%d errors on admitted requests (of %d admitted)", res.Errors, admitted)
+			}
+			if res.ShedNoRetryAfter > 0 {
+				fail("%d shed responses without a usable Retry-After header", res.ShedNoRetryAfter)
+			}
+			if frac < *shedMin || frac > *shedMax {
+				fail("shed fraction %.3f outside [%.3f, %.3f]", frac, *shedMin, *shedMax)
+			}
+			if og.SLOP99MS > 0 && res.P99MS > og.SLOP99MS {
+				fail("admitted p99 %.2fms > SLO %.2fms", res.P99MS, og.SLOP99MS)
+			}
+			rep.OverloadGate = og
+		}
+	}
+
 	if traceCheck != nil {
 		rep.TraceCheck = *traceCheck
 	} else {

@@ -3,6 +3,7 @@
 // (optionally) the result of executing the cured program in a chosen mode.
 //
 //	ccserve [-addr :8080] [-j N] [-cache N] [-step-limit N] [-timeout D]
+//	        [-queue-depth N] [-coalesce] [-client-header NAME]
 //
 // Endpoints:
 //
@@ -28,6 +29,13 @@
 // supply their own W3C-shaped 16-hex ID via either to correlate traces
 // across systems.
 //
+// The pipeline runs behind admission control: at most -queue-depth jobs
+// wait for worker slots, fair-queued per client (the -client-header value,
+// default X-Client-Id, falling back to the remote address). Excess load is
+// rejected with 429 and a Retry-After header computed from the queue depth
+// and the observed service rate; identical concurrent requests coalesce
+// onto one execution (-coalesce, on by default).
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // are drained before exit.
 package main
@@ -42,6 +50,7 @@ import (
 	"io"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -156,7 +165,15 @@ type serverConfig struct {
 	// StoreConfigured tells /readyz a persistent artifact store was
 	// requested (so its absence from metrics means a failed open).
 	StoreConfigured bool
+	// ClientHeader names the request header that carries the fair-queue
+	// client ID (empty = DefaultClientHeader). Requests without it are
+	// attributed to their remote address.
+	ClientHeader string
 }
+
+// DefaultClientHeader is the request header consulted for the fair-queue
+// client ID when serverConfig.ClientHeader is empty.
+const DefaultClientHeader = "X-Client-Id"
 
 // server bundles the Runner with the HTTP handlers so tests can drive the
 // mux without a listener.
@@ -173,6 +190,8 @@ type server struct {
 	// storeConfigured records whether a persistent store was requested, so
 	// /readyz can distinguish "no store" from "store failed to open".
 	storeConfigured bool
+	// clientHeader names the header carrying the fair-queue client ID.
+	clientHeader string
 }
 
 func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
@@ -184,8 +203,11 @@ func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
 	}
 	// ready stays false until the caller (main, or a test) declares startup
 	// finished via markReady; /readyz answers 503 until then.
+	if cfg.ClientHeader == "" {
+		cfg.ClientHeader = DefaultClientHeader
+	}
 	s := &server{runner: runner, maxBytes: cfg.MaxBytes, logger: cfg.Logger, mux: http.NewServeMux(),
-		storeConfigured: cfg.StoreConfigured}
+		storeConfigured: cfg.StoreConfigured, clientHeader: cfg.ClientHeader}
 	s.mux.HandleFunc("/cure", s.handleCure)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -316,6 +338,31 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: errCode(status)})
 }
 
+// clientID attributes a request to a fair-queue client: the client-ID
+// header when present, else the remote host (sans port), so unattributed
+// traffic from one address shares one lane instead of minting a client per
+// connection.
+func (s *server) clientID(r *http.Request) string {
+	if id := r.Header.Get(s.clientHeader); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders a backoff hint as RFC 9110 Retry-After whole
+// seconds, rounded up (minimum 1).
+func retryAfterSeconds(d time.Duration) int64 {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
 func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -365,9 +412,10 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job := pipeline.Job{
-		Name:    name,
-		TraceID: traceID,
-		Source:  req.Source,
+		Name:     name,
+		TraceID:  traceID,
+		ClientID: s.clientID(r),
+		Source:   req.Source,
 		Options: gocured.Options{
 			NoRTTI:              req.Options.NoRTTI,
 			NoPhysicalSubtyping: req.Options.NoPhysicalSubtyping,
@@ -390,6 +438,17 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 	res := s.runner.Do(r.Context(), job)
 	w.Header().Set("X-Trace-Id", res.TraceID)
 	if res.Err != nil {
+		var shed *pipeline.ShedError
+		if errors.As(res.Err, &shed) {
+			// Load shed: tell the client when to come back. Retry-After is
+			// whole seconds (RFC 9110), rounded up so "50ms" doesn't become
+			// an immediate hammering retry loop.
+			w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(shed.RetryAfter), 10))
+			s.reqLogger(r).Warn("cure shed", "name", name, "trace_id", res.TraceID,
+				"client", job.ClientID, "reason", shed.Reason, "retry_after", shed.RetryAfter.String())
+			writeError(w, http.StatusTooManyRequests, "%v", res.Err)
+			return
+		}
 		status := http.StatusUnprocessableEntity
 		if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
 			status = http.StatusServiceUnavailable
@@ -673,6 +732,9 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
 	storeDir := flag.String("store-dir", "", "persistent artifact store directory; compiles survive restarts (empty = memory cache only)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferEntries, "request traces kept for GET /traces/{id} (negative disables)")
+	queueDepth := flag.Int("queue-depth", 256, "admission queue bound; excess load is shed with 429 (0 = unbounded)")
+	coalesce := flag.Bool("coalesce", true, "coalesce identical in-flight jobs onto one execution")
+	clientHeader := flag.String("client-header", DefaultClientHeader, "request header carrying the fair-queue client ID")
 	flag.Parse()
 
 	arts, err := pipeline.OpenStore(*storeDir)
@@ -686,12 +748,14 @@ func main() {
 		JobTimeout:         *jobTimeout,
 		Store:              arts,
 		TraceBufferEntries: *traceBuffer,
+		QueueDepth:         *queueDepth,
+		CoalesceJobs:       *coalesce,
 	})
 	expvar.Publish("gocured_pipeline", runner.ExpvarVar())
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	app := newServer(runner, serverConfig{MaxBytes: *maxBytes, Logger: logger,
-		Pprof: *pprofFlag, StoreConfigured: *storeDir != ""})
+		Pprof: *pprofFlag, StoreConfigured: *storeDir != "", ClientHeader: *clientHeader})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           app,

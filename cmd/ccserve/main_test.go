@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -710,5 +712,151 @@ func TestCacheHitTrace(t *testing.T) {
 	}
 	if strings.Contains(bodyStr, `"parse"`) {
 		t.Errorf("hit trace embeds stale compile phases:\n%s", bodyStr)
+	}
+}
+
+// TestCureShedResponse pins the overload contract: when the queue is full
+// the server answers 429 with a Retry-After header in whole seconds, a
+// stable error code, and the trace ID — and the shed surfaces in the
+// Prometheus families.
+func TestCureShedResponse(t *testing.T) {
+	gate := pipeline.NewStallGate()
+	r := pipeline.NewRunner(pipeline.RunnerOptions{
+		Workers:    1,
+		QueueDepth: 1,
+		Faults:     &pipeline.Faults{ExecGate: gate.Gate},
+	})
+	s := newServer(r, serverConfig{MaxBytes: 1 << 20})
+	s.markReady()
+
+	src := func(i int) string {
+		return fmt.Sprintf(`{"name":"shed%d.c","source":"int main(void){ return %d; }"}`, i, i)
+	}
+	done := make(chan *httptest.ResponseRecorder, 2)
+	postAsync := func(body string) {
+		go func() {
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/cure", strings.NewReader(body)))
+			done <- rec
+		}()
+	}
+	// One request wedged on the worker, one filling the queue.
+	postAsync(src(0))
+	if !gate.WaitArrived(1, 5*time.Second) {
+		t.Fatal("first request never reached the worker")
+	}
+	postAsync(src(1))
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Metrics().QueueDepthNow != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third must shed.
+	rec, _ := post(t, s, src(2))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", rec.Header().Get("Retry-After"))
+	}
+	if rec.Header().Get("X-Trace-Id") == "" {
+		t.Error("shed response missing X-Trace-Id")
+	}
+	var eb struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("shed body not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if eb.Code != "too_many_requests" || !strings.Contains(eb.Error, "queue_full") {
+		t.Fatalf("shed body = %+v, want code too_many_requests / queue_full reason", eb)
+	}
+
+	// Drain: release the wedged request, wait for the queued one to reach
+	// the worker, release it too. Both must succeed.
+	gate.Release(1)
+	if !gate.WaitArrived(2, 5*time.Second) {
+		t.Fatal("queued request never dispatched")
+	}
+	gate.Release(1)
+	for i := 0; i < 2; i++ {
+		if rec := <-done; rec.Code != http.StatusOK {
+			t.Fatalf("admitted request %d status = %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	// The shed is visible in the exposition.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/prometheus", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics/prometheus status = %d", rec.Code)
+	}
+	for _, want := range []string{
+		"gocured_shed_total 1",
+		`gocured_shed_by_reason_total{reason="queue_full"} 1`,
+		"gocured_admitted_total 2",
+		"gocured_queue_limit 1",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestClientIDAttribution pins how requests map to fair-queue clients:
+// the configured header wins, then the remote host without its port, then
+// the raw remote address.
+func TestClientIDAttribution(t *testing.T) {
+	s := testServer()
+	req := httptest.NewRequest(http.MethodPost, "/cure", nil)
+	req.RemoteAddr = "198.51.100.7:4242"
+	if got := s.clientID(req); got != "198.51.100.7" {
+		t.Errorf("clientID = %q, want remote host", got)
+	}
+	req.Header.Set(DefaultClientHeader, "tenant-a")
+	if got := s.clientID(req); got != "tenant-a" {
+		t.Errorf("clientID = %q, want header value", got)
+	}
+
+	// A custom header config ignores the default header.
+	s2 := newServer(pipeline.NewRunner(pipeline.RunnerOptions{Workers: 1}),
+		serverConfig{ClientHeader: "X-Team"})
+	if got := s2.clientID(req); got != "198.51.100.7" {
+		t.Errorf("custom-header clientID = %q, want remote host", got)
+	}
+	req.Header.Set("X-Team", "blue")
+	if got := s2.clientID(req); got != "blue" {
+		t.Errorf("custom-header clientID = %q, want configured header value", got)
+	}
+
+	// Un-parseable remote addresses attribute as-is.
+	req2 := httptest.NewRequest(http.MethodPost, "/cure", nil)
+	req2.RemoteAddr = "pipe"
+	if got := s.clientID(req2); got != "pipe" {
+		t.Errorf("clientID = %q, want raw remote addr", got)
+	}
+}
+
+// TestRetryAfterSeconds pins the RFC 9110 rendering: whole seconds,
+// rounded up, never below 1.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int64
+	}{
+		{0, 1},
+		{50 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1200 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
 	}
 }

@@ -9,11 +9,14 @@
 // Traffic is a weighted mix of request classes chosen to exercise the
 // server's distinct cost paths:
 //
-//	hit   the same source every time: memory-cache hits
-//	run   a fixed source with run:true: cache hit + interpreter execution
-//	cure  a wholly fresh source every request: full compiles
-//	edit  one function's body changes per request while the rest of the
-//	      unit stays stable: incremental re-cure (store summary replay)
+//	hit    the same source every time: memory-cache hits
+//	run    a fixed source with run:true: cache hit + interpreter execution
+//	cure   a wholly fresh source every request: full compiles
+//	edit   one function's body changes per request while the rest of the
+//	       unit stays stable: incremental re-cure (store summary replay)
+//	heavy  a fresh many-function unit every request: expensive full
+//	       compiles, for overload runs that must saturate the worker pool
+//	       at request rates the generator can sustain precisely
 //
 // Latencies aggregate into the same log-bucketed histograms the pipeline
 // uses (internal/pipeline.LogHist), so quantiles here and server-side
@@ -24,11 +27,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +71,7 @@ func DefaultMix() map[string]int {
 type ClassResult struct {
 	Requests  int     `json:"requests"`
 	Errors    int     `json:"errors"`
+	Shed      int     `json:"shed,omitempty"`
 	CacheHits int     `json:"cache_hits"`
 	MeanMS    float64 `json:"mean_ms"`
 	P50MS     float64 `json:"p50_ms"`
@@ -81,6 +87,18 @@ type Result struct {
 	Requests      int     `json:"requests"`
 	Errors        int     `json:"errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Shed counts requests the server rejected with 429 (admission-control
+	// load shedding). Shed requests are not errors — the overload gates
+	// treat clean rejection as correct behaviour — and they are excluded
+	// from the latency histograms, which cover admitted requests only.
+	// ShedNoRetryAfter counts 429s whose Retry-After header was missing or
+	// unparseable (expected 0: every shed must carry a backoff hint), and
+	// Status5xx counts server-error responses (expected 0 under overload:
+	// a melting server sheds with 429, it does not 500).
+	Shed             int `json:"shed,omitempty"`
+	ShedNoRetryAfter int `json:"shed_no_retry_after,omitempty"`
+	Status5xx        int `json:"status_5xx,omitempty"`
 
 	MeanMS float64 `json:"mean_ms"`
 	P50MS  float64 `json:"p50_ms"`
@@ -112,6 +130,27 @@ type cureReply struct {
 	Tier     string `json:"tier"`
 }
 
+// ShedResponse is the error issue() returns for a 429: the server shed the
+// request under admission control. HasRetryAfter reports whether the
+// response carried a well-formed Retry-After header (it always should).
+type ShedResponse struct {
+	HasRetryAfter  bool
+	RetryAfterSecs int
+}
+
+func (e *ShedResponse) Error() string {
+	return fmt.Sprintf("shed (429, retry after %ds)", e.RetryAfterSecs)
+}
+
+// httpError is a non-2xx, non-429 response, keeping the status inspectable
+// so the collector can count 5xx separately.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
 // collector aggregates results across workers. One mutex for the counters;
 // the histograms carry their own locks.
 type collector struct {
@@ -120,6 +159,9 @@ type collector struct {
 
 	mu           sync.Mutex
 	errors       int
+	shed         int
+	shedNoRetry  int
+	status5xx    int
 	slowestMS    float64
 	slowestID    string
 	slowestClass string
@@ -130,6 +172,7 @@ type collector struct {
 type classCollector struct {
 	hist             pipeline.LogHist
 	requests, errors atomic.Int64
+	shed             atomic.Int64
 	hits             atomic.Int64
 }
 
@@ -137,9 +180,27 @@ func (c *collector) record(class string, ms float64, reply *cureReply, err error
 	cc := c.classes[class]
 	cc.requests.Add(1)
 	if err != nil {
+		// A 429 is the server shedding load as designed, not a failure;
+		// count it apart from errors and keep it out of the admitted-latency
+		// histograms.
+		var shed *ShedResponse
+		if errors.As(err, &shed) {
+			cc.shed.Add(1)
+			c.mu.Lock()
+			c.shed++
+			if !shed.HasRetryAfter {
+				c.shedNoRetry++
+			}
+			c.mu.Unlock()
+			return
+		}
 		cc.errors.Add(1)
 		c.mu.Lock()
 		c.errors++
+		var he *httpError
+		if errors.As(err, &he) && he.status >= 500 {
+			c.status5xx++
+		}
 		c.mu.Unlock()
 		return
 	}
@@ -196,6 +257,27 @@ func progSource(stableK, mulK, addK, argK int) string {
 	return fmt.Sprintf(baseProg, stableK, mulK, addK, argK)
 }
 
+// heavySource builds a fresh translation unit of nFuncs array-walking
+// functions, unique per seed. One cure costs tens of milliseconds, so
+// overload scenarios reach server saturation at request rates low enough
+// that neither the generator's arrival ticker nor connection handling is
+// the bottleneck — the server's admission queue is.
+func heavySource(seed, nFuncs int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "/* heavy unit %d */\n", seed)
+	for i := 0; i < nFuncs; i++ {
+		fmt.Fprintf(&b,
+			"int hf%d(int x) { int a[16]; int i, t = %d; for (i = 0; i < 16; i++) { a[i] = x + i * %d; t += a[i]; } return t; }\n",
+			i, seed+i, i+1)
+	}
+	b.WriteString("int main(void) {\n  int s = 0;\n")
+	for i := 0; i < nFuncs; i++ {
+		fmt.Fprintf(&b, "  s += hf%d(%d);\n", i, i)
+	}
+	b.WriteString("  return s & 255;\n}\n")
+	return b.String()
+}
+
 // body builds the POST /cure payload for one request of a class.
 func (g *gen) body(class string) []byte {
 	type reqBody struct {
@@ -213,6 +295,13 @@ func (g *gen) body(class string) []byte {
 	case "cure":
 		n := int(g.cureSeq.Add(1))
 		b = reqBody{Name: "load-cure.c", Source: progSource(n%251, n%127+1, n%89, n%7)}
+	case "heavy":
+		// A fresh many-function unit: one request costs a substantial
+		// compile, for overload scenarios that must saturate the worker
+		// pool at low request rates. The run seed salts the unit so
+		// separate runs (sweep vs overload) never share cache entries.
+		n := int(g.cureSeq.Add(1))
+		b = reqBody{Name: "load-heavy.c", Source: heavySource(int(g.cfg.Seed)*1_000_003+n, 40)}
 	case "edit":
 		// Only edited()'s constants move: stable_sum and main keep their
 		// fingerprints, so a store-backed server replays them (tier "disk").
@@ -248,8 +337,17 @@ func (g *gen) issue(ctx context.Context, class string) (float64, *cureReply, err
 		return ms, nil, err
 	}
 	ms = float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		ra := resp.Header.Get("Retry-After")
+		secs, perr := strconv.Atoi(ra)
+		return ms, nil, &ShedResponse{
+			HasRetryAfter:  ra != "" && perr == nil && secs >= 1,
+			RetryAfterSecs: secs,
+		}
+	}
 	if resp.StatusCode != http.StatusOK {
-		return ms, nil, fmt.Errorf("%s: status %d: %.200s", class, resp.StatusCode, data)
+		return ms, nil, &httpError{status: resp.StatusCode,
+			err: fmt.Errorf("%s: status %d: %.200s", class, resp.StatusCode, data)}
 	}
 	var reply cureReply
 	if err := json.Unmarshal(data, &reply); err != nil {
@@ -279,7 +377,19 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 60 * time.Second}
+		// The whole harness talks to one host at high concurrency; the
+		// default transport keeps only 2 idle connections per host, which
+		// makes the generator churn a fresh TCP connection per request and
+		// bottleneck on dials long before the server saturates.
+		// No MaxConnsPerHost cap: capping it would hide overload in a
+		// client-side connection queue — arrivals must reach the server so
+		// its admission policy (not this harness) decides their fate.
+		client = &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 512,
+			},
+		}
 	}
 
 	g := &gen{cfg: cfg, client: client}
@@ -356,19 +466,22 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 
 	snap := col.overall.Snapshot()
 	res := Result{
-		Concurrency:   cfg.Concurrency,
-		RatePerSec:    cfg.RatePerSec,
-		DurationS:     float64(elapsed) / float64(time.Second),
-		Requests:      int(snap.Count) + col.errors,
-		Errors:        col.errors,
-		ThroughputRPS: float64(snap.Count) / (float64(elapsed) / float64(time.Second)),
-		MeanMS:        snap.MeanMS(),
-		P50MS:         snap.Quantile(0.50),
-		P90MS:         snap.Quantile(0.90),
-		P99MS:         snap.Quantile(0.99),
-		P999MS:        snap.Quantile(0.999),
-		MaxMS:         snap.MaxMS,
-		Classes:       make(map[string]ClassResult, len(names)),
+		Concurrency:      cfg.Concurrency,
+		RatePerSec:       cfg.RatePerSec,
+		DurationS:        float64(elapsed) / float64(time.Second),
+		Requests:         int(snap.Count) + col.errors + col.shed,
+		Errors:           col.errors,
+		Shed:             col.shed,
+		ShedNoRetryAfter: col.shedNoRetry,
+		Status5xx:        col.status5xx,
+		ThroughputRPS:    float64(snap.Count) / (float64(elapsed) / float64(time.Second)),
+		MeanMS:           snap.MeanMS(),
+		P50MS:            snap.Quantile(0.50),
+		P90MS:            snap.Quantile(0.90),
+		P99MS:            snap.Quantile(0.99),
+		P999MS:           snap.Quantile(0.999),
+		MaxMS:            snap.MaxMS,
+		Classes:          make(map[string]ClassResult, len(names)),
 
 		SlowestMissTraceID: col.slowestID,
 		SlowestMissMS:      col.slowestMS,
@@ -382,6 +495,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		res.Classes[name] = ClassResult{
 			Requests:  int(cc.requests.Load()),
 			Errors:    int(cc.errors.Load()),
+			Shed:      int(cc.shed.Load()),
 			CacheHits: int(cc.hits.Load()),
 			MeanMS:    cs.MeanMS(),
 			P50MS:     cs.Quantile(0.50),

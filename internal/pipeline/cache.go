@@ -105,6 +105,9 @@ type Cache struct {
 	// the persistent artifact store for per-function summaries before
 	// falling back to a full compile.
 	arts *store.Artifacts
+	// wrapSums, when non-nil, decorates the summary source each compile
+	// sees; the fault-injection harness uses it to wedge the artifact store.
+	wrapSums func(gocured.SummarySource) gocured.SummarySource
 
 	hits, misses, evictions uint64
 }
@@ -163,7 +166,7 @@ func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Co
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	f.res, f.err = compileSource(key, filename, source, opts, c.arts)
+	f.res, f.err = compileSourceWrapped(key, filename, source, opts, c.arts, c.wrapSums)
 	close(f.done)
 
 	c.mu.Lock()
@@ -178,7 +181,16 @@ func (c *Cache) GetOrCompile(filename, source string, opts gocured.Options) (*Co
 // compileSource builds the artifact outside the lock. A panic in the
 // compiler is converted into an error so that goroutines waiting on this
 // compileFlight are released (the Runner additionally isolates panics per job).
-func compileSource(key Key, filename, source string, opts gocured.Options, arts *store.Artifacts) (res *Compiled, err error) {
+func compileSource(key Key, filename, source string, opts gocured.Options, arts *store.Artifacts) (*Compiled, error) {
+	return compileSourceWrapped(key, filename, source, opts, arts, nil)
+}
+
+// compileSourceWrapped is compileSource with the fault-injection decorator
+// applied to the summary source. The wrap sits inside the timing layer, so
+// a wedged store's stall time shows up in the store-read/store-write spans
+// exactly where a genuinely hung disk would.
+func compileSourceWrapped(key Key, filename, source string, opts gocured.Options, arts *store.Artifacts,
+	wrap func(gocured.SummarySource) gocured.SummarySource) (res *Compiled, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("compile %s: panic: %v", filename, p)
@@ -187,8 +199,19 @@ func compileSource(key Key, filename, source string, opts gocured.Options, arts 
 	var sums gocured.SummarySource
 	var timed *timedSums
 	if arts != nil {
-		timed = &timedSums{src: arts.ForOptions(opts)}
+		src := gocured.SummarySource(arts.ForOptions(opts))
+		if wrap != nil {
+			if w := wrap(src); w != nil {
+				src = w
+			}
+		}
+		timed = &timedSums{src: src}
 		sums = timed
+	} else if wrap != nil {
+		if w := wrap(nil); w != nil {
+			timed = &timedSums{src: w}
+			sums = timed
+		}
 	}
 	prog, err := gocured.CompileStored(filename, source, opts, sums)
 	if err != nil {

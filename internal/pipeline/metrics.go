@@ -34,13 +34,30 @@ type Metrics struct {
 	Workers      int   `json:"workers"`
 	JobsInFlight int64 `json:"jobs_in_flight"`
 	// QueueDepthNow is the number of jobs currently waiting for a worker
-	// slot (admitted to Do but not yet executing).
+	// slot (queued by admission but not yet executing); QueueLimit is the
+	// configured admission-queue bound (0 = unbounded, the batch default).
 	QueueDepthNow int64 `json:"queue_depth_now"`
+	QueueLimit    int   `json:"queue_limit"`
 
 	JobsRun      uint64 `json:"jobs_run"`
 	JobsFailed   uint64 `json:"jobs_failed"`
 	JobsPanicked uint64 `json:"jobs_panicked"`
 	JobsTimedOut uint64 `json:"jobs_timed_out"`
+
+	// Admission-control decisions: Admitted counts jobs granted a worker
+	// slot; Shed counts jobs rejected without queueing, split by reason
+	// ("queue_full", "deadline"); Coalesced counts jobs served by joining
+	// another identical in-flight job instead of queueing at all. The
+	// per-client depths snapshot the fair queue (only clients with waiting
+	// jobs appear).
+	Admitted          uint64            `json:"admitted"`
+	Shed              uint64            `json:"shed"`
+	ShedByReason      map[string]uint64 `json:"shed_by_reason,omitempty"`
+	Coalesced         uint64            `json:"coalesced"`
+	ClientQueueDepths map[string]int    `json:"client_queue_depths,omitempty"`
+	// ShedExemplar links the shed counter to the trace of the most
+	// recently rejected request (OpenMetrics counter exemplar).
+	ShedExemplar *Exemplar `json:"shed_exemplar,omitempty"`
 
 	RunsExecuted uint64            `json:"runs_executed"`
 	Traps        uint64            `json:"traps"`
@@ -104,6 +121,13 @@ type metrics struct {
 	trapsByKind  map[string]uint64
 	funcsRecured uint64
 	funcsLoaded  uint64
+	admitted     uint64
+	shed         uint64
+	shedByReason map[string]uint64
+	coalesced    uint64
+	// lastShed is the exemplar attached to the shed counter in the
+	// OpenMetrics exposition: the trace ID of the most recently shed job.
+	lastShed Exemplar
 
 	e2eWall     LogHist
 	queueWait   LogHist
@@ -117,31 +141,60 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		trapsByKind: make(map[string]uint64),
-		phases:      make(map[string]*LogHist),
+		trapsByKind:  make(map[string]uint64),
+		shedByReason: make(map[string]uint64),
+		phases:       make(map[string]*LogHist),
 	}
 }
 
-// queueEnter registers a job waiting for a worker slot and returns the
-// queue depth including it.
-func (m *metrics) queueEnter() int64 {
+// queueEnter registers a job entering the admission queue. The gauge is
+// the only thing touched here: wait and depth observations happen at
+// admission time, so shed and cancelled jobs never skew the histograms.
+func (m *metrics) queueEnter() {
 	m.mu.Lock()
 	m.queueDepth++
-	d := m.queueDepth
 	m.mu.Unlock()
-	return d
 }
 
-// queueLeave reverses queueEnter (on slot acquisition or cancellation);
-// an acquired job additionally records its wait and the depth it saw.
-func (m *metrics) queueLeave(depth int64, wait time.Duration, traceID string, acquired bool) {
+// queueAdmitted records a successful admission: the wait and the queue
+// depth the job observed at enqueue. waited reverses queueEnter for jobs
+// that actually sat in the queue (the free-slot fast path never entered).
+func (m *metrics) queueAdmitted(depth int64, wait time.Duration, traceID string, waited bool) {
+	m.mu.Lock()
+	if waited {
+		m.queueDepth--
+	}
+	m.admitted++
+	m.mu.Unlock()
+	m.queueWait.Observe(wait, traceID)
+	m.queueDepthH.ObserveMS(float64(depth), traceID)
+}
+
+// queueCancelled reverses queueEnter for a job whose caller abandoned the
+// queue; no histogram records it.
+func (m *metrics) queueCancelled() {
 	m.mu.Lock()
 	m.queueDepth--
 	m.mu.Unlock()
-	if acquired {
-		m.queueWait.Observe(wait, traceID)
-		m.queueDepthH.ObserveMS(float64(depth), traceID)
+}
+
+// jobShed counts an admission rejection by reason and retains the trace ID
+// as the shed counter's exemplar.
+func (m *metrics) jobShed(reason, traceID string) {
+	m.mu.Lock()
+	m.shed++
+	m.shedByReason[reason]++
+	if traceID != "" {
+		m.lastShed = Exemplar{TraceID: traceID, ValueMS: 1}
 	}
+	m.mu.Unlock()
+}
+
+// jobCoalesced counts a job served by joining an identical in-flight job.
+func (m *metrics) jobCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
 }
 
 func (m *metrics) jobStarted() {
@@ -236,12 +289,25 @@ func (m *metrics) snapshot(workers int, cache CacheStats) Metrics {
 		Cache:         cache,
 		FuncsRecured:  m.funcsRecured,
 		FuncsLoaded:   m.funcsLoaded,
+		Admitted:      m.admitted,
+		Shed:          m.shed,
+		Coalesced:     m.coalesced,
 	}
 	if len(m.trapsByKind) > 0 {
 		out.TrapsByKind = make(map[string]uint64, len(m.trapsByKind))
 		for k, v := range m.trapsByKind {
 			out.TrapsByKind[k] = v
 		}
+	}
+	if len(m.shedByReason) > 0 {
+		out.ShedByReason = make(map[string]uint64, len(m.shedByReason))
+		for k, v := range m.shedByReason {
+			out.ShedByReason[k] = v
+		}
+	}
+	if m.lastShed.TraceID != "" {
+		e := m.lastShed
+		out.ShedExemplar = &e
 	}
 	m.mu.Unlock()
 

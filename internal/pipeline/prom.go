@@ -78,6 +78,36 @@ func writeExposition(w io.Writer, m Metrics, om bool) {
 		}
 	}
 
+	// Admission-control families are always exposed (zero before any
+	// decision) so overload dashboards and the serve-overload CI gate can
+	// rely on their presence. The shed counter carries an exemplar in the
+	// OpenMetrics dialect: the trace ID of the most recently rejected job.
+	gauge("gocured_queue_limit", "Configured admission-queue bound (0 = unbounded).", float64(m.QueueLimit))
+	counter("gocured_admitted_total", "Jobs granted a worker slot by admission control.", m.Admitted)
+	counterFamily("gocured_shed_total", "Jobs rejected by admission control without queueing.")
+	fmt.Fprintf(w, "gocured_shed_total %d", m.Shed)
+	if om && m.ShedExemplar != nil {
+		fmt.Fprintf(w, " # {trace_id=%q} %s", m.ShedExemplar.TraceID, fmtFloat(m.ShedExemplar.ValueMS))
+	}
+	fmt.Fprintln(w)
+	counterFamily("gocured_shed_by_reason_total", "Admission rejections by reason.")
+	for _, reason := range []string{ShedDeadline, ShedQueueFull} {
+		fmt.Fprintf(w, "gocured_shed_by_reason_total{reason=%q} %d\n", reason, m.ShedByReason[reason])
+	}
+	counter("gocured_coalesced_total", "Jobs served by joining an identical in-flight job.", m.Coalesced)
+	if len(m.ClientQueueDepths) > 0 {
+		name := "gocured_client_queue_depth"
+		fmt.Fprintf(w, "# HELP %s Waiting jobs per fair-queue client.\n# TYPE %s gauge\n", name, name)
+		ids := make([]string, 0, len(m.ClientQueueDepths))
+		for id := range m.ClientQueueDepths {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "%s{client=%q} %d\n", name, id, m.ClientQueueDepths[id])
+		}
+	}
+
 	gauge("gocured_cache_entries", "Live compile-cache entries.", float64(m.Cache.Entries))
 	counter("gocured_cache_hits_total", "Compile-cache hits.", m.Cache.Hits)
 	counter("gocured_cache_misses_total", "Compile-cache misses.", m.Cache.Misses)

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -46,6 +47,24 @@ type RunnerOptions struct {
 	// disables request-trace retention — jobs still get trace IDs and span
 	// timelines, they just are not kept for later query).
 	TraceBufferEntries int
+	// QueueDepth bounds the admission queue: at most this many jobs wait
+	// for worker slots at once, and further arrivals are shed with a
+	// ShedError carrying a Retry-After estimate. 0 leaves the queue
+	// unbounded — right for batch drivers (ccbench submits a whole corpus
+	// at once); ccserve always sets a bound.
+	QueueDepth int
+	// ClientWeights maps client IDs to fair-queue weights; absent clients
+	// get DefaultClientWeight. A weight-2 client is entitled to twice the
+	// admitted share of a weight-1 client when both are backlogged.
+	ClientWeights map[string]int
+	// CoalesceJobs enables runner-level coalescing: identical in-flight
+	// jobs (same cache key AND same run options — see coalesceKey) share
+	// one admission slot and one execution, and every caller receives the
+	// same payload. Off by default because batch drivers want every
+	// submitted job measured individually; ccserve turns it on.
+	CoalesceJobs bool
+	// Faults injects deterministic failures for tests; nil in production.
+	Faults *Faults
 }
 
 // Job is one unit of pipeline work: cure a source file and, optionally,
@@ -62,6 +81,13 @@ type Job struct {
 	// Runner assigns a fresh one (callers with an inbound ID — ccserve
 	// honoring a client-supplied X-Trace-Id — set it).
 	TraceID string
+
+	// ClientID keys per-client fair queueing: under contention, admission
+	// shares worker slots across distinct ClientIDs by weight, so one
+	// flooding tenant cannot starve the rest. Empty means the anonymous
+	// client (all unattributed jobs share one fair-queue lane). ccserve
+	// sets it from the client-ID header or the remote address.
+	ClientID string
 
 	// Run requests execution after curing; Mode and RunOptions configure it.
 	Run        bool
@@ -126,15 +152,21 @@ type JobResult struct {
 }
 
 // Runner cures and executes Jobs on a bounded worker pool over a shared
-// content-addressed cache. One Runner is intended to live for the whole
-// process (ccserve) or batch (ccbench); it is safe for concurrent use.
+// content-addressed cache, behind an admission scheduler (bounded queue,
+// per-client fair queueing, deadline-aware shedding). One Runner is
+// intended to live for the whole process (ccserve) or batch (ccbench); it
+// is safe for concurrent use.
 type Runner struct {
 	opts   RunnerOptions
-	sem    chan struct{}
+	adm    *admitter
 	cache  *Cache
 	m      *metrics
 	bus    *Bus
 	traces *trace.Buffer
+
+	// flights coalesce identical in-flight jobs when CoalesceJobs is on.
+	flightMu sync.Mutex
+	flights  map[string]*jobFlight
 }
 
 // NewRunner builds a Runner.
@@ -143,14 +175,18 @@ func NewRunner(opts RunnerOptions) *Runner {
 		opts.Workers = runtime.NumCPU()
 	}
 	r := &Runner{
-		opts: opts,
-		sem:  make(chan struct{}, opts.Workers),
-		m:    newMetrics(),
-		bus:  NewBus(),
+		opts:    opts,
+		m:       newMetrics(),
+		bus:     NewBus(),
+		flights: make(map[string]*jobFlight),
 	}
+	r.adm = newAdmitter(opts.Workers, opts.QueueDepth, opts.ClientWeights, r.m)
 	if opts.CacheEntries >= 0 {
 		r.cache = NewCache(opts.CacheEntries)
 		r.cache.SetStore(opts.Store)
+		if opts.Faults != nil && opts.Faults.WrapSummaries != nil {
+			r.cache.wrapSums = opts.Faults.WrapSummaries
+		}
 	}
 	if opts.TraceBufferEntries >= 0 {
 		r.traces = trace.NewBuffer(opts.TraceBufferEntries)
@@ -176,6 +212,10 @@ func (r *Runner) Metrics() Metrics {
 		cs = r.cache.Stats()
 	}
 	m := r.m.snapshot(r.opts.Workers, cs)
+	m.QueueLimit = r.opts.QueueDepth
+	if d := r.adm.ClientDepths(); len(d) > 0 {
+		m.ClientQueueDepths = d
+	}
 	if r.opts.Store != nil {
 		st := r.opts.Store.Store().Stats()
 		m.Store = &st
@@ -192,28 +232,160 @@ func (r *Runner) Metrics() Metrics {
 	return m
 }
 
-// Do executes one job, blocking until a worker slot is free (or ctx is
-// cancelled) and then until the job completes, times out, or panics. It
-// always returns a non-nil result; inspect Err.
+// Do executes one job: admission (bounded queue, fair queueing, deadline
+// shedding), then execution on a worker slot, blocking until the job
+// completes, is shed, times out, or ctx is cancelled. It always returns a
+// non-nil result; inspect Err. A shed job's Err unwraps to *ShedError.
+// With CoalesceJobs on, identical in-flight jobs share one execution.
 func (r *Runner) Do(ctx context.Context, job Job) *JobResult {
 	if job.TraceID == "" {
 		job.TraceID = trace.NewID()
 	}
-	enq := time.Now()
-	depth := r.m.queueEnter()
-	select {
-	case r.sem <- struct{}{}:
-	case <-ctx.Done():
-		r.m.queueLeave(depth, 0, "", false)
-		return &JobResult{Name: job.Name, TraceID: job.TraceID, Err: ctx.Err()}
+	if !r.opts.CoalesceJobs {
+		return r.doOne(ctx, job)
 	}
-	wait := time.Since(enq)
-	r.m.queueLeave(depth, wait, job.TraceID, true)
+
+	key := coalesceKey(job)
+	r.flightMu.Lock()
+	if f, ok := r.flights[key]; ok {
+		f.join()
+		r.flightMu.Unlock()
+		r.m.jobCoalesced()
+		return r.waitFlight(ctx, job, f, false)
+	}
+	// Leader: run the job on a detached context that is cancelled only
+	// when every participant (leader caller included) has walked away, so
+	// one waiter's cancellation can never kill the shared execution.
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &jobFlight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	r.flights[key] = f
+	r.flightMu.Unlock()
+	go func() {
+		res := r.doOne(fctx, job)
+		r.flightMu.Lock()
+		delete(r.flights, key)
+		r.flightMu.Unlock()
+		f.mu.Lock()
+		f.res = res
+		f.finished = true
+		f.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return r.waitFlight(ctx, job, f, true)
+}
+
+// jobFlight is one in-flight job execution that identical concurrent jobs
+// coalesce onto: the leader executes, everyone shares the payload.
+type jobFlight struct {
+	done chan struct{}
+	res  *JobResult
+
+	mu       sync.Mutex
+	refs     int
+	finished bool
+	cancel   context.CancelFunc
+}
+
+// join registers another participant.
+func (f *jobFlight) join() {
+	f.mu.Lock()
+	f.refs++
+	f.mu.Unlock()
+}
+
+// leave deregisters a participant that stopped waiting; when the last one
+// leaves an unfinished flight, the shared execution is cancelled (it would
+// only burn a queue slot on a result nobody reads).
+func (f *jobFlight) leave() {
+	f.mu.Lock()
+	f.refs--
+	last := f.refs == 0 && !f.finished
+	f.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// coalesceKey is the identity under which in-flight jobs coalesce: the
+// compile cache key (name, source, inference options) plus everything that
+// changes what an execution produces — run mode, stdin, args, step limit,
+// tracing, profiling, and backend. Two jobs may share an execution only if
+// a cache hit could have served them the same payload; collapsing the key
+// to the cache key alone would hand a -backend=tree caller a vm result.
+func coalesceKey(job Job) string {
+	k := CacheKey(job.Name, job.Source, job.Options)
+	if !job.Run {
+		return fmt.Sprintf("%x|compile", k[:])
+	}
+	ro := job.RunOptions
+	return fmt.Sprintf("%x|run|%s|%x|%q|%d|%v|%d|%s",
+		k[:], job.Mode, ro.Stdin, ro.Args, ro.StepLimit, ro.Trace, ro.ProfilePeriod, ro.Backend)
+}
+
+// waitFlight waits for a shared execution on behalf of one participant,
+// honoring that participant's own context and timeout.
+func (r *Runner) waitFlight(ctx context.Context, job Job, f *jobFlight, leader bool) *JobResult {
+	enq := time.Now()
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = r.opts.JobTimeout
+	}
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case <-f.done:
+		if leader {
+			return f.res
+		}
+		// Followers share the payload (Program, Stats, Run — all immutable
+		// after completion) under their own envelope: the tier says the
+		// request was coalesced, and timing reflects this caller's wait.
+		// The TraceID stays the leader's: the coalesced execution has one
+		// trace, and this is it.
+		cp := *f.res
+		cp.Tier = "coalesced"
+		cp.CacheHit = cp.Err == nil
+		cp.QueueWait = 0
+		cp.E2E = time.Since(enq)
+		return &cp
+	case <-ctx.Done():
+		f.leave()
+		return &JobResult{Name: job.Name, TraceID: job.TraceID, Err: ctx.Err()}
+	case <-timeoutCh:
+		f.leave()
+		r.m.jobTimedOut()
+		return &JobResult{Name: job.Name, TraceID: job.TraceID,
+			Err: fmt.Errorf("job %q (trace %s) timed out after %v", job.Name, job.TraceID, timeout)}
+	}
+}
+
+// doOne admits and executes one job without coalescing.
+func (r *Runner) doOne(ctx context.Context, job Job) *JobResult {
+	enq := time.Now()
+	wait, err := r.adm.admit(ctx, job.ClientID, job.TraceID)
+	if err != nil {
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			return &JobResult{Name: job.Name, TraceID: job.TraceID,
+				Err: fmt.Errorf("job %q (trace %s): %w", job.Name, job.TraceID, err)}
+		}
+		return &JobResult{Name: job.Name, TraceID: job.TraceID, Err: err}
+	}
 	r.m.jobStarted()
 
 	resCh := make(chan *JobResult, 1)
 	go func() {
-		defer func() { <-r.sem }()
+		svcStart := time.Now()
+		// The slot is returned when execution actually stops — after the
+		// in-flight gauge drops — even if the caller abandoned the job on
+		// timeout long ago, so pathological jobs exert backpressure
+		// instead of over-admitting.
+		defer func() { r.adm.release(time.Since(svcStart)) }()
 		res := r.execute(job, enq, wait)
 		r.m.jobFinished(res)
 		resCh <- res
@@ -240,6 +412,11 @@ func (r *Runner) Do(ctx context.Context, job Job) *JobResult {
 			Err: fmt.Errorf("job %q (trace %s) timed out after %v", job.Name, job.TraceID, timeout)}
 	}
 }
+
+// RetryAfter is the Runner's current backoff estimate for rejected work:
+// the time the pool needs to drain the present queue at the observed p50
+// service rate. ccserve uses it for Retry-After headers.
+func (r *Runner) RetryAfter() time.Duration { return r.adm.RetryAfter() }
 
 // DoAll fans jobs out over the worker pool and returns their results in
 // input order once all have completed (or ctx is cancelled, in which case
@@ -372,6 +549,9 @@ func (r *Runner) execute(job Job, enq time.Time, wait time.Duration) (res *JobRe
 	if job.testPanic {
 		panic("injected test panic")
 	}
+	// Fault injection (tests only; both calls are nil checks in production).
+	r.opts.Faults.beforeExec(job)
+	defer r.opts.Faults.afterExec(job)
 
 	// Flight recording: one ring per worker slot, checked out for the
 	// job's duration so concurrent jobs land on separate Perfetto tracks.
