@@ -1,0 +1,350 @@
+package main
+
+import (
+	"io"
+	"net/http"
+)
+
+// handleDash serves the live operations dashboard: a single self-contained
+// HTML page (no build step, no external assets) that polls
+// GET /metrics/history for sparkline data and tails GET /events over SSE.
+// It exists so "is the service healthy right now" is answerable from a
+// browser with nothing but the binary.
+func (s *server) handleDash(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeError(w, http.StatusNotFound, "metrics history is disabled; restart with -history-interval > 0")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, dashHTML)
+}
+
+// dashHTML is the whole dashboard. Design notes: the palette is the
+// validated two-slot categorical pair (blue/orange, CVD-checked in both
+// modes); status colors (ok/warn/page) are a separate reserved set and
+// always ship with an icon + text label, never color alone; every chart
+// has a hover tooltip and the raw points are available as a table.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>gocured dash</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7; --ring: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834;
+  --ok: #0ca30c; --warn: #fab219; --page-c: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835; --ring: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 16px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; margin-bottom: 12px; }
+header h1 { font-size: 18px; margin: 0; }
+header .meta { color: var(--ink-2); font-size: 12px; }
+.filters { display: flex; gap: 4px; margin-left: auto; }
+.filters button {
+  font: inherit; font-size: 12px; padding: 2px 10px; cursor: pointer;
+  background: var(--surface); color: var(--ink-2);
+  border: 1px solid var(--ring); border-radius: 6px;
+}
+.filters button[aria-pressed="true"] { color: var(--ink); font-weight: 600; border-color: var(--baseline); }
+.grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(300px, 1fr)); gap: 12px; }
+.card {
+  background: var(--surface); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 10px 12px;
+}
+.card h2 { font-size: 12px; font-weight: 600; color: var(--ink-2); margin: 0 0 6px; }
+.card .now { font-size: 22px; }
+.legend { display: flex; gap: 12px; font-size: 11px; color: var(--ink-2); margin-top: 2px; }
+.legend .swatch { display: inline-block; width: 8px; height: 8px; border-radius: 2px; margin-right: 4px; vertical-align: baseline; }
+svg.spark { width: 100%; height: 64px; display: block; }
+.slos { display: grid; grid-template-columns: repeat(auto-fit, minmax(240px, 1fr)); gap: 12px; margin-bottom: 12px; }
+.slo .state { font-weight: 600; font-size: 14px; }
+.slo .state.ok { color: var(--ok); }
+.slo .state.warn { color: var(--warn); }
+.slo .state.page { color: var(--page-c); }
+.slo .burns { font-size: 11px; color: var(--muted); margin-top: 2px; }
+.bars .bar-row { display: grid; grid-template-columns: 10em 1fr 3em; gap: 6px; align-items: center; font-size: 12px; margin: 3px 0; }
+.bars .bar-row .name { overflow: hidden; text-overflow: ellipsis; white-space: nowrap; color: var(--ink-2); }
+.bars .bar-row .bar { height: 10px; background: var(--s1); border-radius: 4px; min-width: 2px; }
+.bars .bar-row .n { text-align: right; font-variant-numeric: tabular-nums; }
+.links a { color: var(--s1); font-size: 12px; text-decoration: none; margin-right: 10px; }
+.links a:hover { text-decoration: underline; }
+.feed { list-style: none; margin: 0; padding: 0; font-size: 12px; max-height: 180px; overflow-y: auto; }
+.feed li { padding: 2px 0; border-bottom: 1px solid var(--grid); color: var(--ink-2); }
+.feed li .t { color: var(--muted); margin-right: 6px; font-variant-numeric: tabular-nums; }
+.feed li.slo-ev { color: var(--ink); font-weight: 600; }
+#tip {
+  position: fixed; pointer-events: none; display: none; z-index: 10;
+  background: var(--surface); color: var(--ink); border: 1px solid var(--ring);
+  border-radius: 6px; padding: 4px 8px; font-size: 11px; box-shadow: 0 2px 8px rgba(0,0,0,.15);
+}
+details { margin-top: 12px; }
+details summary { cursor: pointer; color: var(--ink-2); font-size: 12px; }
+table { border-collapse: collapse; font-size: 11px; margin-top: 6px; }
+th, td { text-align: right; padding: 2px 8px; border-bottom: 1px solid var(--grid); font-variant-numeric: tabular-nums; }
+th { color: var(--muted); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+</style>
+</head>
+<body>
+<header>
+  <h1>gocured</h1>
+  <span class="meta" id="meta">connecting&hellip;</span>
+  <nav class="filters" id="filters" aria-label="history window">
+    <button data-w="5m">5m</button>
+    <button data-w="15m">15m</button>
+    <button data-w="1h" aria-pressed="true">1h</button>
+  </nav>
+</header>
+
+<section class="slos" id="slos"></section>
+
+<section class="grid">
+  <div class="card">
+    <h2>Queue depth</h2>
+    <div class="now" id="queue-now">&ndash;</div>
+    <svg class="spark" id="spark-queue" role="img" aria-label="queue depth over time"></svg>
+  </div>
+  <div class="card">
+    <h2>Admitted / shed per second</h2>
+    <div class="now" id="rate-now">&ndash;</div>
+    <svg class="spark" id="spark-rate" role="img" aria-label="admit and shed rates over time"></svg>
+    <div class="legend">
+      <span><span class="swatch" style="background:var(--s1)"></span>admitted</span>
+      <span><span class="swatch" style="background:var(--s2)"></span>shed</span>
+    </div>
+  </div>
+  <div class="card">
+    <h2>End-to-end latency (ms)</h2>
+    <div class="now" id="lat-now">&ndash;</div>
+    <svg class="spark" id="spark-lat" role="img" aria-label="latency quantiles over time"></svg>
+    <div class="legend">
+      <span><span class="swatch" style="background:var(--s1)"></span>p50</span>
+      <span><span class="swatch" style="background:var(--s2)"></span>p99</span>
+    </div>
+    <div class="links" id="exemplars"></div>
+  </div>
+  <div class="card">
+    <h2>Hot trap kinds (window)</h2>
+    <div class="bars" id="traps">no traps</div>
+  </div>
+  <div class="card">
+    <h2>Live events</h2>
+    <ul class="feed" id="feed"></ul>
+  </div>
+</section>
+
+<details>
+  <summary>history table</summary>
+  <div style="overflow-x:auto"><table id="points-table"></table></div>
+</details>
+
+<div id="tip"></div>
+
+<script>
+"use strict";
+var windowSel = "1h";
+var lastDump = null;
+var tip = document.getElementById("tip");
+
+function fmt(v) {
+  if (v >= 100) return Math.round(v).toString();
+  if (v >= 1) return v.toFixed(1);
+  return v.toFixed(2);
+}
+function ts(ms) {
+  var d = new Date(ms);
+  function p(n) { return (n < 10 ? "0" : "") + n; }
+  return p(d.getHours()) + ":" + p(d.getMinutes()) + ":" + p(d.getSeconds());
+}
+
+// drawSpark renders one or two series as 2px polylines with a hairline
+// baseline, a direct label on each series' last value, and a shared hover
+// tooltip (the whole svg is the hit target).
+function drawSpark(svg, series, times, labels) {
+  var W = svg.clientWidth || 300, H = svg.clientHeight || 64;
+  var padT = 4, padB = 12, padR = 34;
+  svg.setAttribute("viewBox", "0 0 " + W + " " + H);
+  var max = 0;
+  series.forEach(function (s) { s.forEach(function (v) { if (v > max) max = v; }); });
+  if (max <= 0) max = 1;
+  var n = series[0].length;
+  var x = function (i) { return n < 2 ? 0 : i * (W - padR) / (n - 1); };
+  var y = function (v) { return H - padB - (v / max) * (H - padT - padB); };
+  var colors = ["var(--s1)", "var(--s2)"];
+  var out = '<line x1="0" y1="' + (H - padB) + '" x2="' + W + '" y2="' + (H - padB) +
+    '" stroke="var(--baseline)" stroke-width="1"/>';
+  series.forEach(function (s, si) {
+    if (!n) return;
+    var pts = s.map(function (v, i) { return x(i).toFixed(1) + "," + y(v).toFixed(1); }).join(" ");
+    out += '<polyline points="' + pts + '" fill="none" stroke="' + colors[si] +
+      '" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>';
+    var last = s[n - 1];
+    out += '<text x="' + (W - padR + 4) + '" y="' + (y(last) + 4).toFixed(1) +
+      '" font-size="10" fill="var(--ink-2)">' + fmt(last) + "</text>";
+  });
+  svg.innerHTML = out;
+  svg.onmousemove = function (ev) {
+    if (!n) return;
+    var r = svg.getBoundingClientRect();
+    var i = Math.round((ev.clientX - r.left) / ((W - padR) / Math.max(1, n - 1)));
+    if (i < 0) i = 0;
+    if (i >= n) i = n - 1;
+    var lines = [ts(times[i])];
+    series.forEach(function (s, si) { lines.push(labels[si] + ": " + fmt(s[i])); });
+    tip.innerHTML = lines.join("<br>");
+    tip.style.display = "block";
+    tip.style.left = (ev.clientX + 12) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+  };
+  svg.onmouseleave = function () { tip.style.display = "none"; };
+}
+
+var stateGlyph = { ok: "✓", warn: "⚠", page: "✕" };
+
+function renderSLOs(slos) {
+  var el = document.getElementById("slos");
+  if (!slos || !slos.length) { el.innerHTML = ""; return; }
+  el.innerHTML = slos.map(function (s) {
+    var burns = (s.windows || []).map(function (w) {
+      var mins = w.window_ms / 60000;
+      var lab = mins >= 60 ? (mins / 60) + "h" : mins >= 1 ? mins + "m" : (w.window_ms / 1000) + "s";
+      return lab + ": " + fmt(w.burn) + "×";
+    }).join(" · ");
+    var target = s.latency_target_ms ? " p99≤" + s.latency_target_ms + "ms" : "";
+    return '<div class="card slo"><h2>SLO: ' + s.name + " (" + (s.objective * 100) + "%" + target + ')</h2>' +
+      '<div class="state ' + s.state + '">' + (stateGlyph[s.state] || "") + " " + s.state.toUpperCase() + "</div>" +
+      '<div class="burns">burn ' + burns + "</div></div>";
+  }).join("");
+}
+
+function renderTraps(summary) {
+  var el = document.getElementById("traps");
+  var kinds = summary && summary.traps_by_kind;
+  if (!kinds || !Object.keys(kinds).length) { el.textContent = "no traps in window"; return; }
+  var rows = Object.keys(kinds).map(function (k) { return [k, kinds[k]]; })
+    .sort(function (a, b) { return b[1] - a[1]; }).slice(0, 8);
+  var max = rows[0][1];
+  el.innerHTML = rows.map(function (r) {
+    return '<div class="bar-row"><span class="name" title="' + r[0] + '">' + r[0] +
+      '</span><span><span class="bar" style="width:' + (100 * r[1] / max) + '%"></span></span>' +
+      '<span class="n">' + r[1] + "</span></div>";
+  }).join("");
+}
+
+function renderExemplars(summary) {
+  var el = document.getElementById("exemplars");
+  var bks = (summary && summary.e2e && summary.e2e.buckets) || [];
+  var ex = [];
+  bks.forEach(function (b) { if (b.exemplar) ex.push(b.exemplar); });
+  ex.sort(function (a, b) { return b.value_ms - a.value_ms; });
+  el.innerHTML = ex.slice(0, 3).map(function (e) {
+    return '<a href="/traces/' + e.trace_id + '" title="open trace ' + e.trace_id + '">' +
+      fmt(e.value_ms) + "ms ↗</a>";
+  }).join("");
+}
+
+function renderTable(points) {
+  var t = document.getElementById("points-table");
+  var head = "<tr><th>time</th><th>queue</th><th>in-flight</th><th>admit</th><th>shed</th>" +
+    "<th>run</th><th>fail</th><th>traps</th><th>p50</th><th>p99</th></tr>";
+  t.innerHTML = head + points.slice(-60).map(function (p) {
+    return "<tr><td>" + ts(p.unix_ms) + "</td><td>" + p.queue_depth + "</td><td>" + p.jobs_in_flight +
+      "</td><td>" + p.admitted + "</td><td>" + p.shed + "</td><td>" + p.jobs_run +
+      "</td><td>" + p.jobs_failed + "</td><td>" + p.traps +
+      "</td><td>" + fmt(p.p50_ms) + "</td><td>" + fmt(p.p99_ms) + "</td></tr>";
+  }).join("");
+}
+
+function render(dump) {
+  lastDump = dump;
+  var pts = dump.points || [];
+  var times = pts.map(function (p) { return p.unix_ms; });
+  var perSec = function (field) {
+    return pts.map(function (p) { return p.interval_ms > 0 ? p[field] * 1000 / p.interval_ms : 0; });
+  };
+  drawSpark(document.getElementById("spark-queue"), [pts.map(function (p) { return p.queue_depth; })], times, ["queue"]);
+  drawSpark(document.getElementById("spark-rate"), [perSec("admitted"), perSec("shed")], times, ["admit/s", "shed/s"]);
+  drawSpark(document.getElementById("spark-lat"),
+    [pts.map(function (p) { return p.p50_ms; }), pts.map(function (p) { return p.p99_ms; })],
+    times, ["p50 ms", "p99 ms"]);
+  if (pts.length) {
+    var last = pts[pts.length - 1];
+    document.getElementById("queue-now").textContent = last.queue_depth;
+    var rs = last.interval_ms > 0 ? last.shed * 1000 / last.interval_ms : 0;
+    var ra = last.interval_ms > 0 ? last.admitted * 1000 / last.interval_ms : 0;
+    document.getElementById("rate-now").textContent = fmt(ra) + "/s · " + fmt(rs) + " shed/s";
+    document.getElementById("lat-now").textContent =
+      "p50 " + fmt(last.p50_ms) + " · p99 " + fmt(last.p99_ms);
+  }
+  renderSLOs(dump.slos);
+  renderTraps(dump.summary);
+  renderExemplars(dump.summary);
+  renderTable(pts);
+  document.getElementById("meta").textContent =
+    pts.length + " points · every " + (dump.interval_ms / 1000) + "s · window " + windowSel;
+}
+
+function poll() {
+  fetch("/metrics/history?window=" + windowSel)
+    .then(function (r) { return r.json(); })
+    .then(render)
+    .catch(function () { document.getElementById("meta").textContent = "history fetch failed"; });
+}
+
+document.getElementById("filters").addEventListener("click", function (ev) {
+  var b = ev.target.closest("button");
+  if (!b) return;
+  windowSel = b.dataset.w;
+  this.querySelectorAll("button").forEach(function (x) { x.setAttribute("aria-pressed", x === b); });
+  poll();
+});
+
+var feed = document.getElementById("feed");
+function pushEvent(cls, text) {
+  var li = document.createElement("li");
+  if (cls) li.className = cls;
+  li.innerHTML = '<span class="t">' + ts(Date.now()) + "</span>" + text;
+  feed.insertBefore(li, feed.firstChild);
+  while (feed.children.length > 40) feed.removeChild(feed.lastChild);
+}
+try {
+  var es = new EventSource("/events");
+  ["trap", "slo_state", "job_done"].forEach(function (kind) {
+    es.addEventListener(kind, function (ev) {
+      var e = JSON.parse(ev.data);
+      if (kind === "slo_state") {
+        pushEvent("slo-ev", "SLO " + e.name + " → " + e.state.toUpperCase() +
+          " (burn " + fmt(e.burn) + "×)");
+      } else if (kind === "trap") {
+        pushEvent("", "trap " + e.trap_kind + " @ " + (e.trap_pos || "?") +
+          (e.trace_id ? ' <a href="/traces/' + e.trace_id + '">trace ↗</a>' : ""));
+      } else if (e.err) {
+        pushEvent("", "job " + e.name + " failed: " + e.err);
+      }
+    });
+  });
+} catch (_) { /* SSE unsupported: dashboard still works via polling */ }
+
+poll();
+setInterval(poll, 3000);
+</script>
+</body>
+</html>
+`

@@ -169,6 +169,10 @@ type serverConfig struct {
 	// client ID (empty = DefaultClientHeader). Requests without it are
 	// attributed to their remote address.
 	ClientHeader string
+	// History, when set, enables GET /metrics/history and /debug/dash and
+	// annotates metrics snapshots with SLO burn-rate statuses. The caller
+	// owns its sampling loop (History.Run).
+	History *pipeline.History
 }
 
 // DefaultClientHeader is the request header consulted for the fair-queue
@@ -192,6 +196,9 @@ type server struct {
 	storeConfigured bool
 	// clientHeader names the header carrying the fair-queue client ID.
 	clientHeader string
+	// history is the metrics time series behind /metrics/history and
+	// /debug/dash (nil when not configured).
+	history *pipeline.History
 }
 
 func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
@@ -207,11 +214,13 @@ func newServer(runner *pipeline.Runner, cfg serverConfig) *server {
 		cfg.ClientHeader = DefaultClientHeader
 	}
 	s := &server{runner: runner, maxBytes: cfg.MaxBytes, logger: cfg.Logger, mux: http.NewServeMux(),
-		storeConfigured: cfg.StoreConfigured, clientHeader: cfg.ClientHeader}
+		storeConfigured: cfg.StoreConfigured, clientHeader: cfg.ClientHeader, history: cfg.History}
 	s.mux.HandleFunc("/cure", s.handleCure)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics/prometheus", s.handlePrometheus)
+	s.mux.HandleFunc("/metrics/history", s.handleMetricsHistory)
+	s.mux.HandleFunc("/debug/dash", s.handleDash)
 	s.mux.HandleFunc("/traces", s.handleTracesList)
 	s.mux.HandleFunc("/traces/", s.handleTraceGet)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -407,8 +416,22 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 		traceID = r.Header.Get("X-Trace-Id")
 	}
 	if traceID != "" && !trace.ValidID(traceID) {
-		writeError(w, http.StatusBadRequest, "trace_id must be 16 lowercase hex digits, got %q", traceID)
+		writeError(w, http.StatusBadRequest, "trace_id must be 16 or 32 lowercase hex digits, got %q", traceID)
 		return
+	}
+	// W3C trace-context: with no explicit trace ID, adopt the trace-id of an
+	// inbound traceparent header so the request keeps the caller's identity
+	// end to end. Per the spec a malformed traceparent is NOT an error — the
+	// trace restarts fresh (the runner mints an ID) and the discard is
+	// counted for the traceparent_malformed metric.
+	if traceID == "" {
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if tid, ok := trace.ParseTraceparent(tp); ok {
+				traceID = tid
+			} else {
+				s.runner.CountTraceparentMalformed()
+			}
+		}
 	}
 
 	job := pipeline.Job{
@@ -437,6 +460,10 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res := s.runner.Do(r.Context(), job)
 	w.Header().Set("X-Trace-Id", res.TraceID)
+	// Echo a traceparent on every outcome (success, shed, failure): the
+	// trace-id is carried verbatim (zero-padded for 16-hex internal IDs), so
+	// an upstream that minted it can match the echo to its own records.
+	w.Header().Set("Traceparent", trace.Traceparent(res.TraceID))
 	if res.Err != nil {
 		var shed *pipeline.ShedError
 		if errors.As(res.Err, &shed) {
@@ -549,8 +576,39 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// metricsSnapshot is the Runner snapshot annotated with the burn-rate
+// engine's current SLO statuses (when a History is configured): the SLO
+// view rides along in every JSON and Prometheus exposition.
+func (s *server) metricsSnapshot() pipeline.Metrics {
+	m := s.runner.Metrics()
+	if s.history != nil {
+		m.SLOs = s.history.Statuses()
+	}
+	return m
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.runner.Metrics())
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// handleMetricsHistory serves the retained metrics time series as JSON:
+// per-interval deltas, a window summary with exemplars, and the SLO
+// statuses. ?window=5m bounds the look-back (default: full retention).
+func (s *server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeError(w, http.StatusNotFound, "metrics history is disabled")
+		return
+	}
+	var window time.Duration
+	if q := r.URL.Query().Get("window"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad window %q: want a Go duration like 5m", q)
+			return
+		}
+		window = d
+	}
+	writeJSON(w, http.StatusOK, s.history.Dump(window))
 }
 
 // handlePrometheus serves the pipeline metrics in the Prometheus text
@@ -561,11 +619,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
 		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
-		pipeline.WriteOpenMetrics(w, s.runner.Metrics())
+		pipeline.WriteOpenMetrics(w, s.metricsSnapshot())
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	pipeline.WritePrometheus(w, s.runner.Metrics())
+	pipeline.WritePrometheus(w, s.metricsSnapshot())
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.
@@ -659,7 +717,7 @@ func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/traces/")
 	if !trace.ValidID(id) {
-		writeError(w, http.StatusBadRequest, "trace ID must be 16 lowercase hex digits, got %q", id)
+		writeError(w, http.StatusBadRequest, "trace ID must be 16 or 32 lowercase hex digits, got %q", id)
 		return
 	}
 	t, ok := buf.Get(id)
@@ -722,6 +780,31 @@ func (s *server) handleCorpusGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parseSLOWindows parses the -slo-windows flag: empty means the 5m/1h and
+// 30m/6h defaults; otherwise exactly four comma-separated Go durations in
+// fast-short,fast-long,slow-short,slow-long order.
+func parseSLOWindows(s string) (pipeline.SLOWindows, error) {
+	if s == "" {
+		return pipeline.DefaultSLOWindows(), nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return pipeline.SLOWindows{}, fmt.Errorf("want 4 comma-separated durations, got %d", len(parts))
+	}
+	var ds [4]time.Duration
+	for i, p := range parts {
+		d, err := time.ParseDuration(strings.TrimSpace(p))
+		if err != nil {
+			return pipeline.SLOWindows{}, err
+		}
+		if d <= 0 {
+			return pipeline.SLOWindows{}, fmt.Errorf("window %q must be positive", p)
+		}
+		ds[i] = d
+	}
+	return pipeline.SLOWindows{FastShort: ds[0], FastLong: ds[1], SlowShort: ds[2], SlowLong: ds[3]}, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent curing/execution jobs")
@@ -735,7 +818,17 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "admission queue bound; excess load is shed with 429 (0 = unbounded)")
 	coalesce := flag.Bool("coalesce", true, "coalesce identical in-flight jobs onto one execution")
 	clientHeader := flag.String("client-header", DefaultClientHeader, "request header carrying the fair-queue client ID")
+	histInterval := flag.Duration("history-interval", 10*time.Second, "metrics history sampling interval (0 disables history, SLOs, and /debug/dash)")
+	histRetention := flag.Duration("history-retention", time.Hour, "metrics history retention window")
+	sloObjective := flag.Float64("slo-objective", 0.99, "good fraction promised by the availability and latency SLOs")
+	sloP99 := flag.Duration("slo-p99", time.Second, "latency SLO target: requests should finish within this bound (0 disables the latency SLO)")
+	sloWindows := flag.String("slo-windows", "", "burn-rate windows, four comma-separated durations fast-short,fast-long,slow-short,slow-long (default 5m,1h,30m,6h)")
 	flag.Parse()
+
+	windows, err := parseSLOWindows(*sloWindows)
+	if err != nil {
+		log.Fatalf("ccserve: -slo-windows: %v", err)
+	}
 
 	arts, err := pipeline.OpenStore(*storeDir)
 	if err != nil {
@@ -753,9 +846,27 @@ func main() {
 	})
 	expvar.Publish("gocured_pipeline", runner.ExpvarVar())
 
+	var history *pipeline.History
+	if *histInterval > 0 {
+		specs := []pipeline.SLOSpec{{Name: "availability", Objective: *sloObjective}}
+		if *sloP99 > 0 {
+			specs = append(specs, pipeline.SLOSpec{Name: "latency", Objective: *sloObjective,
+				LatencyTargetMS: float64(*sloP99) / float64(time.Millisecond)})
+		}
+		history = pipeline.NewHistory(pipeline.HistoryOptions{
+			Source:    runner.Metrics,
+			Interval:  *histInterval,
+			Retention: *histRetention,
+			SLOs:      specs,
+			Windows:   windows,
+			Bus:       runner.Events(),
+		})
+	}
+
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	app := newServer(runner, serverConfig{MaxBytes: *maxBytes, Logger: logger,
-		Pprof: *pprofFlag, StoreConfigured: *storeDir != "", ClientHeader: *clientHeader})
+		Pprof: *pprofFlag, StoreConfigured: *storeDir != "", ClientHeader: *clientHeader,
+		History: history})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           app,
@@ -764,6 +875,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if history != nil {
+		go history.Run(ctx)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -603,6 +603,176 @@ func TestCureTraceIDPropagation(t *testing.T) {
 	}
 }
 
+// TestCureTraceparentPropagation covers the W3C trace-context path: a valid
+// inbound traceparent's trace-id is adopted end to end (response headers,
+// body, and the stored trace), a malformed one restarts the trace fresh and
+// is counted, and an explicit X-Trace-Id wins over the traceparent.
+func TestCureTraceparentPropagation(t *testing.T) {
+	s := testServer()
+	tid := trace.NewW3CTraceID()
+	req := httptest.NewRequest(http.MethodPost, "/cure", strings.NewReader(`{"source":"int main(void){return 0;}"}`))
+	req.Header.Set("Traceparent", trace.Traceparent(tid))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp CureResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != tid {
+		t.Fatalf("trace_id = %q, want adopted %q", resp.TraceID, tid)
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != tid {
+		t.Errorf("X-Trace-Id = %q, want %q", got, tid)
+	}
+	echo, ok := trace.ParseTraceparent(rec.Header().Get("Traceparent"))
+	if !ok || echo != tid {
+		t.Fatalf("response Traceparent %q does not round-trip %q", rec.Header().Get("Traceparent"), tid)
+	}
+
+	// The adopted ID resolves to a stored trace.
+	treq := httptest.NewRequest(http.MethodGet, "/traces/"+tid, nil)
+	trec := httptest.NewRecorder()
+	s.ServeHTTP(trec, treq)
+	if trec.Code != http.StatusOK {
+		t.Fatalf("GET /traces/%s = %d: %s", tid, trec.Code, trec.Body.String())
+	}
+	if !strings.Contains(trec.Body.String(), tid) {
+		t.Error("stored trace does not carry the adopted trace-id")
+	}
+
+	// Malformed traceparent: per spec not an error — the trace restarts
+	// with a server-minted ID and the discard is counted.
+	for i, bad := range []string{"garbage", "ff-" + tid + "-00f067aa0ba902b7-01", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"} {
+		req := httptest.NewRequest(http.MethodPost, "/cure", strings.NewReader(`{"source":"int main(void){return 3;}"}`))
+		req.Header.Set("Traceparent", bad)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("malformed traceparent %q: status %d", bad, rec.Code)
+		}
+		var mresp CureResponse
+		json.Unmarshal(rec.Body.Bytes(), &mresp)
+		if mresp.TraceID == tid || !trace.ValidID(mresp.TraceID) {
+			t.Fatalf("malformed traceparent %q adopted as %q", bad, mresp.TraceID)
+		}
+		m := s.metricsSnapshot()
+		if m.TraceparentMalformed != uint64(i+1) {
+			t.Fatalf("traceparent_malformed = %d after %d bad headers", m.TraceparentMalformed, i+1)
+		}
+	}
+
+	// An explicit trace ID wins over the traceparent header.
+	req = httptest.NewRequest(http.MethodPost, "/cure", strings.NewReader(`{"source":"int main(void){return 4;}"}`))
+	req.Header.Set("X-Trace-Id", "00000000feedface")
+	req.Header.Set("Traceparent", trace.Traceparent(trace.NewW3CTraceID()))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Trace-Id") != "00000000feedface" {
+		t.Errorf("explicit X-Trace-Id lost to traceparent: status=%d id=%q", rec.Code, rec.Header().Get("X-Trace-Id"))
+	}
+}
+
+// historyServer builds a server with a metrics History attached (not
+// started — tests drive Tick explicitly).
+func historyServer() (*server, *pipeline.History) {
+	runner := pipeline.NewRunner(pipeline.RunnerOptions{Workers: 2})
+	hist := pipeline.NewHistory(pipeline.HistoryOptions{
+		Source:   runner.Metrics,
+		Interval: 100 * time.Millisecond,
+		SLOs:     pipeline.DefaultSLOs(1000),
+		Bus:      runner.Events(),
+	})
+	s := newServer(runner, serverConfig{MaxBytes: 1 << 20, History: hist})
+	s.markReady()
+	return s, hist
+}
+
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	s, hist := historyServer()
+	if rec, _ := post(t, s, `{"source":"int main(void){return 0;}"}`); rec.Code != http.StatusOK {
+		t.Fatalf("cure status = %d", rec.Code)
+	}
+	now := time.Now()
+	hist.Tick(now.Add(-time.Second))
+	hist.Tick(now)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics/history?window=5m", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var dump pipeline.HistoryDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Points) != 2 || dump.WindowMS != 300000 {
+		t.Fatalf("dump = %d points window %d", len(dump.Points), dump.WindowMS)
+	}
+	if len(dump.SLOs) != 2 {
+		t.Fatalf("dump SLOs = %+v, want availability+latency", dump.SLOs)
+	}
+
+	// The /metrics JSON snapshot carries the same SLO statuses.
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, mreq)
+	var m pipeline.Metrics
+	if err := json.Unmarshal(mrec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SLOs) != 2 || m.SnapshotUnixMS == 0 {
+		t.Fatalf("metrics SLOs = %d snapshot_unix_ms = %d", len(m.SLOs), m.SnapshotUnixMS)
+	}
+
+	// Bad window values are a 400.
+	req = httptest.NewRequest(http.MethodGet, "/metrics/history?window=banana", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad window status = %d, want 400", rec.Code)
+	}
+
+	// Without a configured history the endpoint is a 404.
+	plain := testServer()
+	req = httptest.NewRequest(http.MethodGet, "/metrics/history", nil)
+	rec = httptest.NewRecorder()
+	plain.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled history status = %d, want 404", rec.Code)
+	}
+}
+
+func TestDebugDash(t *testing.T) {
+	s, _ := historyServer()
+	req := httptest.NewRequest(http.MethodGet, "/debug/dash", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`<svg class="spark"`, "/metrics/history", "EventSource"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard HTML missing %q", want)
+		}
+	}
+
+	// Without a history there is nothing to chart: 404.
+	plain := testServer()
+	rec = httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/dash", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled dash status = %d, want 404", rec.Code)
+	}
+}
+
 // TestTracesEndpoint exercises GET /traces and GET /traces/{id}: the
 // Chrome trace for a compiled request must validate and cover queue wait,
 // the cache tier, and every compile phase, with the trace ID in the root

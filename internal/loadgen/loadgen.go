@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"gocured/internal/pipeline"
+	"gocured/internal/trace"
 )
 
 // Config tunes one load run.
@@ -121,6 +122,15 @@ type Result struct {
 	// evicted from the server's bounded trace buffer by later traffic.
 	LastMissTraceID string  `json:"last_miss_trace_id,omitempty"`
 	LastMissMS      float64 `json:"last_miss_ms,omitempty"`
+
+	// TraceparentSent counts requests issued with a generator-minted W3C
+	// traceparent header (every request); TraceparentEchoMismatch counts
+	// responses that failed the round-trip check — the echoed Traceparent
+	// header (or the reply's trace_id) did not carry the generated trace-id
+	// back. Expected 0: the server must adopt and echo inbound trace
+	// context verbatim.
+	TraceparentSent         int `json:"traceparent_sent,omitempty"`
+	TraceparentEchoMismatch int `json:"traceparent_echo_mismatch,omitempty"`
 }
 
 // cureReply is the slice of ccserve's CureResponse the generator needs.
@@ -162,6 +172,8 @@ type collector struct {
 	shed         int
 	shedNoRetry  int
 	status5xx    int
+	tpSent       int
+	tpMismatch   int
 	slowestMS    float64
 	slowestID    string
 	slowestClass string
@@ -176,9 +188,25 @@ type classCollector struct {
 	hits             atomic.Int64
 }
 
-func (c *collector) record(class string, ms float64, reply *cureReply, err error) {
+// echoCheck reports the W3C traceparent round trip of one request: whether
+// a traceparent was minted and sent, and whether the server's echo failed
+// to carry the same trace-id back.
+type echoCheck struct {
+	Sent     bool
+	Mismatch bool
+}
+
+func (c *collector) record(class string, ms float64, reply *cureReply, echo echoCheck, err error) {
 	cc := c.classes[class]
 	cc.requests.Add(1)
+	if echo.Sent {
+		c.mu.Lock()
+		c.tpSent++
+		if echo.Mismatch {
+			c.tpMismatch++
+		}
+		c.mu.Unlock()
+	}
 	if err != nil {
 		// A 429 is the server shedding load as designed, not a failure;
 		// count it apart from errors and keep it out of the admitted-latency
@@ -317,46 +345,66 @@ func (g *gen) body(class string) []byte {
 	return data
 }
 
-// issue sends one request and returns (latency ms, parsed reply, error).
-func (g *gen) issue(ctx context.Context, class string) (float64, *cureReply, error) {
+// issue sends one request and returns (latency ms, parsed reply, the
+// traceparent round-trip check, error). Every request carries a freshly
+// minted W3C traceparent; the server must adopt its trace-id and echo it
+// back both as the response Traceparent header and the reply's trace_id.
+func (g *gen) issue(ctx context.Context, class string) (float64, *cureReply, echoCheck, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.BaseURL+"/cure",
 		bytes.NewReader(g.body(class)))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, echoCheck{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	tid := trace.NewW3CTraceID()
+	req.Header.Set("Traceparent", trace.Traceparent(tid))
+	echo := echoCheck{Sent: true}
+	// checkEcho runs once a response arrived: the echoed header must parse
+	// and carry the minted trace-id verbatim. Transport failures skip the
+	// check (there is no response to inspect).
+	checkEcho := func(resp *http.Response) {
+		got, ok := trace.ParseTraceparent(resp.Header.Get("Traceparent"))
+		if !ok || got != tid {
+			echo.Mismatch = true
+		}
+	}
 	start := time.Now()
 	resp, err := g.client.Do(req)
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
-		return ms, nil, err
+		return ms, nil, echoCheck{}, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
 	if err != nil {
-		return ms, nil, err
+		return ms, nil, echoCheck{}, err
 	}
 	ms = float64(time.Since(start)) / float64(time.Millisecond)
 	if resp.StatusCode == http.StatusTooManyRequests {
+		checkEcho(resp)
 		ra := resp.Header.Get("Retry-After")
 		secs, perr := strconv.Atoi(ra)
-		return ms, nil, &ShedResponse{
+		return ms, nil, echo, &ShedResponse{
 			HasRetryAfter:  ra != "" && perr == nil && secs >= 1,
 			RetryAfterSecs: secs,
 		}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return ms, nil, &httpError{status: resp.StatusCode,
+		return ms, nil, echo, &httpError{status: resp.StatusCode,
 			err: fmt.Errorf("%s: status %d: %.200s", class, resp.StatusCode, data)}
 	}
+	checkEcho(resp)
 	var reply cureReply
 	if err := json.Unmarshal(data, &reply); err != nil {
-		return ms, nil, fmt.Errorf("%s: bad reply: %w", class, err)
+		return ms, nil, echo, fmt.Errorf("%s: bad reply: %w", class, err)
 	}
 	if reply.TraceID == "" {
 		reply.TraceID = resp.Header.Get("X-Trace-Id")
 	}
-	return ms, &reply, nil
+	if reply.TraceID != tid {
+		echo.Mismatch = true
+	}
+	return ms, &reply, echo, nil
 }
 
 // Run executes one load run and aggregates the results. Closed-loop when
@@ -420,8 +468,8 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 
 	oneRequest := func(rng *rand.Rand) {
 		class := g.classes[rng.Intn(len(g.classes))]
-		ms, reply, err := g.issue(ctx, class) // ctx, not runCtx: in-flight requests finish
-		col.record(class, ms, reply, err)
+		ms, reply, echo, err := g.issue(ctx, class) // ctx, not runCtx: in-flight requests finish
+		col.record(class, ms, reply, echo, err)
 	}
 
 	if cfg.RatePerSec > 0 {
@@ -443,8 +491,8 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 				class := g.classes[rng.Intn(len(g.classes))]
 				go func() {
 					defer wg.Done()
-					ms, reply, err := g.issue(ctx, class)
-					col.record(class, ms, reply, err)
+					ms, reply, echo, err := g.issue(ctx, class)
+					col.record(class, ms, reply, echo, err)
 				}()
 			}
 		}
@@ -488,6 +536,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		SlowestMissClass:   col.slowestClass,
 		LastMissTraceID:    col.lastMissID,
 		LastMissMS:         col.lastMissMS,
+
+		TraceparentSent:         col.tpSent,
+		TraceparentEchoMismatch: col.tpMismatch,
 	}
 	for _, name := range names {
 		cc := col.classes[name]

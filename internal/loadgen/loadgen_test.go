@@ -36,7 +36,11 @@ func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
 			return
 		}
 		hit := req.Name == "load-hit.c" || req.Name == "load-run.c"
-		id := trace.NewID()
+		// Adopt inbound W3C trace context like the real server does.
+		id, ok := trace.ParseTraceparent(r.Header.Get("Traceparent"))
+		if !ok {
+			id = trace.NewID()
+		}
 		tier := "compile"
 		if hit {
 			tier = "memory"
@@ -45,6 +49,7 @@ func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
 			time.Sleep(2 * time.Millisecond) // misses are the slow path
 		}
 		w.Header().Set("X-Trace-Id", id)
+		w.Header().Set("Traceparent", trace.Traceparent(id))
 		json.NewEncoder(w).Encode(map[string]any{
 			"trace_id": id, "cache_hit": hit, "tier": tier,
 		})
@@ -122,6 +127,55 @@ func TestRunClosedLoop(t *testing.T) {
 	}
 	if res.SlowestMissClass == "hit" || res.SlowestMissClass == "run" {
 		t.Fatalf("slowest miss attributed to cache-hit class %q", res.SlowestMissClass)
+	}
+	if res.TraceparentSent != res.Requests {
+		t.Fatalf("traceparent sent on %d of %d requests", res.TraceparentSent, res.Requests)
+	}
+	if res.TraceparentEchoMismatch != 0 {
+		t.Fatalf("%d traceparent echo mismatches against an adopting server", res.TraceparentEchoMismatch)
+	}
+}
+
+// TestTraceparentEchoMismatch drives the generator against servers that
+// break the W3C round trip — one echoing a foreign trace-id, one echoing
+// nothing — and expects every response to be counted as a mismatch.
+func TestTraceparentEchoMismatch(t *testing.T) {
+	cases := map[string]func(w http.ResponseWriter, id string){
+		"foreign-id": func(w http.ResponseWriter, id string) {
+			w.Header().Set("Traceparent", trace.Traceparent(trace.NewID()))
+		},
+		"no-echo": func(w http.ResponseWriter, id string) {},
+	}
+	for name, mangle := range cases {
+		t.Run(name, func(t *testing.T) {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/cure", func(w http.ResponseWriter, r *http.Request) {
+				id := trace.NewID()
+				mangle(w, id)
+				json.NewEncoder(w).Encode(map[string]any{
+					"trace_id": id, "cache_hit": true, "tier": "memory",
+				})
+			})
+			srv := httptest.NewServer(mux)
+			defer srv.Close()
+
+			res, err := Run(context.Background(), Config{
+				BaseURL:     srv.URL,
+				Duration:    200 * time.Millisecond,
+				Concurrency: 2,
+				Mix:         map[string]int{"hit": 1},
+				Seed:        3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Requests == 0 {
+				t.Fatal("no requests issued")
+			}
+			if res.TraceparentEchoMismatch != res.Requests {
+				t.Fatalf("mismatches = %d, want %d (every response)", res.TraceparentEchoMismatch, res.Requests)
+			}
+		})
 	}
 }
 
@@ -263,6 +317,64 @@ func TestWatchEventsCountsSeqGaps(t *testing.T) {
 	}
 	if st.Err != "" {
 		t.Fatalf("unexpected watcher error: %s", st.Err)
+	}
+}
+
+func TestFetchHistory(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("window") != "5m0s" {
+			http.Error(w, "want window=5m0s", http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(pipeline.HistoryDump{
+			IntervalMS: 10000,
+			Points:     []pipeline.HistoryPoint{{UnixMS: 1}, {UnixMS: 2}},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	d, err := FetchHistory(context.Background(), nil, srv.URL, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IntervalMS != 10000 || len(d.Points) != 2 {
+		t.Fatalf("unexpected dump: %+v", d)
+	}
+}
+
+func TestWaitSLOState(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		state := "page"
+		if polls.Add(1) >= 3 {
+			state = "ok"
+		}
+		json.NewEncoder(w).Encode(pipeline.Metrics{
+			SLOs: []pipeline.SLOStatus{{
+				SLOSpec: pipeline.SLOSpec{Name: "availability"},
+				State:   state,
+			}},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	states, err := WaitSLOState(context.Background(), nil, srv.URL, map[string]bool{"ok": true}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].State != "ok" {
+		t.Fatalf("final states: %+v", states)
+	}
+
+	// A state the server never reaches times out with the last states
+	// attached.
+	_, err = WaitSLOState(context.Background(), nil, srv.URL, map[string]bool{"warn": true}, 400*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitSLOState succeeded for an unreachable state")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gocured"
+	"gocured/internal/trace"
 )
 
 // waitCond polls cond until it holds or the timeout lapses.
@@ -351,8 +352,9 @@ func TestCoalescingRace(t *testing.T) {
 	gate := NewStallGate()
 	tracker := &ExecTracker{}
 	r := NewRunner(RunnerOptions{
-		Workers:      4,
-		CoalesceJobs: true,
+		Workers:            4,
+		CoalesceJobs:       true,
+		TraceBufferEntries: 2 * n,
 		Faults: &Faults{
 			OnExecute: tracker.Begin,
 			OnDone:    tracker.End,
@@ -362,7 +364,8 @@ func TestCoalescingRace(t *testing.T) {
 
 	jobs := make([]Job, n)
 	for i := range jobs {
-		jobs[i] = Job{Name: "same.c", Source: tinyOK, Run: true, Mode: gocured.ModeCured}
+		jobs[i] = Job{Name: "same.c", Source: tinyOK, Run: true, Mode: gocured.ModeCured,
+			TraceID: trace.NewID()}
 	}
 	resCh := make(chan []*JobResult, 1)
 	go func() { resCh <- BurstDo(context.Background(), r, jobs) }()
@@ -407,9 +410,26 @@ func TestCoalescingRace(t *testing.T) {
 			res.Run.Steps != leader.Run.Steps || res.Run.Checks != leader.Run.Checks {
 			t.Fatalf("job %d run result diverges from leader", i)
 		}
-		if res.TraceID != leader.TraceID {
-			t.Fatalf("job %d trace %s != leader trace %s (coalesced jobs share one trace)",
-				i, res.TraceID, leader.TraceID)
+		// Every caller keeps its own trace identity even when the execution
+		// was shared: the response must echo the id the caller sent (the
+		// trace-context round-trip contract).
+		if res.TraceID != jobs[i].TraceID {
+			t.Fatalf("job %d trace %s != its own job trace %s", i, res.TraceID, jobs[i].TraceID)
+		}
+	}
+	// Follower traces are queryable stubs that name the leader's trace, so
+	// the shared execution stays reachable from either id.
+	for i, res := range results {
+		if res.Tier != "coalesced" {
+			continue
+		}
+		rt, ok := r.Traces().Get(res.TraceID)
+		if !ok {
+			t.Fatalf("follower %d trace %s not in buffer", i, res.TraceID)
+		}
+		if len(rt.Spans) != 1 || !strings.Contains(rt.Spans[0].Name, leader.TraceID) {
+			t.Fatalf("follower %d stub trace spans = %+v, want one span naming leader trace %s",
+				i, rt.Spans, leader.TraceID)
 		}
 	}
 	if got := tracker.Total(); got != 1 {

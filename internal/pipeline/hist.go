@@ -171,6 +171,52 @@ func (h *Histogram) Merge(o Histogram) {
 	sortBuckets(h.Buckets)
 }
 
+// Delta returns the distribution of observations recorded between prev and
+// h, where both are snapshots of the same cumulative accumulator (prev the
+// older one). Bucket counts subtract bound-for-bound; each surviving bucket
+// keeps h's exemplar, which by last-per-bucket retention is the newest one
+// and very likely belongs to the window. If any count would go negative
+// (snapshots from different accumulators, or a restart in between), h is
+// returned unchanged — the cumulative view is the only safe answer. SumMS
+// subtracts too, so MeanMS works on the delta; MaxMS keeps h's value (the
+// per-window max is not recoverable from cumulative snapshots).
+func (h Histogram) Delta(prev Histogram) Histogram {
+	if prev.Count == 0 {
+		return h
+	}
+	if h.Count < prev.Count || h.SumMS < prev.SumMS {
+		return h
+	}
+	prevByLe := make(map[float64]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevByLe[b.LeMS] = b.Count
+	}
+	// Every bucket prev saw must still be present in h with at least the
+	// same count, or the snapshots cannot be from one growing accumulator.
+	curByLe := make(map[float64]uint64, len(h.Buckets))
+	for _, b := range h.Buckets {
+		curByLe[b.LeMS] = b.Count
+	}
+	for le, n := range prevByLe {
+		if curByLe[le] < n {
+			return h
+		}
+	}
+	out := Histogram{Count: h.Count - prev.Count, SumMS: h.SumMS - prev.SumMS, MaxMS: h.MaxMS}
+	for _, b := range h.Buckets {
+		old := prevByLe[b.LeMS]
+		if n := b.Count - old; n > 0 {
+			nb := HistBucket{LeMS: b.LeMS, Count: n}
+			if b.Exemplar != nil {
+				ex := *b.Exemplar
+				nb.Exemplar = &ex
+			}
+			out.Buckets = append(out.Buckets, nb)
+		}
+	}
+	return out
+}
+
 func sortBuckets(bs []HistBucket) {
 	le := func(b HistBucket) float64 {
 		if b.LeMS == 0 {
@@ -185,18 +231,48 @@ func sortBuckets(bs []HistBucket) {
 	}
 }
 
+// DefaultExemplarMaxAge bounds how long a bucket's exemplar stays in
+// snapshots without a fresh trace-carrying observation. It matches the
+// default time-series history retention: an exemplar older than the whole
+// history window would link a live bucket to a trace that the trajectory
+// views can no longer explain (and that the bounded trace buffer has long
+// evicted).
+const DefaultExemplarMaxAge = time.Hour
+
+// exemplarSlot is one bucket's retained exemplar plus the wall-clock time
+// of the observation that set it, so snapshots can age stale ones out.
+type exemplarSlot struct {
+	e  Exemplar
+	at time.Time
+}
+
 // LogHist is the mutable accumulator behind a Histogram snapshot: fixed
 // log buckets, a last-per-bucket exemplar slot, and one mutex. Observe is
 // a few loads and stores — far off any hot path (one observation per job
 // phase) — so a mutex beats the complexity of striping. The zero value is
 // ready to use; LogHist must not be copied after first use.
 type LogHist struct {
+	// ExemplarMaxAge overrides DefaultExemplarMaxAge when positive: a
+	// bucket exemplar older than this is omitted from snapshots (the count
+	// stays — only the stale trace link ages out). Set before first use.
+	ExemplarMaxAge time.Duration
+
 	mu        sync.Mutex
 	count     uint64
 	sumMS     float64
 	maxMS     float64
 	buckets   [logBucketCount + 1]uint64
-	exemplars [logBucketCount + 1]Exemplar
+	exemplars [logBucketCount + 1]exemplarSlot
+
+	// now is a test hook; nil means time.Now.
+	now func() time.Time
+}
+
+func (h *LogHist) clock() time.Time {
+	if h.now != nil {
+		return h.now()
+	}
+	return time.Now()
 }
 
 // Observe records a duration with an optional exemplar trace ID.
@@ -218,13 +294,21 @@ func (h *LogHist) ObserveMS(ms float64, traceID string) {
 	}
 	h.buckets[i]++
 	if traceID != "" {
-		h.exemplars[i] = Exemplar{TraceID: traceID, ValueMS: ms}
+		h.exemplars[i] = exemplarSlot{e: Exemplar{TraceID: traceID, ValueMS: ms}, at: h.clock()}
 	}
 	h.mu.Unlock()
 }
 
-// Snapshot returns an immutable copy with empty buckets elided.
+// Snapshot returns an immutable copy with empty buckets elided. Exemplars
+// older than ExemplarMaxAge (default DefaultExemplarMaxAge) are omitted: a
+// bucket that has seen thousands of fresh observations must not stay
+// decorated with a trace ID from hours ago that nothing can resolve.
 func (h *LogHist) Snapshot() Histogram {
+	maxAge := h.ExemplarMaxAge
+	if maxAge <= 0 {
+		maxAge = DefaultExemplarMaxAge
+	}
+	cutoff := h.clock().Add(-maxAge)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := Histogram{Count: h.count, SumMS: h.sumMS, MaxMS: h.maxMS}
@@ -236,8 +320,8 @@ func (h *LogHist) Snapshot() Histogram {
 		if i < logBucketCount {
 			b.LeMS = logBoundsMS[i]
 		}
-		if e := h.exemplars[i]; e.TraceID != "" {
-			ex := e
+		if s := h.exemplars[i]; s.e.TraceID != "" && !s.at.Before(cutoff) {
+			ex := s.e
 			b.Exemplar = &ex
 		}
 		out.Buckets = append(out.Buckets, b)

@@ -31,6 +31,13 @@ type PhaseHist struct {
 type Metrics struct {
 	Build BuildInfo `json:"build"`
 
+	// SnapshotUnixMS is the wall-clock time this snapshot was taken and
+	// UptimeMS the process runner's age at that moment, so an external
+	// scraper can compute rates from two snapshots without guessing at
+	// scrape timing, and the time-series history can be replayed offline.
+	SnapshotUnixMS int64 `json:"snapshot_unix_ms"`
+	UptimeMS       int64 `json:"uptime_ms"`
+
 	Workers      int   `json:"workers"`
 	JobsInFlight int64 `json:"jobs_in_flight"`
 	// QueueDepthNow is the number of jobs currently waiting for a worker
@@ -58,6 +65,11 @@ type Metrics struct {
 	// ShedExemplar links the shed counter to the trace of the most
 	// recently rejected request (OpenMetrics counter exemplar).
 	ShedExemplar *Exemplar `json:"shed_exemplar,omitempty"`
+
+	// TraceparentMalformed counts inbound W3C traceparent headers that
+	// failed validation and were discarded (the request still ran, under a
+	// freshly minted trace, per the trace-context spec).
+	TraceparentMalformed uint64 `json:"traceparent_malformed"`
 
 	RunsExecuted uint64            `json:"runs_executed"`
 	Traps        uint64            `json:"traps"`
@@ -91,6 +103,12 @@ type Metrics struct {
 	// lower, infer, instrument, optimize, frontend-raw, store-read,
 	// store-write), sorted by phase name.
 	Phases []PhaseHist `json:"phases,omitempty"`
+
+	// SLOs carries the burn-rate engine's current evaluation of each
+	// configured objective. It is annotated onto the snapshot by the
+	// History that owns SLO evaluation (ccserve does this in its handlers);
+	// a bare Runner.Metrics() call leaves it nil.
+	SLOs []SLOStatus `json:"slos,omitempty"`
 }
 
 // PhaseHistogram returns the named phase histogram (zero if absent).
@@ -109,6 +127,8 @@ func (m Metrics) PhaseHistogram(phase string) Histogram {
 // bumps per job, far off the interpreter's hot path, so contention is
 // negligible next to compile/run work.
 type metrics struct {
+	start time.Time // process-lifetime anchor for uptime_ms
+
 	mu           sync.Mutex
 	jobsInFlight int64
 	queueDepth   int64
@@ -125,6 +145,7 @@ type metrics struct {
 	shed         uint64
 	shedByReason map[string]uint64
 	coalesced    uint64
+	tpMalformed  uint64
 	// lastShed is the exemplar attached to the shed counter in the
 	// OpenMetrics exposition: the trace ID of the most recently shed job.
 	lastShed Exemplar
@@ -141,10 +162,19 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
+		start:        time.Now(),
 		trapsByKind:  make(map[string]uint64),
 		shedByReason: make(map[string]uint64),
 		phases:       make(map[string]*LogHist),
 	}
+}
+
+// traceparentMalformed counts an inbound traceparent header that failed
+// W3C validation and was discarded in favor of a fresh trace.
+func (m *metrics) traceparentMalformed() {
+	m.mu.Lock()
+	m.tpMalformed++
+	m.mu.Unlock()
 }
 
 // queueEnter registers a job entering the admission queue. The gauge is
@@ -275,23 +305,28 @@ func (m *metrics) jobTimedOut() {
 }
 
 func (m *metrics) snapshot(workers int, cache CacheStats) Metrics {
+	now := time.Now()
 	m.mu.Lock()
 	out := Metrics{
-		Workers:       workers,
-		JobsInFlight:  m.jobsInFlight,
-		QueueDepthNow: m.queueDepth,
-		JobsRun:       m.jobsRun,
-		JobsFailed:    m.jobsFailed,
-		JobsPanicked:  m.jobsPanicked,
-		JobsTimedOut:  m.jobsTimedOut,
-		RunsExecuted:  m.runsExecuted,
-		Traps:         m.traps,
-		Cache:         cache,
-		FuncsRecured:  m.funcsRecured,
-		FuncsLoaded:   m.funcsLoaded,
-		Admitted:      m.admitted,
-		Shed:          m.shed,
-		Coalesced:     m.coalesced,
+		SnapshotUnixMS: now.UnixMilli(),
+		UptimeMS:       now.Sub(m.start).Milliseconds(),
+		Workers:        workers,
+		JobsInFlight:   m.jobsInFlight,
+		QueueDepthNow:  m.queueDepth,
+		JobsRun:        m.jobsRun,
+		JobsFailed:     m.jobsFailed,
+		JobsPanicked:   m.jobsPanicked,
+		JobsTimedOut:   m.jobsTimedOut,
+		RunsExecuted:   m.runsExecuted,
+		Traps:          m.traps,
+		Cache:          cache,
+		FuncsRecured:   m.funcsRecured,
+		FuncsLoaded:    m.funcsLoaded,
+		Admitted:       m.admitted,
+		Shed:           m.shed,
+		Coalesced:      m.coalesced,
+
+		TraceparentMalformed: m.tpMalformed,
 	}
 	if len(m.trapsByKind) > 0 {
 		out.TrapsByKind = make(map[string]uint64, len(m.trapsByKind))

@@ -119,6 +119,66 @@ func TestLogHistExemplarRetention(t *testing.T) {
 	}
 }
 
+// TestLogHistExemplarStaleness pins the aging policy: an exemplar older
+// than ExemplarMaxAge no longer appears in snapshots (the trace it links to
+// is long evicted), while the bucket's counts are untouched.
+func TestLogHistExemplarStaleness(t *testing.T) {
+	clock := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	var h LogHist
+	h.now = func() time.Time { return clock }
+
+	h.ObserveMS(1.0, "aaaaaaaaaaaaaaa1")
+	if s := h.Snapshot(); s.Buckets[0].Exemplar == nil {
+		t.Fatal("fresh exemplar missing")
+	}
+
+	// Just inside the default max age: still present.
+	clock = clock.Add(DefaultExemplarMaxAge - time.Second)
+	if s := h.Snapshot(); s.Buckets[0].Exemplar == nil {
+		t.Fatal("exemplar aged out before ExemplarMaxAge")
+	}
+
+	// Past it: gone, counts intact.
+	clock = clock.Add(2 * time.Second)
+	s := h.Snapshot()
+	if s.Buckets[0].Exemplar != nil {
+		t.Fatalf("stale exemplar survived: %+v", s.Buckets[0].Exemplar)
+	}
+	if s.Buckets[0].Count != 1 || s.Count != 1 {
+		t.Fatalf("aging touched the counts: %+v", s)
+	}
+
+	// A fresh trace-carrying observation repopulates the bucket.
+	h.ObserveMS(1.0, "aaaaaaaaaaaaaaa2")
+	if s := h.Snapshot(); s.Buckets[0].Exemplar == nil || s.Buckets[0].Exemplar.TraceID != "aaaaaaaaaaaaaaa2" {
+		t.Fatalf("fresh exemplar missing after staleness: %+v", s.Buckets[0])
+	}
+
+	// A custom (shorter) max age is honored.
+	h.ExemplarMaxAge = time.Minute
+	clock = clock.Add(2 * time.Minute)
+	if s := h.Snapshot(); s.Buckets[0].Exemplar != nil {
+		t.Fatal("custom ExemplarMaxAge ignored")
+	}
+}
+
+func TestSnapshotTimestamps(t *testing.T) {
+	m := newMetrics()
+	before := time.Now().UnixMilli()
+	s := m.snapshot(1, CacheStats{})
+	after := time.Now().UnixMilli()
+	if s.SnapshotUnixMS < before || s.SnapshotUnixMS > after {
+		t.Fatalf("snapshot_unix_ms = %d, want within [%d, %d]", s.SnapshotUnixMS, before, after)
+	}
+	if s.UptimeMS < 0 {
+		t.Fatalf("uptime_ms = %d, want >= 0", s.UptimeMS)
+	}
+	m.start = m.start.Add(-time.Minute)
+	if s := m.snapshot(1, CacheStats{}); s.UptimeMS < time.Minute.Milliseconds() {
+		t.Fatalf("uptime_ms = %d, want >= 60000 after aging start", s.UptimeMS)
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	var h LogHist
 	for i := 0; i < 90; i++ {
@@ -351,5 +411,55 @@ func TestWriteOpenMetricsFormat(t *testing.T) {
 	}
 	if strings.Contains(out, "# TYPE gocured_jobs_run_total ") {
 		t.Errorf("OpenMetrics TYPE line kept the _total suffix:\n%s", out)
+	}
+}
+
+// TestExpositionFamilyOrder pins deterministic output: metric families are
+// emitted in ascending name order in both dialects, so diffs between
+// scrapes are stable and greppable.
+func TestExpositionFamilyOrder(t *testing.T) {
+	m := promTestMetrics()
+	m.SLOs = []SLOStatus{{
+		SLOSpec: SLOSpec{Name: "availability", Objective: 0.99},
+		State:   SLOStateWarn,
+		Windows: []WindowBurn{{WindowMS: 300000, Burn: 7.5}},
+	}}
+	render := func(f func(*strings.Builder)) []string {
+		var b strings.Builder
+		f(&b)
+		var fams []string
+		for _, l := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(l, "# HELP ") {
+				fams = append(fams, strings.Fields(l)[2])
+			}
+		}
+		return fams
+	}
+	for dialect, f := range map[string]func(*strings.Builder){
+		"prometheus":  func(b *strings.Builder) { WritePrometheus(b, m) },
+		"openmetrics": func(b *strings.Builder) { WriteOpenMetrics(b, m) },
+	} {
+		fams := render(f)
+		if len(fams) < 10 {
+			t.Fatalf("%s: only %d families rendered", dialect, len(fams))
+		}
+		for i := 1; i < len(fams); i++ {
+			if fams[i] <= fams[i-1] {
+				t.Errorf("%s: family order not strictly ascending: %q then %q", dialect, fams[i-1], fams[i])
+			}
+		}
+	}
+
+	// The SLO gauges render with slo/window labels and the numeric state.
+	var b strings.Builder
+	WritePrometheus(&b, m)
+	out := b.String()
+	for _, want := range []string{
+		"gocured_slo_burn_rate{slo=\"availability\",window=\"5m0s\"} 7.5\n",
+		"gocured_slo_state{slo=\"availability\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }

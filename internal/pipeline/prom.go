@@ -1,11 +1,13 @@
 package pipeline
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"gocured/internal/store"
 )
@@ -32,28 +34,59 @@ func WriteOpenMetrics(w io.Writer, m Metrics) {
 	fmt.Fprintln(w, "# EOF")
 }
 
+// promFamily buffers one metric family (HELP/TYPE plus samples) so the
+// exposition can be emitted in sorted family-name order regardless of the
+// order the snapshot is walked in. Deterministic ordering keeps scrape
+// diffs stable and is pinned by test.
+type promFamily struct {
+	name string
+	buf  bytes.Buffer
+}
+
 func writeExposition(w io.Writer, m Metrics, om bool) {
+	var fams []*promFamily
+	family := func(name string) *promFamily {
+		f := &promFamily{name: name}
+		fams = append(fams, f)
+		return f
+	}
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+		f := family(name)
+		fmt.Fprintf(&f.buf, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+	gaugeFamily := func(name, help string) *promFamily {
+		f := family(name)
+		fmt.Fprintf(&f.buf, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		return f
 	}
 	// counterFamily declares a counter family: OpenMetrics names the family
 	// without the _total sample suffix, the classic format repeats it.
-	counterFamily := func(name, help string) {
+	counterFamily := func(name, help string) *promFamily {
 		fam := name
 		if om {
 			fam = strings.TrimSuffix(name, "_total")
 		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", fam, help, fam)
+		f := family(fam)
+		fmt.Fprintf(&f.buf, "# HELP %s %s\n# TYPE %s counter\n", fam, help, fam)
+		return f
 	}
 	counter := func(name, help string, v uint64) {
-		counterFamily(name, help)
-		fmt.Fprintf(w, "%s %d\n", name, v)
+		f := counterFamily(name, help)
+		fmt.Fprintf(&f.buf, "%s %d\n", name, v)
+	}
+	histFamily := func(name, help string) *promFamily {
+		f := family(name)
+		fmt.Fprintf(&f.buf, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		return f
 	}
 
-	fmt.Fprintf(w, "# HELP gocured_build_info Build metadata (constant 1; labels carry the values).\n"+
-		"# TYPE gocured_build_info gauge\n"+
-		"gocured_build_info{version=%q,go_version=%q,optimizer=%q} 1\n",
-		m.Build.Version, m.Build.GoVersion, m.Build.Optimizer)
+	{
+		f := family("gocured_build_info")
+		fmt.Fprintf(&f.buf, "# HELP gocured_build_info Build metadata (constant 1; labels carry the values).\n"+
+			"# TYPE gocured_build_info gauge\n"+
+			"gocured_build_info{version=%q,go_version=%q,optimizer=%q} 1\n",
+			m.Build.Version, m.Build.GoVersion, m.Build.Optimizer)
+	}
 
 	gauge("gocured_workers", "Size of the job worker pool.", float64(m.Workers))
 	gauge("gocured_jobs_in_flight", "Jobs currently executing.", float64(m.JobsInFlight))
@@ -67,14 +100,14 @@ func writeExposition(w io.Writer, m Metrics, om bool) {
 	counter("gocured_traps_total", "Executions stopped by a memory-safety trap.", m.Traps)
 	if len(m.TrapsByKind) > 0 {
 		name := "gocured_traps_by_kind_total"
-		counterFamily(name, "Traps by check kind.")
+		f := counterFamily(name, "Traps by check kind.")
 		kinds := make([]string, 0, len(m.TrapsByKind))
 		for k := range m.TrapsByKind {
 			kinds = append(kinds, k)
 		}
 		sort.Strings(kinds)
 		for _, k := range kinds {
-			fmt.Fprintf(w, "%s{kind=%q} %d\n", name, k, m.TrapsByKind[k])
+			fmt.Fprintf(&f.buf, "%s{kind=%q} %d\n", name, k, m.TrapsByKind[k])
 		}
 	}
 
@@ -84,27 +117,55 @@ func writeExposition(w io.Writer, m Metrics, om bool) {
 	// OpenMetrics dialect: the trace ID of the most recently rejected job.
 	gauge("gocured_queue_limit", "Configured admission-queue bound (0 = unbounded).", float64(m.QueueLimit))
 	counter("gocured_admitted_total", "Jobs granted a worker slot by admission control.", m.Admitted)
-	counterFamily("gocured_shed_total", "Jobs rejected by admission control without queueing.")
-	fmt.Fprintf(w, "gocured_shed_total %d", m.Shed)
-	if om && m.ShedExemplar != nil {
-		fmt.Fprintf(w, " # {trace_id=%q} %s", m.ShedExemplar.TraceID, fmtFloat(m.ShedExemplar.ValueMS))
+	{
+		f := counterFamily("gocured_shed_total", "Jobs rejected by admission control without queueing.")
+		fmt.Fprintf(&f.buf, "gocured_shed_total %d", m.Shed)
+		if om && m.ShedExemplar != nil {
+			fmt.Fprintf(&f.buf, " # {trace_id=%q} %s", m.ShedExemplar.TraceID, fmtFloat(m.ShedExemplar.ValueMS))
+		}
+		fmt.Fprintln(&f.buf)
 	}
-	fmt.Fprintln(w)
-	counterFamily("gocured_shed_by_reason_total", "Admission rejections by reason.")
-	for _, reason := range []string{ShedDeadline, ShedQueueFull} {
-		fmt.Fprintf(w, "gocured_shed_by_reason_total{reason=%q} %d\n", reason, m.ShedByReason[reason])
+	{
+		f := counterFamily("gocured_shed_by_reason_total", "Admission rejections by reason.")
+		for _, reason := range []string{ShedDeadline, ShedQueueFull} {
+			fmt.Fprintf(&f.buf, "gocured_shed_by_reason_total{reason=%q} %d\n", reason, m.ShedByReason[reason])
+		}
 	}
 	counter("gocured_coalesced_total", "Jobs served by joining an identical in-flight job.", m.Coalesced)
+	counter("gocured_traceparent_malformed_total", "Inbound W3C traceparent headers discarded as malformed.", m.TraceparentMalformed)
 	if len(m.ClientQueueDepths) > 0 {
 		name := "gocured_client_queue_depth"
-		fmt.Fprintf(w, "# HELP %s Waiting jobs per fair-queue client.\n# TYPE %s gauge\n", name, name)
+		f := gaugeFamily(name, "Waiting jobs per fair-queue client.")
 		ids := make([]string, 0, len(m.ClientQueueDepths))
 		for id := range m.ClientQueueDepths {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			fmt.Fprintf(w, "%s{client=%q} %d\n", name, id, m.ClientQueueDepths[id])
+			fmt.Fprintf(&f.buf, "%s{client=%q} %d\n", name, id, m.ClientQueueDepths[id])
+		}
+	}
+
+	// SLO burn-rate gauges (present only when a History annotated the
+	// snapshot): one sample per objective per window, labelled with the
+	// window's nominal duration, plus a numeric alert-state gauge
+	// (0 ok, 1 warn, 2 page) for alerting rules that want a single series.
+	if len(m.SLOs) > 0 {
+		bf := gaugeFamily("gocured_slo_burn_rate", "Error-budget burn rate per SLO and look-back window.")
+		sf := gaugeFamily("gocured_slo_state", "SLO alert state: 0 ok, 1 warn, 2 page.")
+		for _, s := range m.SLOs {
+			for _, wb := range s.Windows {
+				win := (time.Duration(wb.WindowMS) * time.Millisecond).String()
+				fmt.Fprintf(&bf.buf, "gocured_slo_burn_rate{slo=%q,window=%q} %s\n", s.Name, win, fmtFloat(wb.Burn))
+			}
+			state := 0
+			switch s.State {
+			case SLOStateWarn:
+				state = 1
+			case SLOStatePage:
+				state = 2
+			}
+			fmt.Fprintf(&sf.buf, "gocured_slo_state{slo=%q} %d\n", s.Name, state)
 		}
 	}
 
@@ -140,25 +201,32 @@ func writeExposition(w io.Writer, m Metrics, om bool) {
 	counter("gocured_traces_dropped_total", "Malformed request traces refused by the trace buffer (expected 0).", dropped)
 	gauge("gocured_traces_live", "Request traces currently queryable via /traces/{id}.", float64(live))
 
-	writeHistogram(w, "gocured_e2e_wall_ms", "End-to-end job latency (queue wait + compile/cache + run) in milliseconds.", "", m.E2EWall, om)
-	writeHistogram(w, "gocured_queue_wait_ms", "Time jobs waited for a worker slot in milliseconds.", "", m.QueueWait, om)
-	writeHistogram(w, "gocured_queue_depth_hist", "Waiting-job count observed at each enqueue (dimensionless log buckets).", "", m.QueueDepth, om)
-	writeHistogram(w, "gocured_compile_wall_ms", "Compile wall time in milliseconds.", "", m.CompileWall, om)
-	writeHistogram(w, "gocured_run_wall_ms", "Run wall time in milliseconds.", "", m.RunWall, om)
+	hist := func(name, help string, h Histogram) {
+		f := histFamily(name, help)
+		writeHistogramSamples(&f.buf, name, "", h, om)
+	}
+	hist("gocured_e2e_wall_ms", "End-to-end job latency (queue wait + compile/cache + run) in milliseconds.", m.E2EWall)
+	hist("gocured_queue_wait_ms", "Time jobs waited for a worker slot in milliseconds.", m.QueueWait)
+	hist("gocured_queue_depth_hist", "Waiting-job count observed at each enqueue (dimensionless log buckets).", m.QueueDepth)
+	hist("gocured_compile_wall_ms", "Compile wall time in milliseconds.", m.CompileWall)
+	hist("gocured_run_wall_ms", "Run wall time in milliseconds.", m.RunWall)
 
 	if len(m.Phases) > 0 {
 		name := "gocured_phase_ms"
-		fmt.Fprintf(w, "# HELP %s Per-phase compile durations in milliseconds.\n# TYPE %s histogram\n", name, name)
+		f := histFamily(name, "Per-phase compile durations in milliseconds.")
 		for _, p := range m.Phases {
-			writeHistogramSamples(w, name, fmt.Sprintf("phase=%q,", p.Phase), p.Hist, om)
+			writeHistogramSamples(&f.buf, name, fmt.Sprintf("phase=%q,", p.Phase), p.Hist, om)
 		}
 	}
-}
 
-// writeHistogram renders one histogram family: HELP/TYPE then the samples.
-func writeHistogram(w io.Writer, name, help, labels string, h Histogram, om bool) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	writeHistogramSamples(w, name, labels, h, om)
+	// Emit families in lexicographic name order. The walk above groups by
+	// subsystem for readability of this source file; sorting here is what
+	// consumers see, and the stable sort keeps any accidental duplicate
+	// family names in walk order rather than flapping.
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		w.Write(f.buf.Bytes())
+	}
 }
 
 // writeHistogramSamples renders one labelled histogram's cumulative bucket

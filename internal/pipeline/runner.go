@@ -205,6 +205,12 @@ func (r *Runner) Events() *Bus { return r.bus }
 // disabled via RunnerOptions.TraceBufferEntries < 0).
 func (r *Runner) Traces() *trace.Buffer { return r.traces }
 
+// CountTraceparentMalformed records an inbound W3C traceparent header that
+// failed validation and was discarded. The HTTP layer calls this (the spec
+// says restart the trace, not reject the request) so operators can spot a
+// misbehaving upstream in the traceparent_malformed counter.
+func (r *Runner) CountTraceparentMalformed() { r.m.traceparentMalformed() }
+
 // Metrics snapshots the Runner's counters.
 func (r *Runner) Metrics() Metrics {
 	var cs CacheStats
@@ -345,13 +351,29 @@ func (r *Runner) waitFlight(ctx context.Context, job Job, f *jobFlight, leader b
 		// Followers share the payload (Program, Stats, Run — all immutable
 		// after completion) under their own envelope: the tier says the
 		// request was coalesced, and timing reflects this caller's wait.
-		// The TraceID stays the leader's: the coalesced execution has one
-		// trace, and this is it.
+		// The TraceID stays the follower's own: trace-context propagation
+		// promises the caller its trace-id back on every response, and a
+		// caller that minted a traceparent must see that id echoed even
+		// when its request piggybacked on another execution. The follower's
+		// trace is a one-span stub naming the leader's trace, so the
+		// coalesced execution stays reachable from either id.
 		cp := *f.res
 		cp.Tier = "coalesced"
 		cp.CacheHit = cp.Err == nil
 		cp.QueueWait = 0
 		cp.E2E = time.Since(enq)
+		if job.TraceID != f.res.TraceID {
+			cp.TraceID = job.TraceID
+			if r.traces != nil {
+				durMS := float64(cp.E2E) / float64(time.Millisecond)
+				rt := trace.ReqTrace{ID: job.TraceID, Name: job.Name, Start: enq, DurMS: durMS,
+					Spans: []trace.Span{{Name: "coalesced onto trace " + f.res.TraceID, DurMS: durMS}}}
+				if cp.Err != nil {
+					rt.Err = cp.Err.Error()
+				}
+				r.traces.Add(rt)
+			}
+		}
 		return &cp
 	case <-ctx.Done():
 		f.leave()

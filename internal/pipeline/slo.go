@@ -1,0 +1,195 @@
+package pipeline
+
+import "time"
+
+// Multi-window multi-burn-rate SLO alerting over the in-process metrics
+// history, after the Google SRE workbook's recipe: a burn rate is the
+// error-budget consumption speed (1.0 = spending exactly the budget the
+// objective allows; 14.4 over 5 minutes = the whole 30-day budget gone in
+// ~2 days). One window alone is either too twitchy (short) or too slow to
+// clear (long); requiring a fast AND a slow window to exceed the threshold
+// simultaneously pages only on burns that are both currently happening and
+// sustained, and resets quickly once the burn stops because the short
+// window drains first.
+//
+// Two objectives ship by default: availability (fraction of accepted work
+// that is not shed, panicked, or timed out) and latency (fraction of
+// completed requests under a target p99 bound). Both are evaluated from
+// deltas between history snapshots, so the engine needs no per-request
+// bookkeeping beyond what the metrics accumulator already keeps.
+
+// Burn-rate thresholds: the fast window pair at PageBurn pages (budget
+// exhausted in days), the slow pair at WarnBurn warns (exhausted in a
+// week). Values are the SRE-workbook conventions for a 30-day window.
+const (
+	PageBurn = 14.4
+	WarnBurn = 6.0
+)
+
+// SLO alert states, ordered by severity.
+const (
+	SLOStateOK   = "ok"
+	SLOStateWarn = "warn"
+	SLOStatePage = "page"
+)
+
+// SLOWindows are the four look-back windows burn rates are computed over:
+// the fast pair gates paging, the slow pair gates warning. All four are
+// configurable so tests and short CI runs can use seconds-scale windows.
+type SLOWindows struct {
+	FastShort time.Duration `json:"-"`
+	FastLong  time.Duration `json:"-"`
+	SlowShort time.Duration `json:"-"`
+	SlowLong  time.Duration `json:"-"`
+}
+
+// DefaultSLOWindows returns the conventional 5m/1h fast pair and 30m/6h
+// slow pair.
+func DefaultSLOWindows() SLOWindows {
+	return SLOWindows{
+		FastShort: 5 * time.Minute,
+		FastLong:  time.Hour,
+		SlowShort: 30 * time.Minute,
+		SlowLong:  6 * time.Hour,
+	}
+}
+
+func (w SLOWindows) withDefaults() SLOWindows {
+	d := DefaultSLOWindows()
+	if w.FastShort <= 0 {
+		w.FastShort = d.FastShort
+	}
+	if w.FastLong <= 0 {
+		w.FastLong = d.FastLong
+	}
+	if w.SlowShort <= 0 {
+		w.SlowShort = d.SlowShort
+	}
+	if w.SlowLong <= 0 {
+		w.SlowLong = d.SlowLong
+	}
+	return w
+}
+
+// SLOSpec declares one objective. Name labels the SLO everywhere it is
+// surfaced (JSON, Prometheus, SSE). Objective is the good fraction
+// promised (e.g. 0.99). LatencyTargetMS > 0 makes it a latency SLO: an
+// end-to-end observation is good when it lands in a histogram bucket whose
+// bound is within the target; otherwise it is an availability SLO over
+// admission and completion counters.
+type SLOSpec struct {
+	Name            string  `json:"name"`
+	Objective       float64 `json:"objective"`
+	LatencyTargetMS float64 `json:"latency_target_ms,omitempty"`
+}
+
+// DefaultSLOs returns the stock objectives: 99% availability and 99% of
+// requests under targetP99MS end to end.
+func DefaultSLOs(targetP99MS float64) []SLOSpec {
+	return []SLOSpec{
+		{Name: "availability", Objective: 0.99},
+		{Name: "latency", Objective: 0.99, LatencyTargetMS: targetP99MS},
+	}
+}
+
+// WindowBurn is one window's burn-rate evaluation inside an SLOStatus.
+type WindowBurn struct {
+	WindowMS int64 `json:"window_ms"`
+	// SpanMS is the history span actually covered: shorter than WindowMS
+	// while the ring is still filling or when retention is shorter than the
+	// window.
+	SpanMS int64   `json:"span_ms"`
+	Good   uint64  `json:"good"`
+	Total  uint64  `json:"total"`
+	Burn   float64 `json:"burn"`
+}
+
+// SLOStatus is the burn-rate engine's current verdict on one objective,
+// as surfaced in the /metrics JSON snapshot and the dashboard.
+type SLOStatus struct {
+	SLOSpec
+	State string `json:"state"`
+	// Windows holds the four evaluations in fast-short, fast-long,
+	// slow-short, slow-long order.
+	Windows []WindowBurn `json:"windows"`
+}
+
+// MaxBurn returns the largest burn rate across the status's windows.
+func (s SLOStatus) MaxBurn() float64 {
+	var max float64
+	for _, w := range s.Windows {
+		if w.Burn > max {
+			max = w.Burn
+		}
+	}
+	return max
+}
+
+// sloEvents extracts the (good, total) event counts for spec from the
+// metrics delta between two snapshots (old before cur, same process).
+func sloEvents(spec SLOSpec, old, cur Metrics) (good, total uint64) {
+	if spec.LatencyTargetMS > 0 {
+		d := cur.E2EWall.Delta(old.E2EWall)
+		// Delta returns cur unchanged on inconsistent snapshots; with a
+		// non-empty old snapshot that can only mean inconsistency (a clean
+		// delta is always smaller than cur), so skip the window rather than
+		// let a restart fabricate a giant one.
+		if old.E2EWall.Count > 0 && d.Count == cur.E2EWall.Count {
+			return 0, 0
+		}
+		total = d.Count
+		for _, b := range d.Buckets {
+			if b.LeMS != 0 && b.LeMS <= spec.LatencyTargetMS {
+				good += b.Count
+			}
+		}
+		return good, total
+	}
+	// Availability: every admission decision is an event; shed, panicked,
+	// and timed-out jobs spend error budget.
+	curTotal := cur.Admitted + cur.Shed
+	oldTotal := old.Admitted + old.Shed
+	if curTotal < oldTotal {
+		return 0, 0
+	}
+	total = curTotal - oldTotal
+	bad := (cur.Shed - old.Shed) + (cur.JobsPanicked - old.JobsPanicked) + (cur.JobsTimedOut - old.JobsTimedOut)
+	if bad > total {
+		bad = total
+	}
+	return total - bad, total
+}
+
+// burnRate converts a (good, total) window into a burn rate against the
+// objective: error-fraction divided by the budget fraction. An empty
+// window burns nothing.
+func burnRate(spec SLOSpec, good, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - spec.Objective
+	if budget <= 0 {
+		budget = 1e-9 // a 100% objective: any error is an infinite burn
+	}
+	errFrac := float64(total-good) / float64(total)
+	return errFrac / budget
+}
+
+// sloState folds the four window burns into an alert state: page when both
+// fast windows burn at PageBurn, warn when either pair sustains WarnBurn.
+// Requiring both windows of a pair makes the alert reset as soon as the
+// short window drains after the burn stops.
+func sloState(w []WindowBurn) string {
+	if len(w) != 4 {
+		return SLOStateOK
+	}
+	fastShort, fastLong, slowShort, slowLong := w[0].Burn, w[1].Burn, w[2].Burn, w[3].Burn
+	if fastShort >= PageBurn && fastLong >= PageBurn {
+		return SLOStatePage
+	}
+	if (slowShort >= WarnBurn && slowLong >= WarnBurn) ||
+		(fastShort >= WarnBurn && fastLong >= WarnBurn) {
+		return SLOStateWarn
+	}
+	return SLOStateOK
+}

@@ -1,0 +1,357 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// History is an in-process time series of Metrics snapshots: a fixed-size
+// ring sampled on a scrape interval, retained for a bounded window. It is
+// deliberately not a TSDB — one process, one retention horizon, whole
+// snapshots — because its consumers (the burn-rate engine, the /debug/dash
+// sparklines, CI artifacts) all want "the recent past of this process",
+// and a ring of ~360 snapshots answers that in a few megabytes with zero
+// dependencies. Anything longer-lived belongs in an external scraper,
+// which the cumulative Prometheus exposition already feeds.
+//
+// History also owns SLO evaluation: each Tick appends a snapshot and
+// re-evaluates the configured objectives against the ring, publishing an
+// slo_state event on the bus whenever an objective changes alert state.
+
+// HistoryOptions configures a History. Zero values take defaults.
+type HistoryOptions struct {
+	// Source produces the snapshot sampled each tick (required; typically
+	// Runner.Metrics).
+	Source func() Metrics
+	// Interval is the sampling period (default 10s).
+	Interval time.Duration
+	// Retention bounds how far back the ring reaches (default 1h). The
+	// ring holds Retention/Interval+1 points.
+	Retention time.Duration
+	// SLOs are the objectives evaluated each tick (nil = none).
+	SLOs []SLOSpec
+	// Windows are the burn-rate windows (zero fields take the 5m/1h/30m/6h
+	// defaults). Windows longer than Retention degrade to the full ring.
+	Windows SLOWindows
+	// Bus, when set, receives an slo_state JobEvent each time an objective
+	// changes alert state.
+	Bus *Bus
+}
+
+const (
+	defaultHistoryInterval  = 10 * time.Second
+	defaultHistoryRetention = time.Hour
+)
+
+type histPoint struct {
+	at time.Time
+	m  Metrics
+}
+
+// History samples Metrics on an interval into a bounded ring and evaluates
+// SLO burn rates over it. Create with NewHistory; drive with Run (or Tick
+// in tests).
+type History struct {
+	opts HistoryOptions
+
+	mu       sync.Mutex
+	ring     []histPoint
+	head     int // next write slot
+	n        int // points stored
+	statuses []SLOStatus
+}
+
+// NewHistory builds a History (no sampling starts until Run or Tick).
+func NewHistory(opts HistoryOptions) *History {
+	if opts.Interval <= 0 {
+		opts.Interval = defaultHistoryInterval
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = defaultHistoryRetention
+	}
+	opts.Windows = opts.Windows.withDefaults()
+	capacity := int(opts.Retention/opts.Interval) + 1
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &History{opts: opts, ring: make([]histPoint, capacity)}
+}
+
+// Interval returns the configured sampling period.
+func (h *History) Interval() time.Duration { return h.opts.Interval }
+
+// Retention returns the configured retention window.
+func (h *History) Retention() time.Duration { return h.opts.Retention }
+
+// Run samples Source every Interval until ctx is cancelled. It takes one
+// sample immediately so the ring is never empty while the process serves.
+func (h *History) Run(ctx context.Context) {
+	h.Tick(time.Now())
+	t := time.NewTicker(h.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			h.Tick(now)
+		}
+	}
+}
+
+// Tick takes one sample at the given time and re-evaluates the SLOs. It is
+// the testable entry point behind Run; tests drive it with synthetic
+// clocks.
+func (h *History) Tick(now time.Time) {
+	m := h.opts.Source()
+	h.mu.Lock()
+	h.ring[h.head] = histPoint{at: now, m: m}
+	h.head = (h.head + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	prev := h.statuses
+	h.statuses = h.evalLocked(now)
+	cur := h.statuses
+	h.mu.Unlock()
+
+	if h.opts.Bus == nil {
+		return
+	}
+	// Publish transitions outside the lock (Publish takes the bus lock).
+	prevState := make(map[string]string, len(prev))
+	for _, s := range prev {
+		prevState[s.Name] = s.State
+	}
+	for _, s := range cur {
+		if old, seen := prevState[s.Name]; (seen && old != s.State) || (!seen && s.State != SLOStateOK) {
+			h.opts.Bus.Publish(JobEvent{
+				Type:  "slo_state",
+				Name:  s.Name,
+				State: s.State,
+				Burn:  s.MaxBurn(),
+			})
+		}
+	}
+}
+
+// Statuses returns the most recent SLO evaluations (nil before the first
+// Tick or when no SLOs are configured).
+func (h *History) Statuses() []SLOStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]SLOStatus, len(h.statuses))
+	copy(out, h.statuses)
+	return out
+}
+
+// at returns the i-th stored point, 0 = oldest. Caller holds mu.
+func (h *History) at(i int) histPoint {
+	return h.ring[(h.head-h.n+i+2*len(h.ring))%len(h.ring)]
+}
+
+// older returns the newest stored point at least age older than now, or
+// the oldest stored point when the ring does not reach that far. ok is
+// false when fewer than two points exist. Caller holds mu.
+func (h *History) older(now time.Time, age time.Duration) (histPoint, bool) {
+	if h.n < 2 {
+		return histPoint{}, false
+	}
+	cut := now.Add(-age)
+	best := h.at(0)
+	for i := 1; i < h.n-1; i++ {
+		p := h.at(i)
+		if p.at.After(cut) {
+			break
+		}
+		best = p
+	}
+	return best, true
+}
+
+// evalLocked computes the SLO statuses against the current ring. Caller
+// holds mu; the newest point must already be appended.
+func (h *History) evalLocked(now time.Time) []SLOStatus {
+	if len(h.opts.SLOs) == 0 || h.n == 0 {
+		return nil
+	}
+	newest := h.at(h.n - 1)
+	windows := []time.Duration{
+		h.opts.Windows.FastShort, h.opts.Windows.FastLong,
+		h.opts.Windows.SlowShort, h.opts.Windows.SlowLong,
+	}
+	out := make([]SLOStatus, 0, len(h.opts.SLOs))
+	for _, spec := range h.opts.SLOs {
+		st := SLOStatus{SLOSpec: spec, Windows: make([]WindowBurn, 0, len(windows))}
+		for _, w := range windows {
+			wb := WindowBurn{WindowMS: w.Milliseconds()}
+			if old, ok := h.older(now, w); ok {
+				wb.SpanMS = newest.at.Sub(old.at).Milliseconds()
+				wb.Good, wb.Total = sloEvents(spec, old.m, newest.m)
+				wb.Burn = burnRate(spec, wb.Good, wb.Total)
+			}
+			st.Windows = append(st.Windows, wb)
+		}
+		st.State = sloState(st.Windows)
+		out = append(out, st)
+	}
+	return out
+}
+
+// HistoryPoint is one retained sample in a Dump: gauges as observed plus
+// counter deltas against the previous retained point, so a consumer reads
+// rates without re-deriving them. The oldest point in a dump has
+// IntervalMS 0 and zero deltas (nothing precedes it).
+type HistoryPoint struct {
+	UnixMS     int64 `json:"unix_ms"`
+	IntervalMS int64 `json:"interval_ms"`
+
+	QueueDepth   int64 `json:"queue_depth"`
+	JobsInFlight int64 `json:"jobs_in_flight"`
+
+	Admitted   uint64 `json:"admitted"`
+	Shed       uint64 `json:"shed"`
+	JobsRun    uint64 `json:"jobs_run"`
+	JobsFailed uint64 `json:"jobs_failed"`
+	Coalesced  uint64 `json:"coalesced"`
+	Traps      uint64 `json:"traps"`
+
+	// P50MS/P99MS are quantiles of the end-to-end latency observed during
+	// this point's interval (delta histogram), 0 when nothing completed.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// HistorySummary aggregates one dump window: counter deltas from the
+// window's oldest to newest snapshot plus the window's end-to-end latency
+// distribution (with exemplars, so a dashboard can link a quantile to a
+// representative trace).
+type HistorySummary struct {
+	Admitted     uint64            `json:"admitted"`
+	Shed         uint64            `json:"shed"`
+	ShedByReason map[string]uint64 `json:"shed_by_reason,omitempty"`
+	JobsRun      uint64            `json:"jobs_run"`
+	JobsFailed   uint64            `json:"jobs_failed"`
+	Coalesced    uint64            `json:"coalesced"`
+	Traps        uint64            `json:"traps"`
+	TrapsByKind  map[string]uint64 `json:"traps_by_kind,omitempty"`
+
+	E2E   Histogram `json:"e2e"`
+	P50MS float64   `json:"p50_ms"`
+	P90MS float64   `json:"p90_ms"`
+	P99MS float64   `json:"p99_ms"`
+}
+
+// HistoryDump is the GET /metrics/history payload.
+type HistoryDump struct {
+	IntervalMS  int64           `json:"interval_ms"`
+	RetentionMS int64           `json:"retention_ms"`
+	WindowMS    int64           `json:"window_ms"`
+	Points      []HistoryPoint  `json:"points"`
+	Summary     *HistorySummary `json:"summary,omitempty"`
+	SLOs        []SLOStatus     `json:"slos,omitempty"`
+}
+
+// Dump renders the retained points no older than window (0 or anything
+// beyond retention = the whole ring) with per-point deltas, a window
+// summary, and the current SLO statuses.
+func (h *History) Dump(window time.Duration) HistoryDump {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistoryDump{
+		IntervalMS:  h.opts.Interval.Milliseconds(),
+		RetentionMS: h.opts.Retention.Milliseconds(),
+		WindowMS:    window.Milliseconds(),
+		SLOs:        append([]SLOStatus(nil), h.statuses...),
+	}
+	if h.n == 0 {
+		return out
+	}
+	newest := h.at(h.n - 1)
+	start := 0
+	if window > 0 {
+		cut := newest.at.Add(-window)
+		for start < h.n-1 && h.at(start).at.Before(cut) {
+			start++
+		}
+	}
+	var prev *histPoint
+	for i := start; i < h.n; i++ {
+		p := h.at(i)
+		hp := HistoryPoint{
+			UnixMS:       p.m.SnapshotUnixMS,
+			QueueDepth:   p.m.QueueDepthNow,
+			JobsInFlight: p.m.JobsInFlight,
+		}
+		if hp.UnixMS == 0 {
+			hp.UnixMS = p.at.UnixMilli()
+		}
+		if prev != nil {
+			hp.IntervalMS = p.at.Sub(prev.at).Milliseconds()
+			hp.Admitted = counterDelta(p.m.Admitted, prev.m.Admitted)
+			hp.Shed = counterDelta(p.m.Shed, prev.m.Shed)
+			hp.JobsRun = counterDelta(p.m.JobsRun, prev.m.JobsRun)
+			hp.JobsFailed = counterDelta(p.m.JobsFailed, prev.m.JobsFailed)
+			hp.Coalesced = counterDelta(p.m.Coalesced, prev.m.Coalesced)
+			hp.Traps = counterDelta(p.m.Traps, prev.m.Traps)
+			d := p.m.E2EWall.Delta(prev.m.E2EWall)
+			// Skip the quantiles when Delta detected inconsistent snapshots
+			// (it returns p unchanged although prev was non-empty).
+			if d.Count > 0 && (prev.m.E2EWall.Count == 0 || d.Count < p.m.E2EWall.Count) {
+				hp.P50MS = d.Quantile(0.50)
+				hp.P99MS = d.Quantile(0.99)
+			}
+		}
+		pp := p
+		prev = &pp
+		out.Points = append(out.Points, hp)
+	}
+	if len(out.Points) >= 2 {
+		oldest := h.at(start)
+		s := &HistorySummary{
+			Admitted:     counterDelta(newest.m.Admitted, oldest.m.Admitted),
+			Shed:         counterDelta(newest.m.Shed, oldest.m.Shed),
+			ShedByReason: mapDelta(newest.m.ShedByReason, oldest.m.ShedByReason),
+			JobsRun:      counterDelta(newest.m.JobsRun, oldest.m.JobsRun),
+			JobsFailed:   counterDelta(newest.m.JobsFailed, oldest.m.JobsFailed),
+			Coalesced:    counterDelta(newest.m.Coalesced, oldest.m.Coalesced),
+			Traps:        counterDelta(newest.m.Traps, oldest.m.Traps),
+			TrapsByKind:  mapDelta(newest.m.TrapsByKind, oldest.m.TrapsByKind),
+		}
+		s.E2E = newest.m.E2EWall.Delta(oldest.m.E2EWall)
+		if s.E2E.Count > 0 {
+			s.P50MS = s.E2E.Quantile(0.50)
+			s.P90MS = s.E2E.Quantile(0.90)
+			s.P99MS = s.E2E.Quantile(0.99)
+		}
+		out.Summary = s
+	}
+	return out
+}
+
+// counterDelta subtracts cumulative counters, clamping at zero so a
+// restart between snapshots yields 0 rather than a wrapped giant.
+func counterDelta(cur, old uint64) uint64 {
+	if cur < old {
+		return 0
+	}
+	return cur - old
+}
+
+// mapDelta subtracts per-key cumulative counters, keeping positive deltas.
+func mapDelta(cur, old map[string]uint64) map[string]uint64 {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64)
+	for k, v := range cur {
+		if d := counterDelta(v, old[k]); d > 0 {
+			out[k] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+// metricsScript drives a History in tests: each Tick samples the current
+// value of m, which the test mutates between ticks.
+type metricsScript struct {
+	m Metrics
+}
+
+func (s *metricsScript) source() Metrics { return s.m }
+
+func tsBase() time.Time {
+	return time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+}
+
+func TestHistoryRingWrap(t *testing.T) {
+	src := &metricsScript{}
+	h := NewHistory(HistoryOptions{
+		Source:    src.source,
+		Interval:  time.Second,
+		Retention: 3 * time.Second, // capacity 4
+	})
+	base := tsBase()
+	for i := 0; i < 10; i++ {
+		src.m.Admitted = uint64(i)
+		src.m.SnapshotUnixMS = base.Add(time.Duration(i) * time.Second).UnixMilli()
+		h.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	d := h.Dump(0)
+	if len(d.Points) != 4 {
+		t.Fatalf("points = %d, want ring capacity 4", len(d.Points))
+	}
+	// The ring kept the newest 4 ticks: admitted counters 6..9, so the
+	// three non-oldest points each show a delta of 1.
+	if d.Points[0].UnixMS != base.Add(6*time.Second).UnixMilli() {
+		t.Fatalf("oldest retained point at %d, want t+6s", d.Points[0].UnixMS)
+	}
+	for i, p := range d.Points {
+		wantDelta := uint64(1)
+		if i == 0 {
+			wantDelta = 0 // nothing precedes the oldest point
+		}
+		if p.Admitted != wantDelta {
+			t.Errorf("point %d admitted delta = %d, want %d", i, p.Admitted, wantDelta)
+		}
+	}
+	if d.Summary == nil || d.Summary.Admitted != 3 {
+		t.Fatalf("summary = %+v, want admitted delta 3 across the window", d.Summary)
+	}
+}
+
+func TestHistoryDumpWindowAndDeltas(t *testing.T) {
+	src := &metricsScript{}
+	h := NewHistory(HistoryOptions{
+		Source:    src.source,
+		Interval:  time.Second,
+		Retention: time.Minute,
+	})
+	base := tsBase()
+	var lat LogHist
+	for i := 0; i < 6; i++ {
+		src.m.Admitted = uint64(i * 10)
+		src.m.Shed = uint64(i)
+		src.m.TrapsByKind = map[string]uint64{"null": uint64(i)}
+		src.m.Traps = uint64(i)
+		lat.ObserveMS(5.0, "")
+		src.m.E2EWall = lat.Snapshot()
+		h.Tick(base.Add(time.Duration(i) * time.Second))
+	}
+	// window=2s keeps the newest point plus anything within 2s of it.
+	d := h.Dump(2 * time.Second)
+	if len(d.Points) != 3 {
+		t.Fatalf("windowed points = %d, want 3", len(d.Points))
+	}
+	last := d.Points[len(d.Points)-1]
+	if last.Admitted != 10 || last.Shed != 1 || last.IntervalMS != 1000 {
+		t.Fatalf("last point deltas = %+v", last)
+	}
+	// One 5ms observation per interval: the per-point delta quantiles sit
+	// in the bucket holding 5ms (bounds ~4.3/5.1ms).
+	if last.P50MS <= 0 || last.P50MS > 5.1 {
+		t.Fatalf("per-point p50 = %v, want within the 5ms bucket", last.P50MS)
+	}
+	if d.Summary == nil {
+		t.Fatal("no summary")
+	}
+	if d.Summary.Admitted != 20 || d.Summary.Shed != 2 || d.Summary.Traps != 2 {
+		t.Fatalf("summary = %+v", d.Summary)
+	}
+	if d.Summary.TrapsByKind["null"] != 2 {
+		t.Fatalf("summary traps_by_kind = %+v", d.Summary.TrapsByKind)
+	}
+	if d.Summary.E2E.Count != 2 {
+		t.Fatalf("summary e2e delta count = %d, want 2", d.Summary.E2E.Count)
+	}
+}
+
+func TestHistoryDumpEmpty(t *testing.T) {
+	h := NewHistory(HistoryOptions{Source: func() Metrics { return Metrics{} }})
+	d := h.Dump(0)
+	if len(d.Points) != 0 || d.Summary != nil {
+		t.Fatalf("empty history dumped %+v", d)
+	}
+}
+
+// TestHistorySLOTransitions drives the availability objective through
+// ok -> page -> ok with a synthetic clock and checks both the evaluated
+// states and the slo_state events published on the bus.
+func TestHistorySLOTransitions(t *testing.T) {
+	src := &metricsScript{}
+	bus := NewBus()
+	events, cancel := bus.Subscribe(16)
+	defer cancel()
+
+	h := NewHistory(HistoryOptions{
+		Source:    src.source,
+		Interval:  time.Second,
+		Retention: time.Minute,
+		SLOs:      []SLOSpec{{Name: "availability", Objective: 0.99}},
+		Windows: SLOWindows{
+			FastShort: 2 * time.Second,
+			FastLong:  8 * time.Second,
+			SlowShort: 4 * time.Second,
+			SlowLong:  16 * time.Second,
+		},
+		Bus: bus,
+	})
+
+	base := tsBase()
+	tick := 0
+	step := func(admitted, shed uint64) {
+		src.m.Admitted += admitted
+		src.m.Shed += shed
+		h.Tick(base.Add(time.Duration(tick) * time.Second))
+		tick++
+	}
+
+	// Healthy traffic: everything admitted, state ok.
+	for i := 0; i < 5; i++ {
+		step(100, 0)
+	}
+	st := h.Statuses()
+	if len(st) != 1 || st[0].State != SLOStateOK {
+		t.Fatalf("healthy statuses = %+v", st)
+	}
+
+	// Overload: half of everything shed. Error fraction 0.5 against a 1%
+	// budget is a burn of 50 on every window — page.
+	for i := 0; i < 5; i++ {
+		step(50, 50)
+	}
+	st = h.Statuses()
+	if st[0].State != SLOStatePage {
+		t.Fatalf("overload state = %q (windows %+v), want page", st[0].State, st[0].Windows)
+	}
+	if mb := st[0].MaxBurn(); mb < PageBurn {
+		t.Fatalf("overload max burn = %v, want >= %v", mb, PageBurn)
+	}
+
+	// Recovery: idle ticks. The fast-short window drains first and the
+	// pairing rule resets the page; eventually every window is empty -> ok.
+	for i := 0; i < 20; i++ {
+		step(0, 0)
+	}
+	st = h.Statuses()
+	if st[0].State != SLOStateOK {
+		t.Fatalf("recovered state = %q (windows %+v), want ok", st[0].State, st[0].Windows)
+	}
+
+	// The bus saw every transition in order (no event for the initial ok
+	// state): -> warn as the first shed batch trips the fast pair but the
+	// longer fast window still dilutes it below the page threshold, -> page
+	// once the burn sustains, -> warn while the slow windows still cover
+	// the burn after the fast ones drained, -> ok once they drain too.
+	var states []string
+	for len(events) > 0 {
+		ev := <-events
+		if ev.Type != "slo_state" {
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+		states = append(states, ev.State)
+	}
+	want := []string{SLOStateWarn, SLOStatePage, SLOStateWarn, SLOStateOK}
+	if len(states) != len(want) {
+		t.Fatalf("slo_state events = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("slo_state events = %v, want %v", states, want)
+		}
+	}
+}
+
+// TestHistoryLatencySLO pins the latency objective: observations past the
+// target spend budget; under the target they do not.
+func TestHistoryLatencySLO(t *testing.T) {
+	src := &metricsScript{}
+	var lat LogHist
+	h := NewHistory(HistoryOptions{
+		Source:    src.source,
+		Interval:  time.Second,
+		Retention: time.Minute,
+		SLOs:      []SLOSpec{{Name: "latency", Objective: 0.99, LatencyTargetMS: 100}},
+		Windows: SLOWindows{
+			FastShort: 2 * time.Second, FastLong: 4 * time.Second,
+			SlowShort: 3 * time.Second, SlowLong: 8 * time.Second,
+		},
+	})
+	base := tsBase()
+	tick := 0
+	step := func(ms float64, n int) {
+		for i := 0; i < n; i++ {
+			lat.ObserveMS(ms, "")
+		}
+		src.m.E2EWall = lat.Snapshot()
+		h.Tick(base.Add(time.Duration(tick) * time.Second))
+		tick++
+	}
+
+	for i := 0; i < 4; i++ {
+		step(10, 100) // fast requests, well under the 100ms target
+	}
+	if st := h.Statuses(); st[0].State != SLOStateOK {
+		t.Fatalf("fast traffic state = %+v, want ok", st[0])
+	}
+	for i := 0; i < 4; i++ {
+		step(5000, 100) // every request blows the target: burn 100 on a 1% budget
+	}
+	if st := h.Statuses(); st[0].State != SLOStatePage {
+		t.Fatalf("slow traffic state = %q (windows %+v), want page", st[0].State, st[0].Windows)
+	}
+}
+
+func TestSLOEventsAvailability(t *testing.T) {
+	spec := SLOSpec{Name: "availability", Objective: 0.99}
+	old := Metrics{Admitted: 100, Shed: 10, JobsPanicked: 1, JobsTimedOut: 1}
+	cur := Metrics{Admitted: 180, Shed: 30, JobsPanicked: 2, JobsTimedOut: 3}
+	good, total := sloEvents(spec, old, cur)
+	// 100 new admission decisions; 20 shed + 1 panic + 2 timeouts bad.
+	if total != 100 || good != 77 {
+		t.Fatalf("good/total = %d/%d, want 77/100", good, total)
+	}
+	// A counter regression (restart) yields an empty window, not a wrap.
+	good, total = sloEvents(spec, cur, old)
+	if good != 0 || total != 0 {
+		t.Fatalf("regressed counters gave %d/%d, want 0/0", good, total)
+	}
+}
+
+func TestSLOEventsLatency(t *testing.T) {
+	spec := SLOSpec{Name: "latency", Objective: 0.99, LatencyTargetMS: 100}
+	var lh LogHist
+	for i := 0; i < 90; i++ {
+		lh.ObserveMS(10, "")
+	}
+	old := Metrics{E2EWall: lh.Snapshot()}
+	for i := 0; i < 10; i++ {
+		lh.ObserveMS(5000, "")
+	}
+	cur := Metrics{E2EWall: lh.Snapshot()}
+	good, total := sloEvents(spec, old, cur)
+	if total != 10 || good != 0 {
+		t.Fatalf("good/total = %d/%d, want 0/10 (every new observation slow)", good, total)
+	}
+	// Inconsistent snapshots (e.g. a restart shrank the histogram) are
+	// skipped rather than fabricated.
+	good, total = sloEvents(spec, cur, Metrics{E2EWall: old.E2EWall})
+	if good != 0 || total != 0 {
+		t.Fatalf("inconsistent snapshots gave %d/%d, want 0/0", good, total)
+	}
+}
+
+func TestBurnRate(t *testing.T) {
+	spec := SLOSpec{Objective: 0.99}
+	if b := burnRate(spec, 0, 0); b != 0 {
+		t.Errorf("empty window burn = %v, want 0", b)
+	}
+	// 1% errors on a 1% budget: burning exactly at the sustainable rate.
+	if b := burnRate(spec, 99, 100); b < 0.999 || b > 1.001 {
+		t.Errorf("burn = %v, want 1.0", b)
+	}
+	if b := burnRate(spec, 50, 100); b < 49.9 || b > 50.1 {
+		t.Errorf("burn = %v, want 50", b)
+	}
+	// A 100% objective has no budget: any error is a huge burn.
+	if b := burnRate(SLOSpec{Objective: 1}, 99, 100); b < 1e6 {
+		t.Errorf("zero-budget burn = %v, want huge", b)
+	}
+}
+
+func TestSLOStateFolding(t *testing.T) {
+	mk := func(fs, fl, ss, sl float64) []WindowBurn {
+		return []WindowBurn{{Burn: fs}, {Burn: fl}, {Burn: ss}, {Burn: sl}}
+	}
+	cases := []struct {
+		name string
+		w    []WindowBurn
+		want string
+	}{
+		{"all-zero", mk(0, 0, 0, 0), SLOStateOK},
+		{"page-both-fast", mk(20, 15, 0, 0), SLOStatePage},
+		{"fast-short-only-spike", mk(20, 1, 0, 0), SLOStateOK},
+		{"warn-slow-pair", mk(0, 0, 7, 7), SLOStateWarn},
+		{"warn-fast-pair-below-page", mk(7, 7, 0, 0), SLOStateWarn},
+		{"slow-short-only", mk(0, 0, 7, 1), SLOStateOK},
+		{"malformed", nil, SLOStateOK},
+	}
+	for _, tc := range cases {
+		if got := sloState(tc.w); got != tc.want {
+			t.Errorf("%s: state = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	var lh LogHist
+	lh.ObserveMS(1, "aaaaaaaaaaaaaaa1")
+	lh.ObserveMS(50, "")
+	old := lh.Snapshot()
+	lh.ObserveMS(1, "aaaaaaaaaaaaaaa2")
+	lh.ObserveMS(900, "aaaaaaaaaaaaaaa3")
+	cur := lh.Snapshot()
+
+	d := cur.Delta(old)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	var sum uint64
+	for _, b := range d.Buckets {
+		sum += b.Count
+	}
+	if sum != 2 {
+		t.Fatalf("delta bucket sum = %d, want 2", sum)
+	}
+	// Positive-delta buckets keep cur's exemplars; untouched buckets (the
+	// 50ms one) drop out entirely.
+	for _, b := range d.Buckets {
+		if b.Count == 0 {
+			t.Fatalf("zero-count bucket survived the delta: %+v", d.Buckets)
+		}
+		if b.Exemplar == nil {
+			t.Fatalf("delta bucket lost its exemplar: %+v", b)
+		}
+	}
+
+	// Empty old snapshot: delta is cur verbatim.
+	if d := cur.Delta(Histogram{}); d.Count != cur.Count {
+		t.Fatalf("delta from empty = %+v", d)
+	}
+	// Inconsistent (old bigger than cur, i.e. a restart): cur returned
+	// unchanged rather than a wrapped subtraction.
+	if d := old.Delta(cur); d.Count != old.Count {
+		t.Fatalf("inconsistent delta = %+v, want old unchanged", d)
+	}
+}

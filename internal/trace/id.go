@@ -26,13 +26,19 @@ func NewID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// ValidID reports whether s looks like a NewID-shaped trace ID. Inputs
-// from the network (client-supplied IDs, /traces/{id} paths) are validated
-// so arbitrary strings never become map keys or log fields.
+// ValidID reports whether s looks like a trace ID we mint or adopt: 16
+// lowercase hex characters (NewID, the W3C span-id shape) or 32 (a W3C
+// trace-id adopted from an inbound traceparent header). Inputs from the
+// network (client-supplied IDs, /traces/{id} paths) are validated so
+// arbitrary strings never become map keys or log fields.
 func ValidID(s string) bool {
-	if len(s) != 16 {
+	if len(s) != 16 && len(s) != 32 {
 		return false
 	}
+	return isLowerHex(s)
+}
+
+func isLowerHex(s string) bool {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
