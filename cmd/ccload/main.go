@@ -553,7 +553,11 @@ func observeBurn(ctx context.Context, baseURL string, timeout time.Duration) str
 		if (worst != "" && rank[worst] >= rank[warnState]) || time.Now().After(deadline) {
 			return worst
 		}
-		time.Sleep(250 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return worst
+		case <-time.After(250 * time.Millisecond):
+		}
 	}
 }
 

@@ -163,6 +163,14 @@ var windowSel = "1h";
 var lastDump = null;
 var tip = document.getElementById("tip");
 
+// esc HTML-escapes server-derived strings before they reach innerHTML.
+// Job names, error messages, and trap positions embed user program
+// content verbatim, so anything out of the SSE/JSON feeds is hostile.
+function esc(v) {
+  return String(v).replace(/[&<>"']/g, function (c) {
+    return { "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;", "'": "&#39;" }[c];
+  });
+}
 function fmt(v) {
   if (v >= 100) return Math.round(v).toString();
   if (v >= 1) return v.toFixed(1);
@@ -227,9 +235,10 @@ function renderSLOs(slos) {
       var lab = mins >= 60 ? (mins / 60) + "h" : mins >= 1 ? mins + "m" : (w.window_ms / 1000) + "s";
       return lab + ": " + fmt(w.burn) + "×";
     }).join(" · ");
-    var target = s.latency_target_ms ? " p99≤" + s.latency_target_ms + "ms" : "";
-    return '<div class="card slo"><h2>SLO: ' + s.name + " (" + (s.objective * 100) + "%" + target + ')</h2>' +
-      '<div class="state ' + s.state + '">' + (stateGlyph[s.state] || "") + " " + s.state.toUpperCase() + "</div>" +
+    var target = s.latency_target_ms ? " p99≤" + fmt(s.latency_target_ms) + "ms" : "";
+    var state = stateGlyph.hasOwnProperty(s.state) ? s.state : "ok";
+    return '<div class="card slo"><h2>SLO: ' + esc(s.name) + " (" + (s.objective * 100) + "%" + target + ')</h2>' +
+      '<div class="state ' + state + '">' + stateGlyph[state] + " " + esc(state.toUpperCase()) + "</div>" +
       '<div class="burns">burn ' + burns + "</div></div>";
   }).join("");
 }
@@ -242,9 +251,9 @@ function renderTraps(summary) {
     .sort(function (a, b) { return b[1] - a[1]; }).slice(0, 8);
   var max = rows[0][1];
   el.innerHTML = rows.map(function (r) {
-    return '<div class="bar-row"><span class="name" title="' + r[0] + '">' + r[0] +
+    return '<div class="bar-row"><span class="name" title="' + esc(r[0]) + '">' + esc(r[0]) +
       '</span><span><span class="bar" style="width:' + (100 * r[1] / max) + '%"></span></span>' +
-      '<span class="n">' + r[1] + "</span></div>";
+      '<span class="n">' + fmt(r[1]) + "</span></div>";
   }).join("");
 }
 
@@ -255,7 +264,8 @@ function renderExemplars(summary) {
   bks.forEach(function (b) { if (b.exemplar) ex.push(b.exemplar); });
   ex.sort(function (a, b) { return b.value_ms - a.value_ms; });
   el.innerHTML = ex.slice(0, 3).map(function (e) {
-    return '<a href="/traces/' + e.trace_id + '" title="open trace ' + e.trace_id + '">' +
+    return '<a href="/traces/' + esc(encodeURIComponent(e.trace_id)) +
+      '" title="open trace ' + esc(e.trace_id) + '">' +
       fmt(e.value_ms) + "ms ↗</a>";
   }).join("");
 }
@@ -330,13 +340,13 @@ try {
     es.addEventListener(kind, function (ev) {
       var e = JSON.parse(ev.data);
       if (kind === "slo_state") {
-        pushEvent("slo-ev", "SLO " + e.name + " → " + e.state.toUpperCase() +
+        pushEvent("slo-ev", "SLO " + esc(e.name) + " → " + esc(String(e.state).toUpperCase()) +
           " (burn " + fmt(e.burn) + "×)");
       } else if (kind === "trap") {
-        pushEvent("", "trap " + e.trap_kind + " @ " + (e.trap_pos || "?") +
-          (e.trace_id ? ' <a href="/traces/' + e.trace_id + '">trace ↗</a>' : ""));
+        pushEvent("", "trap " + esc(e.trap_kind) + " @ " + esc(e.trap_pos || "?") +
+          (e.trace_id ? ' <a href="/traces/' + esc(encodeURIComponent(e.trace_id)) + '">trace ↗</a>' : ""));
       } else if (e.err) {
-        pushEvent("", "job " + e.name + " failed: " + e.err);
+        pushEvent("", "job " + esc(e.name) + " failed: " + esc(e.err));
       }
     });
   });

@@ -378,6 +378,13 @@ func (s *server) handleCure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Echo a valid inbound traceparent up front so the header is on every
+	// outcome, including early validation failures that never reach the
+	// runner; the post-run echo below overwrites it with the job's final
+	// trace-id (the same one, unless the request overrode it).
+	if tid, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		w.Header().Set("Traceparent", trace.Traceparent(tid))
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBytes)
 	var req CureRequest
 	dec := json.NewDecoder(body)

@@ -390,6 +390,10 @@ func (g *gen) issue(ctx context.Context, class string) (float64, *cureReply, ech
 		}
 	}
 	if resp.StatusCode != http.StatusOK {
+		// The server sets Traceparent on every outcome, so error responses
+		// are checked too — otherwise an echo regression that only shows on
+		// 4xx/5xx would be invisible to the -gate mismatch check.
+		checkEcho(resp)
 		return ms, nil, echo, &httpError{status: resp.StatusCode,
 			err: fmt.Errorf("%s: status %d: %.200s", class, resp.StatusCode, data)}
 	}

@@ -33,6 +33,18 @@ const (
 	SLOStatePage = "page"
 )
 
+// Coverage gates: right after startup (or a retention shorter than the
+// window) every window falls back to the oldest ring point, so all four
+// "windows" evaluate the same few-seconds span and the multi-window
+// safeguard degenerates to a single tiny sample — one shed request out of
+// five in the first seconds would page. A window may therefore contribute
+// to warn/page only once the history actually spans at least half the
+// window and the window saw a minimum number of events.
+const (
+	minWindowCoverage = 0.5
+	minWindowEvents   = 10
+)
+
 // SLOWindows are the four look-back windows burn rates are computed over:
 // the fast pair gates paging, the slow pair gates warning. All four are
 // configurable so tests and short CI runs can use seconds-scale windows.
@@ -102,6 +114,18 @@ type WindowBurn struct {
 	Good   uint64  `json:"good"`
 	Total  uint64  `json:"total"`
 	Burn   float64 `json:"burn"`
+	// Eligible reports whether this window may contribute to alerting:
+	// false while the history does not yet cover enough of the window
+	// (SpanMS < minWindowCoverage × WindowMS) or the window saw fewer than
+	// minWindowEvents events. Ineligible windows still report their burn
+	// for observability but never trip warn/page.
+	Eligible bool `json:"eligible"`
+}
+
+// alertEligible applies the coverage gates to one window.
+func (w WindowBurn) alertEligible() bool {
+	return float64(w.SpanMS) >= float64(w.WindowMS)*minWindowCoverage &&
+		w.Total >= minWindowEvents
 }
 
 // SLOStatus is the burn-rate engine's current verdict on one objective,
@@ -178,17 +202,21 @@ func burnRate(spec SLOSpec, good, total uint64) float64 {
 // sloState folds the four window burns into an alert state: page when both
 // fast windows burn at PageBurn, warn when either pair sustains WarnBurn.
 // Requiring both windows of a pair makes the alert reset as soon as the
-// short window drains after the burn stops.
+// short window drains after the burn stops. Only Eligible windows count,
+// so an under-covered history (startup, short retention) cannot page off a
+// handful of events.
 func sloState(w []WindowBurn) string {
 	if len(w) != 4 {
 		return SLOStateOK
 	}
-	fastShort, fastLong, slowShort, slowLong := w[0].Burn, w[1].Burn, w[2].Burn, w[3].Burn
-	if fastShort >= PageBurn && fastLong >= PageBurn {
+	over := func(a, b WindowBurn, burn float64) bool {
+		return a.Eligible && b.Eligible && a.Burn >= burn && b.Burn >= burn
+	}
+	fastShort, fastLong, slowShort, slowLong := w[0], w[1], w[2], w[3]
+	if over(fastShort, fastLong, PageBurn) {
 		return SLOStatePage
 	}
-	if (slowShort >= WarnBurn && slowLong >= WarnBurn) ||
-		(fastShort >= WarnBurn && fastLong >= WarnBurn) {
+	if over(slowShort, slowLong, WarnBurn) || over(fastShort, fastLong, WarnBurn) {
 		return SLOStateWarn
 	}
 	return SLOStateOK

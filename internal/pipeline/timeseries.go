@@ -190,6 +190,7 @@ func (h *History) evalLocked(now time.Time) []SLOStatus {
 				wb.SpanMS = newest.at.Sub(old.at).Milliseconds()
 				wb.Good, wb.Total = sloEvents(spec, old.m, newest.m)
 				wb.Burn = burnRate(spec, wb.Good, wb.Total)
+				wb.Eligible = wb.alertEligible()
 			}
 			st.Windows = append(st.Windows, wb)
 		}

@@ -293,9 +293,19 @@ func TestBurnRate(t *testing.T) {
 }
 
 func TestSLOStateFolding(t *testing.T) {
-	mk := func(fs, fl, ss, sl float64) []WindowBurn {
-		return []WindowBurn{{Burn: fs}, {Burn: fl}, {Burn: ss}, {Burn: sl}}
+	// mk builds four eligible windows (fully covered, plenty of events) so
+	// the cases exercise the burn thresholds alone.
+	mkw := func(burn float64) WindowBurn {
+		return WindowBurn{WindowMS: 60_000, SpanMS: 60_000, Total: 1000, Burn: burn, Eligible: true}
 	}
+	mk := func(fs, fl, ss, sl float64) []WindowBurn {
+		return []WindowBurn{mkw(fs), mkw(fl), mkw(ss), mkw(sl)}
+	}
+	// Ineligible variants: same burns, but the window fails a coverage gate.
+	uncovered := mk(20, 20, 0, 0)
+	uncovered[1].Eligible = false
+	sparse := mk(0, 0, 7, 7)
+	sparse[2].Eligible = false
 	cases := []struct {
 		name string
 		w    []WindowBurn
@@ -307,11 +317,59 @@ func TestSLOStateFolding(t *testing.T) {
 		{"warn-slow-pair", mk(0, 0, 7, 7), SLOStateWarn},
 		{"warn-fast-pair-below-page", mk(7, 7, 0, 0), SLOStateWarn},
 		{"slow-short-only", mk(0, 0, 7, 1), SLOStateOK},
+		{"page-burn-but-uncovered-window", uncovered, SLOStateOK},
+		{"warn-burn-but-sparse-window", sparse, SLOStateOK},
 		{"malformed", nil, SLOStateOK},
 	}
 	for _, tc := range cases {
 		if got := sloState(tc.w); got != tc.want {
 			t.Errorf("%s: state = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestWindowBurnEligibility(t *testing.T) {
+	cases := []struct {
+		name string
+		w    WindowBurn
+		want bool
+	}{
+		{"covered-and-busy", WindowBurn{WindowMS: 60_000, SpanMS: 30_000, Total: 10}, true},
+		{"under-covered", WindowBurn{WindowMS: 60_000, SpanMS: 29_000, Total: 1000}, false},
+		{"too-few-events", WindowBurn{WindowMS: 60_000, SpanMS: 60_000, Total: 9}, false},
+		{"empty", WindowBurn{WindowMS: 60_000}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.w.alertEligible(); got != tc.want {
+			t.Errorf("%s: eligible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHistorySLOStartupNoFalsePage pins the startup regression: with
+// production-scale windows (5m/1h/30m/6h) a few seconds after boot, every
+// window falls back to the same oldest ring point, so 1 shed out of 5
+// requests is a burn of 20 on all four "windows" — which must NOT page,
+// because none of them actually covers its window yet.
+func TestHistorySLOStartupNoFalsePage(t *testing.T) {
+	src := &metricsScript{}
+	h := NewHistory(HistoryOptions{
+		Source:    src.source,
+		Interval:  time.Second,
+		Retention: time.Hour,
+		SLOs:      []SLOSpec{{Name: "availability", Objective: 0.99}},
+	})
+	base := tsBase()
+	h.Tick(base)
+	src.m.Admitted, src.m.Shed = 4, 1
+	h.Tick(base.Add(time.Second))
+	st := h.Statuses()
+	if len(st) != 1 || st[0].State != SLOStateOK {
+		t.Fatalf("startup statuses = %+v, want ok", st)
+	}
+	for i, w := range st[0].Windows {
+		if w.Eligible {
+			t.Errorf("window %d eligible with a 1s span over %dms: %+v", i, w.WindowMS, w)
 		}
 	}
 }
